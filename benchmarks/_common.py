@@ -1,0 +1,35 @@
+"""Shared infrastructure for the experiment benchmarks (E1–E12).
+
+Each benchmark runs one experiment from the DESIGN.md index, prints its
+paper-vs-measured table (visible with ``pytest -s`` and in the benchmark
+logs), persists it under ``benchmarks/results/`` for EXPERIMENTS.md, and
+asserts the *shape* of the paper's claim (growth exponents, orderings,
+bounds) rather than absolute constants.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.reporting import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(experiment: str, rows, title: str) -> str:
+    """Format, print and persist an experiment's result table."""
+    text = format_table(rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    existing = path.read_text() if path.exists() else ""
+    if title not in existing:
+        path.write_text(existing + text + "\n\n")
+    print("\n" + text + "\n")
+    return text
+
+
+def reset(experiment: str) -> None:
+    """Clear a previous run's persisted table (called at bench start)."""
+    path = RESULTS_DIR / f"{experiment}.txt"
+    if path.exists():
+        path.unlink()

@@ -1,0 +1,112 @@
+"""E10 — the paper's prior-work table, regenerated live.
+
+|                    | expected time | memory    | extra assumptions    |
+|--------------------|---------------|-----------|----------------------|
+| CIL 1987           | polynomial    | (n/a here)| atomic coin flip     |
+| Abrahamson 1988    | exponential   | unbounded | —                    |
+| bounded local coin | exponential   | bounded   | — ([ADS89] cell, via the §4 strip) |
+| Aspnes–Herlihy 88  | polynomial    | unbounded | —                    |
+| **ADS 1989**       | polynomial    | bounded   | —                    |
+
+Workload: all four protocols, same split inputs, lockstep adversary (the
+schedule separating the regimes), n swept.  Measured: rounds, steps and
+the memory audit; the assertions encode the table's qualitative cells.
+"""
+
+import statistics
+
+from _common import record, reset
+
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    BoundedLocalCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.runtime.adversary import LockstepAdversary
+
+N_VALUES = (3, 5, 7)
+REPS = 5
+PROTOCOLS = [
+    AtomicCoinConsensus,
+    LocalCoinConsensus,
+    BoundedLocalCoinConsensus,
+    AspnesHerlihyConsensus,
+    AdsConsensus,
+]
+
+
+def run_experiment():
+    reset("e10")
+    table = {}
+    rows = []
+    for n in N_VALUES:
+        inputs = [p % 2 for p in range(n)]
+        for protocol_cls in PROTOCOLS:
+            rounds, steps, magnitude = [], [], []
+            for seed in range(REPS):
+                run = protocol_cls().run(
+                    inputs,
+                    scheduler=LockstepAdversary("mem", seed=seed),
+                    seed=seed,
+                    max_steps=200_000_000,
+                )
+                assert validate_run(run).ok
+                rounds.append(run.max_rounds())
+                steps.append(run.total_steps)
+                magnitude.append(run.audit.max_magnitude)
+            table[(protocol_cls.name, n)] = {
+                "rounds": statistics.mean(rounds),
+                "steps": statistics.mean(steps),
+                "max int": max(magnitude),
+            }
+            rows.append(
+                {
+                    "n": n,
+                    "protocol": protocol_cls.name,
+                    "mean rounds": statistics.mean(rounds),
+                    "mean steps": statistics.mean(steps),
+                    "max int stored": max(magnitude),
+                }
+            )
+    record("e10", rows, "E10 — five regimes under the lockstep adversary")
+    return table
+
+
+def test_e10_regime_table(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    n_small, n_large = min(N_VALUES), max(N_VALUES)
+
+    # Exponential vs polynomial: local-coin round growth dwarfs everyone's
+    # (in both its unbounded and bounded-strip forms).
+    local_growth = table[("local-coin", n_large)]["rounds"] / max(
+        table[("local-coin", n_small)]["rounds"], 1
+    )
+    bounded_local_growth = table[("bounded-local-coin", n_large)]["rounds"] / max(
+        table[("bounded-local-coin", n_small)]["rounds"], 1
+    )
+    assert bounded_local_growth > 2
+    # The 2x2 matrix's bounded column: both strip-based protocols store
+    # small integers even at the largest n.
+    assert table[("bounded-local-coin", n_large)]["max int"] <= 20
+    for name in ("ads", "aspnes-herlihy", "atomic-coin"):
+        poly_growth = table[(name, n_large)]["rounds"] / max(
+            table[(name, n_small)]["rounds"], 1
+        )
+        assert local_growth > 2 * poly_growth
+
+    # Bounded vs unbounded: ADS stores smaller integers than AH at the
+    # largest n even though it runs more steps.
+    assert (
+        table[("ads", n_large)]["max int"] < table[("aspnes-herlihy", n_large)]["max int"]
+    )
+
+    # The atomic-coin primitive buys the least work of all regimes.
+    for name in ("ads", "aspnes-herlihy", "local-coin"):
+        assert table[("atomic-coin", n_large)]["steps"] <= table[(name, n_large)]["steps"]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,82 @@
+"""E11 — Lemmas 6.1–6.6: consistency and validity on EVERY execution.
+
+Safety must hold with probability 1, not merely in expectation, so this
+experiment is a volume test: a grid of protocols × schedulers × crash
+plans × seeds, every run validated for consistency, validity, decision
+domain and completion.  Measured: violations (paper: zero, by Lemmas
+6.1–6.6), with run counts printed so zero is meaningful.
+"""
+
+from _common import record, reset
+
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.consensus.ads import pref_reader
+from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler, SplitAdversary
+from repro.runtime.adversary import LockstepAdversary
+from repro.runtime.rng import derive_rng
+
+SEEDS = range(12)
+N = 4
+
+SCHEDULERS = {
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "round-robin": lambda seed: RoundRobinScheduler(),
+    "split": lambda seed: SplitAdversary(pref_reader, seed=seed),
+    "lockstep": lambda seed: LockstepAdversary("mem", seed=seed),
+}
+
+PROTOCOLS = [AdsConsensus, AspnesHerlihyConsensus, LocalCoinConsensus, AtomicCoinConsensus]
+
+
+def run_experiment():
+    reset("e11")
+    rows = []
+    for protocol_cls in PROTOCOLS:
+        for scheduler_name, scheduler_factory in SCHEDULERS.items():
+            runs = violations = 0
+            for seed in SEEDS:
+                rng = derive_rng(seed, "e11", protocol_cls.name, scheduler_name)
+                inputs = [rng.randint(0, 1) for _ in range(N)]
+                crash_plan = (
+                    CrashPlan.random(N, rng, horizon=400)
+                    if seed % 2
+                    else CrashPlan()
+                )
+                run = protocol_cls().run(
+                    inputs,
+                    scheduler=scheduler_factory(seed),
+                    seed=seed,
+                    crash_plan=crash_plan,
+                    max_steps=100_000_000,
+                )
+                runs += 1
+                if not validate_run(run).ok:
+                    violations += 1
+            rows.append(
+                {
+                    "protocol": protocol_cls.name,
+                    "scheduler": scheduler_name,
+                    "runs": runs,
+                    "safety violations": violations,
+                    "paper": 0,
+                }
+            )
+    record("e11", rows, f"E11 Lemmas 6.1–6.6 — safety grid (n={N}, crashes mixed in)")
+    return rows
+
+
+def test_e11_safety_grid(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert sum(r["runs"] for r in rows) >= 150
+    for row in rows:
+        assert row["safety violations"] == 0, row
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,88 @@
+"""E12 — ablations over the paper's design choices.
+
+Three knobs the paper fixes, swept:
+
+1. snapshot substrate: the bounded arrow construction vs the unbounded
+   sequenced comparator vs arrows built on the layered two-writer
+   registers (boundedness all the way down, at a constant-factor step
+   cost);
+2. the distance cap K (the paper sets K=2): correctness must be
+   K-independent; larger K delays decisions slightly (more rounds of
+   separation needed);
+3. the coin barrier b: larger b lowers disagreement (fewer wasted rounds)
+   but each coin costs (b+1)²n² flips — the paper's b=2 sits at the
+   sweet spot for total work.
+"""
+
+import statistics
+
+from _common import record, reset
+
+from repro.consensus import AdsConsensus, validate_run
+from repro.runtime import RandomScheduler
+
+REPS = 8
+N = 4
+INPUTS = [0, 1, 0, 1]
+
+
+def measure(protocol, label, rows):
+    steps, rounds, magnitude = [], [], []
+    for seed in range(REPS):
+        run = protocol.run(
+            INPUTS, scheduler=RandomScheduler(seed=seed), seed=seed,
+            max_steps=100_000_000,
+        )
+        assert validate_run(run).ok
+        steps.append(run.total_steps)
+        rounds.append(run.max_rounds())
+        magnitude.append(run.audit.max_magnitude)
+    row = {
+        "variant": label,
+        "mean steps": statistics.mean(steps),
+        "mean rounds": statistics.mean(rounds),
+        "max int stored": max(magnitude),
+    }
+    rows.append(row)
+    return row
+
+
+def run_experiment():
+    reset("e12")
+    snapshot_rows = []
+    for kind in ("arrows", "sequenced", "arrows-bloom", "embedded"):
+        measure(AdsConsensus(snapshot_kind=kind), kind, snapshot_rows)
+    record("e12", snapshot_rows, "E12a — snapshot substrate ablation")
+
+    k_rows = []
+    for K in (2, 3, 4):
+        measure(AdsConsensus(K=K), f"K={K}", k_rows)
+    record("e12", k_rows, "E12b — distance cap K sweep (paper: K=2)")
+
+    b_rows = []
+    for b in (2, 3, 4):
+        measure(AdsConsensus(b_barrier=b), f"b={b}", b_rows)
+    record("e12", b_rows, "E12c — coin barrier b sweep (paper: b=2)")
+    return snapshot_rows, k_rows, b_rows
+
+
+def test_e12_ablation(benchmark):
+    snapshot_rows, k_rows, b_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    by_variant = {r["variant"]: r for r in snapshot_rows}
+    # The layered substrate pays a constant-factor step cost over plain
+    # arrows (each arrow op becomes 2-5 SWMR ops).
+    assert by_variant["arrows-bloom"]["mean steps"] > by_variant["arrows"]["mean steps"]
+    # All snapshot variants keep the bounded-memory property of the cells
+    # (the sequenced comparator's growing seqs live in its own registers
+    # and show up in its audit).
+    assert by_variant["arrows"]["max int stored"] <= 600  # m+1 for n=4, b=2
+
+    # K and b sweeps: correctness everywhere (asserted in measure); the
+    # sweeps exist to quantify cost trends, which can be flat at this n.
+    assert len(k_rows) == 3 and len(b_rows) == 3
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,87 @@
+"""E7 — §2.2: scans retry exactly as often as fresh writes interfere.
+
+The arrow scan costs 4(n-1) register operations per collect round and
+retries whenever a write completes during the round; under w active
+writers the retry pressure grows with w (and with w > 0 the scan is no
+longer guaranteed to finish at all — the starvation case is exercised in
+the test-suite; here writers churn a *finite* burst so every scan
+completes and the per-scan round counts are measurable).
+
+Workload: one scanner scanning while w writers each perform a fixed burst
+of writes; only scans that overlap writer activity are counted.  Measured:
+mean collect rounds per scan vs w (paper: 1 round iff quiescent).
+"""
+
+import statistics
+
+from _common import record, reset
+
+from repro.runtime import RandomScheduler, Simulation
+from repro.snapshot import ArrowScannableMemory
+
+N = 6
+BURST = 60
+SEEDS = range(10)
+
+
+def rounds_with_writers(writers, seed):
+    sim = Simulation(N, RandomScheduler(seed=seed), seed=seed)
+    mem = ArrowScannableMemory(sim, "M", N)
+    active = {"writers": writers}
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                contended = []
+                while active["writers"] > 0 and len(contended) < 12:
+                    view_span_count = len(contended)
+                    yield from mem.scan(ctx)
+                    contended.append(view_span_count)
+                if not contended:  # quiescent fallback: one clean scan
+                    yield from mem.scan(ctx)
+                return len(contended)
+            if pid <= writers:
+                for k in range(BURST):
+                    yield from mem.write(ctx, (pid, k))
+                active["writers"] -= 1
+            return None
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(5_000_000)
+    spans = [s for s in sim.trace.spans if s.kind == "scan" and not s.is_open]
+    counts = [s.meta["rounds"] for s in spans]
+    if not counts:
+        return 1.0
+    return statistics.mean(counts)
+
+
+def run_experiment():
+    reset("e7")
+    rows = []
+    for writers in (0, 1, 2, 3, 5):
+        samples = [rounds_with_writers(writers, seed) for seed in SEEDS]
+        rows.append(
+            {
+                "active writers": writers,
+                "mean rounds/scan": statistics.mean(samples),
+                "ops/round": 4 * (N - 1),
+                "paper": "1 round iff quiescent",
+            }
+        )
+    record("e7", rows, f"E7 §2.2 — scan collect rounds vs writer pressure (n={N})")
+    return rows
+
+
+def test_e7_scan_retries(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Quiescent scans need exactly one round.
+    assert rows[0]["mean rounds/scan"] == 1.0
+    # Retry pressure grows with writers.
+    assert rows[-1]["mean rounds/scan"] > rows[0]["mean rounds/scan"]
+    assert rows[-1]["mean rounds/scan"] >= rows[1]["mean rounds/scan"]
+
+
+if __name__ == "__main__":
+    run_experiment()

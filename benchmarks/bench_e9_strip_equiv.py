@@ -1,0 +1,87 @@
+"""E9 — Claim 4.1: game ≡ graph ≡ counters, and the cost of a move.
+
+Two measurements:
+
+1. correctness: long random plays over (n, K) grids; after every move the
+   three representations' distance graphs must be identical and the §4.2
+   invariants must hold (paper: zero divergence);
+2. cost: pytest-benchmark timing of a single ``inc_counters`` move (the
+   only part of the rounds strip on the protocol's critical path).
+"""
+
+import random
+
+from _common import record, reset
+
+from repro.strip import (
+    DistanceGraph,
+    EdgeCounters,
+    ShrunkenTokenGame,
+    check_graph_invariants,
+    inc_counters,
+)
+
+GRID = [(2, 2), (3, 2), (4, 2), (5, 2), (3, 3), (4, 3)]
+MOVES = 120
+SEEDS = range(5)
+
+
+def play(n, K, seed):
+    rng = random.Random(seed)
+    game = ShrunkenTokenGame(n, K)
+    graph = DistanceGraph.initial(n, K)
+    counters = EdgeCounters(n, K)
+    mismatches = invariant_failures = 0
+    for _ in range(MOVES):
+        mover = rng.randrange(n)
+        game.move_token(mover)
+        graph.inc(mover)
+        counters.inc(mover)
+        expected = DistanceGraph.from_positions(game.positions, K)
+        if graph != expected or counters.graph() != expected:
+            mismatches += 1
+        if check_graph_invariants(expected):
+            invariant_failures += 1
+    return mismatches, invariant_failures
+
+
+def run_experiment():
+    reset("e9")
+    rows = []
+    for n, K in GRID:
+        mismatches = failures = 0
+        for seed in SEEDS:
+            m, f = play(n, K, seed)
+            mismatches += m
+            failures += f
+        rows.append(
+            {
+                "n": n,
+                "K": K,
+                "moves checked": MOVES * len(SEEDS),
+                "divergences": mismatches,
+                "invariant failures": failures,
+                "paper": 0,
+            }
+        )
+    record("e9", rows, "E9 Claim 4.1 — game/graph/counter equivalence")
+    return rows
+
+
+def test_e9_equivalence(benchmark):
+    rows = run_experiment()
+    for row in rows:
+        assert row["divergences"] == 0
+        assert row["invariant failures"] == 0
+
+    # Time one counter move in a mid-game state (n=5, K=2).
+    counters = EdgeCounters(5, 2)
+    rng = random.Random(0)
+    for _ in range(40):
+        counters.inc(rng.randrange(5))
+
+    benchmark(inc_counters, 2, counters.rows, 2)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,92 @@
+"""X1 (extension, beyond the paper) — the universal-primitive payoff.
+
+The paper's introduction motivates randomized consensus as the engine for
+universal synchronization primitives.  This extension experiment measures
+what that costs with the paper's protocol as the engine:
+
+- multivalued consensus: atomic steps vs n (⌈log₂ n⌉ binary instances);
+- universal objects (queue / sticky bit / fetch&cons): atomic steps per
+  operation vs n, and the exactly-once guarantee across all runs.
+
+There is no paper row to compare against — the numbers document the
+extension and guard it against regressions.
+"""
+
+import statistics
+
+from _common import record, reset
+
+from repro.consensus import MultivaluedAdsConsensus, validate_run
+from repro.runtime import RandomScheduler, Simulation
+from repro.universal import CounterSpec, QueueSpec, UniversalObject
+
+N_VALUES = (2, 3, 4)
+REPS = 4
+
+
+def _multivalued_steps(n, seed):
+    run = MultivaluedAdsConsensus().run(
+        [f"v{p}" for p in range(n)], scheduler=RandomScheduler(seed=seed),
+        seed=seed, max_steps=100_000_000,
+    )
+    assert validate_run(run).ok
+    return run.total_steps
+
+
+def _universal_steps_per_op(n, spec, ops_per_pid, seed):
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    obj = UniversalObject(sim, "obj", n, spec)
+
+    def factory(pid):
+        def body(ctx):
+            for operation in ops_per_pid(pid):
+                yield from obj.invoke(ctx, operation)
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(200_000_000)
+    total_ops = sum(len(ops_per_pid(pid)) for pid in range(n))
+    assert len(obj.effective_operations()) == total_ops  # exactly once
+    return outcome.total_steps / total_ops
+
+
+def run_experiment():
+    reset("x1")
+    rows = []
+    for n in N_VALUES:
+        mv = [_multivalued_steps(n, seed) for seed in range(REPS)]
+        queue = [
+            _universal_steps_per_op(
+                n, QueueSpec(), lambda pid: [("enq", pid), ("deq",)], seed
+            )
+            for seed in range(REPS)
+        ]
+        counter = [
+            _universal_steps_per_op(
+                n, CounterSpec(), lambda pid: [("add", 1)] * 2, seed
+            )
+            for seed in range(REPS)
+        ]
+        rows.append(
+            {
+                "n": n,
+                "multivalued consensus steps": statistics.mean(mv),
+                "queue steps/op": statistics.mean(queue),
+                "counter steps/op": statistics.mean(counter),
+            }
+        )
+    record("x1", rows, "X1 extension — universal primitives over ADS consensus")
+    return rows
+
+
+def test_x1_universal_extension(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Costs grow with n but stay polynomial-small at these sizes.
+    assert rows[-1]["queue steps/op"] < 50_000
+    steps = [row["multivalued consensus steps"] for row in rows]
+    assert steps[0] < steps[-1]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The four regimes of randomized consensus under a worst-case adversary.
+
+Reproduces the paper's motivating comparison live:
+
+- CIL 1987: polynomial, but needs an atomic shared coin-flip primitive;
+- Abrahamson 1988: plain read/write memory, local coins — exponential;
+- Aspnes–Herlihy 1988: polynomial via a weak shared coin — unbounded memory;
+- **this paper (ADS 1989)**: polynomial AND bounded.
+
+All four run the same inputs under the lockstep adversary (the schedule that
+forces local-coin protocols into their exponential regime) and a random
+scheduler, printing rounds, steps and the memory audit.
+
+Run:  python examples/adversarial_showdown.py [n] [repetitions]
+"""
+
+import statistics
+import sys
+
+from repro import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    LocalCoinConsensus,
+    LockstepAdversary,
+    RandomScheduler,
+    validate_run,
+)
+from repro.analysis import format_table
+
+PROTOCOLS = [
+    (AtomicCoinConsensus, "atomic coin primitive"),
+    (LocalCoinConsensus, "local coins only"),
+    (AspnesHerlihyConsensus, "weak shared coin, unbounded"),
+    (AdsConsensus, "weak shared coin, BOUNDED (the paper)"),
+]
+
+
+def measure(protocol_cls, scheduler_factory, inputs, repetitions):
+    rounds, steps, magnitude = [], [], []
+    for seed in range(repetitions):
+        protocol = protocol_cls()
+        run = protocol.run(
+            inputs,
+            scheduler=scheduler_factory(seed),
+            seed=seed,
+            max_steps=100_000_000,
+        )
+        assert validate_run(run).ok, f"unsafe run: {protocol.name} seed {seed}"
+        rounds.append(run.max_rounds())
+        steps.append(run.total_steps)
+        magnitude.append(run.audit.max_magnitude)
+    return {
+        "rounds": statistics.mean(rounds),
+        "steps": statistics.mean(steps),
+        "max int stored": max(magnitude),
+    }
+
+
+def main(n: int = 6, repetitions: int = 5) -> None:
+    inputs = [p % 2 for p in range(n)]
+    print(f"inputs: {inputs}   ({repetitions} runs per cell)\n")
+
+    for label, scheduler_factory in [
+        ("LOCKSTEP ADVERSARY (worst case for local coins)",
+         lambda s: LockstepAdversary("mem", seed=s)),
+        ("random scheduler", lambda s: RandomScheduler(seed=s)),
+    ]:
+        rows = []
+        for protocol_cls, description in PROTOCOLS:
+            cells = measure(protocol_cls, scheduler_factory, inputs, repetitions)
+            rows.append({"protocol": protocol_cls.name, "regime": description, **cells})
+        print(format_table(rows, title=label))
+        print()
+
+    print("reading the table:")
+    print(" - 'local-coin' rounds explode exponentially under lockstep;")
+    print(" - 'aspnes-herlihy' is polynomial but its stored integers grow")
+    print("   with the run (round numbers, coin strip);")
+    print(" - 'ads' matches the polynomial shape with a FIXED memory bound.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    repetitions = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(n, repetitions)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Wait-freedom under crashes.
+
+The paper's protocol tolerates any number of crash failures short of all n:
+survivors still decide, consistently, in finite expected time.  This demo
+crashes processes at adversarially chosen moments — including everyone but
+one — and shows the survivors deciding anyway.
+
+Run:  python examples/crash_fault_tolerance.py
+"""
+
+from repro import AdsConsensus, CrashPlan, validate_run
+from repro.analysis import format_table
+from repro.runtime.rng import derive_rng
+
+SCENARIOS = [
+    ("no crashes", lambda n, rng: CrashPlan()),
+    ("one early crash", lambda n, rng: CrashPlan({0: 0})),
+    ("minority mid-run", lambda n, rng: CrashPlan({0: 150, 1: 300})),
+    ("all but one, immediately",
+     lambda n, rng: CrashPlan({pid: 0 for pid in range(1, n)})),
+    ("all but one, staggered",
+     lambda n, rng: CrashPlan({pid: pid * 200 for pid in range(1, n)})),
+    ("random plan", lambda n, rng: CrashPlan.random(n, rng, horizon=600)),
+]
+
+
+def main(n: int = 5, seed: int = 11) -> None:
+    inputs = [p % 2 for p in range(n)]
+    rows = []
+    for label, plan_factory in SCENARIOS:
+        rng = derive_rng(seed, "crash-demo", label)
+        plan = plan_factory(n, rng)
+        run = AdsConsensus().run(
+            inputs, seed=seed, crash_plan=plan, max_steps=30_000_000
+        )
+        report = validate_run(run)
+        rows.append(
+            {
+                "scenario": label,
+                "crashed": sorted(run.outcome.crashed) or "-",
+                "survivors decided": sorted(run.decisions) or "-",
+                "value": run.decided_values.pop() if run.decisions else "-",
+                "steps": run.total_steps,
+                "safe": report.ok,
+            }
+        )
+        assert report.ok, report.problems
+    print(f"inputs: {inputs}\n")
+    print(format_table(rows, title=f"ADS consensus under crash failures (n={n})"))
+    print("\nevery scenario: consistency + validity + completion hold;")
+    print("a lone survivor decides by itself (wait-freedom).")
+
+
+if __name__ == "__main__":
+    main()

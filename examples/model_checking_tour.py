@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""A tour of the bounded model checker (repro.verify).
+
+Three demonstrations on the register substrate the paper builds on:
+
+1. **verify** — every schedule of a small two-writer-register workload is
+   enumerated and checked for linearizability (the construction §2's arrow
+   registers rely on);
+2. **refute** — the same explorer *finds* the classic stalled-reader bug
+   in a naive reader variant and prints the witness schedule;
+3. **classify** — it separates regular from atomic registers by finding a
+   new/old inversion schedule that regular semantics permit.
+
+Run:  python examples/model_checking_tour.py
+"""
+
+from repro.registers import (
+    AtomicRegister,
+    RegularRegister,
+    TwoWriterRegister,
+    check_register_history,
+    history_from_spans,
+)
+from repro.verify import explore_schedules
+
+
+def check_linearizable(sim, outcome):
+    spans = [s for s in sim.trace.spans if s.target == "A"]
+    history = history_from_spans(spans)
+    if check_register_history(history, initial="init") is None:
+        return ["non-linearizable: " + "; ".join(str(s) for s in spans)]
+    return []
+
+
+def demo_verify():
+    print("== 1. exhaustive verification of the two-writer register")
+
+    def setup(sim):
+        reg = TwoWriterRegister(sim, "A", 0, 1, initial="init")
+        warmup = AtomicRegister(sim, "warmup", 0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, "c")
+                elif pid == 1:
+                    yield from reg.write(ctx, "d")
+                    yield from reg.write(ctx, "e")
+                else:
+                    yield from warmup.read(ctx)
+                    return (yield from reg.read(ctx))
+
+            return body
+
+        return factory
+
+    result = explore_schedules(3, setup, check_linearizable, max_steps=12)
+    print(f"   {result.summary()}")
+    print("   -> every interleaving of 2 writers x 1 reader is atomic\n")
+
+
+def demo_refute():
+    print("== 2. refuting the naive (no re-read) reader")
+
+    class NaiveTwoWriterRegister(TwoWriterRegister):
+        def read(self, ctx):
+            span = ctx.begin_span("read", self.name)
+            first0 = yield from self.cell0.read(ctx)
+            first1 = yield from self.cell1.read(ctx)
+            value = first0[0] if first0[1] == first1[1] else first1[0]
+            ctx.end_span(span, value)
+            return value
+
+    def setup(sim):
+        reg = NaiveTwoWriterRegister(sim, "A", 0, 1, initial="init")
+        warmup = AtomicRegister(sim, "warmup", 0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, "c")
+                elif pid == 1:
+                    yield from reg.write(ctx, "d")
+                    yield from reg.write(ctx, "e")
+                else:
+                    yield from warmup.read(ctx)
+                    return (yield from reg.read(ctx))
+
+            return body
+
+        return factory
+
+    result = explore_schedules(
+        3, setup, check_linearizable, max_steps=12, stop_on_first_violation=True
+    )
+    print(f"   {result.summary()}")
+    print(f"   witness schedule: {result.witness_schedules[0]}")
+    print(f"   violation: {result.violations[0][:90]}...")
+    print("   -> the single re-read in the real reader is load-bearing\n")
+
+
+def demo_classify():
+    print("== 3. regular is not atomic (new/old inversion)")
+
+    def setup(sim):
+        reg = RegularRegister(sim, "r", domain=[0, 1], initial=0, writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, 1)
+                else:
+                    a = yield from reg.read(ctx)
+                    b = yield from reg.read(ctx)
+                    return (a, b)
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        if outcome.decisions[1] == (1, 0):
+            return ["reads returned new-then-old"]
+        return []
+
+    result = explore_schedules(
+        2, setup, check, max_steps=10, stop_on_first_violation=True
+    )
+    print(f"   {result.summary()}")
+    print(f"   inversion schedule: {result.witness_schedules[0]}")
+    print("   -> exactly the gap Lamport's atomic constructions close")
+
+
+if __name__ == "__main__":
+    demo_verify()
+    demo_refute()
+    demo_classify()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""§6.1 live: watching virtual global rounds.
+
+The bounded protocol stores no round numbers — yet its correctness proof
+assigns every process a *virtual global round* at every scan, monotone and
+unbounded, reconstructed purely from the compressed strip state.  This demo
+runs the protocol, computes the assignment from the recorded trace, prints
+each process's round trajectory, and checks the proof's claims
+(monotonicity; nobody runs more than K rounds past a decider).
+
+Run:  python examples/virtual_rounds_demo.py [seed]
+"""
+
+import sys
+
+from repro import AdsConsensus, validate_run
+from repro.analysis.charts import bar_chart
+from repro.consensus.virtual_rounds import analyze_run, compute_virtual_rounds
+
+
+def trajectory_line(series, width=72):
+    """Compress a round series into a fixed-width digit strip."""
+    if len(series) <= width:
+        sampled = series
+    else:
+        step = len(series) / width
+        sampled = [series[int(i * step)] for i in range(width)]
+    return "".join(str(int(r)) if r == int(r) else "?" for r in sampled)
+
+
+def main(seed: int = 3) -> None:
+    inputs = [0, 1, 0, 1]
+    protocol = AdsConsensus(ghost_wseqs=True)
+    run = protocol.run(
+        inputs, seed=seed, record_spans=True, keep_simulation=True
+    )
+    assert validate_run(run).ok
+
+    trace = compute_virtual_rounds(run, K=protocol.K)
+    print(f"inputs {inputs}, seed {seed}: decided {run.decisions}")
+    print(f"{len(trace.rounds)} serialized scans; per-scan virtual rounds:\n")
+    for pid in range(run.n):
+        series = trace.rounds_of(pid)
+        print(f"  p{pid}: {trajectory_line(series)}  (final {series[-1]:g})")
+
+    _, problems = analyze_run(run, K=protocol.K)
+    print(
+        "\nmonotonicity + decision-window checks: "
+        + ("ALL HOLD" if not problems else str(problems))
+    )
+
+    print("\nwhere the time went (local stats):")
+    print(
+        bar_chart(
+            [f"p{pid}" for pid in range(run.n)],
+            [run.stats["flips_by_pid"][pid] for pid in range(run.n)],
+            title="coin flips per process",
+            width=40,
+        )
+    )
+    print(
+        "\nnote the long flat stretch at round 1: that is the shared coin "
+        "being\nflipped until it decides — after which the strip races "
+        "through rounds 2..3\nand everyone decides (§6.3's constant expected "
+        "number of rounds)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` / ``python setup.py develop`` on environments
+whose setuptools predates PEP 660 editable-wheel support (no ``wheel``
+package available offline).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

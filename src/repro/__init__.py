@@ -1,0 +1,76 @@
+"""repro — Bounded Polynomial Randomized Consensus (PODC 1989).
+
+A complete, executable reproduction of Attiya, Dolev and Shavit's
+*"Bounded Polynomial Randomized Consensus"*: the first randomized wait-free
+consensus protocol for asynchronous read/write shared memory that is both
+polynomial in expected running time and bounded in memory.
+
+Layers (bottom-up):
+
+- :mod:`repro.runtime` — deterministic interleaving simulator of
+  asynchronous shared memory, with strong adaptive adversaries;
+- :mod:`repro.registers` — atomic register substrate, including a bounded
+  two-writer construction and a linearizability checker;
+- :mod:`repro.snapshot` — §2's *scannable memory* (bounded snapshot scans
+  via handshake arrows) and its properties P1–P3;
+- :mod:`repro.coin` — §3's bounded weak shared coin (random walk with
+  truncated counters) and comparators;
+- :mod:`repro.strip` — §4's bounded rounds strip (token game → shrinking →
+  distance graph → mod-3K edge counters);
+- :mod:`repro.consensus` — §5's protocol plus the Aspnes–Herlihy,
+  Abrahamson and Chor–Israeli–Li regime baselines;
+- :mod:`repro.analysis` — experiment framework reproducing the paper's
+  quantitative claims (experiments E1–E12, see EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import AdsConsensus, validate_run
+
+    protocol = AdsConsensus()                # K=2, b=2, bounded counters
+    run = protocol.run([0, 1, 1, 0], seed=7) # four processes, mixed inputs
+    assert validate_run(run).ok
+    print(run.decisions)                     # e.g. {0: 1, 1: 1, 2: 1, 3: 1}
+"""
+
+from repro.consensus import (
+    AdsConsensus,
+    AdsConsensusObject,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    ConsensusRun,
+    LocalCoinConsensus,
+    MultivaluedConsensusObject,
+    validate_run,
+)
+from repro.universal import UniversalObject
+from repro.runtime import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Simulation,
+    SplitAdversary,
+)
+from repro.runtime.adversary import LockstepAdversary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdsConsensus",
+    "AdsConsensusObject",
+    "AspnesHerlihyConsensus",
+    "AtomicCoinConsensus",
+    "ConsensusRun",
+    "CrashPlan",
+    "LocalCoinConsensus",
+    "LockstepAdversary",
+    "MultivaluedConsensusObject",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "Simulation",
+    "SplitAdversary",
+    "UniversalObject",
+    "validate_run",
+    "__version__",
+]

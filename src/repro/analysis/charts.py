@@ -1,0 +1,70 @@
+"""ASCII charts for benchmark output.
+
+The preliminary paper has no figures; these charts are the terminal-native
+equivalent for our measured series — a bar chart for sweeps and a dual
+log-scale series comparison for the polynomial-vs-exponential headline.
+Used by the benchmarks (visible with ``pytest -s``) and the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence,
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, linear scale."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return f"{title or ''}\n(no data)"
+    top = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / top * width))
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def log_series_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 56,
+    title: str | None = None,
+) -> str:
+    """Compare growth curves on a log scale, one row per x value.
+
+    Each series' value is plotted as a marker (its first letter) at a
+    column proportional to ``log(value)`` — exponential growth shows as a
+    marker marching right in even steps, polynomial growth as decelerating
+    steps.  Exactly the visual the E5 crossover needs.
+    """
+    if not series:
+        return f"{title or ''}\n(no data)"
+    lows = [min(v for v in vs if v > 0) for vs in series.values()]
+    highs = [max(vs) for vs in series.values()]
+    lo, hi = math.log(min(lows)), math.log(max(highs))
+    span = max(hi - lo, 1e-9)
+
+    def column(value: float) -> int:
+        return round((math.log(max(value, 1e-9)) - lo) / span * (width - 1))
+
+    lines = [title] if title else []
+    legend = ", ".join(f"{name[0]}={name}" for name in series)
+    lines.append(f"(log scale; {legend})")
+    x_width = max(len(str(x)) for x in xs)
+    for index, x in enumerate(xs):
+        row = [" "] * width
+        for name, values in series.items():
+            col = column(values[index])
+            marker = name[0]
+            row[col] = "*" if row[col] not in (" ", marker) else marker
+        lines.append(f"{str(x):>{x_width}} |{''.join(row)}|")
+    return "\n".join(lines)

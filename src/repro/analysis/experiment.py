@@ -1,0 +1,82 @@
+"""Seeded experiment execution: repetitions and parameter sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.stats import Summary, summarize
+
+
+def repeat_runs(
+    run_once: Callable[[int], float], seeds: Iterable[int]
+) -> list[float]:
+    """Execute ``run_once(seed)`` for every seed; collect the metric."""
+    return [run_once(seed) for seed in seeds]
+
+
+@dataclass
+class SweepPoint:
+    """One parameter setting with its replicated measurements."""
+
+    params: dict[str, Any]
+    samples: list[float]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+
+@dataclass
+class Sweep:
+    """A one-dimensional parameter sweep with repetitions per point.
+
+    Args:
+        parameter: name of the swept parameter.
+        values: the values it takes.
+        run_once: ``run_once(value, seed) -> metric``.
+        repetitions: seeds 0..repetitions-1 are used per point (offset by
+            ``seed_base`` so different experiments never share streams).
+    """
+
+    parameter: str
+    values: Sequence[Any]
+    run_once: Callable[[Any, int], float]
+    repetitions: int = 10
+    seed_base: int = 0
+
+    def execute(self) -> list[SweepPoint]:
+        points = []
+        for value in self.values:
+            samples = [
+                self.run_once(value, self.seed_base + rep)
+                for rep in range(self.repetitions)
+            ]
+            points.append(SweepPoint({self.parameter: value}, samples))
+        return points
+
+
+def sweep_table(
+    points: Sequence[SweepPoint],
+    predicted: Callable[[Any], float] | None = None,
+    parameter: str | None = None,
+) -> list[dict[str, Any]]:
+    """Rows of measured (and optionally predicted) values per sweep point."""
+    rows = []
+    for point in points:
+        if parameter is None:
+            parameter = next(iter(point.params))
+        summary = point.summary
+        row: dict[str, Any] = {
+            parameter: point.params[parameter],
+            "mean": summary.mean,
+            "ci_low": summary.ci_low,
+            "ci_high": summary.ci_high,
+            "reps": summary.count,
+        }
+        if predicted is not None:
+            row["predicted"] = predicted(point.params[parameter])
+        row.update(point.extra)
+        rows.append(row)
+    return rows

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str | None = None) -> str:
+    """Fixed-width table over a list of row dicts (union of keys, in order)."""
+    if not rows:
+        return f"{title or ''}\n(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_cells in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def render_rows(rows: Sequence[Mapping[str, Any]], title: str) -> str:
+    """Format and also print (benchmarks print their tables as they run)."""
+    text = format_table(rows, title)
+    print("\n" + text + "\n")
+    return text

@@ -1,0 +1,96 @@
+"""Statistical estimators used by the experiments."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} "
+            f"[{self.ci_low:.3g}, {self.ci_high:.3g}]"
+        )
+
+
+def mean_and_ci(samples: Sequence[float], z: float = 1.96) -> tuple[float, float, float]:
+    """Sample mean with a normal-approximation confidence interval."""
+    if not samples:
+        raise ValueError("empty sample")
+    mean = statistics.fmean(samples)
+    if len(samples) < 2:
+        return mean, mean, mean
+    half = z * statistics.stdev(samples) / math.sqrt(len(samples))
+    return mean, mean - half, mean + half
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    mean, low, high = mean_and_ci(samples)
+    return Summary(
+        count=len(samples),
+        mean=mean,
+        stdev=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        minimum=min(samples),
+        maximum=max(samples),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float, float]:
+    """Wilson score interval for a binomial proportion (rate, low, high).
+
+    Preferred over the normal approximation because the measured rates
+    (coin disagreement, counter overflow) are often near 0.
+    """
+    if trials == 0:
+        raise ValueError("no trials")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return p, max(0.0, centre - half), min(1.0, centre + half)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    An estimated polynomial degree: ~2 for quadratic scaling, etc.  Used to
+    compare measured scaling curves against the paper's asymptotics (E2,
+    E5).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two aligned samples at least")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    mx = statistics.fmean(lx)
+    my = statistics.fmean(ly)
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    return num / den
+
+
+def doubling_ratio(ys: Sequence[float]) -> float:
+    """Geometric mean of consecutive ratios — ~2 for 2^n growth (E5)."""
+    if len(ys) < 2:
+        raise ValueError("need at least two points")
+    ratios = [b / a for a, b in zip(ys, ys[1:]) if a > 0]
+    return math.exp(statistics.fmean([math.log(r) for r in ratios]))

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``   — execute one consensus run and report decisions, statistics
+              and the memory audit (optionally an ASCII timeline);
+- ``coin``  — toss the standalone bounded weak shared coin repeatedly and
+              report agreement rates and flip counts;
+- ``strip`` — play random moves on the rounds strip, printing the game /
+              graph / counter state and checking Claim 4.1 at every move;
+- ``experiments`` — list the E1–E12 reproduction experiments and how to
+              regenerate them;
+- ``report`` — print the recorded benchmark result tables
+              (``benchmarks/results/``), i.e. the data behind EXPERIMENTS.md.
+
+Every command is seeded and deterministic; exit status is non-zero if a
+safety check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    BoundedLocalCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.consensus.ads import pref_reader
+from repro.runtime import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Simulation,
+    SplitAdversary,
+    WalkBalancingAdversary,
+)
+from repro.runtime.adversary import LockstepAdversary
+from repro.runtime.timeline import render_timeline
+from repro.strip import DistanceGraph, EdgeCounters, ShrunkenTokenGame
+
+PROTOCOLS = {
+    "ads": AdsConsensus,
+    "aspnes-herlihy": AspnesHerlihyConsensus,
+    "local-coin": LocalCoinConsensus,
+    "bounded-local-coin": BoundedLocalCoinConsensus,
+    "atomic-coin": AtomicCoinConsensus,
+}
+
+EXPERIMENTS = {
+    "e1": "Lemma 3.1 — coin disagreement probability vs b",
+    "e2": "Lemma 3.2 — coin flips vs (b+1)^2 n^2",
+    "e3": "Lemmas 3.3/3.4 — counter overflow vs m",
+    "e4": "§6.3 — expected rounds O(1) in n",
+    "e5": "polynomial vs exponential total work",
+    "e6": "memory boundedness vs Aspnes-Herlihy",
+    "e7": "scan retries vs write contention",
+    "e8": "snapshot properties P1-P3",
+    "e9": "Claim 4.1 game/graph/counter equivalence",
+    "e10": "the five-regime comparison table",
+    "e11": "safety grid (consistency/validity everywhere)",
+    "e12": "ablations (snapshot substrate, K, b)",
+}
+
+
+def _make_scheduler(name: str, seed: int):
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "split":
+        return SplitAdversary(pref_reader, seed=seed)
+    if name == "lockstep":
+        return LockstepAdversary("mem", seed=seed)
+    raise ValueError(f"unknown scheduler: {name}")
+
+
+def _parse_inputs(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part != ""]
+
+
+def _parse_crashes(entries: Sequence[str]) -> CrashPlan:
+    plan = {}
+    for entry in entries:
+        pid, _, step = entry.partition(":")
+        plan[int(pid)] = int(step) if step else 0
+    return CrashPlan(plan)
+
+
+def cmd_run(args) -> int:
+    inputs = _parse_inputs(args.inputs)
+    protocol = PROTOCOLS[args.protocol]()
+    run = protocol.run(
+        inputs,
+        scheduler=_make_scheduler(args.scheduler, args.seed),
+        seed=args.seed,
+        crash_plan=_parse_crashes(args.crash),
+        max_steps=args.max_steps,
+        record_spans=args.timeline,
+        keep_simulation=args.timeline,
+    )
+    report = validate_run(run)
+    print(f"protocol  : {run.protocol}  (n={run.n}, seed={args.seed})")
+    print(f"inputs    : {list(run.inputs)}")
+    print(f"decisions : {run.decisions}")
+    print(f"crashed   : {sorted(run.outcome.crashed) or '-'}")
+    print(f"steps     : {run.total_steps}   rounds: {run.stats.get('rounds_by_pid')}")
+    print(
+        "memory    : max |int| stored "
+        f"{run.audit.max_magnitude}, widest cell {run.audit.max_width}"
+    )
+    print(f"safety    : {'OK' if report.ok else 'VIOLATED: ' + '; '.join(report.problems)}")
+    if args.timeline and run.simulation is not None:
+        print()
+        print(
+            render_timeline(
+                run.simulation.trace, kinds={"scan", "write"}, max_rows=args.timeline_rows
+            )
+        )
+    return 0 if report.ok else 1
+
+
+def cmd_coin(args) -> int:
+    rows = []
+    disagreements = 0
+    flips = []
+    for seed in range(args.reps):
+        scheduler = (
+            WalkBalancingAdversary("coin", seed=seed)
+            if args.adversary
+            else RandomScheduler(seed=seed)
+        )
+        sim = Simulation(args.n, scheduler, seed=seed)
+        coin = BoundedWalkSharedCoin(
+            sim, "coin", args.n, b_barrier=args.barrier, m_bound=args.m
+        )
+        sim.spawn_all(coin_flipper_program(coin))
+        outcome = sim.run(args.max_steps)
+        if len(set(outcome.decisions.values())) > 1:
+            disagreements += 1
+        flips.append(coin.total_steps)
+    rows.append(
+        {
+            "n": args.n,
+            "b": args.barrier,
+            "tosses": args.reps,
+            "disagree rate": disagreements / args.reps,
+            "paper bound": 1 / args.barrier,
+            "mean flips": statistics.mean(flips),
+            "paper flips": (args.barrier + 1) ** 2 * args.n**2,
+        }
+    )
+    print(format_table(rows, title="bounded weak shared coin"))
+    return 0
+
+
+def cmd_strip(args) -> int:
+    rng = random.Random(args.seed)
+    game = ShrunkenTokenGame(args.n, args.K)
+    graph = DistanceGraph.initial(args.n, args.K)
+    counters = EdgeCounters(args.n, args.K)
+    for move_index in range(args.moves):
+        mover = rng.randrange(args.n)
+        game.move_token(mover)
+        graph.inc(mover)
+        counters.inc(mover)
+        expected = DistanceGraph.from_positions(game.positions, args.K)
+        status = "ok" if graph == expected == counters.graph() else "DIVERGED"
+        print(
+            f"move {move_index:>3}: token {mover}  positions={game.positions}  "
+            f"claim-4.1 {status}"
+        )
+        if status != "ok":
+            return 1
+    print(f"\nfinal graph: {graph}")
+    print(f"max edge counter: {counters.max_counter()} (< 3K = {3 * args.K})")
+    return 0
+
+
+def cmd_report(args) -> int:
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(
+            f"no recorded results in {results}/ — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    for path in files:
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    rows = [
+        {"id": key.upper(), "claim": text,
+         "regenerate": f"pytest benchmarks/bench_{key}_*.py --benchmark-only -s"}
+        for key, text in EXPERIMENTS.items()
+    ]
+    print(format_table(rows, title="reproduction experiments (see EXPERIMENTS.md)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bounded Polynomial Randomized Consensus (PODC 1989) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one consensus execution")
+    run.add_argument("--protocol", choices=sorted(PROTOCOLS), default="ads")
+    run.add_argument("--inputs", default="0,1,0,1", help="comma-separated bits")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--scheduler",
+        choices=["random", "round-robin", "split", "lockstep"],
+        default="random",
+    )
+    run.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID[:STEP]",
+        help="crash PID at STEP (repeatable)",
+    )
+    run.add_argument("--max-steps", type=int, default=50_000_000)
+    run.add_argument("--timeline", action="store_true", help="print span timeline")
+    run.add_argument("--timeline-rows", type=int, default=40)
+    run.set_defaults(func=cmd_run)
+
+    coin = sub.add_parser("coin", help="toss the bounded weak shared coin")
+    coin.add_argument("--n", type=int, default=4)
+    coin.add_argument("--barrier", "-b", type=int, default=2)
+    coin.add_argument("--m", type=int, default=None)
+    coin.add_argument("--reps", type=int, default=30)
+    coin.add_argument("--adversary", action="store_true")
+    coin.add_argument("--max-steps", type=int, default=10_000_000)
+    coin.set_defaults(func=cmd_coin)
+
+    strip = sub.add_parser("strip", help="play the rounds-strip game")
+    strip.add_argument("--n", type=int, default=3)
+    strip.add_argument("--K", type=int, default=2)
+    strip.add_argument("--moves", type=int, default=15)
+    strip.add_argument("--seed", type=int, default=0)
+    strip.set_defaults(func=cmd_strip)
+
+    experiments = sub.add_parser("experiments", help="list E1-E12")
+    experiments.set_defaults(func=cmd_experiments)
+
+    report = sub.add_parser("report", help="print recorded benchmark tables")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Random-walk theory used by §3's lemmas.
+
+Closed forms and exact small-case computations backing the predicted rows
+of experiments E1–E3:
+
+- Lemma 3.1: per-outcome agreement probability ≥ (b-1)/(2b), so the
+  disagreement probability is at most ~1/b;
+- Lemma 3.2: expected total walk steps (b+1)²·n²;
+- Lemma 3.3: an m-step ±1 walk stays inside ±a with probability ≤ C·a/√m
+  (reflection/central-limit bound) — instantiated with a = f(b)·n to bound
+  the probability that a *single* counter survives long enough to overflow;
+- Lemma 3.4: overall overflow probability ≤ C·b·n/√m.
+
+The exact distributions are computed by dynamic programming for moderate
+sizes (used in unit tests), with normal approximations for large ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def absorption_expected_steps(barrier: int) -> int:
+    """E[steps] for a fair ±1 walk from 0 to hit ±barrier: exactly barrier²."""
+    return barrier * barrier
+
+
+def stay_inside_probability(steps: int, barrier: int) -> float:
+    """Exact P(an m-step fair ±1 walk never leaves (-barrier, +barrier)).
+
+    Dynamic programming over positions; O(steps × barrier).  This is the
+    quantity ``S_m`` of Lemma 3.3 (with the walk's partial sums required to
+    stay strictly inside the barriers).
+    """
+    if barrier <= 0:
+        return 0.0
+    # probabilities over positions -barrier+1 .. barrier-1
+    size = 2 * barrier - 1
+    offset = barrier - 1
+    current = [0.0] * size
+    current[offset] = 1.0
+    for _ in range(steps):
+        nxt = [0.0] * size
+        for pos, p in enumerate(current):
+            if p == 0.0:
+                continue
+            if pos + 1 < size:
+                nxt[pos + 1] += 0.5 * p
+            if pos - 1 >= 0:
+                nxt[pos - 1] += 0.5 * p
+        current = nxt
+    return sum(current)
+
+
+def stay_inside_bound(steps: int, barrier: int, constant: float = 2.0) -> float:
+    """Lemma 3.3 shape: P(stay inside ±barrier for m steps) ≤ C·barrier/√m."""
+    if steps == 0:
+        return 1.0
+    return min(1.0, constant * barrier / math.sqrt(steps))
+
+
+def hitting_probability_asymmetric(start: int, low: int, high: int) -> float:
+    """P(fair walk from ``start`` hits ``high`` before ``low``) (gambler's ruin)."""
+    if not low <= start <= high or low == high:
+        raise ValueError("need low <= start <= high, low != high")
+    return (start - low) / (high - low)
+
+
+def agreement_probability_lower_bound(b_barrier: int) -> float:
+    """Lemma 3.1: P(all processes see heads) ≥ (b-1)/(2b) (same for tails).
+
+    Sketch of the standard argument: if the true walk, instead of merely
+    touching ``+b·n``, runs on to ``+(b+1)·n`` before ever returning to
+    ``+(b-1)·n``, then every collect any process completes afterwards sums
+    to more than ``b·n`` regardless of staleness (each of the n counters is
+    read within n of its true value), so *everyone* sees heads.  By
+    gambler's ruin the walk started at 0 reaches ``+(b+1)n`` before
+    ``-(b-1)n``… combining the one-sided excursions gives the
+    ``(b-1)/(2b)`` bound.
+    """
+    return max(0.0, (b_barrier - 1) / (2 * b_barrier))
+
+
+def disagreement_probability_upper_bound(b_barrier: int) -> float:
+    """At most 1 - 2·(b-1)/(2b) = 1/b of the mass can be disagreement."""
+    return min(1.0, 1.0 - 2 * agreement_probability_lower_bound(b_barrier))

@@ -1,0 +1,65 @@
+"""§3's bounded weak shared coin.
+
+Identical to the unbounded random-walk coin except that every per-process
+counter is confined to ``{-(m+1), …, m+1}``: a process whose own counter has
+left ``{-m..m}`` deterministically returns **heads** (``coin_value`` line 1).
+
+The choice of *heads* is arbitrary but must be deterministic and global; the
+adversary could try to exploit it by driving one process's counter to the
+bound and the walk to the tails side — Lemma 3.3/3.4 show that for
+``m = (f(b)·n)²`` the probability any single counter drifts that far before
+the walk itself crosses a ``±b·n`` barrier is ``O(b·n/√m)``, which is folded
+into the coin's (already non-zero) disagreement probability.  Experiment E3
+measures exactly this overflow frequency.
+
+The bound buys two things the paper needs:
+
+- each counter fits in ``O(log m)`` bits — bounded memory;
+- each process performs at most ``m + 1`` walk steps per coin — the coin is
+  *deterministically* wait-free per process, not just in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.coin import logic
+from repro.coin.walk import WalkSharedCoin
+from repro.registers.base import MemoryAudit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class BoundedWalkSharedCoin(WalkSharedCoin):
+    """Random-walk weak shared coin with bounded counters (the paper's)."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        b_barrier: int = 2,
+        m_bound: int | None = None,
+        audit: MemoryAudit | None = None,
+    ):
+        super().__init__(sim, name, n, b_barrier=b_barrier, audit=audit)
+        self.m_bound = m_bound if m_bound is not None else logic.default_m(b_barrier, n)
+        self.overflows = 0
+
+    def read_value(self, ctx):
+        """Threshold rule with the overflow-⇒-heads clause active."""
+        result = yield from super().read_value(ctx)
+        if result == logic.HEADS and not (
+            -self.m_bound <= self._shadow[ctx.pid] <= self.m_bound
+        ):
+            self.overflows += 1
+        return result
+
+    def any_overflow(self) -> bool:
+        """Whether any counter currently sits outside ``{-m..m}`` (E3)."""
+        return any(abs(c) > self.m_bound for c in self.counters.peek_all())
+
+    def counter_bits(self) -> int:
+        """Bits needed per counter: the boundedness headline number."""
+        return (2 * (self.m_bound + 1) + 1).bit_length()

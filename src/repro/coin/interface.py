@@ -1,0 +1,60 @@
+"""Abstract interface of a shared coin and the standard flipper program."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+
+class SharedCoin(abc.ABC):
+    """A shared coin protocol instance (one logical coin toss).
+
+    Processes interact through two sub-generators:
+
+    - ``read_value(ctx)`` returns ``HEADS``/``TAILS``/``UNDECIDED``;
+    - ``walk_step(ctx)`` contributes one (local-coin-driven) step.
+
+    The canonical usage loop is :func:`coin_flipper_program`.
+    """
+
+    name: str
+    n: int
+
+    @abc.abstractmethod
+    def read_value(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Determine the coin's value as visible to ``ctx.pid``."""
+
+    @abc.abstractmethod
+    def walk_step(self, ctx: ProcessContext) -> Generator[OpIntent, None, None]:
+        """Perform one step of the underlying randomized process."""
+
+    @abc.abstractmethod
+    def true_walk_value(self) -> int:
+        """Instantaneous walk position (adversary/test access)."""
+
+    @abc.abstractmethod
+    def counter_of(self, pid: int) -> int:
+        """Current counter of ``pid`` (adversary/test access)."""
+
+
+def coin_flipper_program(coin: SharedCoin):
+    """Program factory: flip until the coin decides; decide its value.
+
+    Matches the paper's usage: a process repeatedly evaluates
+    ``coin_value`` and performs a ``walk_step`` while undecided.
+    """
+
+    def factory(pid: int):
+        def body(ctx: ProcessContext):
+            while True:
+                value = yield from coin.read_value(ctx)
+                if value is not None:
+                    return value
+                yield from coin.walk_step(ctx)
+
+        return body
+
+    return factory

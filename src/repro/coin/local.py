@@ -1,0 +1,20 @@
+"""Independent local coins (the Abrahamson regime).
+
+[A88] solved randomized consensus with nothing but local coin flips: each
+process re-draws its preference independently when blocked.  Agreement then
+requires all processes to flip the same value in the same round, which
+happens with probability ``2^{-(n-1)}`` — hence the exponential expected
+running time that the paper's shared coin eliminates.  The helper here is
+deliberately trivial; it exists so the Abrahamson-style baseline protocol
+and the benchmarks read symmetrically with the shared-coin versions.
+"""
+
+from __future__ import annotations
+
+from repro.coin.logic import HEADS, TAILS
+from repro.runtime.process import ProcessContext
+
+
+def local_coin_flip(ctx: ProcessContext) -> int:
+    """One fair private coin flip (local computation; costs no shared step)."""
+    return HEADS if ctx.rng.random() < 0.5 else TAILS

@@ -1,0 +1,51 @@
+"""Perfect atomic shared coin (the Chor–Israeli–Li assumption).
+
+[CIL87] gave the first time-efficient randomized consensus with bounded
+memory, but assumed a powerful *atomic coin flip* primitive: one operation
+that, the first time any process invokes it, fixes a globally agreed random
+outcome.  This module provides that primitive directly (it is trivially
+implementable inside the simulator, where an operation takes effect at a
+single instant) so the CIL regime can be benchmarked against the paper's
+protocol, which needs nothing beyond read/write registers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.coin.interface import SharedCoin
+from repro.coin.logic import HEADS, TAILS
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class OracleCoin(SharedCoin):
+    """One-shot perfect shared coin: first toucher fixes the outcome."""
+
+    def __init__(self, sim: "Simulation", name: str, n: int):
+        self.name = name
+        self.n = n
+        self._outcome: Any = None
+        sim.register_shared(name, self)
+
+    def read_value(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Atomic flip-or-read: decides the outcome on first invocation."""
+        yield OpIntent(ctx.pid, "atomic_flip", self.name)
+        if self._outcome is None:
+            self._outcome = HEADS if ctx.rng.random() < 0.5 else TAILS
+        ctx.record("atomic_flip", self.name, self._outcome)
+        return self._outcome
+
+    def walk_step(self, ctx: ProcessContext) -> Generator[OpIntent, None, None]:
+        """No-op: a perfect coin needs no walk.  Never undecided."""
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def true_walk_value(self) -> int:
+        return 0
+
+    def counter_of(self, pid: int) -> int:
+        return 0

@@ -1,0 +1,87 @@
+"""The Aspnes–Herlihy random-walk shared coin with unbounded counters.
+
+Each process owns an integer counter register; a *walk step* flips a local
+coin and atomically adds ±1 to the own counter; *reading* the coin collects
+all counters (one atomic read each, i.e. an inconsistent cut — this is the
+adversarial surface) and applies the threshold rule of
+:func:`repro.coin.logic.coin_value` with ``m = ∞``.
+
+The counters grow without bound under a long adversarial schedule; the
+bounded version in :mod:`repro.coin.bounded` is the paper's fix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.coin import logic
+from repro.coin.interface import SharedCoin
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class WalkSharedCoin(SharedCoin):
+    """Random-walk weak shared coin, unbounded counters (comparator)."""
+
+    m_bound: int | None = None
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        b_barrier: int = 2,
+        audit: MemoryAudit | None = None,
+    ):
+        self.name = name
+        self.n = n
+        self.b_barrier = b_barrier
+        self.total_steps = 0
+        self.counters = RegisterArray(sim, f"{name}.c", n, initial=0, audit=audit)
+        # Writer-local knowledge of the own counter (the own register is
+        # single-writer, so its owner need not read it back).
+        self._shadow = [0] * n
+        sim.register_shared(name, self)
+
+    # -- operations ---------------------------------------------------------
+
+    def read_value(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Collect all counters, then apply the threshold rule."""
+        span = ctx.begin_span("coin_read", self.name)
+        collected = []
+        for j in range(self.n):
+            value = yield from self.counters[j].read(ctx)
+            collected.append(value)
+        result = logic.coin_value(
+            collected[ctx.pid], collected, self.n, self.b_barrier, self.m_bound
+        )
+        ctx.end_span(span, result)
+        return result
+
+    def walk_step(self, ctx: ProcessContext) -> Generator[OpIntent, None, None]:
+        """Flip the local coin; atomically move the own counter ±1.
+
+        One atomic write (the paper's ``walk_step``): the current value is
+        writer-local knowledge, no read-back needed.
+        """
+        heads = ctx.rng.random() < 0.5
+        new = logic.walk_step_value(self._shadow[ctx.pid], heads, self.m_bound)
+        yield from self.counters[ctx.pid].write(ctx, new)
+        self._shadow[ctx.pid] = new
+        self.total_steps += 1
+
+    # -- inspection -----------------------------------------------------------
+
+    def true_walk_value(self) -> int:
+        return sum(self.counters.peek_all())
+
+    def counter_of(self, pid: int) -> int:
+        return self.counters[pid].peek()
+
+    def max_counter_magnitude(self) -> int:
+        return max(abs(c) for c in self.counters.peek_all())

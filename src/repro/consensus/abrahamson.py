@@ -1,0 +1,31 @@
+"""The [A88] regime: local coins only ⇒ exponential expected time.
+
+Abrahamson's protocol predates shared coins: a process blocked by
+disagreement re-draws its preference from its own *private* coin.  For all
+top-round processes to leave a conflict behind, they must independently
+draw the same value — probability ``2^{-(g-1)}`` for g conflicting
+processes — which is the source of the exponential expected running time
+that [AH88] and the paper eliminate.
+
+To isolate the coin as the only difference (the ablation benchmarks E5/E10
+compare growth *shapes*), this baseline reuses the Aspnes–Herlihy round
+skeleton verbatim and swaps the conflict-resolution step for a local flip.
+Like the original, it uses unbounded round numbers.
+"""
+
+from __future__ import annotations
+
+from repro.coin.local import local_coin_flip
+from repro.consensus.aspnes_herlihy import AspnesHerlihyConsensus, RoundCell
+from repro.runtime.process import ProcessContext
+
+
+class LocalCoinConsensus(AspnesHerlihyConsensus):
+    """Round skeleton + independent local coins (exponential regime)."""
+
+    name = "local-coin"
+
+    def _resolve_conflict(self, ctx: ProcessContext, cell: RoundCell, view):
+        """Leaders disagree: re-draw my preference privately and advance."""
+        self._flips[ctx.pid] += 1
+        return self._advance(ctx.pid, cell, local_coin_flip(ctx)), True

@@ -1,0 +1,381 @@
+"""The paper's protocol: bounded polynomial randomized consensus (§5).
+
+Every process keeps its entire protocol state in its single cell of the
+scannable memory:
+
+- ``pref`` — current preference: 0, 1 or ⊥;
+- ``coins[0..K]`` — K+1 bounded walk counters, the process's contributions
+  to the coins of the K+1 most recent rounds (older contributions are
+  *withdrawn* by recycling the slot, per Observation 1.2);
+- ``current_coin`` — pointer into ``coins``; slot ``next(current_coin)`` is
+  the counter for the round currently being flipped;
+- ``edges[0..n-1]`` — the process's row of mod-3K edge counters encoding
+  the distance graph of the rounds strip (§4.3).
+
+The main loop is a strict scan → compute → write alternation (footnote 6 of
+the paper).  With the scanned view and its decoded distance graph ``G``:
+
+1. if I am a *leader* (I dominate everyone in ``G``), my preference is a
+   value, and every process that disagrees with me trails by at least K,
+   **decide** my preference;
+2. else if all leaders carry the same value ``v ≠ ⊥``, adopt ``v`` and
+   advance a round (``inc``: advance the coin pointer, zero the recycled
+   slot, and perform ``inc_graph`` on my edge-counter row);
+3. else if my preference is not ⊥, write ⊥ (same round) — I am about to
+   join my round's shared coin;
+4. else evaluate my round's shared coin from the view
+   (``next_coin_value``): contributions are taken from each process no more
+   than K-1 rounds ahead of me, at the slot its pointer occupied when it
+   flipped *my* round's coin; if the coin is undecided, perform one
+   ``walk_step`` on my own slot and write; otherwise adopt the coin's value
+   and advance a round.
+
+Boundedness: every field of the cell ranges over a finite domain —
+``pref ∈ {0, 1, ⊥}``, each coin counter in ``{-(m+1)..m+1}``, the pointer in
+``{0..K}``, each edge counter in ``{0..3K-1}`` — and the scannable memory
+adds only handshake bits.  The memory audit of every run certifies this
+(experiment E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.coin import logic
+from repro.consensus.interface import BOTTOM, ConsensusProtocol, agreed_value
+from repro.registers.base import MemoryAudit
+from repro.runtime.process import ProcessContext
+from repro.runtime.simulation import Simulation
+from repro.snapshot.arrows import ArrowScannableMemory
+from repro.snapshot.interface import ScannableMemory
+from repro.snapshot.sequenced import SequencedScannableMemory
+from repro.strip.distance_graph import DistanceGraph
+from repro.strip.edge_counters import cycle_size, decode_graph, inc_counters
+
+
+@dataclass(frozen=True)
+class AdsCell:
+    """One process's complete shared state (a single scannable-memory cell)."""
+
+    pref: int | None
+    coins: tuple[int, ...]  # K+1 bounded walk counters
+    current_coin: int  # pointer in {0..K}
+    edges: tuple[int, ...]  # n mod-3K edge counters
+
+    def next_slot(self) -> int:
+        """Index of the counter for the round currently being flipped."""
+        return (self.current_coin + 1) % len(self.coins)
+
+
+class AdsConsensus(ConsensusProtocol):
+    """Attiya–Dolev–Shavit bounded polynomial randomized consensus."""
+
+    name = "ads"
+
+    def __init__(
+        self,
+        K: int = 2,
+        b_barrier: int = 2,
+        m_bound: int | None = None,
+        f_factor: int = 4,
+        snapshot_kind: str = "arrows",
+        ghost_wseqs: bool = False,
+    ):
+        if K < 2:
+            raise ValueError("the protocol needs K >= 2 (the paper sets K = 2)")
+        self.K = K
+        self.b_barrier = b_barrier
+        self.m_bound = m_bound
+        self.f_factor = f_factor
+        self.snapshot_kind = snapshot_kind
+        # Ghost write sequence numbers let post-hoc analyses (virtual
+        # global rounds, P3 ordering) identify scans precisely; they are
+        # verification instrumentation, never read by the algorithm.
+        self.ghost_wseqs = ghost_wseqs
+        self._rounds: dict[int, int] = {}
+        self._flips: dict[int, int] = {}
+        self._scans: dict[int, int] = {}
+
+    # -- setup ---------------------------------------------------------------
+
+    def _initial_cell(self, n: int) -> AdsCell:
+        return AdsCell(
+            pref=BOTTOM,
+            coins=(0,) * (self.K + 1),
+            current_coin=0,
+            edges=(0,) * n,
+        )
+
+    def _make_memory(
+        self,
+        sim: Simulation,
+        n: int,
+        initial: AdsCell,
+        audit: MemoryAudit,
+        name: str = "mem",
+    ) -> ScannableMemory:
+        if self.snapshot_kind == "arrows":
+            return ArrowScannableMemory(
+                sim, name, n, initial=initial, audit=audit, ghost=self.ghost_wseqs
+            )
+        if self.snapshot_kind == "arrows-bloom":
+            return ArrowScannableMemory(
+                sim, name, n, initial=initial, audit=audit, ghost=self.ghost_wseqs,
+                arrow_kind="bloom",
+            )
+        if self.snapshot_kind == "sequenced":
+            return SequencedScannableMemory(sim, name, n, initial=initial, audit=audit)
+        if self.snapshot_kind == "embedded":
+            from repro.snapshot.embedded import EmbeddedScanSnapshot
+
+            return EmbeddedScanSnapshot(sim, name, n, initial=initial, audit=audit)
+        raise ValueError(f"unknown snapshot_kind: {self.snapshot_kind!r}")
+
+    def _setup(self, sim: Simulation, inputs: Sequence[int], audit: MemoryAudit):
+        n = len(inputs)
+        m = self.m_bound if self.m_bound is not None else logic.default_m(
+            self.b_barrier, n, self.f_factor
+        )
+        initial = self._initial_cell(n)
+        memory = self._make_memory(sim, n, initial, audit)
+        self._rounds = {pid: 0 for pid in range(n)}
+        self._flips = {pid: 0 for pid in range(n)}
+        self._scans = {pid: 0 for pid in range(n)}
+        self._memory = memory
+
+        def factory(pid: int):
+            def body(ctx: ProcessContext):
+                return (
+                    yield from self._process(
+                        ctx, memory, inputs[pid], n, m, initial
+                    )
+                )
+
+            return body
+
+        return factory
+
+    def _collect_stats(self):
+        return {
+            "rounds_by_pid": dict(self._rounds),
+            "flips_by_pid": dict(self._flips),
+            "scans_by_pid": dict(self._scans),
+            "scan_attempts": self._memory.scan_attempts(),
+        }
+
+    # -- the protocol --------------------------------------------------------
+
+    def _process(
+        self,
+        ctx: ProcessContext,
+        memory: ScannableMemory,
+        input_value: int,
+        n: int,
+        m: int,
+        initial: AdsCell,
+    ):
+        i = ctx.pid
+        # Initial write: one inc from the known all-initial state, with the
+        # input as preference (the paper's pre-loop write).
+        cell = self._inc(i, initial, [initial] * n)
+        cell = replace(cell, pref=input_value)
+        yield from memory.write(ctx, cell)
+
+        while True:
+            view = yield from memory.scan(ctx)
+            self._scans[i] += 1
+            graph = decode_graph([v.edges for v in view], self.K)
+            mine = view[i]
+            prefs = [v.pref for v in view]
+
+            # Line 2: leader with every disagreeing process K behind -> decide.
+            if mine.pref is not BOTTOM and self._can_decide(i, graph, prefs, n):
+                return mine.pref
+
+            # Lines 3-4: all leaders agree on a value -> adopt it, advance.
+            leaders_value = agreed_value([prefs[l] for l in graph.leaders()])
+            if leaders_value is not None:
+                cell = self._inc(i, cell, view)
+                cell = replace(cell, pref=leaders_value)
+                yield from memory.write(ctx, cell)
+                continue
+
+            # Lines 5-6: leaders disagree; withdraw my preference first.
+            if mine.pref is not BOTTOM:
+                cell = replace(cell, pref=BOTTOM)
+                yield from memory.write(ctx, cell)
+                continue
+
+            # Lines 7-8: resolve the conflict randomly (hook: the paper
+            # drives the round's weak shared coin; subclasses may swap the
+            # randomness source while keeping the bounded strip).
+            cell = self._resolve_conflict(ctx, cell, view, graph, n, m)
+            yield from memory.write(ctx, cell)
+
+    def _resolve_conflict(
+        self,
+        ctx: ProcessContext,
+        cell: AdsCell,
+        view: Sequence[AdsCell],
+        graph: DistanceGraph,
+        n: int,
+        m: int,
+    ) -> AdsCell:
+        """Paper lines 7-8: drive my round's weak shared coin."""
+        coin = self._next_coin_value(ctx.pid, cell, view, graph, n, m)
+        if coin is logic.UNDECIDED:
+            return self._flip_next_coin(ctx, cell, m)
+        cell = self._inc(ctx.pid, cell, view)
+        return replace(cell, pref=coin)
+
+    # -- protocol pieces (the paper's procedures) ------------------------------
+
+    def _can_decide(
+        self, i: int, graph: DistanceGraph, prefs: list, n: int
+    ) -> bool:
+        """"All who disagree trail by K, and I'm a leader"."""
+        if any(not graph.has_edge(i, j) for j in range(n) if j != i):
+            return False  # not a leader
+        dists = graph.all_dists_from(i)
+        return all(
+            prefs[j] == prefs[i] or dists[j] >= self.K
+            for j in range(n)
+            if j != i
+        )
+
+    def _inc(self, i: int, cell: AdsCell, view: Sequence[AdsCell]) -> AdsCell:
+        """The paper's ``inc(round)``: advance pointer, recycle slot,
+        ``inc_graph`` the edge-counter row."""
+        pointer = cell.next_slot()
+        coins = list(cell.coins)
+        coins[(pointer + 1) % len(coins)] = 0  # withdraw round r-K, prepare r+1
+        rows = [list(v.edges) for v in view]
+        rows[i] = list(cell.edges)  # own row: local knowledge is freshest
+        new_row = inc_counters(i, rows, self.K)
+        self._rounds[i] += 1
+        return AdsCell(
+            pref=cell.pref,
+            coins=tuple(coins),
+            current_coin=pointer,
+            edges=tuple(new_row),
+        )
+
+    def _next_coin_value(
+        self,
+        i: int,
+        cell: AdsCell,
+        view: Sequence[AdsCell],
+        graph: DistanceGraph,
+        n: int,
+        m: int,
+    ):
+        """The paper's ``next_coin_value(round)``.
+
+        Assemble my round's coin from the view: process j contributes its
+        counter for my round iff it is at most K-1 rounds ahead (``(j, i) ∈
+        G`` with ``w(j, i) < K``); the contribution sits ``w(j, i)`` slots
+        behind j's *next* slot.  Anyone K or more ahead has withdrawn its
+        contribution, which costs my coin at most an extra O(n²) expected
+        flips (Lemma 3.2) but never its correctness.
+        """
+        slots = len(cell.coins)
+        counters = [0] * n
+        for j in range(n):
+            if j == i:
+                continue
+            if graph.has_edge(j, i) and graph.weight(j, i) < self.K:
+                w = graph.weight(j, i)
+                other = view[j]
+                slot = (other.current_coin - w + 1) % slots
+                counters[j] = other.coins[slot]
+        counters[i] = cell.coins[cell.next_slot()]
+        return logic.coin_value(counters[i], counters, n, self.b_barrier, m)
+
+    def _flip_next_coin(self, ctx: ProcessContext, cell: AdsCell, m: int) -> AdsCell:
+        """The paper's ``flip_next_coin``: one walk step on my round's slot."""
+        slot = cell.next_slot()
+        heads = ctx.rng.random() < 0.5
+        coins = list(cell.coins)
+        coins[slot] = logic.walk_step_value(coins[slot], heads, m)
+        self._flips[ctx.pid] += 1
+        return replace(cell, coins=tuple(coins))
+
+
+class AdsConsensusObject:
+    """A one-shot binary consensus *shared object* (composable form).
+
+    The protocol class above owns a whole simulation run; this wrapper
+    exposes the same algorithm as an object living inside a larger
+    simulation, so higher layers (multivalued consensus, the universal
+    construction of :mod:`repro.universal`) can create many instances and
+    have processes invoke them mid-program::
+
+        cons = AdsConsensusObject(sim, "cons[0]", n)
+        ...
+        decision = yield from cons.propose(ctx, my_bit)
+
+    ``propose`` is idempotent per process in the sense that any subset of
+    the n processes may show up: absentees look exactly like crashed
+    processes, which the protocol tolerates by design (wait-freedom).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        n: int,
+        K: int = 2,
+        b_barrier: int = 2,
+        m_bound: int | None = None,
+        f_factor: int = 4,
+        snapshot_kind: str = "arrows",
+        audit: MemoryAudit | None = None,
+    ):
+        self.name = name
+        self.n = n
+        self._protocol = AdsConsensus(
+            K=K,
+            b_barrier=b_barrier,
+            m_bound=m_bound,
+            f_factor=f_factor,
+            snapshot_kind=snapshot_kind,
+        )
+        self._m = (
+            m_bound
+            if m_bound is not None
+            else logic.default_m(b_barrier, n, f_factor)
+        )
+        self._initial = self._protocol._initial_cell(n)
+        self._memory = self._protocol._make_memory(
+            sim, n, self._initial, audit or MemoryAudit(), name=name
+        )
+        self._protocol._rounds = {pid: 0 for pid in range(n)}
+        self._protocol._flips = {pid: 0 for pid in range(n)}
+        self._protocol._scans = {pid: 0 for pid in range(n)}
+        self._protocol._memory = self._memory
+        self.decisions: dict[int, int] = {}
+
+    def propose(self, ctx: ProcessContext, value: int):
+        """Run the consensus protocol to completion; return the decision."""
+        if value not in (0, 1):
+            raise ValueError(f"binary consensus: value must be 0 or 1, got {value!r}")
+        if ctx.pid in self.decisions:
+            return self.decisions[ctx.pid]
+        decision = yield from self._protocol._process(
+            ctx, self._memory, value, self.n, self._m, self._initial
+        )
+        self.decisions[ctx.pid] = decision
+        return decision
+
+    def stats(self) -> dict:
+        return self._protocol._collect_stats()
+
+
+def pref_reader(sim: Simulation, pid: int):
+    """Read ``pid``'s currently written preference (for SplitAdversary)."""
+    memory = sim.shared.get("mem")
+    if memory is None:
+        return None
+    cell = memory.peek_view()[pid]
+    return getattr(cell, "pref", None)

@@ -1,0 +1,128 @@
+"""Common protocol interface, run records, and shared view helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.registers.base import MemoryAudit
+from repro.runtime.scheduler import CrashPlan, Scheduler
+from repro.runtime.simulation import Simulation, SimulationOutcome
+
+#: The "undecided" preference the paper writes as ⊥.
+BOTTOM = None
+
+
+@dataclass
+class ConsensusRun:
+    """Everything recorded about one consensus execution."""
+
+    protocol: str
+    n: int
+    inputs: tuple[int, ...]
+    outcome: SimulationOutcome
+    audit: MemoryAudit
+    seed: int
+    stats: dict[str, Any] = field(default_factory=dict)
+    simulation: Simulation | None = None
+
+    @property
+    def decisions(self) -> dict[int, int]:
+        return self.outcome.decisions
+
+    @property
+    def decided_values(self) -> set:
+        return set(self.outcome.decisions.values())
+
+    @property
+    def total_steps(self) -> int:
+        return self.outcome.total_steps
+
+    def max_rounds(self) -> int:
+        """Largest number of (local) round increments any process executed."""
+        rounds = self.stats.get("rounds_by_pid", {})
+        return max(rounds.values(), default=0)
+
+
+class ConsensusProtocol(abc.ABC):
+    """A runnable consensus protocol configuration.
+
+    Subclasses configure parameters in ``__init__`` and implement
+    :meth:`_setup`, which creates the run's shared objects inside a fresh
+    simulation and returns a per-pid program factory.  :meth:`run` drives a
+    complete execution and packages a :class:`ConsensusRun`.
+    """
+
+    name: str = "consensus"
+
+    @abc.abstractmethod
+    def _setup(self, sim: Simulation, inputs: Sequence[int], audit: MemoryAudit):
+        """Create shared objects; return ``factory(pid) -> program``."""
+
+    def _validate_inputs(self, inputs: Sequence[int]) -> None:
+        """These protocols are binary; reject anything else loudly
+        (arbitrary values go through ``MultivaluedAdsConsensus``)."""
+        if not inputs:
+            raise ValueError("need at least one process input")
+        bad = [v for v in inputs if v not in (0, 1)]
+        if bad:
+            raise ValueError(
+                f"binary consensus inputs must be 0 or 1, got {bad[:3]}; "
+                "use MultivaluedAdsConsensus for arbitrary values"
+            )
+
+    def _collect_stats(self) -> dict[str, Any]:
+        """Protocol-specific per-run statistics (overridden by subclasses)."""
+        return {}
+
+    def run(
+        self,
+        inputs: Sequence[int],
+        scheduler: Scheduler | None = None,
+        seed: int = 0,
+        crash_plan: CrashPlan | None = None,
+        max_steps: int = 2_000_000,
+        record_events: bool = False,
+        record_spans: bool = False,
+        keep_simulation: bool = False,
+    ) -> ConsensusRun:
+        """Run one consensus instance with the given inputs.
+
+        Spans/events are off by default (protocol runs are long; property
+        checking tests switch them on explicitly).
+        """
+        self._validate_inputs(inputs)
+        n = len(inputs)
+        audit = MemoryAudit()
+        sim = Simulation(
+            n,
+            scheduler=scheduler,
+            seed=seed,
+            crash_plan=crash_plan,
+            record_events=record_events,
+            record_spans=record_spans,
+        )
+        factory = self._setup(sim, inputs, audit)
+        sim.spawn_all(factory)
+        outcome = sim.run(max_steps)
+        return ConsensusRun(
+            protocol=self.name,
+            n=n,
+            inputs=tuple(inputs),
+            outcome=outcome,
+            audit=audit,
+            seed=seed,
+            stats=self._collect_stats(),
+            simulation=sim if keep_simulation else None,
+        )
+
+
+def agreed_value(prefs: Sequence) -> Any:
+    """The common non-⊥ value of ``prefs``, or ``None`` if none exists."""
+    values = set(prefs)
+    if len(values) == 1:
+        value = values.pop()
+        if value is not BOTTOM:
+            return value
+    return None

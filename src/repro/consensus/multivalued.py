@@ -1,0 +1,162 @@
+"""Multivalued consensus from binary consensus.
+
+The paper's protocol is binary; its authors note it "can be extended to
+handle arbitrary initial values".  This module provides the standard
+reduction: agree on the *identity of a winning proposer*, bit by bit, using
+⌈log₂ n⌉ instances of the binary protocol, then return the winner's
+(single-writer, written-once) proposal register.
+
+Per bit round k, each process proposes bit k of some *candidate* — a pid
+whose proposal register it has seen written and whose pid agrees with the
+prefix of winner bits decided so far.  Binary consensus's decision-domain
+property (every decision is someone's proposal) maintains the invariant
+that a written proposal matching the agreed prefix always exists:
+
+- round 0: my own proposal is written before I first collect, so a
+  candidate exists;
+- round k: the decided bit was proposed by a process that, at its collect,
+  saw a written candidate matching ``prefix + bit``; proposal registers are
+  written once and persist, so every later collect sees it too.
+
+Consistency: all processes decide the same bits, hence the same winner,
+hence read the same once-written register.  Validity: the winner's proposal
+is some process's input.  Values may be arbitrary Python objects — only
+pids are fed to the binary protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.ads import AdsConsensusObject
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.process import ProcessContext
+from repro.runtime.simulation import Simulation
+
+_ABSENT = object()
+
+
+class MultivaluedAdsConsensus:
+    """Runnable protocol wrapper: consensus on arbitrary input values.
+
+    Mirrors :class:`~repro.consensus.ads.AdsConsensus`'s ``run`` interface
+    but accepts any (comparable) input values, delegating to
+    :class:`MultivaluedConsensusObject` — i.e. the paper's protocol plus
+    the standard "agree on a proposer, bit by bit" reduction.
+    """
+
+    name = "ads-multivalued"
+
+    def __init__(self, **binary_params: Any):
+        self.binary_params = binary_params
+
+    def run(
+        self,
+        inputs,
+        scheduler=None,
+        seed: int = 0,
+        crash_plan=None,
+        max_steps: int = 20_000_000,
+    ):
+        from repro.consensus.interface import ConsensusRun
+        from repro.runtime.simulation import Simulation
+
+        n = len(inputs)
+        audit = MemoryAudit()
+        sim = Simulation(n, scheduler=scheduler, seed=seed, crash_plan=crash_plan)
+        consensus = MultivaluedConsensusObject(
+            sim, "mv", n, audit=audit, **self.binary_params
+        )
+
+        def factory(pid: int):
+            def body(ctx: ProcessContext):
+                return (yield from consensus.propose(ctx, inputs[pid]))
+
+            return body
+
+        sim.spawn_all(factory)
+        outcome = sim.run(max_steps)
+        return ConsensusRun(
+            protocol=self.name,
+            n=n,
+            inputs=tuple(inputs),
+            outcome=outcome,
+            audit=audit,
+            seed=seed,
+            stats={"bits": consensus.bits},
+        )
+
+
+def bits_needed(n: int) -> int:
+    """Bits required to name a pid in 0..n-1 (at least 1)."""
+    return max(1, (n - 1).bit_length())
+
+
+class MultivaluedConsensusObject:
+    """One-shot consensus on arbitrary values, built on binary instances."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        n: int,
+        audit: MemoryAudit | None = None,
+        **binary_params: Any,
+    ):
+        self.name = name
+        self.n = n
+        self.bits = bits_needed(n)
+        self.proposals = RegisterArray(
+            sim, f"{name}.proposal", n, initial=_ABSENT, audit=audit
+        )
+        self.rounds = [
+            AdsConsensusObject(
+                sim, f"{name}.bit[{k}]", n, audit=audit, **binary_params
+            )
+            for k in range(self.bits)
+        ]
+        self.decisions: dict[int, Any] = {}
+        sim.register_shared(name, self)
+
+    def _bit_of(self, pid: int, k: int) -> int:
+        """Bit k of pid, most significant of the ``bits`` positions first."""
+        return (pid >> (self.bits - 1 - k)) & 1
+
+    def _matches_prefix(self, pid: int, prefix_bits: list[int]) -> bool:
+        return all(
+            self._bit_of(pid, k) == bit for k, bit in enumerate(prefix_bits)
+        )
+
+    def propose(self, ctx: ProcessContext, value: Any):
+        """Agree on one proposed value; returns the common decision."""
+        i = ctx.pid
+        if i in self.decisions:
+            return self.decisions[i]
+        yield from self.proposals[i].write(ctx, value)
+
+        prefix: list[int] = []
+        for k in range(self.bits):
+            candidate = None
+            for pid in range(self.n):
+                cell = yield from self.proposals[pid].read(ctx)
+                if cell is _ABSENT or not self._matches_prefix(pid, prefix):
+                    continue
+                if candidate is None or pid == i:
+                    candidate = pid
+            assert candidate is not None, (
+                "no candidate matches the agreed prefix: binary consensus "
+                "decision-domain invariant broken"
+            )
+            bit = yield from self.rounds[k].propose(
+                ctx, self._bit_of(candidate, k)
+            )
+            prefix.append(bit)
+
+        winner = 0
+        for bit in prefix:
+            winner = (winner << 1) | bit
+        decision = yield from self.proposals[winner].read(ctx)
+        assert decision is not _ABSENT, "winner's proposal must be written"
+        self.decisions[i] = decision
+        return decision

@@ -1,0 +1,100 @@
+"""Safety and resource validation of consensus runs.
+
+Used by the integration tests and the safety benchmark (E11) on *every*
+recorded run:
+
+- **consistency**: no two processes decided different values;
+- **validity**: if all inputs agree, every decision is that input;
+- **decision domain**: every decision is some process's input (for binary
+  inputs this follows from validity + consistency, but it is checked
+  independently);
+- **completion**: every non-crashed process decided (wait-freedom within
+  the step budget — probabilistic, so budgets are generous);
+- **memory audit**: the largest integer magnitude and widest structure any
+  register ever held (the boundedness headline, E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.interface import ConsensusRun
+
+
+@dataclass
+class ValidationReport:
+    consistent: bool
+    valid: bool
+    in_domain: bool
+    complete: bool
+    problems: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent and self.valid and self.in_domain and self.complete
+
+
+def check_consistency(run: ConsensusRun) -> bool:
+    """No two processes decide on different values."""
+    return len(run.decided_values) <= 1
+
+
+def check_validity(run: ConsensusRun) -> bool:
+    """If all inputs agree, the unique decision is that input."""
+    inputs = set(run.inputs)
+    if len(inputs) != 1:
+        return True
+    return run.decided_values <= inputs
+
+
+def check_decision_domain(run: ConsensusRun) -> bool:
+    """Every decision is some process's input value."""
+    return run.decided_values <= set(run.inputs)
+
+
+def check_completion(run: ConsensusRun) -> bool:
+    """Every non-crashed process decided."""
+    expected = set(range(run.n)) - run.outcome.crashed
+    return expected <= set(run.decisions)
+
+
+def validate_run(run: ConsensusRun) -> ValidationReport:
+    problems = []
+    consistent = check_consistency(run)
+    if not consistent:
+        problems.append(f"inconsistent decisions: {run.decisions}")
+    valid = check_validity(run)
+    if not valid:
+        problems.append(
+            f"validity violated: inputs {run.inputs}, decisions {run.decisions}"
+        )
+    in_domain = check_decision_domain(run)
+    if not in_domain:
+        problems.append(
+            f"decision outside input domain: inputs {run.inputs}, "
+            f"decisions {run.decisions}"
+        )
+    complete = check_completion(run)
+    if not complete:
+        missing = set(range(run.n)) - run.outcome.crashed - set(run.decisions)
+        problems.append(f"processes did not decide: {sorted(missing)}")
+    return ValidationReport(consistent, valid, in_domain, complete, problems)
+
+
+def summarize_memory(run: ConsensusRun) -> dict[str, int]:
+    """Boundedness summary of a run (E6 rows)."""
+    return {
+        "max_magnitude": run.audit.max_magnitude,
+        "max_width": run.audit.max_width,
+        "writes": run.audit.writes,
+    }
+
+
+def assert_safe(run: ConsensusRun) -> None:
+    """Raise with a readable report if any safety property failed."""
+    report = validate_run(run)
+    if not report.ok:
+        raise AssertionError(
+            f"unsafe run of {run.protocol} (seed {run.seed}, inputs "
+            f"{run.inputs}): " + "; ".join(report.problems)
+        )

@@ -1,0 +1,120 @@
+"""Directly simulated atomic registers.
+
+In the interleaving simulator an atomic register is simply a cell whose read
+and write each take effect at a single scheduling point, so atomicity holds
+by construction.  These cells are the default substrate for the higher-level
+constructions (the paper assumes atomic SWMR registers ``V_i`` and 2W2R
+arrow registers ``A_ij``; bounded constructions of those from weaker
+primitives live in :mod:`repro.registers.bloom` and are exercised separately
+so that the protocol benchmarks stay fast).
+
+Writer/reader restrictions are *checked*: a SWMR register raises if a
+process other than its owner writes it, which catches protocol wiring bugs
+early.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, TYPE_CHECKING
+
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class AtomicRegister:
+    """A simulated atomic register.
+
+    Args:
+        sim: owning simulation (the register registers itself under ``name``).
+        name: unique name, used in traces and adversary introspection.
+        initial: initial value.
+        writers: pids allowed to write, or ``None`` for anyone (MWMR).
+        audit: optional shared :class:`MemoryAudit` to report writes to.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        initial: Any = None,
+        writers: Iterable[int] | None = None,
+        audit: MemoryAudit | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self.writers = frozenset(writers) if writers is not None else None
+        self.audit = audit
+        if audit is not None:
+            audit.observe(name, initial)
+        sim.register_shared(name, self)
+
+    def peek(self) -> Any:
+        """Adversary/test access to the current value (not a process step)."""
+        return self._value
+
+    def poke(self, value: Any) -> None:
+        """Test-only direct mutation (not a process step)."""
+        self._value = value
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Atomic read (one scheduling point)."""
+        yield OpIntent(ctx.pid, "read", self.name)
+        value = self._value
+        ctx.record("read", self.name, value)
+        return value
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Atomic write (one scheduling point)."""
+        if self.writers is not None and ctx.pid not in self.writers:
+            raise PermissionError(
+                f"process {ctx.pid} may not write register {self.name} "
+                f"(writers: {sorted(self.writers)})"
+            )
+        yield OpIntent(ctx.pid, "write", self.name, value)
+        self._value = value
+        if self.audit is not None:
+            self.audit.observe(self.name, value)
+        ctx.record("write", self.name, value)
+
+
+class RegisterArray:
+    """A family of registers ``name[0] .. name[n-1]``.
+
+    By default register ``i`` is single-writer (owned by pid ``i``), the
+    layout used for the ``V_i`` registers of the scannable memory.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        initial: Any = None,
+        single_writer: bool = True,
+        audit: MemoryAudit | None = None,
+    ):
+        self.name = name
+        self.registers = [
+            AtomicRegister(
+                sim,
+                f"{name}[{i}]",
+                initial=initial,
+                writers=[i] if single_writer else None,
+                audit=audit,
+            )
+            for i in range(n)
+        ]
+
+    def __getitem__(self, index: int) -> AtomicRegister:
+        return self.registers[index]
+
+    def __len__(self) -> int:
+        return len(self.registers)
+
+    def peek_all(self) -> list[Any]:
+        return [r.peek() for r in self.registers]

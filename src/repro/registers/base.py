@@ -1,0 +1,82 @@
+"""Shared definitions for the register layer.
+
+Includes the memory audit used by experiment E6: the headline claim of the
+paper is *boundedness*, so the audit measures, for every shared register,
+the largest integer magnitude and the largest structure ever stored in it.
+A bounded protocol's audit numbers are independent of the run length; an
+unbounded protocol's grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def measure_magnitude(value: Any) -> int:
+    """Largest absolute integer found anywhere inside ``value``.
+
+    Recurses through tuples, lists, dicts and dataclass-like objects (via
+    ``__dict__``).  Booleans and ``None`` count as 0; strings count as 0
+    (they are labels, not counters).
+    """
+    if value is None or isinstance(value, (str, bytes, bool)):
+        return 0
+    if isinstance(value, int):
+        return abs(value)
+    if isinstance(value, float):
+        return int(abs(value))
+    if isinstance(value, dict):
+        parts = list(value.keys()) + list(value.values())
+        return max((measure_magnitude(v) for v in parts), default=0)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return max((measure_magnitude(v) for v in value), default=0)
+    if hasattr(value, "__dict__"):
+        return measure_magnitude(vars(value))
+    return 0
+
+
+def measure_width(value: Any) -> int:
+    """Number of atomic leaves inside ``value`` (structure size)."""
+    if isinstance(value, dict):
+        return sum(measure_width(v) for v in value.values()) or 1
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(measure_width(v) for v in value) or 1
+    if hasattr(value, "__dict__") and not isinstance(value, (str, bytes)):
+        return measure_width(vars(value))
+    return 1
+
+
+@dataclass
+class MemoryAudit:
+    """Running audit of the values stored in a register (or a family).
+
+    Attributes:
+        max_magnitude: largest ``|int|`` ever stored.
+        max_width: widest structure ever stored.
+        writes: number of write operations audited.
+    """
+
+    max_magnitude: int = 0
+    max_width: int = 0
+    writes: int = 0
+    per_target: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, target: str, value: Any) -> None:
+        magnitude = measure_magnitude(value)
+        self.max_magnitude = max(self.max_magnitude, magnitude)
+        self.max_width = max(self.max_width, measure_width(value))
+        self.writes += 1
+        if magnitude > self.per_target.get(target, -1):
+            self.per_target[target] = magnitude
+
+    def merge(self, other: "MemoryAudit") -> "MemoryAudit":
+        merged = MemoryAudit(
+            max_magnitude=max(self.max_magnitude, other.max_magnitude),
+            max_width=max(self.max_width, other.max_width),
+            writes=self.writes + other.writes,
+        )
+        merged.per_target = dict(self.per_target)
+        for target, magnitude in other.per_target.items():
+            merged.per_target[target] = max(merged.per_target.get(target, -1), magnitude)
+        return merged

@@ -1,0 +1,114 @@
+"""Bounded two-writer register construction (after Bloom [Bl87]).
+
+The paper's arrow registers ``A_ij`` are 2-writer-2-reader atomic registers,
+for which it cites bounded constructions ([Bl87] among others).  This module
+implements such a construction from 1-writer multi-reader atomic registers
+using Bloom's tag-parity idea:
+
+- writer 0 (the *copier*) writes its value together with a copy of writer
+  1's current tag bit, making the two tags **equal**;
+- writer 1 (the *inverter*) writes its value together with the complement
+  of writer 0's current tag bit, making the two tags **differ**;
+
+so in any quiescent state the tag parity identifies the most recent writer
+(equal ⇒ writer 0, different ⇒ writer 1).
+
+A reader collects both cells, computes the indicated writer from the tag
+parity, and *re-reads the indicated cell*.  If the cell is unchanged (a
+per-writer toggle bit makes consecutive writes by the same writer
+distinguishable — the same device the paper adds to its ``V_i`` registers),
+the indicated value is returned; if it changed, the writer wrote
+concurrently with the read, and the freshly re-read value (which belongs to
+a concurrent write) is returned instead.  A single re-read suffices: the
+read is wait-free with exactly five base-register accesses.
+
+The construction is validated in the tests by the linearizability checker
+over (a) handcrafted adversarial schedules — including the classic stalled
+reader scenario that defeats the naive two-read protocol — and (b) thousands
+of randomized schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.registers.atomic import AtomicRegister
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+# Cell layout: (value, tag, toggle)
+_VALUE, _TAG, _TOGGLE = 0, 1, 2
+
+
+class TwoWriterRegister:
+    """A bounded 2-writer multi-reader register from SWMR atomic cells."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        writer0: int,
+        writer1: int,
+        initial: Any = None,
+        audit: MemoryAudit | None = None,
+    ):
+        if writer0 == writer1:
+            raise ValueError("the two writers must be distinct processes")
+        self.name = name
+        self.writer0 = writer0
+        self.writer1 = writer1
+        self.initial = initial
+        # Initial tags differ, so the initial value is attributed to writer 1.
+        self.cell0 = AtomicRegister(
+            sim, f"{name}.cell0", initial=(initial, 0, 0), writers=[writer0], audit=audit
+        )
+        self.cell1 = AtomicRegister(
+            sim, f"{name}.cell1", initial=(initial, 1, 0), writers=[writer1], audit=audit
+        )
+        self._toggle = {writer0: 0, writer1: 0}
+        sim.register_shared(name, self)
+
+    def peek(self) -> Any:
+        """Current abstract value (test/adversary access)."""
+        v0, t0, _ = self.cell0.peek()
+        v1, t1, _ = self.cell1.peek()
+        return v0 if t0 == t1 else v1
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Two base accesses: read the other writer's tag, write own cell."""
+        if ctx.pid == self.writer0:
+            own, other, invert = self.cell0, self.cell1, False
+        elif ctx.pid == self.writer1:
+            own, other, invert = self.cell1, self.cell0, True
+        else:
+            raise PermissionError(
+                f"process {ctx.pid} is not a writer of {self.name} "
+                f"(writers: {self.writer0}, {self.writer1})"
+            )
+        span = ctx.begin_span("write", self.name, value)
+        other_cell = yield from other.read(ctx)
+        tag = other_cell[_TAG] ^ 1 if invert else other_cell[_TAG]
+        self._toggle[ctx.pid] ^= 1
+        yield from own.write(ctx, (value, tag, self._toggle[ctx.pid]))
+        ctx.end_span(span)
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Five base accesses: collect both cells, re-read the indicated one."""
+        span = ctx.begin_span("read", self.name)
+        first0 = yield from self.cell0.read(ctx)
+        first1 = yield from self.cell1.read(ctx)
+        if first0[_TAG] == first1[_TAG]:
+            indicated_cell, first = self.cell0, first0
+        else:
+            indicated_cell, first = self.cell1, first1
+        again = yield from indicated_cell.read(ctx)
+        # Unchanged cell: the indicated value was current at the re-read.
+        # Changed cell: the indicated writer wrote during this read, and the
+        # re-read value belongs to one of those concurrent writes.
+        value = again[_VALUE]
+        ctx.end_span(span, value)
+        return value

@@ -1,0 +1,77 @@
+"""Unbounded-timestamp multi-writer register ([VA86]-style comparator).
+
+The classic construction of an n-writer n-reader atomic register from
+1-writer n-reader atomic registers: each writer owns a cell holding
+``(seq, pid, value)``; a write collects all cells, picks ``max seq + 1``,
+and writes its own cell; a read collects all cells and returns the value
+with the lexicographically largest ``(seq, pid)`` tag.
+
+Because the base cells are *multi-reader atomic*, a later read's collect
+dominates an earlier read's collect cell-by-cell, which rules out new/old
+inversion; the construction is linearizable (validated by the checker in
+the tests).  Its defining flaw — and the reason it appears here — is the
+unbounded ``seq`` field: this is precisely the kind of construct the paper
+eliminates.  The memory audit of experiment E6 shows ``seq`` growing
+linearly with the number of writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class UnboundedMultiWriterRegister:
+    """n-writer n-reader atomic register with unbounded timestamps."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        initial: Any = None,
+        audit: MemoryAudit | None = None,
+    ):
+        self.name = name
+        self.n = n
+        self.initial = initial
+        self.audit = audit or MemoryAudit()
+        # Cell i holds (seq, pid, value); owned by pid i.
+        self.cells = RegisterArray(
+            sim, f"{name}.cell", n, initial=(0, -1, initial), audit=self.audit
+        )
+        sim.register_shared(name, self)
+
+    def _collect(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
+        values = []
+        for i in range(self.n):
+            cell = yield from self.cells[i].read(ctx)
+            values.append(cell)
+        return values
+
+    def peek(self) -> Any:
+        """Current abstract value (test/adversary access)."""
+        return max(self.cells.peek_all())[2]
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Collect all tags, then write ``max seq + 1`` to own cell."""
+        span = ctx.begin_span("write", self.name, value)
+        cells = yield from self._collect(ctx)
+        seq = max(c[0] for c in cells) + 1
+        yield from self.cells[ctx.pid].write(ctx, (seq, ctx.pid, value))
+        ctx.end_span(span)
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        """Collect all cells; return the value with the largest tag."""
+        span = ctx.begin_span("read", self.name)
+        cells = yield from self._collect(ctx)
+        value = max(cells)[2]
+        ctx.end_span(span, value)
+        return value

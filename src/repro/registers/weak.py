@@ -1,0 +1,213 @@
+"""Sub-atomic registers: safe and regular (Lamport [L86b]), and the
+classic strengthening constructions.
+
+The paper's register substrate is atomic, citing a decade of constructions
+from weaker primitives ([L86b], [IL87], [BP87], [N87], [SAG87], [VA86],
+[Bl87]).  This module models the two weaker register classes and two of the
+classic strengthening steps, closing the chain safe → regular → atomic that
+the atomic cells of :mod:`repro.registers.atomic` stand on:
+
+- a **safe** register guarantees only that a read *not* overlapping any
+  write returns the latest written value; an overlapping read may return
+  *anything* in the domain;
+- a **regular** register narrows that: an overlapping read returns either
+  the old value or the value of some overlapping write — but consecutive
+  reads may still exhibit new/old inversion (so regular is not atomic);
+- :class:`RegularBitFromSafe` — Lamport's observation: a *bit* writer that
+  skips the physical write when the value is unchanged makes a safe bit
+  regular (garbage can only be returned while the value actually changes,
+  and garbage from a binary domain is then old-or-new by definition);
+- :class:`AtomicFromRegular` — a single-writer register: the writer
+  attaches an unbounded sequence number; each reader returns the
+  highest-sequence value it has ever seen, which forbids new/old inversion
+  and yields atomicity (the unboundedness here is exactly the kind of
+  thing the paper's program eliminates at the next level up — the bounded
+  alternative is the handshake machinery of §2).
+
+Non-atomicity is modelled honestly inside the interleaving simulator: a
+weak write occupies *two* scheduling points (start, commit), and a read
+that lands between them gets a weakly-specified result computed as a
+deterministic function of the global step count — so the scheduler (and
+hence the exhaustive explorer of :mod:`repro.verify`) fully controls the
+nondeterminism, exactly like a real adversary choosing flicker values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence, TYPE_CHECKING
+
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class SafeRegister:
+    """Single-writer safe register over a finite domain.
+
+    A write takes two atomic steps (start, commit); a read overlapping the
+    window returns an adversarially chosen domain value.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        domain: Sequence[Any],
+        initial: Any,
+        writer: int,
+    ):
+        if initial not in domain:
+            raise ValueError("initial value must be in the domain")
+        self.sim = sim
+        self.name = name
+        self.domain = domain
+        self.writer = writer
+        self._value = initial
+        self._writing: Any = None  # in-flight value, None when quiescent
+        sim.register_shared(name, self)
+
+    def peek(self) -> Any:
+        return self._value
+
+    def _overlapping_read_value(self) -> Any:
+        """Safe semantics: anything from the domain (scheduler-chosen)."""
+        return self.domain[self.sim.step_count % len(self.domain)]
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        if ctx.pid != self.writer:
+            raise PermissionError(f"{self.name}: pid {ctx.pid} is not the writer")
+        if value not in self.domain:
+            raise ValueError(f"{self.name}: {value!r} outside domain")
+        span = ctx.begin_span("write", self.name, value)
+        yield OpIntent(ctx.pid, "write-start", self.name, value)
+        self._writing = value
+        ctx.record("write-start", self.name, value)
+        yield OpIntent(ctx.pid, "write-commit", self.name, value)
+        self._value = value
+        self._writing = None
+        ctx.record("write-commit", self.name, value)
+        ctx.end_span(span)
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        span = ctx.begin_span("read", self.name)
+        yield OpIntent(ctx.pid, "read", self.name)
+        if self._writing is not None:
+            value = self._overlapping_read_value()
+        else:
+            value = self._value
+        ctx.record("read", self.name, value)
+        ctx.end_span(span, value)
+        return value
+
+
+class RegularRegister(SafeRegister):
+    """Single-writer regular register: overlapping reads see old or new."""
+
+    def _overlapping_read_value(self) -> Any:
+        return self._value if self.sim.step_count % 2 == 0 else self._writing
+
+
+class RegularBitFromSafe:
+    """Lamport's regular bit from a safe bit: skip writes of equal value.
+
+    The physical safe bit is only written when the logical value changes,
+    so a read can return garbage only while the bit genuinely flips — and
+    binary garbage is then necessarily the old or the new value: regular.
+    """
+
+    def __init__(self, sim: "Simulation", name: str, initial: int, writer: int):
+        self.name = name
+        self.writer = writer
+        self._physical = SafeRegister(
+            sim, f"{name}.safe", domain=[0, 1], initial=initial, writer=writer
+        )
+        self._last_written = initial  # writer-local knowledge
+        sim.register_shared(name, self)
+
+    def peek(self) -> int:
+        return self._physical.peek()
+
+    def write(self, ctx: ProcessContext, value: int) -> Generator[OpIntent, None, None]:
+        if value not in (0, 1):
+            raise ValueError("bit registers hold 0 or 1")
+        span = ctx.begin_span("write", self.name, value)
+        if value != self._last_written:
+            yield from self._physical.write(ctx, value)
+            self._last_written = value
+        else:
+            # A skipped write still takes one step (reading one's own
+            # state is free, but the operation must be schedulable).
+            yield OpIntent(ctx.pid, "write-skip", self.name, value)
+            ctx.record("write-skip", self.name, value)
+        ctx.end_span(span)
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, int]:
+        span = ctx.begin_span("read", self.name)
+        value = yield from self._physical.read(ctx)
+        ctx.end_span(span, value)
+        return value
+
+
+class AtomicFromRegular:
+    """1-writer-1-reader atomic register from a regular one (Lamport).
+
+    The writer writes ``(seq, value)`` pairs with an unbounded sequence
+    number; the reader keeps the highest pair it has returned and never
+    regresses.  Overlapping reads return old-or-new (regularity), and the
+    monotonicity filter kills new/old inversion — together, atomicity.
+
+    The filter is *reader-local*, so this is a **SWSR** construction: two
+    different readers can still invert relative to each other (one returns
+    the in-flight value, the other the old one) — the classic reason
+    multi-reader atomicity needs readers that write (see [N87], [SAG87],
+    [BP87]) or directly atomic cells, as used elsewhere in this library.
+    The test-suite demonstrates the multi-reader inversion explicitly.
+    """
+
+    def __init__(self, sim: "Simulation", name: str, initial: Any, writer: int):
+        self.name = name
+        self.writer = writer
+        pairs_domain = _TimestampDomain()
+        self._physical = RegularRegister(
+            sim, f"{name}.regular", domain=pairs_domain, initial=(0, initial),
+            writer=writer,
+        )
+        self._seq = 0  # writer-local
+        sim.register_shared(name, self)
+
+    def peek(self) -> Any:
+        return self._physical.peek()[1]
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        span = ctx.begin_span("write", self.name, value)
+        self._seq += 1
+        yield from self._physical.write(ctx, (self._seq, value))
+        ctx.end_span(span)
+
+    def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
+        span = ctx.begin_span("read", self.name)
+        pair = yield from self._physical.read(ctx)
+        key = f"atomic-from-regular:{self.name}"
+        best = ctx.local.get(key)
+        if best is None or pair[0] > best[0]:
+            ctx.local[key] = pair
+            best = pair
+        ctx.end_span(span, best[1])
+        return best[1]
+
+
+class _TimestampDomain:
+    """An 'infinite domain' stand-in: membership always true.
+
+    Regular registers constrain overlapping reads to {old, new}, which the
+    implementation draws explicitly, so the domain object is only used for
+    membership checks on writes.
+    """
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, tuple) and len(item) == 2
+
+    def __iter__(self):  # pragma: no cover - safety net for choice()
+        raise TypeError("timestamp domain is not enumerable")

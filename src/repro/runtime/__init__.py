@@ -1,0 +1,63 @@
+"""Asynchronous shared-memory simulation runtime.
+
+The paper's model (following Lamport's global-time model, [L86a], [B88]) is a
+set of ``n`` completely asynchronous processes whose *atomic* operations on
+shared memory interleave arbitrarily.  This package provides that model as a
+deterministic, seed-replayable simulator:
+
+- a *process* is a Python generator; every ``yield`` marks exactly one atomic
+  shared-memory operation (see :mod:`repro.runtime.process`);
+- a *scheduler* (possibly a strong adaptive adversary with full knowledge of
+  memory and pending operations) picks which process performs the next atomic
+  step (see :mod:`repro.runtime.scheduler`, :mod:`repro.runtime.adversary`);
+- the :class:`~repro.runtime.simulation.Simulation` driver advances one step
+  at a time, records a :class:`~repro.runtime.trace.Trace` of operation
+  events, and collects per-process decisions.
+
+Because every correctness and complexity claim in the paper is a statement
+about interleavings of atomic register operations, this interleaving
+simulator reproduces the paper's execution model exactly; true hardware
+parallelism is not required.
+"""
+
+from repro.runtime.events import OpEvent, OpIntent, OpSpan
+from repro.runtime.process import ProcessContext, ProcessState
+from repro.runtime.rng import derive_rng, derive_seed
+from repro.runtime.scheduler import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+)
+from repro.runtime.adversary import (
+    Adversary,
+    ScanStarvingAdversary,
+    SplitAdversary,
+    WalkBalancingAdversary,
+)
+from repro.runtime.simulation import Simulation, SimulationOutcome, StepBudgetExceeded
+from repro.runtime.trace import Trace
+
+__all__ = [
+    "Adversary",
+    "CrashPlan",
+    "OpEvent",
+    "OpIntent",
+    "OpSpan",
+    "ProcessContext",
+    "ProcessState",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScanStarvingAdversary",
+    "Scheduler",
+    "ScriptedScheduler",
+    "Simulation",
+    "SimulationOutcome",
+    "SplitAdversary",
+    "StepBudgetExceeded",
+    "Trace",
+    "WalkBalancingAdversary",
+    "derive_rng",
+    "derive_seed",
+]

@@ -1,0 +1,151 @@
+"""Processes as generators.
+
+A *process program* is a callable ``program(ctx) -> Generator`` where ``ctx``
+is the :class:`ProcessContext` handed to it by the simulation.  The generator
+must yield an :class:`~repro.runtime.events.OpIntent` before every atomic
+shared-memory operation; the operation takes effect when the scheduler next
+resumes the process.  Shared objects built on the runtime (registers,
+scannable memory) expose their operations as sub-generators, so process code
+composes them with ``yield from``::
+
+    def program(ctx):
+        value = yield from reg.read(ctx)
+        yield from reg.write(ctx, value + 1)
+        return value  # the process's decision
+
+Everything a process does between two yields happens atomically with the
+single shared-memory access performed at the resume point — exactly the
+interleaving granularity of the paper's model, where local computation is
+free and only shared accesses are scheduled.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, TYPE_CHECKING
+
+from repro.runtime.events import OpIntent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.runtime.simulation import Simulation
+
+ProcessProgram = Callable[["ProcessContext"], Generator[OpIntent, None, Any]]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    RUNNABLE = "runnable"
+    FINISHED = "finished"
+    CRASHED = "crashed"
+    FAILED = "failed"  # raised an exception (a bug, surfaced by the driver)
+
+
+@dataclass
+class ProcessContext:
+    """Per-process handle given to process programs.
+
+    Attributes:
+        pid: this process's identifier, ``0 <= pid < n``.
+        n: total number of processes in the simulation.
+        rng: this process's private random stream (local coin flips).
+        simulation: back-reference used by shared objects to record events.
+    """
+
+    pid: int
+    n: int
+    rng: random.Random
+    simulation: "Simulation"
+    local: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, kind: str, target: str, value: Any = None) -> None:
+        """Record that this process just performed an atomic operation."""
+        self.simulation.record_event(self.pid, kind, target, value)
+
+    def begin_span(self, kind: str, target: str, argument: Any = None):
+        """Open a high-level operation span (e.g. a scan) in the trace.
+
+        The span's invocation instant is stamped lazily, at the span's
+        first atomic operation: a process that has *queued* an operation
+        but not yet executed any step of it has not invoked it in the
+        global-time model.
+        """
+        span = self.simulation.trace.begin_span(
+            self.pid, kind, target, argument, None
+        )
+        self.simulation.pending_invokes.setdefault(self.pid, []).append(span)
+        return span
+
+    def end_span(self, span, result: Any = None) -> None:
+        """Close a high-level operation span with its result."""
+        self.simulation.trace.end_span(span, self.simulation.next_tick(), result)
+
+
+class Process:
+    """Wrapper around a process program's generator.
+
+    The wrapper tracks the pending :class:`OpIntent` (the last yielded
+    value), the lifecycle state, step counts, and the final decision returned
+    by the program.
+    """
+
+    def __init__(self, pid: int, ctx: ProcessContext, program: ProcessProgram):
+        self.pid = pid
+        self.ctx = ctx
+        self.state = ProcessState.RUNNABLE
+        self.decision: Any = None
+        self.steps_taken = 0
+        self.pending: OpIntent | None = None
+        self.failure: BaseException | None = None
+        self._generator = program(ctx)
+        self._prime()
+
+    def _prime(self) -> None:
+        """Run the program up to its first yield (local initialisation).
+
+        A program that raises before its first yield is a wiring bug; the
+        exception propagates out of ``spawn`` so it is never silent.
+        """
+        try:
+            self.pending = next(self._generator)
+        except StopIteration as stop:
+            self._finish(stop.value)
+        except Exception:
+            self.state = ProcessState.FAILED
+            self.pending = None
+            raise
+
+    def _finish(self, decision: Any) -> None:
+        self.state = ProcessState.FINISHED
+        self.decision = decision
+        self.pending = None
+
+    def _fail(self, exc: BaseException) -> None:
+        self.state = ProcessState.FAILED
+        self.failure = exc
+        self.pending = None
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ProcessState.RUNNABLE
+
+    def crash(self) -> None:
+        """Stop this process forever (it takes no further steps)."""
+        if self.state is ProcessState.RUNNABLE:
+            self.state = ProcessState.CRASHED
+            self._generator.close()
+            self.pending = None
+
+    def advance(self) -> None:
+        """Perform the pending atomic operation and run to the next yield."""
+        if not self.runnable:
+            raise RuntimeError(f"process {self.pid} is {self.state.value}, cannot step")
+        self.steps_taken += 1
+        try:
+            self.pending = self._generator.send(None)
+        except StopIteration as stop:
+            self._finish(stop.value)
+        except Exception as exc:
+            self._fail(exc)

@@ -1,0 +1,137 @@
+"""Schedulers.
+
+A scheduler decides, at every global step, which runnable process performs
+its pending atomic operation.  The paper's adversary is *strong* and
+*adaptive*: it sees all of shared memory, all local states, and all pending
+operations.  The simulator exposes exactly that information (through the
+:class:`~repro.runtime.simulation.Simulation` object) to schedulers, so a
+scheduler subclass can implement any adversary the model allows.
+
+Wait-freedom is modelled by :class:`CrashPlan`: the adversary may stop up to
+``n - 1`` processes forever, and the surviving processes must still decide.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.runtime.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+class Scheduler(abc.ABC):
+    """Chooses the next process to take an atomic step."""
+
+    @abc.abstractmethod
+    def choose(self, sim: "Simulation", runnable: list[int]) -> int:
+        """Return the pid (from ``runnable``, never empty) to schedule next."""
+
+    def reset(self) -> None:
+        """Forget any per-run state (called when a simulation starts)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Fair scheduler: cycles through runnable processes in pid order.
+
+    This is the *weakest* adversary; it is useful as a sanity baseline and
+    for measuring best-case behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def reset(self) -> None:
+        self._last = -1
+
+    def choose(self, sim: "Simulation", runnable: list[int]) -> int:
+        for pid in runnable:
+            if pid > self._last:
+                self._last = pid
+                return pid
+        self._last = runnable[0]
+        return runnable[0]
+
+
+class RandomScheduler(Scheduler):
+    """Oblivious adversary: schedules a uniformly random runnable process.
+
+    Optionally biased: ``weights[pid]`` multiplies a process's chance of
+    being scheduled, which is a cheap way to model heterogeneous speeds.
+    """
+
+    def __init__(self, seed: int = 0, weights: dict[int, float] | None = None):
+        self.seed = seed
+        self.weights = dict(weights) if weights else None
+        self._rng = derive_rng(seed, "random-scheduler")
+
+    def reset(self) -> None:
+        self._rng = derive_rng(self.seed, "random-scheduler")
+
+    def choose(self, sim: "Simulation", runnable: list[int]) -> int:
+        if self.weights is None:
+            return self._rng.choice(runnable)
+        weights = [self.weights.get(pid, 1.0) for pid in runnable]
+        return self._rng.choices(runnable, weights=weights, k=1)[0]
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays a fixed pid sequence; falls back to round-robin after.
+
+    Scripted schedules are how tests reproduce the handcrafted adversarial
+    interleavings from the literature (e.g. the stalled-reader scenario that
+    defeats naive two-writer register readers).  Script entries naming
+    non-runnable processes are skipped.
+    """
+
+    def __init__(self, script: list[int]):
+        self.script = list(script)
+        self._pos = 0
+        self._fallback = RoundRobinScheduler()
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._fallback.reset()
+
+    def choose(self, sim: "Simulation", runnable: list[int]) -> int:
+        while self._pos < len(self.script):
+            pid = self.script[self._pos]
+            self._pos += 1
+            if pid in runnable:
+                return pid
+        return self._fallback.choose(sim, runnable)
+
+
+@dataclass
+class CrashPlan:
+    """A schedule of permanent process failures.
+
+    ``crash_at[pid] = step`` crashes ``pid`` just before global step ``step``
+    (so a step value of 0 means the process never takes a step at all).
+    Wait-free algorithms must cope with any plan that leaves at least one
+    process alive.
+    """
+
+    crash_at: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        rng: random.Random,
+        max_crashes: int | None = None,
+        horizon: int = 2000,
+    ) -> "CrashPlan":
+        """A random plan crashing up to ``n - 1`` processes within ``horizon``."""
+        limit = n - 1 if max_crashes is None else min(max_crashes, n - 1)
+        count = rng.randint(0, limit)
+        victims = rng.sample(range(n), count)
+        return cls({pid: rng.randint(0, horizon) for pid in victims})
+
+    def due(self, step: int) -> list[int]:
+        """Pids whose crash step has arrived at global step ``step``."""
+        return [pid for pid, at in self.crash_at.items() if at <= step]

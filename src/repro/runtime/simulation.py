@@ -1,0 +1,185 @@
+"""The simulation driver.
+
+A :class:`Simulation` owns ``n`` processes, a scheduler, an optional crash
+plan and a trace.  Each call to :meth:`Simulation.step` lets the scheduler
+pick one runnable process, which then performs exactly one atomic
+shared-memory operation (plus any amount of local computation).  The run
+ends when every process has finished or crashed, or when the step budget is
+exhausted.
+
+The simulation also keeps a registry of the shared objects created for it
+(:meth:`register_shared`); adversaries use the registry to inspect memory,
+and the memory-boundedness audit (experiment E6) uses it to measure the
+largest value any register ever held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.events import OpEvent
+from repro.runtime.process import Process, ProcessContext, ProcessProgram, ProcessState
+from repro.runtime.rng import derive_rng
+from repro.runtime.scheduler import CrashPlan, RandomScheduler, Scheduler
+from repro.runtime.trace import Trace
+
+
+class StepBudgetExceeded(Exception):
+    """Raised when a run does not terminate within its step budget."""
+
+
+@dataclass
+class SimulationOutcome:
+    """Result of :meth:`Simulation.run`."""
+
+    decisions: dict[int, Any]
+    total_steps: int
+    steps_by_pid: dict[int, int]
+    finished: bool
+    crashed: set[int] = field(default_factory=set)
+
+    def decided_pids(self) -> list[int]:
+        return sorted(self.decisions)
+
+
+class Simulation:
+    """Driver for one asynchronous shared-memory execution."""
+
+    def __init__(
+        self,
+        n: int,
+        scheduler: Scheduler | None = None,
+        seed: int = 0,
+        crash_plan: CrashPlan | None = None,
+        record_events: bool = False,
+        record_spans: bool = True,
+    ):
+        if n < 1:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.seed = seed
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
+        self.scheduler.reset()
+        self.crash_plan = crash_plan or CrashPlan()
+        self.trace = Trace(record_events=record_events, record_spans=record_spans)
+        self.step_count = 0
+        self._clock = 0
+        self.processes: dict[int, Process] = {}
+        self.shared: dict[str, Any] = {}
+        # Spans opened but not yet stamped with an invocation instant;
+        # stamped at the owning process's next atomic operation.
+        self.pending_invokes: dict[int, list] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def context(self, pid: int) -> ProcessContext:
+        """Create the :class:`ProcessContext` for process ``pid``."""
+        return ProcessContext(
+            pid=pid, n=self.n, rng=derive_rng(self.seed, "process", pid), simulation=self
+        )
+
+    def spawn(self, pid: int, program: ProcessProgram) -> None:
+        """Create process ``pid`` running ``program`` (runs its local init)."""
+        if pid in self.processes:
+            raise ValueError(f"process {pid} already spawned")
+        if not 0 <= pid < self.n:
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        self.processes[pid] = Process(pid, self.context(pid), program)
+
+    def spawn_all(self, program_factory: Callable[[int], ProcessProgram]) -> None:
+        """Spawn processes ``0..n-1`` with per-pid programs."""
+        for pid in range(self.n):
+            self.spawn(pid, program_factory(pid))
+
+    def register_shared(self, name: str, obj: Any) -> Any:
+        """Register a shared object for adversary inspection / memory audit."""
+        self.shared[name] = obj
+        return obj
+
+    # -- clocks and recording ----------------------------------------------
+
+    def next_tick(self) -> int:
+        """Monotone logical clock; each consultation is a distinct instant."""
+        self._clock += 1
+        return self._clock
+
+    def record_event(self, pid: int, kind: str, target: str, value: Any) -> None:
+        pending = self.pending_invokes.get(pid)
+        if pending:
+            # This atomic operation is the first step of every span the
+            # process opened since its last operation: stamp them now,
+            # just before the operation's own instant.
+            for span in pending:
+                span.invoke_step = self.next_tick()
+            pending.clear()
+        self.trace.add_event(OpEvent(self.next_tick(), pid, kind, target, value))
+
+    # -- execution ----------------------------------------------------------
+
+    def runnable_pids(self) -> list[int]:
+        return [pid for pid, p in sorted(self.processes.items()) if p.runnable]
+
+    def crash(self, pid: int) -> None:
+        self.processes[pid].crash()
+
+    def _apply_crash_plan(self) -> None:
+        for pid in self.crash_plan.due(self.step_count):
+            if self.processes[pid].runnable:
+                self.processes[pid].crash()
+
+    def step(self) -> int | None:
+        """Advance one process by one atomic step; return its pid.
+
+        Returns ``None`` when no process is runnable.  Raises the failing
+        process's exception if its program raised (a protocol bug should
+        never be silent).
+        """
+        self._apply_crash_plan()
+        runnable = self.runnable_pids()
+        if not runnable:
+            return None
+        pid = self.scheduler.choose(self, runnable)
+        if pid not in self.processes or not self.processes[pid].runnable:
+            raise RuntimeError(f"scheduler chose non-runnable pid {pid}")
+        process = self.processes[pid]
+        process.advance()
+        self.step_count += 1
+        if process.state is ProcessState.FAILED:
+            raise process.failure  # type: ignore[misc]
+        return pid
+
+    def run(
+        self, max_steps: int = 1_000_000, raise_on_budget: bool = True
+    ) -> SimulationOutcome:
+        """Run until all processes finish/crash, or the budget runs out."""
+        while self.step_count < max_steps:
+            if self.step() is None:
+                break
+        else:
+            if self.runnable_pids() and raise_on_budget:
+                raise StepBudgetExceeded(
+                    f"{self.step_count} steps taken, runnable={self.runnable_pids()}"
+                )
+        return self.outcome()
+
+    def outcome(self) -> SimulationOutcome:
+        decisions = {
+            pid: p.decision
+            for pid, p in self.processes.items()
+            if p.state is ProcessState.FINISHED
+        }
+        crashed = {
+            pid for pid, p in self.processes.items() if p.state is ProcessState.CRASHED
+        }
+        finished = all(
+            p.state in (ProcessState.FINISHED, ProcessState.CRASHED)
+            for p in self.processes.values()
+        )
+        return SimulationOutcome(
+            decisions=decisions,
+            total_steps=self.step_count,
+            steps_by_pid={pid: p.steps_taken for pid, p in self.processes.items()},
+            finished=finished,
+            crashed=crashed,
+        )

@@ -1,0 +1,89 @@
+"""Operation traces.
+
+A :class:`Trace` records two parallel histories of a simulation:
+
+- the sequence of atomic :class:`~repro.runtime.events.OpEvent`\\ s — the
+  global-time interleaving itself; and
+- the set of high-level :class:`~repro.runtime.events.OpSpan`\\ s — scan /
+  write executions of the scannable memory, read / write executions of
+  constructed registers — each bracketing the steps of its constituent
+  atomic operations.
+
+The property checkers (snapshot P1–P3, linearizability of register
+constructions) consume spans; debugging tools consume events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.runtime.events import OpEvent, OpSpan
+
+
+class Trace:
+    """Recorded history of one simulation run."""
+
+    def __init__(self, record_events: bool = True, record_spans: bool = True):
+        self.record_events = record_events
+        self.record_spans = record_spans
+        self.events: list[OpEvent] = []
+        self.spans: list[OpSpan] = []
+        self._next_span_id = 0
+
+    # -- atomic events ----------------------------------------------------
+
+    def add_event(self, event: OpEvent) -> None:
+        if self.record_events:
+            self.events.append(event)
+
+    # -- high-level spans --------------------------------------------------
+
+    def begin_span(
+        self, pid: int, kind: str, target: str, argument: Any, step: int | None
+    ) -> OpSpan:
+        span = OpSpan(
+            span_id=self._next_span_id,
+            pid=pid,
+            kind=kind,
+            target=target,
+            invoke_step=step,
+            argument=argument,
+        )
+        self._next_span_id += 1
+        if self.record_spans:
+            self.spans.append(span)
+        return span
+
+    def end_span(self, span: OpSpan, step: int, result: Any) -> None:
+        if span.invoke_step is None:
+            # The span performed no atomic operation (e.g. a cached
+            # result): it occupies a single instant.
+            span.invoke_step = step
+        span.response_step = step
+        span.result = result
+
+    # -- queries -----------------------------------------------------------
+
+    def spans_of_kind(self, kind: str, target: str | None = None) -> list[OpSpan]:
+        """All completed spans of a given kind (optionally one object)."""
+        return [
+            s
+            for s in self.spans
+            if s.kind == kind
+            and not s.is_open
+            and (target is None or s.target == target)
+        ]
+
+    def spans_by_pid(self, pid: int) -> list[OpSpan]:
+        return [s for s in self.spans if s.pid == pid]
+
+    def events_by_pid(self, pid: int) -> list[OpEvent]:
+        return [e for e in self.events if e.pid == pid]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable dump of the first ``limit`` atomic events."""
+        selected: Iterable[OpEvent] = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in selected)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,193 @@
+"""The paper's bounded scannable memory (§2.2).
+
+Layout (for n processes):
+
+- ``V[i]`` — a 1-writer-n-reader atomic register holding process ``i``'s
+  value together with an *alternating bit* (so two consecutive writes by the
+  same process always differ — the simplification the paper adopts) and a
+  ghost write sequence number used only by the trace checkers;
+- ``A[i][j]`` (``i ≠ j``) — a 2-writer "arrow" register between scanner
+  ``i`` and writer ``j``:  scanner ``i`` writes 0 ("arrow towards others"),
+  writer ``j`` writes 1 ("I started a write").
+
+``write(v)`` by process ``j``  (paper's ``write`` procedure)::
+
+    for i ≠ j: A[i][j] := 1      # notify all potential scanners
+    V[j] := v                     # then publish the value
+
+``scan`` by process ``i``  (paper's ``scan`` function)::
+
+    L: for j ≠ i: A[i][j] := 0    # re-arm the handshakes
+       collect V twice
+       collect A[i][*]
+       if any arrow is 1, or the two collects differ: goto L
+       return the second collect
+
+If the termination condition holds, no write whose value the scan returns
+could have completed entirely before another returned write began — any such
+writer would have turned an arrow and forced another round.  That yields the
+snapshot property P2 (and P1/P3; see ``repro.snapshot.properties``).
+
+The scan is not wait-free: an adversary that keeps scheduling fresh writes
+can starve it (see ``ScanStarvingAdversary`` and experiment E7).  It is
+*non-blocking* in the sense the paper needs: a scan only retries because
+some new write completed, so in the consensus protocol — where every process
+alternates scan and write — system-wide progress is guaranteed.
+
+The arrow registers can optionally be built from the bounded two-writer
+construction of :mod:`repro.registers.bloom` (``arrow_kind="bloom"``),
+demonstrating boundedness all the way down to SWMR atomic cells
+(ablation experiment E12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.registers.atomic import AtomicRegister, RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.registers.bloom import TwoWriterRegister
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+from repro.snapshot.interface import ScannableMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+# V cell layout: (value, toggle, ghost_wseq)
+_VALUE, _TOGGLE, _WSEQ = 0, 1, 2
+
+
+class ScanRetriesExceeded(Exception):
+    """A scan exceeded its configured retry limit (starvation guard)."""
+
+
+class ArrowScannableMemory(ScannableMemory):
+    """Bounded scannable memory from atomic registers + handshake arrows.
+
+    Args:
+        sim: owning simulation.
+        name: object name (registers are named ``name.V[...]``, etc.).
+        n: number of processes / slots.
+        initial: initial value of every slot.
+        arrow_kind: ``"atomic"`` (directly simulated 2-writer cells) or
+            ``"bloom"`` (bounded construction from SWMR cells).
+        audit: optional memory audit (ghost fields are excluded from it).
+        max_rounds: optional scan retry limit (raises
+            :class:`ScanRetriesExceeded`); ``None`` means retry forever.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        initial: Any = None,
+        arrow_kind: str = "atomic",
+        audit: MemoryAudit | None = None,
+        max_rounds: int | None = None,
+        ghost: bool = True,
+    ):
+        self.name = name
+        self.n = n
+        self.initial = initial
+        self.audit = audit
+        self.max_rounds = max_rounds
+        self.ghost = ghost
+        self._attempts = 0
+        self._toggle = [0] * n
+        self._wseq = [0] * n
+        self._last_written = [initial] * n
+        self.V = RegisterArray(sim, f"{name}.V", n, initial=(initial, 0, 0))
+        self.A: list[list[Any]] = [[None] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                arrow_name = f"{name}.A[{i},{j}]"
+                if arrow_kind == "atomic":
+                    self.A[i][j] = AtomicRegister(
+                        sim, arrow_name, initial=0, writers=[i, j], audit=audit
+                    )
+                elif arrow_kind == "bloom":
+                    self.A[i][j] = TwoWriterRegister(
+                        sim, arrow_name, writer0=i, writer1=j, initial=0, audit=audit
+                    )
+                else:
+                    raise ValueError(f"unknown arrow_kind: {arrow_kind!r}")
+        sim.register_shared(name, self)
+
+    # -- operations ----------------------------------------------------------
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Set all arrows towards potential scanners, then publish the value."""
+        i = ctx.pid
+        span = ctx.begin_span("write", self.name, value)
+        for j in range(self.n):
+            if j != i:
+                yield from self.A[j][i].write(ctx, 1)
+        self._toggle[i] ^= 1
+        self._wseq[i] += 1
+        span.meta["wseq"] = self._wseq[i]
+        cell = (value, self._toggle[i], self._wseq[i] if self.ghost else 0)
+        if self.audit is not None:
+            # Audit the algorithmic fields only; the ghost wseq is
+            # verification instrumentation, not protocol memory.
+            self.audit.observe(f"{self.name}.V[{i}]", (value, self._toggle[i]))
+        yield from self.V[i].write(ctx, cell)
+        self._last_written[i] = value
+        ctx.end_span(span)
+
+    def scan(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
+        """Double-collect with handshake arrows; retries until clean."""
+        i = ctx.pid
+        span = ctx.begin_span("scan", self.name)
+        others = [j for j in range(self.n) if j != i]
+        rounds = 0
+        while True:
+            rounds += 1
+            self._attempts += 1
+            if self.max_rounds is not None and rounds > self.max_rounds:
+                raise ScanRetriesExceeded(
+                    f"scan by {i} on {self.name} exceeded {self.max_rounds} rounds"
+                )
+            for j in others:
+                yield from self.A[i][j].write(ctx, 0)
+            first = {}
+            for j in others:
+                first[j] = yield from self.V[j].read(ctx)
+            second = {}
+            for j in others:
+                second[j] = yield from self.V[j].read(ctx)
+            arrows = {}
+            for j in others:
+                arrows[j] = yield from self.A[i][j].read(ctx)
+            clean = all(
+                arrows[j] == 0
+                and first[j][_VALUE] == second[j][_VALUE]
+                and first[j][_TOGGLE] == second[j][_TOGGLE]
+                for j in others
+            )
+            if clean:
+                break
+        view = []
+        wseqs = []
+        for j in range(self.n):
+            if j == i:
+                view.append(self._last_written[i])
+                wseqs.append(self._wseq[i] if self.ghost else 0)
+            else:
+                view.append(second[j][_VALUE])
+                wseqs.append(second[j][_WSEQ])
+        span.meta["wseqs"] = tuple(wseqs)
+        span.meta["rounds"] = rounds
+        ctx.end_span(span, tuple(view))
+        return view
+
+    # -- inspection ------------------------------------------------------------
+
+    def peek_view(self) -> list:
+        return [cell[_VALUE] for cell in self.V.peek_all()]
+
+    def scan_attempts(self) -> int:
+        return self._attempts

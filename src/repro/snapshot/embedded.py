@@ -1,0 +1,138 @@
+"""Wait-free snapshot via embedded scans (Afek et al. 1990 style).
+
+The paper's arrow scan (§2.2) is deliberately *not* wait-free: an adversary
+scheduling fresh writes forever starves it (which the consensus protocol
+tolerates, since someone's write completing is progress enough).  A year
+after the paper, Afek, Attiya, Dolev, Gafni, Merritt and Shavit showed how
+to make single-writer snapshots wait-free by **helping**: every write first
+performs a scan of its own and publishes the result alongside its value.
+
+A scanner collects repeatedly; if two consecutive collects are identical it
+has a direct snapshot; otherwise some process moved — and a process
+observed to move *twice* during the scan performed its embedded scan
+entirely within the scanner's interval, so its published view can be
+**borrowed** as the result.  At most n+1 collects are ever needed: each
+retry adds a mover, and the (n+1)-st repeats one.
+
+This implementation uses unbounded sequence numbers (like the original);
+it exists as the wait-free comparator for §2's construction — strictly
+stronger liveness, bought with O(n) values per register and the unbounded
+counter the reproduced paper's program would next want to remove.  It also
+plugs into the consensus protocol (``snapshot_kind="embedded"``) for the
+E12 substrate ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+from repro.snapshot.interface import ScannableMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class _Cell:
+    value: Any
+    seq: int
+    view: tuple  # the writer's embedded snapshot
+    view_wseqs: tuple  # ghost ids of the embedded snapshot's writes
+
+
+class EmbeddedScanSnapshot(ScannableMemory):
+    """Wait-free single-writer snapshot with write-embedded scans."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        initial: Any = None,
+        audit: MemoryAudit | None = None,
+    ):
+        self.name = name
+        self.n = n
+        self.initial = initial
+        self._attempts = 0
+        initial_cell = _Cell(
+            value=initial,
+            seq=0,
+            view=(initial,) * n,
+            view_wseqs=(0,) * n,
+        )
+        self.cells = RegisterArray(sim, f"{name}.V", n, initial=initial_cell,
+                                   audit=audit)
+        sim.register_shared(name, self)
+
+    # -- internals -------------------------------------------------------------
+
+    def _collect(self, ctx: ProcessContext) -> Generator[OpIntent, None, list[_Cell]]:
+        collected = []
+        for j in range(self.n):
+            cell = yield from self.cells[j].read(ctx)
+            collected.append(cell)
+        return collected
+
+    def _scan_internal(
+        self, ctx: ProcessContext
+    ) -> Generator[OpIntent, None, tuple[tuple, tuple, int]]:
+        """Return (view, ghost wseqs, collect rounds)."""
+        moved: set[int] = set()
+        rounds = 1
+        self._attempts += 1
+        old = yield from self._collect(ctx)
+        while True:
+            rounds += 1
+            self._attempts += 1
+            new = yield from self._collect(ctx)
+            movers = [j for j in range(self.n) if new[j].seq != old[j].seq]
+            if not movers:
+                view = tuple(cell.value for cell in new)
+                wseqs = tuple(cell.seq for cell in new)
+                return view, wseqs, rounds
+            for j in movers:
+                if j in moved:
+                    # j completed a whole write inside this scan: its
+                    # embedded view is a snapshot within our interval.
+                    return new[j].view, new[j].view_wseqs, rounds
+                moved.add(j)
+            old = new
+
+    # -- operations --------------------------------------------------------------
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Scan (helping), then publish value + snapshot in one write."""
+        i = ctx.pid
+        span = ctx.begin_span("write", self.name, value)
+        view, wseqs, _ = yield from self._scan_internal(ctx)
+        current: _Cell = self.cells[i].peek()  # own register: local knowledge
+        cell = _Cell(value=value, seq=current.seq + 1, view=view, view_wseqs=wseqs)
+        span.meta["wseq"] = cell.seq
+        yield from self.cells[i].write(ctx, cell)
+        ctx.end_span(span)
+
+    def scan(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
+        span = ctx.begin_span("scan", self.name)
+        view, wseqs, rounds = yield from self._scan_internal(ctx)
+        span.meta["wseqs"] = wseqs
+        span.meta["rounds"] = rounds
+        ctx.end_span(span, view)
+        return list(view)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def peek_view(self) -> list:
+        return [cell.value for cell in self.cells.peek_all()]
+
+    def scan_attempts(self) -> int:
+        return self._attempts
+
+    def max_collects_bound(self) -> int:
+        """Wait-freedom certificate: a scan needs at most n+2 collects."""
+        return self.n + 2

@@ -1,0 +1,42 @@
+"""Abstract interface of a scannable memory."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+
+
+class ScannableMemory(abc.ABC):
+    """n-slot single-writer-per-slot shared memory with snapshot scans.
+
+    Processes use the two operations as sub-generators::
+
+        view = yield from mem.scan(ctx)     # list of n values
+        yield from mem.write(ctx, value)    # writes slot ctx.pid
+
+    Implementations record ``scan``/``write`` spans in the trace, with ghost
+    write sequence numbers in ``span.meta`` so that the §2 properties P1–P3
+    can be checked post-hoc.  Ghost state is never read by the algorithms.
+    """
+
+    name: str
+    n: int
+
+    @abc.abstractmethod
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """Write ``value`` into slot ``ctx.pid``."""
+
+    @abc.abstractmethod
+    def scan(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
+        """Return a snapshot view: a list of n slot values."""
+
+    @abc.abstractmethod
+    def peek_view(self) -> list:
+        """Current slot values (test/adversary access, not a process step)."""
+
+    @abc.abstractmethod
+    def scan_attempts(self) -> int:
+        """Total number of collect rounds executed by all scans so far."""

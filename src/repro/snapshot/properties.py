@@ -1,0 +1,181 @@
+"""Trace checkers for the scannable-memory properties P1–P3 (§2.1).
+
+The checkers work on the high-level spans recorded by the scannable-memory
+implementations.  Each ``write`` span carries a ghost sequence number
+(``span.meta["wseq"]``) and each ``scan`` span carries the per-slot sequence
+numbers of the writes whose values it returned (``span.meta["wseqs"]``);
+sequence number 0 denotes the initial value.  Ghost state identifies *which*
+write produced a returned value even when user values repeat; the algorithms
+themselves never read it.
+
+Definitions (2.1 of the paper), over completed spans:
+
+- ``a`` **precedes** ``b``: ``a.response < b.invoke``.
+- write ``W`` (by process ``p``) **potentially coexists** with operation
+  ``O``: ``O`` does not precede ``W``, and there is no other write ``W'`` by
+  ``p`` with ``W`` preceding ``W'`` and ``W'`` preceding ``O`` — i.e. a
+  point in global time exists at which ``W``'s value was (or was about to
+  be) current while ``O`` was in progress.
+
+Checked properties:
+
+- **P1 regularity**: every value returned by a scan comes from a write that
+  potentially coexists with the scan.
+- **P2 snapshot**: for any two values in one view, one of the producing
+  writes potentially coexists with the other.
+- **P3 scan serializability**: any two views are slot-wise comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.runtime.events import OpSpan
+from repro.runtime.trace import Trace
+
+
+@dataclass
+class PropertyViolation:
+    """One violated property instance, with the spans that witness it."""
+
+    property_name: str
+    description: str
+    spans: tuple[OpSpan, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"{self.property_name}: {self.description}"]
+        lines.extend(f"  {s}" for s in self.spans)
+        return "\n".join(lines)
+
+
+_INITIAL = OpSpan(
+    span_id=-1, pid=-1, kind="write", target="<initial>", invoke_step=-1, response_step=-1
+)
+
+
+def _writes_by_pid(trace: Trace, name: str, n: int) -> list[dict[int, OpSpan]]:
+    """Per-pid map from ghost wseq to the write span that carries it."""
+    table: list[dict[int, OpSpan]] = [{0: _INITIAL} for _ in range(n)]
+    for span in trace.spans_of_kind("write", name):
+        table[span.pid][span.meta["wseq"]] = span
+    return table
+
+
+def _scans(trace: Trace, name: str) -> list[OpSpan]:
+    return trace.spans_of_kind("scan", name)
+
+
+def _potentially_coexists(
+    write: OpSpan, op: OpSpan, writes_of_pid: dict[int, OpSpan], wseq: int
+) -> bool:
+    """Definition 2.1, using ghost wseqs to find same-process successors."""
+    if op.precedes(write):
+        return False
+    successor = writes_of_pid.get(wseq + 1)
+    if successor is not None and not successor.is_open:
+        if write.precedes(successor) and successor.precedes(op):
+            return False
+    return True
+
+
+def check_p1_regularity(trace: Trace, name: str, n: int) -> list[PropertyViolation]:
+    """Every returned value's write potentially coexists with the scan."""
+    writes = _writes_by_pid(trace, name, n)
+    violations = []
+    for scan in _scans(trace, name):
+        wseqs = scan.meta["wseqs"]
+        for j in range(n):
+            write = writes[j].get(wseqs[j])
+            if write is None:
+                violations.append(
+                    PropertyViolation(
+                        "P1",
+                        f"scan returned value of unknown write wseq={wseqs[j]} "
+                        f"of process {j}",
+                        (scan,),
+                    )
+                )
+                continue
+            if not _potentially_coexists(write, scan, writes[j], wseqs[j]):
+                violations.append(
+                    PropertyViolation(
+                        "P1",
+                        f"slot {j}: returned write does not potentially "
+                        f"coexist with the scan",
+                        (write, scan),
+                    )
+                )
+    return violations
+
+
+def check_p2_snapshot(trace: Trace, name: str, n: int) -> list[PropertyViolation]:
+    """Any two returned values' writes potentially coexist (one way or both)."""
+    writes = _writes_by_pid(trace, name, n)
+    violations = []
+    for scan in _scans(trace, name):
+        wseqs = scan.meta["wseqs"]
+        for i in range(n):
+            for j in range(i + 1, n):
+                wi = writes[i].get(wseqs[i])
+                wj = writes[j].get(wseqs[j])
+                if wi is None or wj is None:
+                    continue  # reported by P1
+                if not (
+                    _potentially_coexists(wi, wj, writes[i], wseqs[i])
+                    or _potentially_coexists(wj, wi, writes[j], wseqs[j])
+                ):
+                    violations.append(
+                        PropertyViolation(
+                            "P2",
+                            f"slots {i},{j}: neither returned write "
+                            f"potentially coexists with the other",
+                            (wi, wj, scan),
+                        )
+                    )
+    return violations
+
+
+def check_p3_serializability(trace: Trace, name: str, n: int) -> list[PropertyViolation]:
+    """All views are slot-wise comparable (scans serialize)."""
+    violations = []
+    scans = _scans(trace, name)
+    for a in range(len(scans)):
+        for b in range(a + 1, len(scans)):
+            sa, sb = scans[a], scans[b]
+            va, vb = sa.meta["wseqs"], sb.meta["wseqs"]
+            a_le_b = all(x <= y for x, y in zip(va, vb))
+            b_le_a = all(y <= x for x, y in zip(va, vb))
+            if not (a_le_b or b_le_a):
+                violations.append(
+                    PropertyViolation(
+                        "P3",
+                        f"incomparable views {va} vs {vb}",
+                        (sa, sb),
+                    )
+                )
+    return violations
+
+
+def check_all_properties(
+    trace: Trace, name: str, n: int
+) -> list[PropertyViolation]:
+    """Run P1, P2 and P3; return all violations (empty list = all hold)."""
+    violations: list[PropertyViolation] = []
+    violations.extend(check_p1_regularity(trace, name, n))
+    violations.extend(check_p2_snapshot(trace, name, n))
+    violations.extend(check_p3_serializability(trace, name, n))
+    return violations
+
+
+def scan_round_counts(trace: Trace, name: str) -> list[int]:
+    """Collect-round counts of all completed scans (contention metric, E7)."""
+    return [s.meta.get("rounds", 1) for s in _scans(trace, name)]
+
+
+def assert_no_violations(violations: Iterable[PropertyViolation]) -> None:
+    """Raise ``AssertionError`` with a readable report if any violation."""
+    violations = list(violations)
+    if violations:
+        report = "\n".join(str(v) for v in violations)
+        raise AssertionError(f"{len(violations)} property violations:\n{report}")

@@ -1,0 +1,93 @@
+"""Unbounded sequence-number scannable memory (comparator).
+
+The classic double-collect snapshot used (in spirit) by [AH88]: every write
+carries an ever-growing sequence number, and a scan retries until two
+consecutive collects are identical, in which case the collect is a snapshot
+(it was the memory's exact content at every instant between the collects).
+
+This satisfies P1–P3 like the arrow construction, but its registers grow
+without bound — it exists as the *unbounded* comparator for the memory audit
+(experiment E6) and as an ablation substrate for the consensus protocol
+(experiment E12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.events import OpIntent
+from repro.runtime.process import ProcessContext
+from repro.snapshot.interface import ScannableMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+_VALUE, _SEQ = 0, 1
+
+
+class SequencedScannableMemory(ScannableMemory):
+    """Double-collect snapshot with unbounded per-slot sequence numbers."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        n: int,
+        initial: Any = None,
+        audit: MemoryAudit | None = None,
+        max_rounds: int | None = None,
+    ):
+        self.name = name
+        self.n = n
+        self.initial = initial
+        self.audit = audit
+        self.max_rounds = max_rounds
+        self._attempts = 0
+        self._seq = [0] * n
+        self._last_written = [initial] * n
+        self.V = RegisterArray(sim, f"{name}.V", n, initial=(initial, 0), audit=audit)
+        sim.register_shared(name, self)
+
+    def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
+        """One atomic write of ``(value, seq+1)`` to the own slot."""
+        i = ctx.pid
+        span = ctx.begin_span("write", self.name, value)
+        self._seq[i] += 1
+        span.meta["wseq"] = self._seq[i]
+        yield from self.V[i].write(ctx, (value, self._seq[i]))
+        self._last_written[i] = value
+        ctx.end_span(span)
+
+    def scan(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
+        """Collect repeatedly until two consecutive collects are identical."""
+        i = ctx.pid
+        span = ctx.begin_span("scan", self.name)
+        rounds = 0
+        previous = None
+        while True:
+            rounds += 1
+            self._attempts += 1
+            if self.max_rounds is not None and rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"scan by {i} on {self.name} exceeded {self.max_rounds} rounds"
+                )
+            collect = []
+            for j in range(self.n):
+                cell = yield from self.V[j].read(ctx)
+                collect.append(cell)
+            if previous is not None and previous == collect:
+                break
+            previous = collect
+        view = [cell[_VALUE] for cell in collect]
+        span.meta["wseqs"] = tuple(cell[_SEQ] for cell in collect)
+        span.meta["rounds"] = rounds
+        ctx.end_span(span, tuple(view))
+        return view
+
+    def peek_view(self) -> list:
+        return [cell[_VALUE] for cell in self.V.peek_all()]
+
+    def scan_attempts(self) -> int:
+        return self._attempts

@@ -1,0 +1,116 @@
+"""Bounded concurrent representation of the distance graph (§4.3).
+
+Property 1 of the distance graph implies the weights of the (undirected)
+pairs determine the whole directed structure, so the graph is stored as a
+collection of *edge counters*: process ``i`` keeps a row ``e_i[0..n-1]`` of
+counters in ``{0 .. 3K-1}`` (``e_i[i]`` unused).  The pair
+``(e_i[j], e_j[i])`` represents two pointers on a cycle of size ``3K``; by
+incrementing ``e_i[j]`` (mod 3K) process ``i`` moves its pointer clockwise.
+
+Decoding (``make_graph``): with ``d = (e_i[j] - e_j[i]) mod 3K``,
+
+- ``d == 0``      → tied: both edges ``(i, j)`` and ``(j, i)``, weight 0;
+- ``d <  3K - d`` → edge ``(i, j)`` with ``w(i, j) = d``;
+- ``d >  3K - d`` → edge ``(j, i)`` with ``w(j, i) = 3K - d``.
+
+Legal protocols keep every weight in ``{0..K}``; since ``K < 3K/2`` the
+decoding is unambiguous (a ``d = 3K - d`` tie would be ill-formed and is
+reported).  The slack factor 3 is what tolerates concurrency: processes
+increment their rows based on *scanned* (serialized, P3) views, and between
+a scan and the corresponding increment other rows advance by a bounded
+amount, which the 3K cycle absorbs without wrapping ambiguity.
+
+``inc_graph`` (the paper's procedure): process ``i`` increments ``e_i[j]``
+exactly when the sequential move ``inc(i, G)`` would (a) close the gap to a
+``j`` ahead of it whose edge lies on a maximum path into ``i``, or (b) push
+further ahead of a ``j`` it already dominates with unsaturated weight —
+one modular increment implements both, since raising ``e_i[j]`` moves ``i``
+up by one *relative to j*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.strip.distance_graph import DistanceGraph
+
+
+class IllFormedCounters(ValueError):
+    """Counter pair decodes to an ambiguous direction (protocol bug)."""
+
+
+def cycle_size(K: int) -> int:
+    return 3 * K
+
+
+def decode_graph(rows: Sequence[Sequence[int]], K: int) -> DistanceGraph:
+    """The paper's ``make_graph``: counters → distance graph."""
+    n = len(rows)
+    size = cycle_size(K)
+    graph = DistanceGraph(n, K)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d_ij = (rows[i][j] - rows[j][i]) % size
+            d_ji = (rows[j][i] - rows[i][j]) % size
+            if d_ij == 0:
+                graph.weights[(i, j)] = 0
+                graph.weights[(j, i)] = 0
+            elif d_ij < d_ji:
+                graph.weights[(i, j)] = d_ij
+            elif d_ji < d_ij:
+                graph.weights[(j, i)] = d_ji
+            else:
+                raise IllFormedCounters(
+                    f"pair ({i},{j}): counters {rows[i][j]}, {rows[j][i]} "
+                    f"decode ambiguously (d = {d_ij} both ways, cycle {size})"
+                )
+    return graph
+
+
+def inc_counters(i: int, rows: Sequence[Sequence[int]], K: int) -> list[int]:
+    """The paper's ``inc_graph``: return process i's new counter row.
+
+    ``rows`` is a (scanned) view of all processes' rows; only row ``i`` is
+    recomputed — the caller writes it back as part of its single-writer
+    cell.  ``e_i[j]`` is incremented (mod 3K) iff the sequential
+    ``inc(i, G)`` move would act on the pair ``{i, j}``.
+    """
+    n = len(rows)
+    size = cycle_size(K)
+    graph = decode_graph(rows, K)
+    dists_to_i = graph.all_dists_to(i)
+    row = list(rows[i])
+    for j in range(n):
+        if j == i:
+            continue
+        closes_gap = graph.has_edge(j, i) and graph.edge_on_max_path_to(
+            j, i, dists_to_i
+        )
+        pushes_ahead = graph.has_edge(i, j) and graph.weight(i, j) < K
+        if closes_gap or pushes_ahead:
+            row[j] = (row[j] + 1) % size
+    return row
+
+
+class EdgeCounters:
+    """A sequential all-rows counter state (for tests and the game bridge).
+
+    The consensus protocol stores each row inside the owner's scannable-
+    memory cell; this helper owns all rows at once so the counter algebra
+    can be exercised and property-tested without a simulation.
+    """
+
+    def __init__(self, n: int, K: int):
+        self.n = n
+        self.K = K
+        self.rows = [[0] * n for _ in range(n)]
+
+    def graph(self) -> DistanceGraph:
+        return decode_graph(self.rows, self.K)
+
+    def inc(self, i: int) -> None:
+        """Apply process i's increment move to its own row."""
+        self.rows[i] = inc_counters(i, self.rows, self.K)
+
+    def max_counter(self) -> int:
+        return max(max(row) for row in self.rows)

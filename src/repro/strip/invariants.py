@@ -1,0 +1,188 @@
+"""Invariant checkers for the rounds strip (§4.2 properties 1–5 etc.)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Sequence
+
+from repro.strip.distance_graph import DistanceGraph
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class InvariantViolation:
+    name: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+def graphs_equal(a: DistanceGraph, b: DistanceGraph) -> bool:
+    """Structural equality of two distance graphs."""
+    return a == b
+
+
+def check_graph_invariants(graph: DistanceGraph) -> list[InvariantViolation]:
+    """Check §4.2 properties 1–4 on a distance graph.
+
+    1. For any pair at least one direction is present; both iff both
+       weights are 0.
+    2. No positive cycles (also implies all weights are well-formed — a
+       positive cycle would make ``dist`` diverge).
+    3. All weights lie in ``{0..K}`` and all path weights in ``[0, K·n]``.
+    4. Any two i→j paths have equal weight, or one of them contains a
+       saturated (weight K) edge.
+    """
+    violations: list[InvariantViolation] = []
+    n, K = graph.n, graph.K
+
+    # Property 1 + weight ranges (part of 3).
+    for i in range(n):
+        for j in range(i + 1, n):
+            fwd, bwd = graph.has_edge(i, j), graph.has_edge(j, i)
+            if not fwd and not bwd:
+                violations.append(
+                    InvariantViolation("P4.1", f"pair ({i},{j}) has no edge at all")
+                )
+            if fwd and bwd:
+                if graph.weight(i, j) != 0 or graph.weight(j, i) != 0:
+                    violations.append(
+                        InvariantViolation(
+                            "P4.1",
+                            f"pair ({i},{j}) has both edges with nonzero weight",
+                        )
+                    )
+    for (i, j), w in graph.weights.items():
+        if not 0 <= w <= K:
+            violations.append(
+                InvariantViolation("P4.3", f"edge ({i},{j}) weight {w} outside 0..{K}")
+            )
+
+    # Property 2: no positive cycle (dist computation raises on one).
+    try:
+        dists = {t: graph.all_dists_to(t) for t in range(n)}
+    except ValueError as exc:
+        violations.append(InvariantViolation("P4.2", str(exc)))
+        return violations
+
+    # Property 3: path weights bounded by K·n.
+    for t in range(n):
+        for k in range(n):
+            d = dists[t][k]
+            if d != _NEG_INF and not 0 <= d <= K * n:
+                violations.append(
+                    InvariantViolation(
+                        "P4.3", f"dist({k},{t}) = {d} outside [0, {K * n}]"
+                    )
+                )
+
+    # Property 4: path weights agree unless a saturated edge intervenes.
+    violations.extend(_check_property_4(graph))
+    return violations
+
+
+def _enumerate_paths(graph: DistanceGraph, i: int, j: int) -> list[list[int]]:
+    """All simple i→j paths (as vertex lists).  Exponential; test sizes only."""
+    paths: list[list[int]] = []
+
+    def extend(path: list[int]) -> None:
+        tail = path[-1]
+        if tail == j:
+            paths.append(list(path))
+            return
+        for nxt in graph.successors(tail):
+            if nxt not in path:
+                path.append(nxt)
+                extend(path)
+                path.pop()
+
+    extend([i])
+    return paths
+
+
+def _check_property_4(graph: DistanceGraph) -> list[InvariantViolation]:
+    violations = []
+    for i in range(graph.n):
+        for j in range(graph.n):
+            if i == j:
+                continue
+            paths = _enumerate_paths(graph, i, j)
+            if len(paths) < 2:
+                continue
+            weights_and_saturation = []
+            for path in paths:
+                w = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+                saturated = any(
+                    graph.weight(a, b) == graph.K for a, b in zip(path, path[1:])
+                )
+                weights_and_saturation.append((w, saturated, path))
+            for a in range(len(paths)):
+                for b in range(a + 1, len(paths)):
+                    wa, sa, pa = weights_and_saturation[a]
+                    wb, sb, pb = weights_and_saturation[b]
+                    if wa != wb and not (sa or sb):
+                        violations.append(
+                            InvariantViolation(
+                                "P4.4",
+                                f"paths {pa} (w={wa}) and {pb} (w={wb}) from "
+                                f"{i} to {j} differ without a saturated edge",
+                            )
+                        )
+    return violations
+
+
+def check_property_5(graph: DistanceGraph, positions: Sequence[int]) -> list[InvariantViolation]:
+    """Property 5: ``dist(i, j) = r_i - r_j`` whenever a path exists."""
+    violations = []
+    for i in range(graph.n):
+        for j in range(graph.n):
+            if i == j:
+                continue
+            d = graph.dist(i, j)
+            if d == _NEG_INF:
+                continue
+            if d != positions[i] - positions[j]:
+                violations.append(
+                    InvariantViolation(
+                        "P4.5",
+                        f"dist({i},{j}) = {d} but positions differ by "
+                        f"{positions[i] - positions[j]}",
+                    )
+                )
+    return violations
+
+
+def check_nonpassive_shrinking(
+    before: Sequence[int], after: Sequence[int], mover: int, K: int
+) -> list[InvariantViolation]:
+    """Non-passive shrinking: a ≤K gap only closes by the trailer's own move.
+
+    For a single ``move_token`` step from ``before`` to ``after`` by
+    ``mover``: for any ordered pair (i, j) with ``0 <= r_i - r_j <= K``, if
+    the gap decreased by one, then ``j`` must be the mover.
+    """
+    violations = []
+    for i in range(len(before)):
+        for j in range(len(before)):
+            if i == j:
+                continue
+            gap_before = before[i] - before[j]
+            gap_after = after[i] - after[j]
+            if 0 <= gap_before <= K and gap_after == gap_before - 1 and mover != j:
+                violations.append(
+                    InvariantViolation(
+                        "non-passive-shrinking",
+                        f"gap ({i},{j}) shrank {gap_before}->{gap_after} "
+                        f"but mover was {mover}",
+                    )
+                )
+    return violations
+
+
+def assert_no_violations(violations: list[InvariantViolation]) -> None:
+    if violations:
+        report = "\n".join(str(v) for v in violations)
+        raise AssertionError(f"{len(violations)} invariant violations:\n{report}")

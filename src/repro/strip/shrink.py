@@ -1,0 +1,104 @@
+"""``shrink_K`` and ``normalize_K`` (§4.1).
+
+*Shrinking* compresses the token multiset: working up the sorted positions,
+any gap strictly larger than K between consecutive tokens becomes exactly K,
+while gaps ≤ K are preserved; the lowest token keeps its position.  The
+intuition (Observation 1) is that the protocol never cares *how far* a
+process trails once it trails by at least K, so larger gaps carry no
+information.
+
+*Normalizing* then translates everything so the maximal token sits at
+``K·n``; after ``shrink_K`` the spread is at most ``K·(n-1) ≤ K·n``, so all
+normalized positions lie in ``[0, K·n]`` — a bounded state space.
+
+The *normalized shrunken game* applies both transformations after every
+token move.  Its key property, **non-passive shrinking**, is: the distance
+between two tokens that are ≤ K apart changes only when a token actually
+moves (tested in the suite).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.strip.token_game import TokenGame
+
+
+def shrink_k(positions: Sequence[int], K: int) -> list[int]:
+    """Cap the gaps of the sorted multiset at K; anchor at the minimum.
+
+    Follows the inductive definition of §4.1: with ``π`` the ordering
+    permutation, ``r'_{π(1)} = r_{π(1)}`` and ``r'_{π(k+1)} = r'_{π(k)} +
+    min(gap_k, K)``.  Returns per-process positions (same indexing as the
+    input).
+    """
+    if K < 1:
+        raise ValueError("K must be >= 1")
+    order = sorted(range(len(positions)), key=lambda i: (positions[i], i))
+    shrunk = [0] * len(positions)
+    previous_old = previous_new = None
+    for i in order:
+        if previous_old is None:
+            shrunk[i] = positions[i]
+        else:
+            gap = positions[i] - previous_old
+            shrunk[i] = previous_new + min(gap, K)
+        previous_old, previous_new = positions[i], shrunk[i]
+    return shrunk
+
+
+def normalize_k(positions: Sequence[int], K: int) -> list[int]:
+    """Translate so the maximal token sits at ``K·n``."""
+    n = len(positions)
+    top = max(positions)
+    return [p - top + K * n for p in positions]
+
+
+def shrink_normalize(positions: Sequence[int], K: int) -> list[int]:
+    """``normalize_K(shrink_K(S))`` — all results lie in ``[0, K·n]``."""
+    return normalize_k(shrink_k(positions, K), K)
+
+
+class ShrunkenTokenGame:
+    """The normalized shrunken game: bounded-state version of the token game.
+
+    State is re-shrunk and re-normalized after every move, so positions
+    always lie in ``[0, K·n]``.  This game *is* what the distance graph of
+    §4.2 tracks: Claim 4.1 states that a ``move_token_i`` here corresponds
+    exactly to ``inc(i, G)`` on the graph (tested property).
+
+    Relative to the unbounded game the compression is deliberately lossy —
+    once a process trails by ≥ K, a leader's move "pulls it along" (its gap
+    is re-capped at K), so absolute distances are *underestimates*.  What is
+    preserved, and what Observation 1 says the protocol needs, is: token
+    order (with possible tie-merging), all gaps that were always < K, and
+    the fact that a gap shown as K means "trails by at least K".  The
+    *non-passive shrinking* property guarantees a gap ≤ K between a specific
+    pair only ever decreases because the trailing token actually moved.
+    """
+
+    def __init__(self, n: int, K: int):
+        if K < 1:
+            raise ValueError("K must be >= 1")
+        self.n = n
+        self.K = K
+        self.positions = normalize_k([0] * n, K)
+        self.moves: list[int] = []
+
+    def move_token(self, i: int) -> None:
+        self.positions[i] += 1
+        self.positions = shrink_normalize(self.positions, self.K)
+        self.moves.append(i)
+
+    def state(self) -> tuple[int, ...]:
+        return tuple(self.positions)
+
+    def replay(self, moves: list[int]) -> "ShrunkenTokenGame":
+        for i in moves:
+            self.move_token(i)
+        return self
+
+    @classmethod
+    def from_unbounded(cls, game: TokenGame, K: int) -> "ShrunkenTokenGame":
+        """Replay an unbounded game's move history through the shrunken game."""
+        return cls(game.n, K).replay(game.moves)

@@ -1,0 +1,40 @@
+"""The unbounded token game (§4.1).
+
+Each of n processes controls a token on the natural numbers, initially at 0;
+a ``move_token_i`` step moves token ``i`` from ``r_i`` to ``r_i + 1``.  The
+game abstracts the round numbers of the consensus protocol: token position =
+round.  This module is the *unbounded* ground truth against which the
+shrunken game and the graph game are validated.
+"""
+
+from __future__ import annotations
+
+
+class TokenGame:
+    """The plain (unbounded) token game."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one token")
+        self.n = n
+        self.positions = [0] * n
+        self.moves: list[int] = []
+
+    def move_token(self, i: int) -> None:
+        """One ``move_token_i`` step: token ``i`` advances by one."""
+        self.positions[i] += 1
+        self.moves.append(i)
+
+    def state(self) -> tuple[int, ...]:
+        return tuple(self.positions)
+
+    def gaps(self) -> list[int]:
+        """Consecutive gaps of the sorted position multiset (n-1 values)."""
+        ordered = sorted(self.positions)
+        return [b - a for a, b in zip(ordered, ordered[1:])]
+
+    def replay(self, moves: list[int]) -> "TokenGame":
+        """Apply a sequence of moves (returns self for chaining)."""
+        for i in moves:
+            self.move_token(i)
+        return self

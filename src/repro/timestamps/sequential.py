@@ -1,0 +1,131 @@
+"""Sequential time-stamp systems: unbounded and bounded ([IL87]-style).
+
+A (sequential) time-stamp system serves n processes, each holding one
+*label*; ``take(pid)`` atomically hands ``pid`` a fresh label that
+*dominates* the labels currently held by everyone else.  The system must
+keep the dominance order on live labels a strict total order agreeing with
+the order in which they were taken — that is what protocols use labels
+for ("who moved last?").
+
+With unbounded labels this is a counter.  Israeli and Li showed bounded
+labels suffice for the sequential case: labels are strings of length n-1
+over the three-cycle {0, 1, 2} (domain size 3^(n-1)) ordered by *recursive
+cyclic dominance* — at the first differing position, digit ``d+1 mod 3``
+beats digit ``d``.  A fresh label is computed level by level:
+
+- if the labels to dominate all share one digit ``d`` at this level, take
+  ``d+1 mod 3`` and pad with zeros (everything here is beaten outright);
+- if they split over two digits, take the *winning* digit and recurse on
+  the (strictly fewer) labels that carry it.
+
+The invariant that at most two distinct digits are ever live per level is
+what keeps the three-cycle acyclic in use; with at most n-1 labels to
+dominate, the recursion bottoms out within n-1 levels.  The suite
+validates the whole contract with hypothesis over random take-sequences.
+
+The *concurrent* generalization ([DS89], where labels are taken while
+being read) is out of scope; see the package docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Label = tuple  # digits, most significant first
+
+
+def _digit_beats(a: int, b: int) -> bool:
+    """Cyclic dominance on the three-cycle: d+1 beats d."""
+    return a == (b + 1) % 3
+
+
+def dominates(x: Sequence[int], y: Sequence[int]) -> bool:
+    """Does label x dominate label y (strictly)?  Equal labels: no."""
+    if len(x) != len(y):
+        raise ValueError("labels of one system have equal length")
+    for a, b in zip(x, y):
+        if a != b:
+            return _digit_beats(a, b)
+    return False
+
+
+class UnboundedTimestamps:
+    """The trivial counter scheme: labels grow forever."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._next = 1
+        self.labels = [(0,) for _ in range(n)]
+
+    def take(self, pid: int) -> tuple:
+        label = (self._next,)
+        self._next += 1
+        self.labels[pid] = label
+        return label
+
+    def label_of(self, pid: int) -> tuple:
+        return self.labels[pid]
+
+    @staticmethod
+    def dominates(x, y) -> bool:
+        return x > y
+
+    def max_component(self) -> int:
+        """Largest integer in use — grows with every take (unbounded)."""
+        return max(label[0] for label in self.labels)
+
+
+class BoundedSequentialTimestamps:
+    """Israeli–Li style bounded sequential time-stamp system."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.length = max(1, n - 1)
+        self.labels: list[Label] = [(0,) * self.length for _ in range(n)]
+
+    # -- the dominance order -----------------------------------------------
+
+    dominates = staticmethod(dominates)
+
+    def label_of(self, pid: int) -> Label:
+        return self.labels[pid]
+
+    def domain_size(self) -> int:
+        return 3**self.length
+
+    # -- taking a fresh label --------------------------------------------------
+
+    def _fresh(self, to_dominate: list[Label], level: int) -> Label:
+        pad = self.length - level
+        if not to_dominate:
+            return (0,) * pad
+        digits = sorted({label[level] for label in to_dominate})
+        if len(digits) == 1:
+            return ((digits[0] + 1) % 3,) + (0,) * (pad - 1)
+        if len(digits) != 2:
+            raise AssertionError(
+                f"three live digits {digits} at level {level}: the two-digit "
+                "invariant broke (this would be a construction bug)"
+            )
+        a, b = digits
+        winner = a if _digit_beats(a, b) else b
+        winners = [label for label in to_dominate if label[level] == winner]
+        if len(winners) >= len(to_dominate):
+            raise AssertionError("recursion must shrink: invariant broke")
+        return (winner,) + self._fresh(winners, level + 1)
+
+    def take(self, pid: int) -> Label:
+        """Hand ``pid`` a fresh label dominating all other live labels."""
+        others = [self.labels[q] for q in range(self.n) if q != pid]
+        label = self._fresh(others, 0)
+        assert all(dominates(label, other) for other in others), (
+            f"fresh label {label} fails to dominate {others}"
+        )
+        self.labels[pid] = label
+        return label
+
+    def max_component(self) -> int:
+        """Largest digit in use: always ≤ 2 — the boundedness headline."""
+        return max(max(label) for label in self.labels)

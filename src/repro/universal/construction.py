@@ -1,0 +1,173 @@
+"""Herlihy's universal construction, driven by the paper's consensus.
+
+The construction maintains a single logical *log* of operations.  Slot k of
+the log is fixed by a one-shot multivalued consensus instance (built over
+the ADS binary protocol); the object's state is the result of replaying the
+agreed prefix through the sequential specification.
+
+To invoke an operation, a process:
+
+1. *announces* it in its single-writer announce register (tagged with a
+   per-process sequence number, so every invocation is unique);
+2. repeatedly competes for its next undecided slot — proposing, by the
+   classic **helping** rule, the announced-but-not-yet-logged operation of
+   process ``slot mod n`` if there is one, and its own otherwise — until
+   its own operation appears in its view of the log;
+3. returns the response obtained by replaying the log up to (and
+   including) its operation.
+
+Every process maintains a *private* mirror of the log (in its process
+context), learning slot k's content only by proposing to instance k —
+consensus hands latecomers the already-agreed value.  No information flows
+outside the shared objects, so the construction is a faithful shared-memory
+algorithm, not a simulation shortcut.
+
+Duplicates (the same announced operation winning two slots, possible when
+helpers race) are filtered during replay: only an operation's first
+occurrence takes effect, so each invocation is applied exactly once.
+
+Helping makes the construction wait-free *given* wait-free consensus: once
+process i announces, every competitor proposes i's operation at slots
+≡ i (mod n), so it is logged within at most n further slots of any
+competitor's progress.  Since each instance is the paper's protocol, each
+operation completes in polynomial expected steps, every consensus instance
+uses bounded memory, and the log grows only with the object's history (as
+any universal object's state must).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.multivalued import MultivaluedConsensusObject
+from repro.registers.atomic import RegisterArray
+from repro.registers.base import MemoryAudit
+from repro.runtime.process import ProcessContext
+from repro.runtime.simulation import Simulation
+from repro.universal.spec import Operation, SequentialSpec
+
+LogEntry = tuple[int, int, Operation]  # (pid, seq, operation)
+
+
+class _LocalView:
+    """One process's private mirror of the agreed log."""
+
+    def __init__(self) -> None:
+        self.log: list[LogEntry] = []
+        self.logged: set[tuple[int, int]] = set()
+
+    def absorb(self, entry: LogEntry) -> None:
+        self.log.append(entry)
+        self.logged.add(entry[:2])
+
+
+class UniversalObject:
+    """A wait-free linearizable shared object for any sequential spec."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        n: int,
+        spec: SequentialSpec,
+        audit: MemoryAudit | None = None,
+        **consensus_params: Any,
+    ):
+        self.sim = sim
+        self.name = name
+        self.n = n
+        self.spec = spec
+        self.audit = audit
+        self.consensus_params = consensus_params
+        # announce[i] = (seq, operation) or None.
+        self.announce = RegisterArray(
+            sim, f"{name}.announce", n, initial=None, audit=audit
+        )
+        self._slots: list[MultivaluedConsensusObject] = []
+        self._seq = [0] * n
+        sim.register_shared(name, self)
+
+    # -- internals -------------------------------------------------------------
+
+    def _slot(self, k: int) -> MultivaluedConsensusObject:
+        while len(self._slots) <= k:
+            self._slots.append(
+                MultivaluedConsensusObject(
+                    self.sim,
+                    f"{self.name}.slot[{len(self._slots)}]",
+                    self.n,
+                    audit=self.audit,
+                    **self.consensus_params,
+                )
+            )
+        return self._slots[k]
+
+    def _view(self, ctx: ProcessContext) -> _LocalView:
+        key = f"universal:{self.name}"
+        if key not in ctx.local:
+            ctx.local[key] = _LocalView()
+        return ctx.local[key]
+
+    def _response_for(self, view: _LocalView, pid: int, seq: int) -> Any:
+        """Replay the log (first occurrences only) up to (pid, seq)."""
+        state = self.spec.initial_state()
+        seen: set[tuple[int, int]] = set()
+        for entry_pid, entry_seq, operation in view.log:
+            key = (entry_pid, entry_seq)
+            if key in seen:
+                continue
+            seen.add(key)
+            state, response = self.spec.apply(state, operation)
+            if key == (pid, seq):
+                return response
+        raise KeyError(f"operation ({pid}, {seq}) not in log")
+
+    # -- the operation -----------------------------------------------------------
+
+    def invoke(self, ctx: ProcessContext, operation: Operation):
+        """Apply ``operation`` atomically; returns its response."""
+        i = ctx.pid
+        view = self._view(ctx)
+        self._seq[i] += 1
+        me: LogEntry = (i, self._seq[i], tuple(operation))
+        span = ctx.begin_span("invoke", self.name, tuple(operation))
+        yield from self.announce[i].write(ctx, me)
+
+        while me[:2] not in view.logged:
+            slot_index = len(view.log)
+            helped = yield from self.announce[slot_index % self.n].read(ctx)
+            if helped is not None and helped[:2] not in view.logged:
+                proposal = helped
+            else:
+                proposal = me
+            decided = yield from self._slot(slot_index).propose(ctx, proposal)
+            view.absorb(decided)
+        response = self._response_for(view, i, me[1])
+        ctx.end_span(span, response)
+        return response
+
+    # -- inspection (test/debug access, not process steps) -----------------------
+
+    def decided_log(self) -> list[LogEntry]:
+        """Slot decisions agreed so far (duplicates included, as decided)."""
+        log = []
+        for slot in self._slots:
+            if not slot.decisions:
+                break
+            log.append(next(iter(slot.decisions.values())))
+        return log
+
+    def effective_operations(self) -> list[Operation]:
+        """The deduplicated operation sequence that defines the state."""
+        seen: set[tuple[int, int]] = set()
+        effective = []
+        for pid, seq, operation in self.decided_log():
+            if (pid, seq) in seen:
+                continue
+            seen.add((pid, seq))
+            effective.append(operation)
+        return effective
+
+    def current_state(self) -> Any:
+        state, _ = self.spec.replay(self.effective_operations())
+        return state

@@ -1,0 +1,109 @@
+"""Linearizability checking for arbitrary sequential objects.
+
+Generalizes the register checker of :mod:`repro.registers.linearizability`
+to any :class:`~repro.universal.spec.SequentialSpec`: a history of
+operation executions (invocation/response instants, operation, response)
+is linearizable iff some total order extends the real-time precedence order
+and replays through the spec producing exactly the recorded responses.
+
+Used to validate the universal construction from the *outside*: the agreed
+log is its internal witness, but this checker needs no access to it — only
+the invocation/response spans any client could observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.events import OpSpan
+from repro.universal.spec import Operation, SequentialSpec
+
+
+@dataclass(frozen=True)
+class ObjectOp:
+    """One operation execution on a shared object."""
+
+    op_id: int
+    pid: int
+    operation: Operation
+    response: Any
+    invoke: int
+    respond: int
+
+    def precedes(self, other: "ObjectOp") -> bool:
+        return self.respond < other.invoke
+
+
+def object_history_from_spans(spans: Iterable[OpSpan]) -> list[ObjectOp]:
+    """Convert completed ``invoke`` spans into a checkable history."""
+    history = []
+    for span in spans:
+        if span.is_open or span.invoke_step is None:
+            continue
+        history.append(
+            ObjectOp(
+                op_id=span.span_id,
+                pid=span.pid,
+                operation=tuple(span.argument),
+                response=span.result,
+                invoke=span.invoke_step,
+                respond=span.response_step,  # type: ignore[arg-type]
+            )
+        )
+    return history
+
+
+def check_object_history(
+    spec: SequentialSpec, ops: Sequence[ObjectOp]
+) -> list[int] | None:
+    """Return a witness linearization (op_ids in order), or ``None``.
+
+    Wing–Gong backtracking with memoisation on (set of linearized ops,
+    object state); spec states must be hashable values (the provided specs
+    use tuples/ints), falling back to ``repr`` otherwise.
+    """
+    ops = list(ops)
+    total = len(ops)
+    if total == 0:
+        return []
+    must_precede = [0] * total
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and a.precedes(b):
+                must_precede[j] |= 1 << i
+
+    full_mask = (1 << total) - 1
+    failed: set[tuple[int, Any]] = set()
+    order: list[int] = []
+
+    def state_key(state: Any):
+        try:
+            hash(state)
+            return state
+        except TypeError:
+            return repr(state)
+
+    def search(done_mask: int, state: Any) -> bool:
+        if done_mask == full_mask:
+            return True
+        key = (done_mask, state_key(state))
+        if key in failed:
+            return False
+        for i, op in enumerate(ops):
+            bit = 1 << i
+            if done_mask & bit or must_precede[i] & ~done_mask:
+                continue
+            new_state, response = spec.apply(state, op.operation)
+            if response != op.response:
+                continue
+            order.append(op.op_id)
+            if search(done_mask | bit, new_state):
+                return True
+            order.pop()
+        failed.add(key)
+        return False
+
+    if search(0, spec.initial_state()):
+        return list(order)
+    return None

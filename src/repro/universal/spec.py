@@ -1,0 +1,166 @@
+"""Sequential object specifications for the universal construction.
+
+A :class:`SequentialSpec` defines an object by its initial state and a pure
+transition function ``apply(state, operation) -> (new_state, response)``;
+operations are ``(name, args...)`` tuples.  The universal construction
+replays the consensus-agreed operation log through ``apply``, so any spec
+written here immediately becomes a wait-free linearizable shared object.
+
+States must be treated as immutable values (``apply`` returns a fresh
+state); all the provided specs use tuples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Tuple
+
+Operation = Tuple[Any, ...]
+
+
+class SequentialSpec(abc.ABC):
+    """A deterministic sequential object."""
+
+    name: str = "object"
+
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """The object's starting state (an immutable value)."""
+
+    @abc.abstractmethod
+    def apply(self, state: Any, operation: Operation) -> tuple[Any, Any]:
+        """Apply one operation; return ``(new_state, response)``."""
+
+    def replay(self, operations) -> tuple[Any, list]:
+        """Apply a whole log; return the final state and all responses."""
+        state = self.initial_state()
+        responses = []
+        for operation in operations:
+            state, response = self.apply(state, operation)
+            responses.append(response)
+        return state, responses
+
+
+class CounterSpec(SequentialSpec):
+    """A fetch&add counter: ``("add", k)`` returns the pre-add value."""
+
+    name = "counter"
+
+    def initial_state(self) -> int:
+        return 0
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "add":
+            return state + args[0], state
+        if kind == "read":
+            return state, state
+        raise ValueError(f"counter: unknown operation {kind!r}")
+
+
+class QueueSpec(SequentialSpec):
+    """FIFO queue: ``("enq", v)`` and ``("deq",)`` (None when empty)."""
+
+    name = "queue"
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "enq":
+            return state + (args[0],), None
+        if kind == "deq":
+            if not state:
+                return state, None
+            return state[1:], state[0]
+        raise ValueError(f"queue: unknown operation {kind!r}")
+
+
+class StackSpec(SequentialSpec):
+    """LIFO stack: ``("push", v)`` and ``("pop",)`` (None when empty)."""
+
+    name = "stack"
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "push":
+            return state + (args[0],), None
+        if kind == "pop":
+            if not state:
+                return state, None
+            return state[:-1], state[-1]
+        raise ValueError(f"stack: unknown operation {kind!r}")
+
+
+class CasRegisterSpec(SequentialSpec):
+    """Register with ``("read",)``, ``("write", v)`` and
+    ``("cas", expected, new)`` returning whether it succeeded."""
+
+    name = "cas-register"
+
+    def __init__(self, initial: Any = None):
+        self._initial = initial
+
+    def initial_state(self) -> Any:
+        return self._initial
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "read":
+            return state, state
+        if kind == "write":
+            return args[0], None
+        if kind == "cas":
+            expected, new = args
+            if state == expected:
+                return new, True
+            return state, False
+        raise ValueError(f"cas-register: unknown operation {kind!r}")
+
+
+class StickyBitSpec(SequentialSpec):
+    """Plotkin's sticky bit [P89]: the first ``("set", v)`` wins forever.
+
+    ``set`` returns the bit's (now permanent) value; ``("read",)`` returns
+    the current value or None if unset.  A sticky bit is itself a
+    consensus object — building it here from consensus demonstrates the
+    equivalence the paper's introduction points at.
+    """
+
+    name = "sticky-bit"
+
+    def initial_state(self):
+        return None
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "set":
+            if state is None:
+                return args[0], args[0]
+            return state, state
+        if kind == "read":
+            return state, state
+        raise ValueError(f"sticky-bit: unknown operation {kind!r}")
+
+
+class FetchAndConsSpec(SequentialSpec):
+    """Herlihy's fetch&cons [H88]: atomically prepend and return the old
+    list.  ``("cons", v)`` returns the list's previous contents (a tuple,
+    newest first)."""
+
+    name = "fetch-and-cons"
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state, operation):
+        kind, *args = operation
+        if kind == "cons":
+            return (args[0],) + state, state
+        if kind == "read":
+            return state, state
+        raise ValueError(f"fetch-and-cons: unknown operation {kind!r}")

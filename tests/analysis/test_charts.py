@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, log_series_chart
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart(["a", "bb"], [10, 5], width=20, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].count("#") == 20
+    assert lines[2].count("#") == 10
+    assert "10" in lines[1] and "5" in lines[2]
+
+
+def test_bar_chart_zero_and_empty():
+    text = bar_chart(["x"], [0.0])
+    assert "x |  0" in text
+    assert "(no data)" in bar_chart([], [], title="empty")
+
+
+def test_bar_chart_alignment_mismatch():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1, 2])
+
+
+def test_log_series_chart_exponential_marches_evenly():
+    xs = [1, 2, 3, 4]
+    text = log_series_chart(
+        xs,
+        {"expo": [2, 4, 8, 16], "poly": [1, 4, 9, 16]},
+        width=40,
+        title="growth",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "growth"
+    assert "e=expo" in lines[1] and "p=poly" in lines[1]
+    # exponential marker columns are evenly spaced on the log scale
+    columns = [line.index("e") for line in lines[2:] if "e" in line]
+    diffs = [b - a for a, b in zip(columns, columns[1:])]
+    assert max(diffs) - min(diffs) <= 1
+
+
+def test_log_series_chart_collision_marker():
+    text = log_series_chart([1], {"aa": [5], "bb": [5]}, width=30)
+    assert "*" in text  # both series at the same column
+
+
+def test_log_series_chart_empty():
+    assert "(no data)" in log_series_chart([], {}, title="x")

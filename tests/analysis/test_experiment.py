@@ -1,0 +1,48 @@
+"""Tests for the sweep/repetition plumbing."""
+
+from repro.analysis import Sweep, repeat_runs, sweep_table
+
+
+def test_repeat_runs_passes_seeds():
+    seen = []
+
+    def once(seed):
+        seen.append(seed)
+        return float(seed * 2)
+
+    values = repeat_runs(once, range(3))
+    assert values == [0.0, 2.0, 4.0]
+    assert seen == [0, 1, 2]
+
+
+def test_sweep_executes_every_point_with_fresh_seeds():
+    calls = []
+
+    def run_once(value, seed):
+        calls.append((value, seed))
+        return float(value + seed)
+
+    sweep = Sweep("b", [2, 4], run_once, repetitions=3, seed_base=100)
+    points = sweep.execute()
+    assert [p.params for p in points] == [{"b": 2}, {"b": 4}]
+    assert calls == [(2, 100), (2, 101), (2, 102), (4, 100), (4, 101), (4, 102)]
+    assert points[0].summary.count == 3
+
+
+def test_sweep_table_rows_include_predictions():
+    def run_once(value, seed):
+        return float(value * 10)
+
+    points = Sweep("n", [1, 2], run_once, repetitions=2).execute()
+    rows = sweep_table(points, predicted=lambda n: n * 10.0)
+    assert rows[0]["n"] == 1
+    assert rows[0]["mean"] == 10.0
+    assert rows[0]["predicted"] == 10.0
+    assert rows[1]["predicted"] == 20.0
+    assert {"ci_low", "ci_high", "reps"} <= set(rows[0])
+
+
+def test_sweep_table_without_predictions():
+    points = Sweep("x", [5], lambda v, s: 1.0, repetitions=2).execute()
+    rows = sweep_table(points)
+    assert "predicted" not in rows[0]

@@ -1,0 +1,40 @@
+"""Tests for the table renderer."""
+
+from repro.analysis.reporting import format_table, render_rows
+
+
+def test_format_table_alignment_and_headers():
+    rows = [
+        {"n": 2, "mean": 10.5, "note": "ok"},
+        {"n": 16, "mean": 3.14159, "note": "x"},
+    ]
+    text = format_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "n" in lines[1] and "mean" in lines[1] and "note" in lines[1]
+    assert "10.5" in text and "3.142" in text
+
+
+def test_format_table_union_of_keys():
+    rows = [{"a": 1}, {"b": 2}]
+    text = format_table(rows)
+    assert "a" in text and "b" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="t")
+
+
+def test_float_formatting_rules():
+    text = format_table([{"x": 0.0001234, "y": 123456.0, "z": 0.5, "w": 0}])
+    assert "0.000123" in text
+    assert "1.23e+05" in text
+    assert "0.5" in text
+
+
+def test_render_rows_prints_and_returns(capsys):
+    rows = [{"k": 1}]
+    text = render_rows(rows, "title-here")
+    captured = capsys.readouterr()
+    assert "title-here" in captured.out
+    assert text in captured.out

@@ -1,0 +1,82 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    doubling_ratio,
+    growth_exponent,
+    mean_and_ci,
+    summarize,
+    wilson_interval,
+)
+
+
+def test_mean_and_ci_basic():
+    mean, low, high = mean_and_ci([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert low < 2.0 < high
+
+
+def test_mean_and_ci_single_sample_degenerates():
+    assert mean_and_ci([5.0]) == (5.0, 5.0, 5.0)
+
+
+def test_mean_and_ci_rejects_empty():
+    with pytest.raises(ValueError):
+        mean_and_ci([])
+
+
+def test_summarize_fields():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.ci_low <= s.mean <= s.ci_high
+    assert "mean=2.5" in str(s)
+
+
+def test_wilson_interval_contains_rate():
+    rate, low, high = wilson_interval(3, 10)
+    assert low <= rate <= high
+    assert rate == pytest.approx(0.3)
+
+
+def test_wilson_interval_zero_successes_positive_upper():
+    rate, low, high = wilson_interval(0, 100)
+    assert rate == 0.0
+    assert low == 0.0
+    assert 0 < high < 0.1
+
+
+def test_wilson_interval_rejects_no_trials():
+    with pytest.raises(ValueError):
+        wilson_interval(0, 0)
+
+
+def test_growth_exponent_recovers_power_laws():
+    xs = [2, 4, 8, 16]
+    quadratic = [x**2 for x in xs]
+    cubic = [2.5 * x**3 for x in xs]
+    assert growth_exponent(xs, quadratic) == pytest.approx(2.0)
+    assert growth_exponent(xs, cubic) == pytest.approx(3.0)
+
+
+def test_growth_exponent_with_multiplicative_noise():
+    xs = [2, 4, 8, 16, 32]
+    noise = [1.1, 0.9, 1.05, 0.95, 1.0]
+    noisy = [f * x**2 for f, x in zip(noise, xs)]
+    assert abs(growth_exponent(xs, noisy) - 2.0) < 0.1
+
+
+def test_growth_exponent_needs_two_points():
+    with pytest.raises(ValueError):
+        growth_exponent([1], [1])
+
+
+def test_doubling_ratio_exponential():
+    ys = [4, 8, 16, 32]
+    assert doubling_ratio(ys) == pytest.approx(2.0)
+    assert doubling_ratio([10, 10, 10]) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        doubling_ratio([1])

@@ -1,0 +1,34 @@
+"""Tests for the paper-predicted curves."""
+
+from repro.analysis import theory
+
+
+def test_e1_bound_decreases_in_b():
+    assert theory.e1_disagreement_bound(2) > theory.e1_disagreement_bound(8)
+
+
+def test_e2_quadratic_in_n_and_b():
+    assert theory.e2_expected_flips(2, 4) == 144
+    assert theory.e2_expected_flips(2, 8) == 4 * theory.e2_expected_flips(2, 4)
+
+
+def test_e3_bound_decreases_in_m():
+    assert theory.e3_overflow_bound(2, 4, 100) > theory.e3_overflow_bound(2, 4, 10_000)
+
+
+def test_e4_constant_in_n():
+    assert theory.e4_expected_rounds(2) == theory.e4_expected_rounds(64)
+
+
+def test_e5_shapes():
+    assert theory.e5_growth_exponent_ads() < 4
+    assert theory.e5_doubling_ratio_local_coin() == 2.0
+
+
+def test_e6_bounded_magnitude_dominated_by_m():
+    assert theory.e6_bounded_magnitude(2, 2, 4, 1024) == 1025
+    assert theory.e6_bounded_magnitude(4, 2, 4, 3) == 11  # 3K-1 dominates
+
+
+def test_e9_zero_violations():
+    assert theory.e9_equivalence() == 0.0

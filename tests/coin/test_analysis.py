@@ -1,0 +1,96 @@
+"""Tests for the random-walk theory helpers (Lemmas 3.1-3.4 shapes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.coin.analysis import (
+    absorption_expected_steps,
+    agreement_probability_lower_bound,
+    disagreement_probability_upper_bound,
+    hitting_probability_asymmetric,
+    stay_inside_bound,
+    stay_inside_probability,
+)
+
+
+def test_absorption_expected_steps_exact_quadratic():
+    assert absorption_expected_steps(1) == 1
+    assert absorption_expected_steps(10) == 100
+
+
+def test_absorption_matches_monte_carlo():
+    rng = random.Random(0)
+    barrier = 5
+    times = []
+    for _ in range(2000):
+        pos = steps = 0
+        while abs(pos) < barrier:
+            pos += 1 if rng.random() < 0.5 else -1
+            steps += 1
+        times.append(steps)
+    mean = sum(times) / len(times)
+    assert abs(mean - barrier**2) < 3  # E = 25, generous tolerance
+
+
+def test_stay_inside_probability_edge_cases():
+    assert stay_inside_probability(0, 3) == 1.0
+    assert stay_inside_probability(5, 0) == 0.0
+    # With barrier 1 the first step always escapes.
+    assert stay_inside_probability(1, 1) == 0.0
+
+
+def test_stay_inside_probability_decreases_with_steps():
+    p_short = stay_inside_probability(10, 4)
+    p_long = stay_inside_probability(100, 4)
+    assert p_long < p_short < 1.0
+
+
+def test_stay_inside_probability_matches_monte_carlo():
+    rng = random.Random(1)
+    steps, barrier = 30, 4
+    stayed = 0
+    trials = 4000
+    for _ in range(trials):
+        pos = 0
+        ok = True
+        for _ in range(steps):
+            pos += 1 if rng.random() < 0.5 else -1
+            if abs(pos) >= barrier:
+                ok = False
+                break
+        stayed += ok
+    exact = stay_inside_probability(steps, barrier)
+    assert abs(stayed / trials - exact) < 0.03
+
+
+def test_stay_inside_bound_dominates_exact_value():
+    # Lemma 3.3 shape: C·barrier/√steps upper-bounds the exact probability.
+    for steps in (25, 100, 400):
+        for barrier in (2, 4, 8):
+            assert stay_inside_probability(steps, barrier) <= stay_inside_bound(
+                steps, barrier
+            ) + 1e-9
+
+
+def test_hitting_probability_gamblers_ruin():
+    assert hitting_probability_asymmetric(0, -10, 10) == pytest.approx(0.5)
+    assert hitting_probability_asymmetric(5, -10, 10) == pytest.approx(0.75)
+    with pytest.raises(ValueError):
+        hitting_probability_asymmetric(20, -10, 10)
+
+
+def test_lemma_31_bounds():
+    assert agreement_probability_lower_bound(2) == pytest.approx(0.25)
+    assert disagreement_probability_upper_bound(2) == pytest.approx(0.5)
+    assert disagreement_probability_upper_bound(10) == pytest.approx(0.1)
+    # b = 1 gives no guarantee at all.
+    assert agreement_probability_lower_bound(1) == 0.0
+    assert disagreement_probability_upper_bound(1) == 1.0
+
+
+def test_bounds_tighten_with_b():
+    values = [disagreement_probability_upper_bound(b) for b in (2, 4, 8, 16)]
+    assert values == sorted(values, reverse=True)
+    assert values[-1] == pytest.approx(1 / 16)

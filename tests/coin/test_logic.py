@@ -1,0 +1,68 @@
+"""Tests for the pure coin decision logic (§3's ``coin_value``)."""
+
+import pytest
+
+from repro.coin.logic import (
+    HEADS,
+    TAILS,
+    UNDECIDED,
+    coin_value,
+    counter_range,
+    default_m,
+    predicted_disagreement_bound,
+    predicted_expected_steps,
+    walk_step_value,
+    walk_value,
+)
+
+
+def test_walk_value_sums_counters():
+    assert walk_value([1, -2, 3]) == 2
+    assert walk_value([]) == 0
+
+
+def test_thresholds():
+    n, b = 4, 2  # barrier at ±8
+    assert coin_value(0, [3, 3, 2, 0], n, b, None) is UNDECIDED  # sum 8 = b·n
+    assert coin_value(0, [3, 3, 3, 1], n, b, None) is HEADS  # sum 10 > 8
+    assert coin_value(0, [-3, -3, -3, -1], n, b, None) is TAILS
+    assert coin_value(0, [8, 0, 0, 0], n, b, None) is UNDECIDED  # exactly b·n
+
+
+def test_overflow_rule_beats_thresholds():
+    # Own counter out of {-m..m} returns heads even if the walk says tails.
+    n, b, m = 2, 2, 5
+    assert coin_value(6, [-100, 6], n, b, m) is HEADS
+    assert coin_value(-6, [-100, -6], n, b, m) is HEADS
+    assert coin_value(5, [-100, 5], n, b, m) is TAILS  # in range: walk rules
+
+
+def test_unbounded_mode_ignores_overflow_rule():
+    assert coin_value(10**9, [-(10**10), 10**9], 2, 2, None) is TAILS
+
+
+def test_walk_step_value_moves_by_one():
+    assert walk_step_value(0, True, None) == 1
+    assert walk_step_value(0, False, None) == -1
+    assert walk_step_value(-3, True, 5) == -2
+
+
+def test_walk_step_value_range_check():
+    low, high = counter_range(5)
+    assert low == -6 and high == 6
+    assert walk_step_value(5, True, 5) == 6  # to m+1: allowed
+    with pytest.raises(OverflowError):
+        walk_step_value(6, True, 5)  # beyond m+1: protocol bug
+    with pytest.raises(OverflowError):
+        walk_step_value(-6, False, 5)
+
+
+def test_default_m_matches_lemma_shape():
+    # m = (f_factor·b·n)²
+    assert default_m(2, 4) == (4 * 2 * 4) ** 2
+    assert default_m(3, 2, f_factor=2) == (2 * 3 * 2) ** 2
+
+
+def test_predictions_monotone():
+    assert predicted_expected_steps(2, 4) == 9 * 16
+    assert predicted_disagreement_bound(2) > predicted_disagreement_bound(8)

@@ -1,0 +1,74 @@
+"""Tests for the oracle (CIL) coin and the local (Abrahamson) coin."""
+
+import statistics
+
+from repro.coin import HEADS, TAILS, OracleCoin, coin_flipper_program, local_coin_flip
+from repro.runtime import RandomScheduler, Simulation
+
+
+def test_oracle_coin_perfect_agreement():
+    for seed in range(20):
+        sim = Simulation(4, RandomScheduler(seed=seed), seed=seed)
+        coin = OracleCoin(sim, "oc", 4)
+        sim.spawn_all(coin_flipper_program(coin))
+        outcome = sim.run()
+        assert len(set(outcome.decisions.values())) == 1
+
+
+def test_oracle_outcome_fixed_by_first_toucher():
+    sim = Simulation(2, RandomScheduler(seed=0), seed=0)
+    coin = OracleCoin(sim, "oc", 2)
+
+    def factory(pid):
+        def body(ctx):
+            first = yield from coin.read_value(ctx)
+            second = yield from coin.read_value(ctx)
+            return (first, second)
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    values = {v for pair in outcome.decisions.values() for v in pair}
+    assert len(values) == 1
+
+
+def test_oracle_outcomes_vary_across_seeds():
+    outcomes = set()
+    for seed in range(20):
+        sim = Simulation(1, seed=seed)
+        coin = OracleCoin(sim, "oc", 1)
+        sim.spawn_all(coin_flipper_program(coin))
+        outcomes.add(sim.run().decisions[0])
+    assert outcomes == {HEADS, TAILS}
+
+
+def test_oracle_walk_step_is_noop():
+    sim = Simulation(1, seed=0)
+    coin = OracleCoin(sim, "oc", 1)
+
+    def program(ctx):
+        yield from coin.walk_step(ctx)
+        return "ok"
+
+    sim.spawn(0, program)
+    assert sim.run().decisions[0] == "ok"
+    assert coin.true_walk_value() == 0
+    assert coin.counter_of(0) == 0
+
+
+def test_local_coin_is_fair_and_deterministic_per_seed():
+    sim = Simulation(1, seed=9)
+    ctx = sim.context(0)
+    draws = [local_coin_flip(ctx) for _ in range(2000)]
+    rate = statistics.mean(draws)
+    assert 0.45 < rate < 0.55
+    ctx2 = Simulation(1, seed=9).context(0)
+    assert [local_coin_flip(ctx2) for _ in range(10)] == draws[:10]
+
+
+def test_local_coins_independent_across_pids():
+    sim = Simulation(2, seed=3)
+    a = [local_coin_flip(sim.context(0)) for _ in range(50)]
+    b = [local_coin_flip(sim.context(1)) for _ in range(50)]
+    assert a != b

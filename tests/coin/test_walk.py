@@ -1,0 +1,134 @@
+"""Tests for the random-walk shared coins (unbounded and bounded)."""
+
+import statistics
+
+import pytest
+
+from repro.coin import (
+    BoundedWalkSharedCoin,
+    HEADS,
+    TAILS,
+    WalkSharedCoin,
+    coin_flipper_program,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Simulation, WalkBalancingAdversary
+
+
+def _run_coin(coin_cls, n=3, b=2, seed=0, scheduler=None, **kwargs):
+    sim = Simulation(n, scheduler or RandomScheduler(seed=seed), seed=seed)
+    coin = coin_cls(sim, "coin", n, b_barrier=b, **kwargs)
+    sim.spawn_all(coin_flipper_program(coin))
+    outcome = sim.run(5_000_000)
+    return coin, outcome
+
+
+def test_all_processes_decide_some_value():
+    coin, outcome = _run_coin(WalkSharedCoin)
+    assert set(outcome.decisions) == {0, 1, 2}
+    assert all(v in (HEADS, TAILS) for v in outcome.decisions.values())
+
+
+def test_walk_moves_by_single_steps():
+    sim = Simulation(1, RoundRobinScheduler(), seed=3)
+    coin = WalkSharedCoin(sim, "coin", 1, b_barrier=2)
+
+    def program(ctx):
+        for _ in range(5):
+            yield from coin.walk_step(ctx)
+        return coin.true_walk_value()
+
+    sim.spawn(0, program)
+    value = sim.run().decisions[0]
+    assert abs(value) <= 5 and value % 2 == 5 % 2
+    assert coin.total_steps == 5
+
+
+def test_decided_value_matches_final_walk_side():
+    for seed in range(10):
+        coin, outcome = _run_coin(WalkSharedCoin, seed=seed)
+        values = set(outcome.decisions.values())
+        if len(values) == 1:
+            side = coin.true_walk_value()
+            if values == {HEADS}:
+                assert side > 0
+            elif values == {TAILS}:
+                assert side < 0
+
+
+def test_agreement_is_overwhelming_under_random_scheduling():
+    disagreements = 0
+    for seed in range(60):
+        _, outcome = _run_coin(BoundedWalkSharedCoin, seed=seed)
+        if len(set(outcome.decisions.values())) > 1:
+            disagreements += 1
+    assert disagreements <= 6  # well under the 1/b = 0.5 bound
+
+
+def test_bounded_counters_never_leave_legal_range():
+    for seed in range(15):
+        coin, _ = _run_coin(BoundedWalkSharedCoin, seed=seed, m_bound=10)
+        assert coin.max_counter_magnitude() <= 11  # m + 1
+
+
+def test_tiny_m_forces_overflow_and_heads():
+    # With m=0 every first step overflows a counter; overflowing processes
+    # must return heads.
+    coin, outcome = _run_coin(BoundedWalkSharedCoin, n=2, seed=4, m_bound=0)
+    for pid, value in outcome.decisions.items():
+        if abs(coin.counter_of(pid)) > 0:
+            assert value is HEADS
+
+
+def test_counter_bits_reflects_m():
+    sim = Simulation(2, seed=0)
+    coin = BoundedWalkSharedCoin(sim, "c", 2, b_barrier=2, m_bound=100)
+    assert coin.counter_bits() == (203).bit_length()
+
+
+def test_adversary_prolongs_but_cannot_prevent_decision():
+    flips_random, flips_adv = [], []
+    for seed in range(8):
+        coin, _ = _run_coin(BoundedWalkSharedCoin, n=3, seed=seed)
+        flips_random.append(coin.total_steps)
+        coin, outcome = _run_coin(
+            BoundedWalkSharedCoin,
+            n=3,
+            seed=seed,
+            scheduler=WalkBalancingAdversary("coin", seed=seed),
+        )
+        flips_adv.append(coin.total_steps)
+        assert len(outcome.decisions) == 3  # everyone still decided
+    assert statistics.mean(flips_adv) >= statistics.mean(flips_random)
+
+
+def test_expected_flips_scale_quadratically_in_n():
+    means = []
+    for n in (2, 4):
+        flips = []
+        for seed in range(10):
+            coin, _ = _run_coin(BoundedWalkSharedCoin, n=n, seed=seed)
+            flips.append(coin.total_steps)
+        means.append(statistics.mean(flips))
+    # Doubling n should multiply flips by roughly 4 (allow slack: > 2x).
+    assert means[1] > 2 * means[0]
+
+
+def test_disagreement_adversary_splits_but_respects_the_bound():
+    from repro.runtime.adversary import CoinDisagreementAdversary
+
+    splits = 0
+    for seed in range(40):
+        coin, outcome = _run_coin(
+            BoundedWalkSharedCoin,
+            n=4,
+            b=2,
+            seed=seed,
+            scheduler=CoinDisagreementAdversary("coin", seed=seed),
+        )
+        assert len(outcome.decisions) == 4  # everyone still decides
+        if len(set(outcome.decisions.values())) > 1:
+            splits += 1
+    # The attack succeeds sometimes (unlike the balancing adversary)...
+    assert splits >= 1
+    # ...but stays under Lemma 3.1's 1/b = 0.5 bound with slack.
+    assert splits / 40 <= 0.5

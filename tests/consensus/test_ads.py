@@ -1,0 +1,137 @@
+"""Tests for the paper's protocol (§5)."""
+
+import pytest
+
+from repro.consensus import AdsConsensus, validate_run
+from repro.consensus.ads import AdsCell
+from repro.consensus.interface import BOTTOM
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+from repro.strip import decode_graph
+
+
+def test_unanimous_inputs_decide_that_value_fast():
+    proto = AdsConsensus()
+    for value in (0, 1):
+        run = proto.run([value] * 4, seed=value)
+        assert validate_run(run).ok
+        assert run.decided_values == {value}
+        assert run.max_rounds() <= 2  # Lemma 6.4: by round r+1
+
+
+def test_mixed_inputs_agree_on_some_input():
+    proto = AdsConsensus()
+    run = proto.run([0, 1, 0, 1], seed=3)
+    assert validate_run(run).ok
+    assert len(run.decided_values) == 1
+    assert run.decided_values <= {0, 1}
+
+
+def test_single_process_decides_own_input():
+    run = AdsConsensus().run([1], seed=0)
+    assert run.decisions == {0: 1}
+
+
+def test_two_processes_opposite_inputs():
+    for seed in range(10):
+        run = AdsConsensus().run([0, 1], seed=seed)
+        assert validate_run(run).ok
+
+
+def test_rejects_k_below_two():
+    with pytest.raises(ValueError):
+        AdsConsensus(K=1)
+
+
+def test_unknown_snapshot_kind_rejected():
+    proto = AdsConsensus(snapshot_kind="telepathy")
+    with pytest.raises(ValueError):
+        proto.run([0, 1], seed=0)
+
+
+@pytest.mark.parametrize("snapshot_kind", ["arrows", "sequenced", "embedded"])
+def test_snapshot_ablation_both_work(snapshot_kind):
+    proto = AdsConsensus(snapshot_kind=snapshot_kind)
+    for seed in range(4):
+        run = proto.run([0, 1, 1], seed=seed)
+        assert validate_run(run).ok
+
+
+def test_bloom_arrow_substrate_end_to_end():
+    # Full protocol over arrows built from the two-writer construction,
+    # which itself sits on SWMR cells: boundedness all the way down.
+    proto = AdsConsensus(snapshot_kind="arrows-bloom")
+    run = proto.run([1, 0], seed=2, max_steps=10_000_000)
+    assert validate_run(run).ok
+
+
+@pytest.mark.parametrize("K", [2, 3, 4])
+def test_k_parameter_sweep(K):
+    proto = AdsConsensus(K=K)
+    run = proto.run([0, 1, 0], seed=K)
+    assert validate_run(run).ok
+
+
+def test_memory_is_bounded_by_protocol_parameters():
+    K, m = 2, 9
+    proto = AdsConsensus(K=K, m_bound=m)
+    run = proto.run([0, 1, 0, 1], seed=5)
+    assert validate_run(run).ok
+    # Every integer in every register is bounded by max(m+1, 3K-1, K, n).
+    assert run.audit.max_magnitude <= max(m + 1, 3 * K - 1)
+
+
+def test_default_m_used_when_not_given():
+    proto = AdsConsensus(b_barrier=2, f_factor=4)
+    run = proto.run([0, 1, 1], seed=1)
+    assert validate_run(run).ok
+    # default m for n=3: (4·2·3)² = 576; counters must stay within 577.
+    assert run.audit.max_magnitude <= 577
+
+
+def test_stats_are_collected():
+    run = AdsConsensus().run([0, 1, 0], seed=7)
+    assert set(run.stats) == {
+        "rounds_by_pid",
+        "flips_by_pid",
+        "scans_by_pid",
+        "scan_attempts",
+    }
+    assert all(r >= 1 for r in run.stats["rounds_by_pid"].values())
+    assert run.stats["scan_attempts"] >= sum(run.stats["scans_by_pid"].values())
+
+
+def test_round_robin_schedule_also_safe():
+    run = AdsConsensus().run([1, 0, 1, 0], scheduler=RoundRobinScheduler(), seed=0)
+    assert validate_run(run).ok
+
+
+def test_ads_cell_next_slot_wraps():
+    cell = AdsCell(pref=BOTTOM, coins=(0, 0, 0), current_coin=2, edges=(0, 0))
+    assert cell.next_slot() == 0
+    cell = AdsCell(pref=BOTTOM, coins=(0, 0, 0), current_coin=0, edges=(0, 0))
+    assert cell.next_slot() == 1
+
+
+def test_final_cells_decode_to_legal_graph():
+    proto = AdsConsensus()
+    run = proto.run([0, 1, 0, 1], seed=11, keep_simulation=True)
+    memory = run.simulation.shared["mem"]
+    rows = [cell.edges for cell in memory.peek_view()]
+    graph = decode_graph(rows, proto.K)
+    from repro.strip import check_graph_invariants
+
+    assert check_graph_invariants(graph) == []
+
+
+def test_decided_processes_stop_taking_steps():
+    run = AdsConsensus().run([0, 0, 0], seed=0, keep_simulation=True)
+    outcome = run.simulation.run(0, raise_on_budget=False)
+    # No runnable processes remain after all decided.
+    assert run.simulation.runnable_pids() == []
+
+
+def test_deterministic_replay():
+    a = AdsConsensus().run([0, 1, 1, 0], seed=99)
+    b = AdsConsensus().run([0, 1, 1, 0], seed=99)
+    assert a.decisions == b.decisions
+    assert a.total_steps == b.total_steps

@@ -1,0 +1,132 @@
+"""Tests for the three baseline regimes (AH88, A88, CIL87)."""
+
+import statistics
+
+import pytest
+
+from repro.consensus import (
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.consensus.aspnes_herlihy import RoundCell
+from repro.runtime.adversary import LockstepAdversary
+
+ALL_BASELINES = [AspnesHerlihyConsensus, LocalCoinConsensus, AtomicCoinConsensus]
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_BASELINES)
+def test_unanimous_inputs(protocol_cls):
+    run = protocol_cls().run([1, 1, 1], seed=0)
+    assert validate_run(run).ok
+    assert run.decided_values == {1}
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_BASELINES)
+@pytest.mark.parametrize("seed", range(6))
+def test_mixed_inputs_safe(protocol_cls, seed):
+    run = protocol_cls().run([0, 1, 0, 1], seed=seed, max_steps=20_000_000)
+    assert validate_run(run).ok
+
+
+def test_round_cell_coin_accessors():
+    cell = RoundCell(pref=1, round=3, coins=((2, 5), (3, -1)))
+    assert cell.coin_of(2) == 5
+    assert cell.coin_of(3) == -1
+    assert cell.coin_of(7) == 0
+    updated = cell.with_coin(3, -2)
+    assert updated.coin_of(3) == -2
+    assert updated.coin_of(2) == 5
+    assert cell.coin_of(3) == -1  # immutable
+
+
+def test_ah_round_numbers_grow_with_conflict():
+    run = AspnesHerlihyConsensus().run([0, 1, 0, 1], seed=2)
+    assert run.max_rounds() >= 2
+    # Round numbers are stored raw: the audit sees them.
+    assert run.audit.max_magnitude >= run.max_rounds()
+
+
+def test_ah_rejects_k_below_two():
+    with pytest.raises(ValueError):
+        AspnesHerlihyConsensus(K=1)
+
+
+def test_atomic_coin_constant_rounds():
+    rounds = []
+    for seed in range(10):
+        run = AtomicCoinConsensus().run([0, 1, 0, 1], seed=seed)
+        assert validate_run(run).ok
+        rounds.append(run.max_rounds())
+    assert statistics.mean(rounds) <= 6
+
+
+def test_atomic_coin_creates_oracles_lazily():
+    proto = AtomicCoinConsensus()
+    proto.run([0, 1], seed=1)
+    assert len(proto._oracles) >= 0  # only rounds that conflicted
+
+
+def test_local_coin_needs_exponentially_many_rounds_under_lockstep():
+    small, large = [], []
+    for seed in range(6):
+        run3 = LocalCoinConsensus().run(
+            [0, 1, 0], scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=50_000_000,
+        )
+        run6 = LocalCoinConsensus().run(
+            [0, 1] * 3, scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=50_000_000,
+        )
+        assert validate_run(run3).ok and validate_run(run6).ok
+        small.append(run3.max_rounds())
+        large.append(run6.max_rounds())
+    # Doubling n should blow the round count up by far more than 2x.
+    assert statistics.mean(large) > 2.5 * statistics.mean(small)
+
+
+def test_ah_polynomial_under_lockstep():
+    rounds = []
+    for seed in range(5):
+        run = AspnesHerlihyConsensus().run(
+            [0, 1] * 3, scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=50_000_000,
+        )
+        assert validate_run(run).ok
+        rounds.append(run.max_rounds())
+    assert statistics.mean(rounds) <= 8  # constant expected rounds
+
+
+def test_bounded_local_coin_completes_the_matrix():
+    """The 2x2 time/memory matrix's fourth cell: exponential rounds under
+    lockstep, but bounded registers (the paper's strip with local coins)."""
+    from repro.consensus import BoundedLocalCoinConsensus
+
+    small_rounds, large_rounds, magnitudes = [], [], []
+    for seed in range(5):
+        small = BoundedLocalCoinConsensus().run(
+            [0, 1, 0], scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=100_000_000,
+        )
+        large = BoundedLocalCoinConsensus().run(
+            [0, 1] * 3, scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=100_000_000,
+        )
+        assert validate_run(small).ok and validate_run(large).ok
+        small_rounds.append(small.max_rounds())
+        large_rounds.append(large.max_rounds())
+        magnitudes.append(large.audit.max_magnitude)
+    # Exponential growth in rounds...
+    assert statistics.mean(large_rounds) > 2.5 * statistics.mean(small_rounds)
+    # ...with bounded memory (edge counters < 3K, tiny coins unused).
+    assert max(magnitudes) <= 3 * 2 - 1
+
+
+def test_bounded_local_coin_safe_on_random_schedules():
+    from repro.consensus import BoundedLocalCoinConsensus
+
+    for seed in range(6):
+        run = BoundedLocalCoinConsensus().run([0, 1, 0, 1], seed=seed,
+                                              max_steps=100_000_000)
+        assert validate_run(run).ok

@@ -1,0 +1,126 @@
+"""Edge cases across the consensus stack."""
+
+import pytest
+
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    BoundedLocalCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.runtime import CrashPlan, RandomScheduler, Simulation
+from repro.snapshot import ArrowScannableMemory, check_all_properties
+
+ALL_PROTOCOLS = [
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    LocalCoinConsensus,
+    AtomicCoinConsensus,
+    BoundedLocalCoinConsensus,
+]
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS)
+def test_single_process_decides_its_input(protocol_cls):
+    for value in (0, 1):
+        run = protocol_cls().run([value], seed=value)
+        assert run.decisions == {0: value}
+        assert validate_run(run).ok
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS)
+def test_non_binary_inputs_rejected(protocol_cls):
+    with pytest.raises(ValueError, match="0 or 1"):
+        protocol_cls().run([0, 2], seed=0)
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS)
+def test_empty_inputs_rejected(protocol_cls):
+    with pytest.raises(ValueError):
+        protocol_cls().run([], seed=0)
+
+
+def test_everyone_crashes_at_start_is_a_vacuous_run():
+    plan = CrashPlan({0: 0, 1: 0})
+    run = AdsConsensus().run([0, 1], seed=0, crash_plan=plan)
+    assert run.decisions == {}
+    assert validate_run(run).ok  # nothing decided, nothing violated
+    assert run.outcome.crashed == {0, 1}
+
+
+def test_crash_mid_write_leaves_snapshot_consistent():
+    """A writer crashed between its arrow flips and its value publication
+    must not corrupt later scans (P1-P3 still hold for completed ops)."""
+    sim = Simulation(3, seed=0)
+    mem = ArrowScannableMemory(sim, "M", 3)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from mem.write(ctx, "will-crash")
+                yield from mem.write(ctx, "never-lands")
+            else:
+                yield from mem.write(ctx, f"ok{pid}")
+                return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    # Let pid 0 start its second write (arrow flips) then crash it.
+    from repro.runtime import ScriptedScheduler
+
+    sim.scheduler = ScriptedScheduler([0, 0, 0, 0])  # write 1 + 1 arrow of write 2
+    for _ in range(4):
+        sim.step()
+    sim.crash(0)
+    outcome = sim.run(100_000)
+    assert outcome.finished
+    for pid in (1, 2):
+        assert outcome.decisions[pid][0] == "will-crash"  # the landed write
+    assert check_all_properties(sim.trace, "M", 3) == []
+
+
+def test_ads_two_processes_minimum_k():
+    # K = 2 with n = 2: the smallest nontrivial configuration.
+    for seed in range(10):
+        run = AdsConsensus(K=2).run([0, 1], seed=seed, max_steps=50_000_000)
+        assert validate_run(run).ok
+
+
+def test_ads_extreme_m_one():
+    # m = 1: counters overflow almost immediately; overflow => heads keeps
+    # the protocol safe (agreement may simply take more rounds).
+    for seed in range(6):
+        run = AdsConsensus(m_bound=1).run([0, 1, 0], seed=seed,
+                                          max_steps=50_000_000)
+        assert validate_run(run).ok
+
+
+def test_ads_large_barrier_still_terminates():
+    run = AdsConsensus(b_barrier=6).run([0, 1], seed=2, max_steps=100_000_000)
+    assert validate_run(run).ok
+
+
+def test_weighted_scheduler_starving_almost_everyone():
+    # One process gets virtually all the steps: it must decide alone-ish
+    # while the others trickle along within budget.
+    weights = {0: 1000.0, 1: 1.0, 2: 1.0}
+    run = AdsConsensus().run(
+        [1, 0, 0],
+        scheduler=RandomScheduler(seed=3, weights=weights),
+        seed=3,
+        max_steps=100_000_000,
+    )
+    assert validate_run(run).ok
+
+
+def test_run_is_pure_wrt_protocol_instance_reuse():
+    # Reusing one protocol object for several runs must not leak state.
+    proto = AdsConsensus()
+    first = proto.run([0, 1], seed=1)
+    second = proto.run([0, 1], seed=1)
+    assert first.decisions == second.decisions
+    assert first.total_steps == second.total_steps
+    assert first.stats == second.stats

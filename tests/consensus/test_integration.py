@@ -1,0 +1,175 @@
+"""Integration: full consensus executions across schedulers, crash plans
+and adversaries, with live invariant checking.
+
+These are the paper's safety theorems (Lemmas 6.1–6.6) exercised
+empirically: consistency and validity must hold on *every* run, under every
+scheduler, with any minority... indeed any n-1 crashes.
+"""
+
+import pytest
+
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.consensus.ads import pref_reader
+from repro.consensus.validation import assert_safe
+from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler, SplitAdversary
+from repro.runtime.adversary import LockstepAdversary
+from repro.runtime.rng import derive_rng
+from repro.runtime.scheduler import Scheduler
+from repro.strip import check_graph_invariants, decode_graph
+from repro.strip.edge_counters import IllFormedCounters
+
+PROTOCOLS = [AdsConsensus, AspnesHerlihyConsensus, LocalCoinConsensus, AtomicCoinConsensus]
+
+
+@pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_all_protocols(protocol_cls, seed):
+    inputs = [(seed >> p) & 1 for p in range(4)]
+    run = protocol_cls().run(inputs, seed=seed, max_steps=30_000_000)
+    assert_safe(run)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_ads_with_random_crashes(seed):
+    rng = derive_rng(seed, "integration-crash")
+    plan = CrashPlan.random(5, rng, horizon=800)
+    inputs = [rng.randint(0, 1) for _ in range(5)]
+    run = AdsConsensus().run(
+        inputs, seed=seed, crash_plan=plan, max_steps=30_000_000
+    )
+    assert_safe(run)
+
+
+def test_ads_survives_all_but_one_crashing_immediately():
+    plan = CrashPlan({1: 0, 2: 0, 3: 0})
+    run = AdsConsensus().run([0, 1, 1, 0], seed=3, crash_plan=plan)
+    assert_safe(run)
+    assert run.decisions == {0: 0}  # the survivor decides its own input
+
+
+def test_ads_survives_mid_flight_crashes():
+    plan = CrashPlan({0: 50, 2: 120})
+    run = AdsConsensus().run([1, 0, 1, 0], seed=4, crash_plan=plan,
+                             max_steps=30_000_000)
+    assert_safe(run)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_ads_under_split_adversary(seed):
+    run = AdsConsensus().run(
+        [0, 1, 0, 1],
+        scheduler=SplitAdversary(pref_reader, seed=seed),
+        seed=seed,
+        max_steps=30_000_000,
+    )
+    assert_safe(run)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_ads_under_lockstep_adversary(seed):
+    run = AdsConsensus().run(
+        [0, 1, 0, 1, 0],
+        scheduler=LockstepAdversary("mem", seed=seed),
+        seed=seed,
+        max_steps=30_000_000,
+    )
+    assert_safe(run)
+
+
+class InvariantCheckingScheduler(Scheduler):
+    """Wraps a scheduler; decodes the live edge-counter state every few
+    steps and asserts the §4.2 invariants hold *throughout* the run —
+    the concurrent counterpart of Claim 4.1."""
+
+    def __init__(self, inner, K, every=7):
+        self.inner = inner
+        self.K = K
+        self.every = every
+        self._count = 0
+        self.checks = 0
+
+    def reset(self):
+        self.inner.reset()
+
+    def choose(self, sim, runnable):
+        self._count += 1
+        if self._count % self.every == 0:
+            memory = sim.shared.get("mem")
+            if memory is not None:
+                rows = [cell.edges for cell in memory.peek_view()]
+                try:
+                    graph = decode_graph(rows, self.K)
+                except IllFormedCounters as exc:
+                    raise AssertionError(f"counters ill-formed mid-run: {exc}")
+                violations = check_graph_invariants(graph)
+                assert violations == [], f"mid-run violations: {violations}"
+                self.checks += 1
+        return self.inner.choose(sim, runnable)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_strip_invariants_hold_throughout_live_runs(seed):
+    proto = AdsConsensus()
+    checker = InvariantCheckingScheduler(RandomScheduler(seed=seed), proto.K)
+    run = proto.run([0, 1, 0, 1], scheduler=checker, seed=seed,
+                    max_steps=30_000_000)
+    assert_safe(run)
+    assert checker.checks > 10  # the invariants were really exercised
+
+
+def test_bounded_coin_counters_throughout_live_run():
+    proto = AdsConsensus(m_bound=25)
+
+    class CoinRangeChecker(Scheduler):
+        def __init__(self, inner, m):
+            self.inner, self.m = inner, m
+
+        def reset(self):
+            self.inner.reset()
+
+        def choose(self, sim, runnable):
+            memory = sim.shared.get("mem")
+            if memory is not None:
+                for cell in memory.peek_view():
+                    assert all(abs(c) <= self.m + 1 for c in cell.coins)
+            return self.inner.choose(sim, runnable)
+
+    run = proto.run(
+        [0, 1, 0],
+        scheduler=CoinRangeChecker(RandomScheduler(seed=2), 25),
+        seed=2,
+        max_steps=30_000_000,
+    )
+    assert_safe(run)
+
+
+def test_heterogeneous_speeds_safe():
+    # One extremely slow process (weight 0.01) must not break anything.
+    run = AdsConsensus().run(
+        [1, 0, 1],
+        scheduler=RandomScheduler(seed=5, weights={2: 0.01}),
+        seed=5,
+        max_steps=30_000_000,
+    )
+    assert_safe(run)
+
+
+def test_round_robin_all_protocols():
+    for protocol_cls in PROTOCOLS:
+        run = protocol_cls().run(
+            [0, 1, 1, 0], scheduler=RoundRobinScheduler(), seed=0,
+            max_steps=30_000_000,
+        )
+        assert_safe(run)
+
+
+def test_larger_population():
+    run = AdsConsensus().run([p % 2 for p in range(8)], seed=1,
+                             max_steps=50_000_000)
+    assert_safe(run)

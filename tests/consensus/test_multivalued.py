@@ -1,0 +1,173 @@
+"""Tests for multivalued consensus and the composable consensus object."""
+
+import pytest
+
+from repro.consensus.ads import AdsConsensusObject
+from repro.consensus.multivalued import MultivaluedConsensusObject, bits_needed
+from repro.runtime import RandomScheduler, Simulation
+
+
+def test_bits_needed():
+    assert bits_needed(1) == 1
+    assert bits_needed(2) == 1
+    assert bits_needed(3) == 2
+    assert bits_needed(4) == 2
+    assert bits_needed(5) == 3
+    assert bits_needed(8) == 3
+
+
+def _run_multivalued(n, proposals, seed):
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    mc = MultivaluedConsensusObject(sim, "mc", n)
+
+    def factory(pid):
+        def body(ctx):
+            return (yield from mc.propose(ctx, proposals[pid]))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(20_000_000)
+    return outcome.decisions
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_multivalued_agreement_and_validity(seed):
+    proposals = [f"v{p}" for p in range(4)]
+    decisions = _run_multivalued(4, proposals, seed)
+    values = set(decisions.values())
+    assert len(values) == 1
+    assert values.pop() in set(proposals)
+
+
+def test_multivalued_unanimous():
+    decisions = _run_multivalued(3, ["same"] * 3, seed=0)
+    assert set(decisions.values()) == {"same"}
+
+
+def test_multivalued_arbitrary_python_values():
+    proposals = [(1, 2), (1, 2), {"k": 3}]
+    # dict is unhashable but never hashed — only compared/stored.
+    decisions = _run_multivalued(3, proposals, seed=5)
+    value = next(iter(decisions.values()))
+    assert all(v == value for v in decisions.values())
+
+
+def test_multivalued_single_process():
+    decisions = _run_multivalued(1, ["solo"], seed=0)
+    assert decisions == {0: "solo"}
+
+
+def test_multivalued_partial_participation():
+    # Only 2 of 4 processes propose; they must still agree on one of
+    # their own values (absentees behave like crashed processes).
+    sim = Simulation(4, RandomScheduler(seed=2), seed=2)
+    mc = MultivaluedConsensusObject(sim, "mc", 4)
+
+    def factory(pid):
+        def body(ctx):
+            if pid < 2:
+                return (yield from mc.propose(ctx, f"v{pid}"))
+            return None
+            yield  # pragma: no cover
+
+        return body
+
+    sim.spawn_all(factory)
+    decisions = sim.run(20_000_000).decisions
+    assert decisions[0] == decisions[1]
+    assert decisions[0] in ("v0", "v1")
+
+
+def test_binary_object_rejects_nonbinary():
+    sim = Simulation(2, seed=0)
+    cons = AdsConsensusObject(sim, "c", 2)
+
+    def program(ctx):
+        yield from cons.propose(ctx, 7)
+
+    with pytest.raises(ValueError, match="0 or 1"):
+        sim.spawn(0, program)
+
+
+def test_binary_object_repeated_propose_returns_cached_decision():
+    sim = Simulation(2, RandomScheduler(seed=1), seed=1)
+    cons = AdsConsensusObject(sim, "c", 2)
+
+    def factory(pid):
+        def body(ctx):
+            first = yield from cons.propose(ctx, pid)
+            second = yield from cons.propose(ctx, pid)
+            return (first, second)
+
+        return body
+
+    sim.spawn_all(factory)
+    decisions = sim.run(10_000_000).decisions
+    for first, second in decisions.values():
+        assert first == second
+    assert len({pair[0] for pair in decisions.values()}) == 1
+
+
+def test_two_independent_instances_can_differ():
+    sim = Simulation(2, RandomScheduler(seed=3), seed=3)
+    a = AdsConsensusObject(sim, "a", 2)
+    b = AdsConsensusObject(sim, "b", 2)
+
+    def factory(pid):
+        def body(ctx):
+            # Opposite proposals per instance: a gets pid, b gets 1-pid.
+            da = yield from a.propose(ctx, pid)
+            db = yield from b.propose(ctx, 1 - pid)
+            return (da, db)
+
+        return body
+
+    sim.spawn_all(factory)
+    decisions = sim.run(10_000_000).decisions
+    assert decisions[0] == decisions[1]  # agreement within each instance
+
+
+def test_binary_object_stats_exposed():
+    sim = Simulation(2, RandomScheduler(seed=0), seed=0)
+    cons = AdsConsensusObject(sim, "c", 2)
+
+    def factory(pid):
+        def body(ctx):
+            return (yield from cons.propose(ctx, pid))
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(10_000_000)
+    stats = cons.stats()
+    assert stats["rounds_by_pid"][0] >= 1
+
+
+def test_multivalued_protocol_class_runs_and_validates():
+    from repro.consensus import MultivaluedAdsConsensus, validate_run
+
+    proto = MultivaluedAdsConsensus()
+    run = proto.run(["red", "green", "blue"], seed=3)
+    report = validate_run(run)
+    assert report.ok
+    assert run.decided_values <= {"red", "green", "blue"}
+    assert len(run.decided_values) == 1
+    assert run.stats["bits"] == 2
+
+
+def test_multivalued_protocol_class_with_crashes():
+    from repro.consensus import MultivaluedAdsConsensus, validate_run
+    from repro.runtime import CrashPlan
+
+    proto = MultivaluedAdsConsensus()
+    run = proto.run([10, 20, 30, 40], seed=5, crash_plan=CrashPlan({3: 0}))
+    assert validate_run(run).ok
+    assert run.decided_values <= {10, 20, 30, 40}
+
+
+def test_multivalued_protocol_unanimous_validity():
+    from repro.consensus import MultivaluedAdsConsensus
+
+    run = MultivaluedAdsConsensus().run(["v", "v", "v"], seed=1)
+    assert run.decided_values == {"v"}

@@ -1,0 +1,87 @@
+"""Property-based consensus testing with hypothesis.
+
+Hypothesis drives the input vectors, seeds, scheduler choices and crash
+patterns; consistency, validity, decision domain and completion must hold
+on every generated execution (Lemmas 6.1–6.6 hold with probability 1, so
+any counterexample hypothesis shrinks to is a real protocol bug).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus import AdsConsensus, AspnesHerlihyConsensus
+from repro.consensus.validation import assert_safe
+from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler
+from repro.runtime.adversary import LockstepAdversary
+
+inputs_strategy = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=6)
+seed_strategy = st.integers(min_value=0, max_value=10_000)
+
+
+def _scheduler(kind: str, seed: int):
+    if kind == "rr":
+        return RoundRobinScheduler()
+    if kind == "lockstep":
+        return LockstepAdversary("mem", seed=seed)
+    return RandomScheduler(seed=seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inputs_strategy,
+    seed_strategy,
+    st.sampled_from(["random", "rr", "lockstep"]),
+)
+def test_ads_safe_on_arbitrary_inputs_and_schedules(inputs, seed, scheduler_kind):
+    run = AdsConsensus().run(
+        inputs,
+        scheduler=_scheduler(scheduler_kind, seed),
+        seed=seed,
+        max_steps=50_000_000,
+    )
+    assert_safe(run)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    inputs_strategy,
+    seed_strategy,
+    st.dictionaries(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=300),
+        max_size=5,
+    ),
+)
+def test_ads_safe_under_arbitrary_crash_plans(inputs, seed, raw_crashes):
+    n = len(inputs)
+    crashes = {pid: step for pid, step in raw_crashes.items() if pid < n}
+    if len(crashes) >= n:  # keep at least one process alive
+        crashes.pop(next(iter(crashes)))
+    run = AdsConsensus().run(
+        inputs,
+        seed=seed,
+        crash_plan=CrashPlan(crashes),
+        max_steps=50_000_000,
+    )
+    assert_safe(run)
+
+
+@settings(max_examples=15, deadline=None)
+@given(inputs_strategy, seed_strategy)
+def test_ads_and_ah_agree_on_safety_not_necessarily_value(inputs, seed):
+    """Two different protocols on the same inputs: both safe; when inputs
+    are unanimous they must decide the *same* value (validity pins it)."""
+    ads = AdsConsensus().run(inputs, seed=seed, max_steps=50_000_000)
+    ah = AspnesHerlihyConsensus().run(inputs, seed=seed, max_steps=50_000_000)
+    assert_safe(ads)
+    assert_safe(ah)
+    if len(set(inputs)) == 1:
+        assert ads.decided_values == ah.decided_values == set(inputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(inputs_strategy, seed_strategy)
+def test_ads_memory_bound_holds_for_every_workload(inputs, seed):
+    proto = AdsConsensus(m_bound=15)
+    run = proto.run(inputs, seed=seed, max_steps=50_000_000)
+    assert_safe(run)
+    assert run.audit.max_magnitude <= max(15 + 1, 3 * proto.K - 1)

@@ -1,0 +1,101 @@
+"""Tests for the safety validators (on fabricated runs)."""
+
+from repro.consensus import validate_run
+from repro.consensus.interface import ConsensusRun
+from repro.consensus.validation import (
+    assert_safe,
+    check_completion,
+    check_consistency,
+    check_decision_domain,
+    check_validity,
+    summarize_memory,
+)
+from repro.registers import MemoryAudit
+from repro.runtime.simulation import SimulationOutcome
+
+import pytest
+
+
+def _fake_run(inputs, decisions, crashed=frozenset()):
+    outcome = SimulationOutcome(
+        decisions=decisions,
+        total_steps=100,
+        steps_by_pid={pid: 10 for pid in range(len(inputs))},
+        finished=True,
+        crashed=set(crashed),
+    )
+    return ConsensusRun(
+        protocol="fake",
+        n=len(inputs),
+        inputs=tuple(inputs),
+        outcome=outcome,
+        audit=MemoryAudit(),
+        seed=0,
+    )
+
+
+def test_good_run_passes_everything():
+    run = _fake_run([0, 1], {0: 1, 1: 1})
+    report = validate_run(run)
+    assert report.ok and report.problems == []
+
+
+def test_inconsistency_detected():
+    run = _fake_run([0, 1], {0: 0, 1: 1})
+    report = validate_run(run)
+    assert not report.consistent
+    assert any("inconsistent" in p for p in report.problems)
+
+
+def test_validity_violation_detected():
+    run = _fake_run([1, 1], {0: 0, 1: 0})
+    report = validate_run(run)
+    assert not report.valid
+
+
+def test_mixed_inputs_any_agreed_input_is_valid():
+    assert check_validity(_fake_run([0, 1], {0: 0, 1: 0}))
+    assert check_validity(_fake_run([0, 1], {0: 1, 1: 1}))
+
+
+def test_domain_violation_detected():
+    run = _fake_run([0, 0], {0: 7, 1: 7})
+    assert not check_decision_domain(run)
+    # Consistent and (vacuously for mixed) might pass others; report must fail.
+    assert not validate_run(run).ok
+
+
+def test_missing_decision_detected():
+    run = _fake_run([0, 1, 1], {0: 1, 2: 1})
+    assert not check_completion(run)
+    report = validate_run(run)
+    assert any("did not decide" in p for p in report.problems)
+
+
+def test_crashed_processes_excused_from_completion():
+    run = _fake_run([0, 1, 1], {0: 1, 2: 1}, crashed={1})
+    assert check_completion(run)
+    assert validate_run(run).ok
+
+
+def test_consistency_vacuous_when_nobody_decides():
+    run = _fake_run([0, 1], {}, crashed={0, 1})
+    assert check_consistency(run)
+
+
+def test_assert_safe_raises_readable_error():
+    run = _fake_run([1, 1], {0: 0, 1: 1})
+    with pytest.raises(AssertionError, match="unsafe run"):
+        assert_safe(run)
+
+
+def test_summarize_memory_shape():
+    run = _fake_run([0], {0: 0})
+    run.audit.observe("r", (5, -12))
+    summary = summarize_memory(run)
+    assert summary == {"max_magnitude": 12, "max_width": 2, "writes": 1}
+
+
+def test_max_rounds_defaults_to_zero_without_stats():
+    run = _fake_run([0], {0: 0})
+    assert run.max_rounds() == 0

@@ -1,0 +1,95 @@
+"""Tests for the §6.1 virtual-global-round machinery."""
+
+import pytest
+
+from repro.consensus import AdsConsensus
+from repro.consensus.validation import assert_safe
+from repro.consensus.virtual_rounds import (
+    VirtualRoundTrace,
+    analyze_run,
+    check_decision_window,
+    check_monotonicity,
+    compute_virtual_rounds,
+)
+from repro.runtime import RandomScheduler
+from repro.runtime.adversary import LockstepAdversary
+
+
+def _recorded_run(inputs, seed, scheduler=None):
+    proto = AdsConsensus(ghost_wseqs=True)
+    run = proto.run(
+        inputs,
+        scheduler=scheduler or RandomScheduler(seed=seed),
+        seed=seed,
+        record_spans=True,
+        keep_simulation=True,
+        max_steps=50_000_000,
+    )
+    assert_safe(run)
+    return proto, run
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_monotonicity_and_window_on_random_runs(seed):
+    proto, run = _recorded_run([0, 1, 0, 1], seed)
+    trace, problems = analyze_run(run, K=proto.K)
+    assert problems == []
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_monotonicity_under_lockstep_adversary(seed):
+    proto, run = _recorded_run(
+        [0, 1, 0], seed, scheduler=LockstepAdversary("mem", seed=seed)
+    )
+    trace, problems = analyze_run(run, K=proto.K)
+    assert problems == []
+
+
+def test_final_virtual_rounds_match_local_inc_counts():
+    proto, run = _recorded_run([0, 1, 0], seed=1)
+    trace = compute_virtual_rounds(run, K=proto.K)
+    local = run.stats["rounds_by_pid"]
+    for pid in range(run.n):
+        assert trace.final_rounds[pid] == local[pid]
+
+
+def test_unanimous_run_decides_within_two_virtual_rounds():
+    proto, run = _recorded_run([1, 1, 1], seed=0)
+    trace = compute_virtual_rounds(run, K=proto.K)
+    assert max(trace.final_rounds) <= 2  # Lemma 6.4: halt by round 2
+
+
+def test_rounds_start_at_one_after_initial_writes():
+    proto, run = _recorded_run([0, 1], seed=2)
+    trace = compute_virtual_rounds(run, K=proto.K)
+    assert all(r >= 0 for r in trace.rounds[0])
+    assert max(trace.rounds[0]) <= 1
+
+
+def test_requires_ghost_wseqs():
+    proto = AdsConsensus()  # ghost off
+    run = proto.run([0, 1], seed=0, record_spans=True, keep_simulation=True)
+    with pytest.raises(ValueError, match="ghost"):
+        compute_virtual_rounds(run, K=proto.K)
+
+
+def test_requires_kept_simulation():
+    run = AdsConsensus(ghost_wseqs=True).run([0, 1], seed=0)
+    with pytest.raises(ValueError, match="keep_simulation"):
+        compute_virtual_rounds(run, K=2)
+
+
+def test_checkers_flag_fabricated_violations():
+    trace = VirtualRoundTrace(n=2, K=2, scan_pids=[0, 1])
+    trace.rounds = [[1.0, 1.0], [0.0, 2.0]]  # pid 0 regressed
+    problems = check_monotonicity(trace)
+    assert problems and "dropped" in problems[0]
+
+    class FakeRun:
+        decisions = {1: 1}
+        n = 2
+
+    trace2 = VirtualRoundTrace(n=2, K=2, scan_pids=[0])
+    trace2.rounds = [[9.0, 1.0]]  # pid 0 ran 8 rounds past the decider
+    problems = check_decision_window(trace2, FakeRun())
+    assert problems and "past a decider" in problems[0]

@@ -1,0 +1,122 @@
+"""Tests for simulated atomic registers and the memory audit."""
+
+import pytest
+
+from repro.registers import AtomicRegister, MemoryAudit, RegisterArray, measure_magnitude
+from repro.registers.base import measure_width
+from repro.runtime import RoundRobinScheduler, Simulation
+
+
+def test_read_returns_last_written_value():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", initial="init")
+
+    def program(ctx):
+        first = yield from reg.read(ctx)
+        yield from reg.write(ctx, "x")
+        second = yield from reg.read(ctx)
+        return (first, second)
+
+    sim.spawn(0, program)
+    assert sim.run().decisions[0] == ("init", "x")
+
+
+def test_single_writer_restriction_enforced():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    reg = AtomicRegister(sim, "r", writers=[0])
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid)
+
+        return body
+
+    # The offending write is pid 1's first operation, so the permission
+    # check fires while its program is primed at spawn time.
+    with pytest.raises(PermissionError):
+        sim.spawn_all(factory)
+
+
+def test_single_writer_violation_mid_run_raises():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    guarded = AtomicRegister(sim, "g", writers=[0])
+    free = AtomicRegister(sim, "f")
+
+    def factory(pid):
+        def body(ctx):
+            yield from free.write(ctx, pid)  # legal first op for both
+            yield from guarded.write(ctx, pid)
+
+        return body
+
+    sim.spawn_all(factory)
+    with pytest.raises(PermissionError):
+        sim.run()
+
+
+def test_register_array_naming_and_ownership():
+    sim = Simulation(3, seed=0)
+    array = RegisterArray(sim, "V", 3, initial=0)
+    assert len(array) == 3
+    assert array[1].name == "V[1]"
+    assert array[1].writers == frozenset([1])
+    assert sim.shared["V[2]"] is array[2]
+    assert array.peek_all() == [0, 0, 0]
+
+
+def test_register_array_multi_writer_mode():
+    sim = Simulation(2, seed=0)
+    array = RegisterArray(sim, "M", 2, single_writer=False)
+    assert array[0].writers is None
+
+
+def test_measure_magnitude_recurses_structures():
+    assert measure_magnitude(None) == 0
+    assert measure_magnitude(-17) == 17
+    assert measure_magnitude("label") == 0
+    assert measure_magnitude((1, (2, -30), [4])) == 30
+    assert measure_magnitude({"a": 5, 9: [7]}) == 9
+    assert measure_magnitude(True) == 0
+
+
+def test_measure_width_counts_leaves():
+    assert measure_width(5) == 1
+    assert measure_width((1, 2, 3)) == 3
+    assert measure_width({"a": (1, 2), "b": 3}) == 3
+
+
+def test_audit_tracks_maxima_across_writes():
+    audit = MemoryAudit()
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", initial=0, audit=audit)
+
+    def program(ctx):
+        yield from reg.write(ctx, 100)
+        yield from reg.write(ctx, (3, -2))
+
+    sim.spawn(0, program)
+    sim.run()
+    assert audit.max_magnitude == 100
+    assert audit.max_width == 2
+    assert audit.writes == 3  # initial + two writes
+    assert audit.per_target["r"] == 100
+
+
+def test_audit_merge():
+    a, b = MemoryAudit(), MemoryAudit()
+    a.observe("x", 10)
+    b.observe("x", 3)
+    b.observe("y", (1, 2, 3, 4))
+    merged = a.merge(b)
+    assert merged.max_magnitude == 10
+    assert merged.max_width == 4
+    assert merged.writes == 3
+    assert merged.per_target == {"x": 10, "y": 4}
+
+
+def test_poke_and_peek_do_not_consume_steps():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", initial=1)
+    reg.poke(9)
+    assert reg.peek() == 9
+    assert sim.step_count == 0

@@ -1,0 +1,107 @@
+"""Tests for the unbounded multi-writer register comparator."""
+
+import pytest
+
+from repro.registers import (
+    MemoryAudit,
+    UnboundedMultiWriterRegister,
+    check_register_history,
+    history_from_spans,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Simulation
+
+
+def _history(sim, name="R"):
+    return history_from_spans([s for s in sim.trace.spans if s.target == name])
+
+
+def test_sequential_read_write():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    reg = UnboundedMultiWriterRegister(sim, "R", 2, initial="i")
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from reg.write(ctx, "x")
+            else:
+                first = yield from reg.read(ctx)
+                return first
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    assert reg.peek() == "x"
+
+
+def test_every_process_can_write():
+    sim = Simulation(3, RoundRobinScheduler(), seed=0)
+    reg = UnboundedMultiWriterRegister(sim, "R", 3, initial=None)
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid)
+            return (yield from reg.read(ctx))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    assert reg.peek() in (0, 1, 2)
+    assert all(v in (0, 1, 2) for v in outcome.decisions.values())
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_randomized_histories_linearizable(seed):
+    sim = Simulation(3, RandomScheduler(seed=seed), seed=seed)
+    reg = UnboundedMultiWriterRegister(sim, "R", 3, initial=0)
+
+    def factory(pid):
+        def body(ctx):
+            reads = []
+            for k in range(3):
+                yield from reg.write(ctx, (pid, k))
+                reads.append((yield from reg.read(ctx)))
+            return reads
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    assert check_register_history(_history(sim), initial=0) is not None
+
+
+def test_sequence_numbers_grow_without_bound():
+    """The defining flaw: the audit magnitude grows with the write count."""
+    audit = MemoryAudit()
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    reg = UnboundedMultiWriterRegister(sim, "R", 2, initial=0, audit=audit)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(25):
+                yield from reg.write(ctx, 1)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    # Concurrent writes may share a sequence number (pid breaks the tie),
+    # so 25 round-robin waves of 2 writes yield max seq >= 25 — the point
+    # is that it grows with the number of writes, without bound.
+    assert audit.max_magnitude >= 25
+
+    short_audit = MemoryAudit()
+    sim2 = Simulation(2, RoundRobinScheduler(), seed=0)
+    reg2 = UnboundedMultiWriterRegister(sim2, "R", 2, initial=0, audit=short_audit)
+
+    def short_factory(pid):
+        def body(ctx):
+            for _ in range(5):
+                yield from reg2.write(ctx, 1)
+
+        return body
+
+    sim2.spawn_all(short_factory)
+    sim2.run()
+    assert short_audit.max_magnitude < audit.max_magnitude

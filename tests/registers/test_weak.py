@@ -1,0 +1,293 @@
+"""Tests for safe/regular registers and the strengthening constructions.
+
+The hierarchy is validated in both directions: each class *satisfies* its
+own guarantee, and each strictly-weaker class *violates* the next one on
+some schedule (found by the exhaustive explorer), so the constructions are
+demonstrably doing real work.
+"""
+
+import pytest
+
+from repro.registers import check_register_history, history_from_spans
+from repro.registers.weak import (
+    AtomicFromRegular,
+    RegularBitFromSafe,
+    RegularRegister,
+    SafeRegister,
+)
+from repro.runtime import ScriptedScheduler, Simulation
+from repro.verify import explore_schedules
+
+
+def _history(sim, name):
+    return history_from_spans([s for s in sim.trace.spans if s.target == name])
+
+
+def _is_regular(sim, name, writer_values, initial):
+    """Check regularity: every read returns the latest non-overlapping
+    write's value or an overlapping write's value."""
+    spans = [s for s in sim.trace.spans if s.target == name and not s.is_open]
+    writes = sorted(
+        (s for s in spans if s.kind == "write"), key=lambda s: s.invoke_step
+    )
+    problems = []
+    for read in (s for s in spans if s.kind == "read"):
+        candidates = set()
+        preceding = [w for w in writes if w.precedes(read)]
+        candidates.add(preceding[-1].argument if preceding else initial)
+        candidates.update(w.argument for w in writes if w.overlaps(read))
+        if read.result not in candidates:
+            problems.append(f"read {read} outside candidates {candidates}")
+    return problems
+
+
+# -- safe registers -----------------------------------------------------------
+
+
+def test_safe_register_quiescent_reads_latest_value():
+    sim = Simulation(2, ScriptedScheduler([0, 0, 1]), seed=0)
+    reg = SafeRegister(sim, "s", domain=["a", "b", "c"], initial="a", writer=0)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from reg.write(ctx, "b")
+            else:
+                return (yield from reg.read(ctx))
+
+        return body
+
+    sim.spawn_all(factory)
+    assert sim.run().decisions[1] == "b"
+
+
+def test_safe_register_overlapping_read_may_return_garbage():
+    # Three reads scheduled inside the write-start..write-commit window at
+    # different global steps: the schedule-controlled flicker gives them
+    # distinct domain values, including values that are neither the old
+    # nor the new one — allowed by safe, forbidden by regular and atomic.
+    sim = Simulation(2, ScriptedScheduler([0, 1, 1, 1, 0]), seed=0)
+    reg = SafeRegister(sim, "s", domain=list(range(10)), initial=0, writer=0)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from reg.write(ctx, 1)
+            else:
+                reads = []
+                for _ in range(3):
+                    reads.append((yield from reg.read(ctx)))
+                return reads
+
+        return body
+
+    sim.spawn_all(factory)
+    results = set(sim.run().decisions[1])
+    assert not results <= {0, 1}  # garbage seen: safe, but not regular
+
+
+def test_safe_register_rejects_foreign_writer_and_bad_value():
+    sim = Simulation(2, seed=0)
+    reg = SafeRegister(sim, "s", domain=[0, 1], initial=0, writer=0)
+
+    def bad_writer(ctx):
+        yield from reg.write(ctx, 1)
+
+    with pytest.raises(PermissionError):
+        sim.spawn(1, bad_writer)
+
+    sim2 = Simulation(1, seed=0)
+    reg2 = SafeRegister(sim2, "s", domain=[0, 1], initial=0, writer=0)
+
+    def bad_value(ctx):
+        yield from reg2.write(ctx, 7)
+
+    with pytest.raises(ValueError):
+        sim2.spawn(0, bad_value)
+
+
+# -- regular registers -----------------------------------------------------------
+
+
+def test_regular_register_overlapping_read_is_old_or_new():
+    for seed in range(30):
+        sim = Simulation(2, ScriptedScheduler([0, 1, 0]), seed=seed)
+        reg = RegularRegister(sim, "r", domain=list(range(10)), initial=0, writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, 1)
+                else:
+                    return (yield from reg.read(ctx))
+
+            return body
+
+        sim.spawn_all(factory)
+        assert sim.run().decisions[1] in (0, 1)
+
+
+def test_regular_register_satisfies_regularity_exhaustively():
+    def setup(sim):
+        reg = RegularRegister(sim, "r", domain=[0, 1, 2], initial=0, writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, 1)
+                    yield from reg.write(ctx, 2)
+                else:
+                    a = yield from reg.read(ctx)
+                    b = yield from reg.read(ctx)
+                    return (a, b)
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        return _is_regular(sim, "r", [1, 2], 0)
+
+    result = explore_schedules(2, setup, check, max_steps=10)
+    assert result.exhausted and result.ok, result.violations[:1]
+
+
+def test_regular_register_is_not_atomic():
+    """New/old inversion: exhaustive search finds a schedule where two
+    sequential reads return new-then-old — regular allows it, atomic
+    does not."""
+
+    def setup(sim):
+        reg = RegularRegister(sim, "r", domain=[0, 1], initial=0, writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, 1)
+                else:
+                    a = yield from reg.read(ctx)
+                    b = yield from reg.read(ctx)
+                    return (a, b)
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        if outcome.decisions[1] == (1, 0):
+            return ["new/old inversion"]
+        return []
+
+    result = explore_schedules(
+        2, setup, check, max_steps=10, stop_on_first_violation=True
+    )
+    assert not result.ok  # the inversion schedule exists
+
+
+# -- regular bit from safe bit -----------------------------------------------------
+
+
+def test_regular_bit_from_safe_exhaustive_regularity():
+    def setup(sim):
+        bit = RegularBitFromSafe(sim, "bit", initial=0, writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from bit.write(ctx, 1)
+                    yield from bit.write(ctx, 1)  # skipped physical write
+                    yield from bit.write(ctx, 0)
+                else:
+                    reads = []
+                    for _ in range(2):
+                        reads.append((yield from bit.read(ctx)))
+                    return reads
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        return _is_regular(sim, "bit", [1, 1, 0], 0)
+
+    result = explore_schedules(2, setup, check, max_steps=14)
+    assert result.exhausted and result.ok, result.violations[:1]
+
+
+def test_skipped_write_never_touches_physical_bit():
+    sim = Simulation(1, seed=0)
+    bit = RegularBitFromSafe(sim, "bit", initial=0, writer=0)
+
+    def program(ctx):
+        yield from bit.write(ctx, 0)  # same value: must skip
+        yield from bit.write(ctx, 1)
+
+    sim.spawn(0, program)
+    sim.run()
+    events = [e for e in sim.trace.events]
+    # (events recording is off by default; use span count instead)
+    spans = [s for s in sim.trace.spans if s.target == "bit.safe"]
+    assert len(spans) == 1  # only the changing write reached the safe bit
+
+
+# -- atomic from regular -------------------------------------------------------------
+
+
+def test_atomic_from_regular_swsr_exhaustively_linearizable():
+    def setup(sim):
+        reg = AtomicFromRegular(sim, "a", initial="x", writer=0)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, "y")
+                    yield from reg.write(ctx, "z")
+                else:
+                    reads = []
+                    for _ in range(2):
+                        reads.append((yield from reg.read(ctx)))
+                    return reads
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        history = _history(sim, "a")
+        if check_register_history(history, initial="x") is None:
+            return ["non-linearizable"]
+        return []
+
+    result = explore_schedules(2, setup, check, max_steps=12)
+    assert result.exhausted and result.ok, result.violations[:1]
+
+
+def test_atomic_from_regular_two_readers_can_invert():
+    """Documented limitation: the construction is SWSR — with two readers
+    the explorer finds a cross-reader new/old inversion."""
+
+    def setup(sim):
+        reg = AtomicFromRegular(sim, "a", initial=0, writer=0)
+        warmup_done = {}
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from reg.write(ctx, 1)
+                else:
+                    return (yield from reg.read(ctx))
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        history = _history(sim, "a")
+        if check_register_history(history, initial=0) is None:
+            return ["cross-reader inversion"]
+        return []
+
+    result = explore_schedules(
+        3, setup, check, max_steps=10, stop_on_first_violation=True
+    )
+    assert not result.ok

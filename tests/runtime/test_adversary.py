@@ -1,0 +1,134 @@
+"""Tests for the adaptive adversaries."""
+
+import statistics
+
+from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
+from repro.consensus import AdsConsensus, LocalCoinConsensus, validate_run
+from repro.consensus.ads import pref_reader
+from repro.runtime import (
+    RandomScheduler,
+    ScanStarvingAdversary,
+    Simulation,
+    SplitAdversary,
+    WalkBalancingAdversary,
+)
+from repro.runtime.adversary import LockstepAdversary
+from repro.snapshot import ArrowScannableMemory
+
+
+def _coin_flips(scheduler_factory, n=4, b=2, seeds=range(12)):
+    totals = []
+    for seed in seeds:
+        sim = Simulation(n, scheduler_factory(seed), seed=seed)
+        coin = BoundedWalkSharedCoin(sim, "coin", n, b_barrier=b)
+        sim.spawn_all(coin_flipper_program(coin))
+        sim.run(5_000_000)
+        totals.append(coin.total_steps)
+    return statistics.mean(totals)
+
+
+def test_walk_balancing_adversary_slows_the_coin():
+    random_mean = _coin_flips(lambda s: RandomScheduler(seed=s))
+    adversarial_mean = _coin_flips(lambda s: WalkBalancingAdversary("coin", seed=s))
+    assert adversarial_mean > random_mean
+
+
+def test_walk_balancing_adversary_without_coin_degrades_gracefully():
+    # Pointing the adversary at a missing object must not crash runs.
+    from repro.registers import AtomicRegister
+
+    sim = Simulation(2, WalkBalancingAdversary("nope", seed=0), seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid)
+
+        return body
+
+    sim.spawn_all(factory)
+    assert sim.run().finished
+
+
+def test_split_adversary_runs_remain_safe():
+    proto = AdsConsensus()
+    for seed in range(5):
+        run = proto.run(
+            [0, 1, 0, 1],
+            scheduler=SplitAdversary(pref_reader, seed=seed),
+            seed=seed,
+            max_steps=10_000_000,
+        )
+        assert validate_run(run).ok
+
+
+def test_lockstep_adversary_forces_exponential_local_coin_rounds():
+    # Under lockstep, local-coin consensus needs ~2^(n-1) rounds; with n=6
+    # that is ~32, far above the 2 rounds ADS needs on the same schedule.
+    ads_rounds = []
+    local_rounds = []
+    for seed in range(5):
+        ads = AdsConsensus().run(
+            [0, 1] * 3, scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=50_000_000,
+        )
+        local = LocalCoinConsensus().run(
+            [0, 1] * 3, scheduler=LockstepAdversary("mem", seed=seed), seed=seed,
+            max_steps=50_000_000,
+        )
+        assert validate_run(ads).ok and validate_run(local).ok
+        ads_rounds.append(ads.max_rounds())
+        local_rounds.append(local.max_rounds())
+    assert statistics.mean(local_rounds) > 3 * statistics.mean(ads_rounds)
+
+
+def test_scan_starving_adversary_demonstrates_scans_are_not_wait_free():
+    # With endlessly active writers, a starved scanner never completes its
+    # scan (§2.2: the scan is not wait-free) — yet the system as a whole
+    # makes progress (new writes keep completing, the paper's liveness
+    # notion).
+    n = 4
+    sim = Simulation(n, ScanStarvingAdversary(victim=0, period=10, seed=1), seed=1)
+    mem = ArrowScannableMemory(sim, "m", n)
+    writes_done = {"count": 0}
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                view = yield from mem.scan(ctx)
+                return tuple(view)
+            k = 0
+            while True:
+                yield from mem.write(ctx, (pid, k))
+                writes_done["count"] += 1
+                k += 1
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(20_000, raise_on_budget=False)
+    assert 0 not in outcome.decisions  # the scan never completed
+    assert writes_done["count"] > 100  # but writers kept making progress
+    assert mem.scan_attempts() > 5  # the scan retried over and over
+
+
+def test_scan_completes_under_fair_scheduling_with_finite_writers():
+    n = 4
+    sim = Simulation(n, RandomScheduler(seed=1), seed=1)
+    mem = ArrowScannableMemory(sim, "m", n)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                view = yield from mem.scan(ctx)
+                return tuple(view)
+            for k in range(30):
+                yield from mem.write(ctx, (pid, k))
+            return None
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(1_000_000)
+    assert 0 in outcome.decisions
+    assert len(outcome.decisions[0]) == n

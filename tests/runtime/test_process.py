@@ -1,0 +1,91 @@
+"""Tests for the process wrapper and context."""
+
+import pytest
+
+from repro.registers import AtomicRegister
+from repro.runtime import Simulation
+from repro.runtime.process import ProcessState
+
+
+def test_pending_intent_visible_before_step():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 41)
+        yield from reg.read(ctx)
+
+    sim.spawn(0, program)
+    process = sim.processes[0]
+    assert process.pending is not None
+    assert process.pending.kind == "write"
+    assert process.pending.target == "r"
+    assert process.pending.payload == 41
+    sim.step()
+    assert process.pending.kind == "read"
+
+
+def test_write_takes_effect_only_when_scheduled():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 1)
+
+    sim.spawn(0, program)
+    assert reg.peek() == 0  # pending, not yet applied
+    sim.step()
+    assert reg.peek() == 1
+
+
+def test_crash_closes_generator():
+    cleanup = {"ran": False}
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        try:
+            while True:
+                yield from reg.write(ctx, 1)
+        finally:
+            cleanup["ran"] = True
+
+    sim.spawn(0, program)
+    sim.crash(0)
+    assert cleanup["ran"]
+    assert sim.processes[0].state is ProcessState.CRASHED
+
+
+def test_cannot_step_finished_process():
+    sim = Simulation(1, seed=0)
+
+    def program(ctx):
+        return 1
+        yield  # pragma: no cover
+
+    sim.spawn(0, program)
+    with pytest.raises(RuntimeError):
+        sim.processes[0].advance()
+
+
+def test_context_rngs_differ_across_pids_and_seeds():
+    sim_a = Simulation(2, seed=1)
+    sim_b = Simulation(2, seed=2)
+    draws_a0 = sim_a.context(0).rng.random()
+    draws_a1 = sim_a.context(1).rng.random()
+    draws_b0 = sim_b.context(0).rng.random()
+    assert draws_a0 != draws_a1
+    assert draws_a0 != draws_b0
+    # Same seed+pid reproduces.
+    assert sim_a.context(0).rng.random() == Simulation(2, seed=1).context(0).rng.random()
+
+
+def test_failure_during_priming_raises_at_spawn():
+    sim = Simulation(1, seed=0)
+
+    def program(ctx):
+        raise ValueError("bad init")
+        yield  # pragma: no cover
+
+    with pytest.raises(ValueError, match="bad init"):
+        sim.spawn(0, program)

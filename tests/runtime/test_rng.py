@@ -1,0 +1,29 @@
+"""Tests for the deterministic RNG discipline."""
+
+from repro.runtime.rng import derive_rng, derive_seed
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_derive_seed_varies_with_master_and_tags():
+    base = derive_seed(1, "a")
+    assert base != derive_seed(2, "a")
+    assert base != derive_seed(1, "b")
+    assert base != derive_seed(1, "a", 0)
+
+
+def test_derive_rng_streams_are_independent():
+    a = derive_rng(7, "x")
+    b = derive_rng(7, "y")
+    draws_a = [a.random() for _ in range(5)]
+    draws_b = [b.random() for _ in range(5)]
+    assert draws_a != draws_b
+    # Replaying the same tag reproduces the stream.
+    assert [derive_rng(7, "x").random() for _ in range(5)][0] == draws_a[0]
+
+
+def test_derive_seed_fits_in_64_bits():
+    for seed in range(20):
+        assert 0 <= derive_seed(seed, "tag") < 2**64

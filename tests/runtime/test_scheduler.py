@@ -1,0 +1,115 @@
+"""Tests for schedulers and crash plans."""
+
+import random
+
+import pytest
+
+from repro.registers import AtomicRegister
+from repro.runtime import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Simulation,
+)
+
+
+def _looping_factory(sim, iterations=50):
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(iterations):
+                yield from reg.write(ctx, pid)
+            return pid
+
+        return body
+
+    return factory
+
+
+def test_round_robin_cycles_fairly():
+    sim = Simulation(3, RoundRobinScheduler(), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=4))
+    order = [sim.step() for _ in range(9)]
+    assert order == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_finished_processes():
+    sim = Simulation(3, RoundRobinScheduler(), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=1))
+    # Each process needs exactly 1 step; afterwards only unfinished remain.
+    order = [sim.step() for _ in range(3)]
+    assert order == [0, 1, 2]
+    assert sim.step() is None
+
+
+def test_random_scheduler_is_deterministic_per_seed():
+    def schedule(seed):
+        sim = Simulation(4, RandomScheduler(seed=seed), seed=0)
+        sim.spawn_all(_looping_factory(sim, iterations=20))
+        return [sim.step() for _ in range(30)]
+
+    assert schedule(9) == schedule(9)
+    assert schedule(9) != schedule(10)
+
+
+def test_random_scheduler_reset_restarts_stream():
+    sched = RandomScheduler(seed=4)
+    sim = Simulation(4, sched, seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=50))
+    first = [sim.step() for _ in range(20)]
+    sched.reset()
+    sim2 = Simulation(4, sched, seed=0)
+    sim2.spawn_all(_looping_factory(sim2, iterations=50))
+    second = [sim2.step() for _ in range(20)]
+    assert first == second
+
+
+def test_scripted_scheduler_replays_script_then_falls_back():
+    sim = Simulation(2, ScriptedScheduler([1, 1, 0, 1]), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=10))
+    order = [sim.step() for _ in range(6)]
+    assert order[:4] == [1, 1, 0, 1]
+    # Fallback is round-robin over runnable pids.
+    assert set(order[4:]) <= {0, 1}
+
+
+def test_scripted_scheduler_skips_non_runnable_entries():
+    sim = Simulation(2, ScriptedScheduler([1, 1, 1, 1, 1, 0]), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=2))
+    # pid 1 finishes after 2 steps; remaining 1-entries are skipped.
+    order = [sim.step() for _ in range(4)]
+    assert order == [1, 1, 0, 0]
+
+
+def test_crash_plan_due():
+    plan = CrashPlan({0: 10, 2: 5})
+    assert plan.due(4) == []
+    assert sorted(plan.due(10)) == [0, 2]
+
+
+def test_crash_plan_applied_by_simulation():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0, crash_plan=CrashPlan({1: 0}))
+    sim.spawn_all(_looping_factory(sim, iterations=3))
+    outcome = sim.run()
+    assert outcome.crashed == {1}
+    assert outcome.decisions == {0: 0}
+
+
+def test_crash_plan_random_never_crashes_everyone():
+    for seed in range(50):
+        rng = random.Random(seed)
+        plan = CrashPlan.random(4, rng)
+        assert len(plan.crash_at) <= 3
+
+
+def test_scheduler_choosing_nonrunnable_pid_is_an_error():
+    class BadScheduler(RoundRobinScheduler):
+        def choose(self, sim, runnable):
+            return 99
+
+    sim = Simulation(1, BadScheduler(), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=1))
+    with pytest.raises(RuntimeError, match="non-runnable"):
+        sim.step()

@@ -1,0 +1,171 @@
+"""Tests for the simulation driver."""
+
+import pytest
+
+from repro.registers import AtomicRegister
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Simulation,
+    StepBudgetExceeded,
+)
+
+from tests.helpers import counter_program, run_with_setup
+
+
+def test_single_process_runs_to_completion():
+    sim = Simulation(1, seed=1)
+
+    def program(ctx):
+        total = 0
+        for k in range(5):
+            yield from AtomicRegister(ctx.simulation, f"r{k}", 0).write(ctx, k)
+            total += k
+        return total
+
+    sim.spawn(0, program)
+    outcome = sim.run()
+    assert outcome.decisions == {0: 10}
+    assert outcome.finished
+    assert outcome.total_steps == 5
+
+
+def test_process_with_no_yields_finishes_at_spawn():
+    sim = Simulation(1, seed=0)
+
+    def program(ctx):
+        return "done"
+        yield  # pragma: no cover
+
+    sim.spawn(0, program)
+    assert sim.run().decisions == {0: "done"}
+    assert sim.step_count == 0
+
+
+def test_spawn_rejects_duplicate_and_out_of_range_pids():
+    sim = Simulation(2, seed=0)
+
+    def program(ctx):
+        return None
+        yield  # pragma: no cover
+
+    sim.spawn(0, program)
+    with pytest.raises(ValueError):
+        sim.spawn(0, program)
+    with pytest.raises(ValueError):
+        sim.spawn(5, program)
+
+
+def test_step_budget_raises_on_nonterminating_program():
+    def setup(sim):
+        reg = AtomicRegister(sim, "r", 0)
+
+        def factory(pid):
+            def body(ctx):
+                while True:
+                    yield from reg.write(ctx, pid)
+
+            return body
+
+        return factory
+
+    with pytest.raises(StepBudgetExceeded):
+        run_with_setup(2, setup, max_steps=100)
+
+
+def test_step_budget_can_return_instead_of_raise():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        while True:
+            yield from reg.write(ctx, 1)
+
+    sim.spawn(0, program)
+    outcome = sim.run(max_steps=50, raise_on_budget=False)
+    assert not outcome.finished
+    assert outcome.total_steps == 50
+
+
+def test_crash_stops_a_process_permanently():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+    sim.spawn_all(counter_program(reg))
+    sim.crash(1)
+    outcome = sim.run()
+    assert 1 in outcome.crashed
+    assert 1 not in outcome.decisions
+    assert outcome.decisions[0] == 0
+    assert outcome.finished  # crashed processes count as accounted for
+
+
+def test_program_exception_propagates():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.read(ctx)
+        raise RuntimeError("protocol bug")
+
+    sim.spawn(0, program)
+    with pytest.raises(RuntimeError, match="protocol bug"):
+        sim.run()
+
+
+def test_same_seed_reproduces_identical_runs():
+    def execute(seed):
+        def setup(sim):
+            reg = AtomicRegister(sim, "r", 0)
+
+            def factory(pid):
+                def body(ctx):
+                    for _ in range(4):
+                        value = yield from reg.read(ctx)
+                        yield from reg.write(ctx, value + ctx.rng.randint(1, 9))
+                    return (yield from reg.read(ctx))
+
+                return body
+
+            return factory
+
+        _, outcome = run_with_setup(3, setup, seed=seed)
+        return outcome.decisions
+
+    assert execute(42) == execute(42)
+    assert execute(42) != execute(43)
+
+
+def test_steps_by_pid_accounts_every_step():
+    def setup(sim):
+        reg = AtomicRegister(sim, "r", 0)
+        return counter_program(reg)
+
+    _, outcome = run_with_setup(3, setup, seed=5)
+    assert sum(outcome.steps_by_pid.values()) == outcome.total_steps
+
+
+def test_register_shared_objects_visible_to_adversaries():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "named", 7)
+    assert sim.shared["named"] is reg
+    assert sim.shared["named"].peek() == 7
+
+
+def test_random_scheduler_respects_weights():
+    # pid 1 has weight 0: it should never be scheduled while pid 0 runs.
+    sim = Simulation(2, RandomScheduler(seed=3, weights={1: 0.0}), seed=3)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(10):
+                yield from reg.write(ctx, pid)
+            return pid
+
+        return body
+
+    sim.spawn_all(factory)
+    for _ in range(10):
+        sim.step()
+    assert sim.processes[0].steps_taken == 10
+    assert sim.processes[1].steps_taken == 0

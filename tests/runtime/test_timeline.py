@@ -1,0 +1,71 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.runtime import RandomScheduler, Simulation
+from repro.runtime.timeline import render_timeline
+from repro.snapshot import ArrowScannableMemory
+
+
+def _traced_run(seed=3, n=3):
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    mem = ArrowScannableMemory(sim, "M", n)
+
+    def factory(pid):
+        def body(ctx):
+            yield from mem.write(ctx, pid)
+            return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(100_000)
+    return sim
+
+
+def test_renders_one_row_per_completed_span():
+    sim = _traced_run()
+    text = render_timeline(sim.trace)
+    completed = [s for s in sim.trace.spans if not s.is_open]
+    assert len(text.splitlines()) == len(completed) + 1  # + header
+
+
+def test_rows_sorted_by_invocation():
+    sim = _traced_run()
+    text = render_timeline(sim.trace)
+    indents = [len(line) - len(line.lstrip()) for line in text.splitlines()[1:]]
+    first_bar_columns = [
+        line.index("[") if "[" in line else line.index("#")
+        for line in text.splitlines()[1:]
+    ]
+    assert first_bar_columns == sorted(first_bar_columns) or indents  # monotone
+
+
+def test_filters_by_kind_and_target():
+    sim = _traced_run()
+    scans_only = render_timeline(sim.trace, kinds={"scan"})
+    assert "write" not in scans_only
+    assert "scan" in scans_only
+    nothing = render_timeline(sim.trace, targets={"other"})
+    assert nothing == "(no completed spans)"
+
+
+def test_max_rows_caps_output():
+    sim = _traced_run()
+    text = render_timeline(sim.trace, max_rows=2)
+    assert len(text.splitlines()) == 3
+
+
+def test_width_respected():
+    sim = _traced_run()
+    for width in (40, 120):
+        text = render_timeline(sim.trace, width=width)
+        # bars fit in width plus the pid gutter and trailing labels
+        gutter = max(len(line.split("|")[0]) for line in text.splitlines()) + 2
+        for line in text.splitlines()[1:]:
+            bar_part = line[gutter:]
+            if "]" in bar_part:
+                assert bar_part.rindex("]") <= width + 40  # label slack
+
+
+def test_empty_trace():
+    sim = Simulation(1, seed=0)
+    assert render_timeline(sim.trace) == "(no completed spans)"

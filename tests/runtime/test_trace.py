@@ -1,0 +1,83 @@
+"""Tests for traces, events and spans."""
+
+from repro.registers import AtomicRegister
+from repro.runtime import Simulation
+from repro.runtime.events import OpSpan
+from repro.runtime.trace import Trace
+
+
+def test_events_recorded_in_global_order():
+    sim = Simulation(2, seed=0, record_events=True)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid)
+            yield from reg.read(ctx)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    steps = [e.step for e in sim.trace.events]
+    assert steps == sorted(steps)
+    assert len(sim.trace.events) == 4
+    kinds = {e.kind for e in sim.trace.events}
+    assert kinds == {"read", "write"}
+
+
+def test_events_not_recorded_when_disabled():
+    sim = Simulation(1, seed=0, record_events=False)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 1)
+
+    sim.spawn(0, program)
+    sim.run()
+    assert len(sim.trace.events) == 0
+
+
+def test_span_precedence_and_overlap():
+    a = OpSpan(0, 0, "scan", "m", invoke_step=0, response_step=5)
+    b = OpSpan(1, 1, "scan", "m", invoke_step=6, response_step=9)
+    c = OpSpan(2, 2, "scan", "m", invoke_step=4, response_step=7)
+    assert a.precedes(b)
+    assert not b.precedes(a)
+    assert a.overlaps(c)
+    assert c.overlaps(b)
+    assert not a.overlaps(b)
+
+
+def test_open_span_never_precedes():
+    open_span = OpSpan(0, 0, "scan", "m", invoke_step=0)
+    later = OpSpan(1, 1, "scan", "m", invoke_step=10, response_step=11)
+    assert not open_span.precedes(later)
+    assert open_span.is_open
+
+
+def test_spans_of_kind_filters_open_spans_and_targets():
+    trace = Trace()
+    s1 = trace.begin_span(0, "scan", "m", None, 0)
+    trace.end_span(s1, 3, (1, 2))
+    trace.begin_span(1, "scan", "m", None, 4)  # left open
+    s3 = trace.begin_span(0, "write", "m", 9, 5)
+    trace.end_span(s3, 6, None)
+    assert len(trace.spans_of_kind("scan", "m")) == 1
+    assert len(trace.spans_of_kind("write", "m")) == 1
+    assert trace.spans_of_kind("scan", "other") == []
+
+
+def test_trace_render_is_readable():
+    trace = Trace()
+    sim = Simulation(1, seed=0, record_events=True)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 123)
+
+    sim.spawn(0, program)
+    sim.run()
+    text = sim.trace.render()
+    assert "p0 write r = 123" in text
+    assert trace.render() == ""

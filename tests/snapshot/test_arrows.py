@@ -1,0 +1,184 @@
+"""Tests for the paper's arrow-based scannable memory (§2.2)."""
+
+import pytest
+
+from repro.registers import MemoryAudit
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Simulation
+from repro.snapshot import ArrowScannableMemory
+from repro.snapshot.arrows import ScanRetriesExceeded
+
+
+def _scan_write_factory(mem, writes=3):
+    def factory(pid):
+        def body(ctx):
+            views = []
+            for k in range(writes):
+                yield from mem.write(ctx, (pid, k))
+                views.append(tuple((yield from mem.scan(ctx))))
+            return views
+
+        return body
+
+    return factory
+
+
+def test_scan_sees_own_write_immediately():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    mem = ArrowScannableMemory(sim, "M", 2, initial="empty")
+
+    def factory(pid):
+        def body(ctx):
+            yield from mem.write(ctx, f"v{pid}")
+            return (yield from mem.scan(ctx))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    for pid, view in outcome.decisions.items():
+        assert view[pid] == f"v{pid}"
+
+
+def test_solo_scan_returns_initial_values():
+    sim = Simulation(3, seed=0)
+    mem = ArrowScannableMemory(sim, "M", 3, initial=0)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                return tuple((yield from mem.scan(ctx)))
+            return None
+            yield  # pragma: no cover
+
+        return body
+
+    sim.spawn_all(factory)
+    assert sim.run().decisions[0] == (0, 0, 0)
+
+
+def test_quiescent_scan_needs_exactly_one_round():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    mem = ArrowScannableMemory(sim, "M", 2)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from mem.write(ctx, "x")
+            else:
+                # run after 0 by scheduling; quiescent at scan time
+                for _ in range(3):
+                    yield from mem.write(ctx, "y")
+                view = yield from mem.scan(ctx)
+                return view
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    scans = [s for s in sim.trace.spans if s.kind == "scan"]
+    assert scans[-1].meta["rounds"] == 1
+
+
+def test_writer_turns_arrows_before_publishing():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    mem = ArrowScannableMemory(sim, "M", 2)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 1:
+                yield from mem.write(ctx, "v")
+
+        return body
+
+    sim.spawn(1, factory(1))
+    # First step: the arrow A[0][1] flips to 1; V not yet written.
+    sim.step()
+    assert mem.A[0][1].peek() == 1
+    assert mem.V[1].peek()[0] is None
+    sim.step()
+    assert mem.V[1].peek()[0] == "v"
+
+
+def test_concurrent_write_forces_scan_retry():
+    # Scripted: scanner clears arrows + collects; a writer completes a full
+    # write in between; the scan must go back to L.
+    sim = Simulation(2, seed=0)
+    mem = ArrowScannableMemory(sim, "M", 2)
+
+    def writer(ctx):
+        yield from mem.write(ctx, "w")
+
+    def scanner(ctx):
+        view = yield from mem.scan(ctx)
+        return tuple(view)
+
+    sim.spawn(0, scanner)
+    sim.spawn(1, writer)
+    # Scanner: clear arrow (1 step), read V (1), ... interleave writer's
+    # 2 steps right after the scanner's first collect read.
+    from repro.runtime import ScriptedScheduler
+
+    sim.scheduler = ScriptedScheduler([0, 0, 1, 1, 0, 0, 0])
+    sim.run()
+    scans = [s for s in sim.trace.spans if s.kind == "scan"]
+    assert scans[0].meta["rounds"] >= 2
+    assert sim.outcome().decisions[0][1] == "w"
+
+
+def test_max_rounds_guard():
+    sim = Simulation(2, seed=0)
+    mem = ArrowScannableMemory(sim, "M", 2, max_rounds=1)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                view = yield from mem.scan(ctx)
+                return tuple(view)
+            while True:
+                yield from mem.write(ctx, "spam")
+
+        return body
+
+    sim.spawn_all(factory)
+    from repro.runtime import ScriptedScheduler
+
+    sim.scheduler = ScriptedScheduler([0, 0, 1, 1, 0, 0, 0])
+    with pytest.raises(ScanRetriesExceeded):
+        sim.run(10_000)
+
+
+def test_unknown_arrow_kind_rejected():
+    sim = Simulation(2, seed=0)
+    with pytest.raises(ValueError):
+        ArrowScannableMemory(sim, "M", 2, arrow_kind="quantum")
+
+
+def test_bloom_arrow_variant_works_end_to_end():
+    sim = Simulation(3, RandomScheduler(seed=5), seed=5)
+    mem = ArrowScannableMemory(sim, "M", 3, arrow_kind="bloom")
+    sim.spawn_all(_scan_write_factory(mem, writes=2))
+    outcome = sim.run(500_000)
+    assert outcome.finished
+    from repro.snapshot import check_all_properties
+
+    assert check_all_properties(sim.trace, "M", 3) == []
+
+
+def test_audit_excludes_ghost_sequence_numbers():
+    audit = MemoryAudit()
+    sim = Simulation(2, RandomScheduler(seed=1), seed=1)
+    mem = ArrowScannableMemory(sim, "M", 2, audit=audit)
+    sim.spawn_all(_scan_write_factory(mem, writes=30))
+    sim.run(500_000)
+    # 60 writes happened; ghost wseqs reach 30 but the audit must only see
+    # the algorithmic fields (values (pid, k<=29) plus toggle bits).
+    assert audit.max_magnitude <= 29
+
+
+def test_scan_attempts_counter_accumulates():
+    sim = Simulation(3, RandomScheduler(seed=2), seed=2)
+    mem = ArrowScannableMemory(sim, "M", 3)
+    sim.spawn_all(_scan_write_factory(mem, writes=3))
+    sim.run(500_000)
+    scans = [s for s in sim.trace.spans if s.kind == "scan"]
+    assert mem.scan_attempts() == sum(s.meta["rounds"] for s in scans)

@@ -1,0 +1,146 @@
+"""Tests for the wait-free embedded-scan snapshot."""
+
+import pytest
+
+from repro.runtime import RandomScheduler, ScanStarvingAdversary, Simulation
+from repro.snapshot import EmbeddedScanSnapshot, check_all_properties
+from repro.snapshot.properties import assert_no_violations
+from repro.verify import explore_schedules
+
+
+def test_basic_write_then_scan():
+    sim = Simulation(2, seed=0)
+    mem = EmbeddedScanSnapshot(sim, "M", 2, initial="e")
+
+    def factory(pid):
+        def body(ctx):
+            yield from mem.write(ctx, pid)
+            return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(100_000)
+    for pid, view in outcome.decisions.items():
+        assert view[pid] == pid
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_properties_hold_on_random_schedules(seed):
+    sim = Simulation(3, RandomScheduler(seed=seed), seed=seed)
+    mem = EmbeddedScanSnapshot(sim, "M", 3)
+
+    def factory(pid):
+        def body(ctx):
+            for k in range(3):
+                yield from mem.write(ctx, (pid, k))
+                yield from mem.scan(ctx)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(500_000)
+    assert_no_violations(check_all_properties(sim.trace, "M", 3))
+
+
+def test_wait_free_under_the_scan_starving_adversary():
+    """The scenario that starves the arrow scan forever: here the victim's
+    scan borrows a mover's embedded view and completes."""
+    n = 4
+    sim = Simulation(n, ScanStarvingAdversary(victim=0, period=10, seed=1), seed=1)
+    mem = EmbeddedScanSnapshot(sim, "M", n)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                view = yield from mem.scan(ctx)
+                return tuple(view)
+            k = 0
+            while True:
+                yield from mem.write(ctx, (pid, k))
+                k += 1
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(20_000, raise_on_budget=False)
+    assert 0 in outcome.decisions  # the scan completed despite the churn
+    scans = [s for s in sim.trace.spans if s.kind == "scan" and s.pid == 0]
+    assert scans[0].meta["rounds"] <= mem.max_collects_bound()
+
+
+def test_every_scan_bounded_by_n_plus_two_collects():
+    for seed in range(10):
+        n = 4
+        sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+        mem = EmbeddedScanSnapshot(sim, "M", n)
+
+        def factory(pid):
+            def body(ctx):
+                for k in range(4):
+                    yield from mem.write(ctx, (pid, k))
+                    yield from mem.scan(ctx)
+
+            return body
+
+        sim.spawn_all(factory)
+        sim.run(1_000_000)
+        for span in sim.trace.spans:
+            if span.kind == "scan" and not span.is_open:
+                assert span.meta["rounds"] <= mem.max_collects_bound()
+
+
+def test_exhaustive_small_configuration():
+    n = 2
+
+    def setup(sim):
+        mem = EmbeddedScanSnapshot(sim, "M", n)
+
+        def factory(pid):
+            def body(ctx):
+                if pid == 0:
+                    yield from mem.write(ctx, "a")
+                else:
+                    first = yield from mem.scan(ctx)
+                    return tuple(first)
+
+            return body
+
+        return factory
+
+    def check(sim, outcome):
+        return [str(v) for v in check_all_properties(sim.trace, "M", n)]
+
+    # write = 2 collects (4 reads) + 1 write; scan ≤ 4 collects (8 reads).
+    result = explore_schedules(n, setup, check, max_steps=24)
+    assert result.exhausted and result.truncated_runs == 0
+    assert result.ok, result.violations[:1]
+
+
+def test_borrowed_views_are_real_snapshots():
+    """Force a borrow: the scanner observes the writer move twice and must
+    return the writer's embedded view, which itself satisfies P2."""
+    from repro.runtime import ScriptedScheduler
+
+    n = 2
+    # Writer's write = 2 collects (2 reads each) + 1 write = 5 steps.
+    # Scanner: collect (2), then interleave two full writes, collect,
+    # observe movement twice, borrow.
+    script = [1, 1] + [0] * 5 + [1, 1] + [0] * 5 + [1, 1, 1, 1]
+    sim = Simulation(n, ScriptedScheduler(script), seed=0)
+    mem = EmbeddedScanSnapshot(sim, "M", n, initial="init")
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                yield from mem.write(ctx, "w1")
+                yield from mem.write(ctx, "w2")
+            else:
+                return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(10_000)
+    assert outcome.finished
+    assert check_all_properties(sim.trace, "M", n) == []

@@ -1,0 +1,125 @@
+"""Tests for the P1–P3 property checkers themselves.
+
+The checkers guard the §2 construction, so they must reject known-bad
+histories: each test fabricates a synthetic trace exhibiting one specific
+violation and asserts the corresponding checker flags it.
+"""
+
+import pytest
+
+from repro.runtime.trace import Trace
+from repro.snapshot.properties import (
+    assert_no_violations,
+    check_all_properties,
+    check_p1_regularity,
+    check_p2_snapshot,
+    check_p3_serializability,
+    scan_round_counts,
+    PropertyViolation,
+)
+
+
+def _write(trace, pid, wseq, invoke, response):
+    span = trace.begin_span(pid, "write", "M", f"v{pid}.{wseq}", invoke)
+    span.meta["wseq"] = wseq
+    trace.end_span(span, response, None)
+    return span
+
+
+def _scan(trace, pid, wseqs, invoke, response):
+    span = trace.begin_span(pid, "scan", "M", None, invoke)
+    span.meta["wseqs"] = tuple(wseqs)
+    trace.end_span(span, response, None)
+    return span
+
+
+def test_clean_history_passes():
+    trace = Trace()
+    _write(trace, 0, 1, 0, 1)
+    _write(trace, 1, 1, 2, 3)
+    _scan(trace, 0, (1, 1), 4, 5)
+    assert check_all_properties(trace, "M", 2) == []
+
+
+def test_p1_flags_value_from_the_future():
+    trace = Trace()
+    _scan(trace, 0, (1, 0), 0, 1)  # returns p0's write #1...
+    _write(trace, 0, 1, 5, 6)  # ...which only starts later
+    violations = check_p1_regularity(trace, "M", 2)
+    assert violations and violations[0].property_name == "P1"
+
+
+def test_p1_flags_overwritten_value():
+    trace = Trace()
+    _write(trace, 0, 1, 0, 1)
+    _write(trace, 0, 2, 2, 3)
+    _scan(trace, 0, (1, 0), 6, 9)  # stale: write #2 fully preceded the scan
+    violations = check_p1_regularity(trace, "M", 2)
+    assert violations and "potentially" in violations[0].description
+
+
+def test_p1_flags_unknown_wseq():
+    trace = Trace()
+    _scan(trace, 0, (7, 0), 0, 1)
+    violations = check_p1_regularity(trace, "M", 2)
+    assert violations and "unknown write" in violations[0].description
+
+
+def test_p1_accepts_initial_value_when_no_write_finished():
+    trace = Trace()
+    _write(trace, 0, 1, 0, 10)  # still overlapping the scan
+    _scan(trace, 1, (0, 0), 2, 4)  # returns initial for slot 0
+    assert check_p1_regularity(trace, "M", 2) == []
+
+
+def test_p2_flags_non_coexisting_writes():
+    trace = Trace()
+    # p0's write #1 is followed by #2, which completes before p1's write
+    # even begins; a view containing {p0#1, p1#1} is not a snapshot.
+    _write(trace, 0, 1, 0, 1)
+    _write(trace, 0, 2, 2, 3)
+    _write(trace, 1, 1, 10, 11)
+    _scan(trace, 0, (1, 1), 10, 20)
+    violations = check_p2_snapshot(trace, "M", 2)
+    assert violations and violations[0].property_name == "P2"
+
+
+def test_p2_accepts_overlapping_writes():
+    trace = Trace()
+    _write(trace, 0, 1, 0, 5)
+    _write(trace, 1, 1, 3, 8)
+    _scan(trace, 0, (1, 1), 9, 10)
+    assert check_p2_snapshot(trace, "M", 2) == []
+
+
+def test_p3_flags_incomparable_views():
+    trace = Trace()
+    for pid in (0, 1):
+        _write(trace, pid, 1, 0, 1)
+    _scan(trace, 0, (1, 0), 2, 3)
+    _scan(trace, 1, (0, 1), 2, 3)
+    violations = check_p3_serializability(trace, "M", 2)
+    assert violations and violations[0].property_name == "P3"
+
+
+def test_p3_accepts_comparable_views():
+    trace = Trace()
+    _write(trace, 0, 1, 0, 1)
+    _scan(trace, 0, (1, 0), 2, 3)
+    _scan(trace, 1, (1, 0), 4, 5)
+    _write(trace, 1, 1, 6, 7)
+    _scan(trace, 0, (1, 1), 8, 9)
+    assert check_p3_serializability(trace, "M", 2) == []
+
+
+def test_scan_round_counts_reads_meta():
+    trace = Trace()
+    span = _scan(trace, 0, (0, 0), 0, 1)
+    span.meta["rounds"] = 4
+    assert scan_round_counts(trace, "M") == [4]
+
+
+def test_assert_no_violations_raises_with_report():
+    with pytest.raises(AssertionError, match="boom"):
+        assert_no_violations([PropertyViolation("P1", "boom")])
+    assert_no_violations([])  # no-op

@@ -1,0 +1,88 @@
+"""Property-based validation of the §2 construction.
+
+Hypothesis drives randomized workloads (how many writes each process does,
+interleaved with scans, under seeded random schedules) and asserts P1–P3
+hold on both implementations — the empirical counterpart of the paper's
+Lemmas 2.1–2.4.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import RandomScheduler, Simulation
+from repro.snapshot import (
+    ArrowScannableMemory,
+    SequencedScannableMemory,
+    check_all_properties,
+)
+from repro.snapshot.properties import assert_no_violations
+
+workload = st.tuples(
+    st.integers(min_value=2, max_value=4),  # processes
+    st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=4),
+    st.integers(min_value=0, max_value=10_000),  # schedule seed
+)
+
+
+def _run_workload(memory_cls, n, per_pid_writes, seed):
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    mem = memory_cls(sim, "M", n)
+
+    def factory(pid):
+        writes = per_pid_writes[pid % len(per_pid_writes)]
+
+        def body(ctx):
+            for k in range(writes):
+                yield from mem.write(ctx, (pid, k))
+                yield from mem.scan(ctx)
+            yield from mem.scan(ctx)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(500_000)
+    return sim
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload)
+def test_arrow_memory_satisfies_p1_p2_p3(params):
+    n, per_pid_writes, seed = params
+    sim = _run_workload(ArrowScannableMemory, n, per_pid_writes, seed)
+    assert_no_violations(check_all_properties(sim.trace, "M", n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload)
+def test_sequenced_memory_satisfies_p1_p2_p3(params):
+    n, per_pid_writes, seed = params
+    sim = _run_workload(SequencedScannableMemory, n, per_pid_writes, seed)
+    assert_no_violations(check_all_properties(sim.trace, "M", n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_views_agree_between_implementations_when_sequential(seed):
+    """Identical sequential workloads produce identical final views."""
+    views = []
+    for cls in (ArrowScannableMemory, SequencedScannableMemory):
+        sim = Simulation(1, seed=seed)
+        mem = cls(sim, "M", 1)
+
+        def program(ctx):
+            for k in range(3):
+                yield from mem.write(ctx, k)
+            return tuple((yield from mem.scan(ctx)))
+
+        sim.spawn(0, program)
+        views.append(sim.run().decisions[0])
+    assert views[0] == views[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload)
+def test_embedded_memory_satisfies_p1_p2_p3(params):
+    from repro.snapshot import EmbeddedScanSnapshot
+
+    n, per_pid_writes, seed = params
+    sim = _run_workload(EmbeddedScanSnapshot, n, per_pid_writes, seed)
+    assert_no_violations(check_all_properties(sim.trace, "M", n))

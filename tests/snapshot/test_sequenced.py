@@ -1,0 +1,100 @@
+"""Tests for the unbounded sequence-number snapshot comparator."""
+
+import pytest
+
+from repro.registers import MemoryAudit
+from repro.runtime import RandomScheduler, RoundRobinScheduler, ScriptedScheduler, Simulation
+from repro.snapshot import SequencedScannableMemory, check_all_properties
+
+
+def test_basic_write_then_scan():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    mem = SequencedScannableMemory(sim, "M", 2, initial="e")
+
+    def factory(pid):
+        def body(ctx):
+            yield from mem.write(ctx, pid)
+            return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    for pid, view in outcome.decisions.items():
+        assert view[pid] == pid
+
+
+def test_scan_retries_until_two_identical_collects():
+    sim = Simulation(2, seed=0)
+    mem = SequencedScannableMemory(sim, "M", 2)
+
+    def scanner(ctx):
+        return tuple((yield from mem.scan(ctx)))
+
+    def writer(ctx):
+        yield from mem.write(ctx, "w1")
+        yield from mem.write(ctx, "w2")
+
+    sim.spawn(0, scanner)
+    sim.spawn(1, writer)
+    # scanner collect1 (2 reads), writer writes, scanner collect2 differs,
+    # collect3+4 identical.
+    sim.scheduler = ScriptedScheduler([0, 0, 1, 1, 0, 0, 0, 0])
+    outcome = sim.run()
+    scans = [s for s in sim.trace.spans if s.kind == "scan"]
+    assert scans[0].meta["rounds"] >= 2
+    assert outcome.decisions[0][1] == "w2"
+
+
+def test_max_rounds_guard():
+    sim = Simulation(2, seed=0)
+    mem = SequencedScannableMemory(sim, "M", 2, max_rounds=2)
+
+    def factory(pid):
+        def body(ctx):
+            if pid == 0:
+                return (yield from mem.scan(ctx))
+            while True:
+                yield from mem.write(ctx, "spam")
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.scheduler = ScriptedScheduler([0, 0, 1, 0, 0, 1] * 10)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        sim.run(10_000)
+
+
+def test_sequence_numbers_unbounded():
+    audit = MemoryAudit()
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    mem = SequencedScannableMemory(sim, "M", 2, audit=audit)
+
+    def factory(pid):
+        def body(ctx):
+            for k in range(40):
+                yield from mem.write(ctx, 0)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run()
+    assert audit.max_magnitude >= 40  # seq grows with the write count
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_properties_hold_on_random_schedules(seed):
+    sim = Simulation(3, RandomScheduler(seed=seed), seed=seed)
+    mem = SequencedScannableMemory(sim, "M", 3)
+
+    def factory(pid):
+        def body(ctx):
+            for k in range(3):
+                yield from mem.write(ctx, (pid, k))
+                yield from mem.scan(ctx)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(500_000)
+    assert check_all_properties(sim.trace, "M", 3) == []

@@ -1,0 +1,128 @@
+"""Tests for the distance graph and the sequential inc move (§4.2)."""
+
+import pytest
+
+from repro.strip import DistanceGraph
+from repro.strip.invariants import check_graph_invariants, check_property_5
+
+NEG_INF = float("-inf")
+
+
+def test_initial_graph_all_ties():
+    graph = DistanceGraph.initial(3, 2)
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                assert graph.weight(i, j) == 0
+    assert sorted(graph.leaders()) == [0, 1, 2]
+
+
+def test_from_positions_weights_capped():
+    graph = DistanceGraph.from_positions([7, 0, 5], K=2)
+    assert graph.weight(0, 1) == 2  # 7 vs 0, capped
+    assert graph.weight(0, 2) == 2
+    assert graph.weight(2, 1) == 2
+    assert not graph.has_edge(1, 0)
+
+
+def test_dist_follows_max_paths():
+    # positions 5, 3, 1 with K=2: the direct edge 0->2 is capped at 2 but
+    # the chained path 0->1->2 carries the full distance 4.
+    graph = DistanceGraph.from_positions([5, 3, 1], K=2)
+    assert graph.dist(0, 2) == 4
+    assert graph.dist(0, 1) == 2
+    assert graph.dist(1, 2) == 2
+
+
+def test_dist_unreachable_is_neg_inf():
+    graph = DistanceGraph.from_positions([0, 5], K=2)
+    assert graph.dist(0, 1) == NEG_INF
+    assert graph.dist(1, 0) == 2
+
+
+def test_leaders_are_maximal_tokens():
+    graph = DistanceGraph.from_positions([3, 3, 1], K=2)
+    assert sorted(graph.leaders()) == [0, 1]
+
+
+def test_inc_moves_token_up():
+    graph = DistanceGraph.initial(2, 2)
+    graph.inc(0)
+    assert graph.weight(0, 1) == 1
+    assert not graph.has_edge(1, 0)
+    graph.inc(1)
+    assert graph.weight(0, 1) == 0
+    assert graph.weight(1, 0) == 0  # tie restored
+
+
+def test_inc_saturates_at_k():
+    graph = DistanceGraph.initial(2, 2)
+    for _ in range(5):
+        graph.inc(0)
+    assert graph.weight(0, 1) == 2
+
+
+def test_inc_closes_gap_only_on_max_paths():
+    # tokens: j=5, l=3, i=1 (K=2).  The direct edge (j, i) is saturated and
+    # NOT on the maximum path j->l->i, so i's move must not shrink it.
+    positions = [5, 3, 1]
+    graph = DistanceGraph.from_positions(positions, K=2)
+    graph.inc(2)
+    expected = DistanceGraph.from_positions([5, 3, 2], K=2)
+    assert graph == expected
+    assert graph.weight(0, 2) == 2  # still capped
+    assert graph.weight(1, 2) == 1  # really closed
+
+
+def test_edge_on_max_path_direct_and_detour():
+    graph = DistanceGraph.from_positions([5, 3, 1], K=2)
+    assert graph.edge_on_max_path_to(1, 2)  # (l, i) on j->l->i
+    assert not graph.edge_on_max_path_to(0, 2)  # direct (j, i) is a shortcut
+
+
+def test_positive_cycle_detected():
+    graph = DistanceGraph(2, 2)
+    graph.weights[(0, 1)] = 1
+    graph.weights[(1, 0)] = 1
+    with pytest.raises(ValueError, match="positive cycle"):
+        graph.all_dists_to(0)
+    with pytest.raises(ValueError, match="positive cycle"):
+        graph.all_dists_from(0)
+
+
+def test_invariants_on_game_graphs():
+    graph = DistanceGraph.from_positions([4, 4, 2, 0], K=2)
+    assert check_graph_invariants(graph) == []
+    assert check_property_5(graph, [4, 4, 2, 0]) == []
+
+
+def test_invariant_checker_flags_weight_out_of_range():
+    graph = DistanceGraph.initial(2, 2)
+    graph.weights[(0, 1)] = 7
+    violations = check_graph_invariants(graph)
+    assert any(v.name == "P4.3" for v in violations)
+
+
+def test_invariant_checker_flags_missing_pair():
+    graph = DistanceGraph(2, 2)  # no edges at all
+    violations = check_graph_invariants(graph)
+    assert any(v.name == "P4.1" for v in violations)
+
+
+def test_weight_matrix_roundtrip():
+    graph = DistanceGraph.from_positions([2, 0], K=2)
+    matrix = graph.as_weight_matrix()
+    assert matrix[0][1] == 2
+    assert matrix[1][0] is None
+
+
+def test_copy_is_independent():
+    graph = DistanceGraph.initial(2, 2)
+    clone = graph.copy()
+    clone.inc(0)
+    assert graph != clone
+
+
+def test_repr_readable():
+    graph = DistanceGraph.from_positions([1, 0], K=2)
+    assert "0->1:1" in repr(graph)

@@ -1,0 +1,109 @@
+"""Tests for the mod-3K edge counter representation (§4.3)."""
+
+import pytest
+
+from repro.strip import DistanceGraph, EdgeCounters, decode_graph, inc_counters
+from repro.strip.edge_counters import IllFormedCounters, cycle_size
+
+
+def test_cycle_size():
+    assert cycle_size(2) == 6
+    assert cycle_size(4) == 12
+
+
+def test_decode_all_zero_is_all_ties():
+    graph = decode_graph([[0, 0], [0, 0]], K=2)
+    assert graph.weight(0, 1) == 0
+    assert graph.weight(1, 0) == 0
+
+
+def test_decode_simple_lead():
+    rows = [[0, 2], [0, 0]]  # e_0[1]=2, e_1[0]=0: 0 leads by 2
+    graph = decode_graph(rows, K=2)
+    assert graph.weight(0, 1) == 2
+    assert not graph.has_edge(1, 0)
+
+
+def test_decode_wraps_modularly():
+    # e_0[1]=1, e_1[0]=5 on a cycle of 6: (1-5) mod 6 = 2 -> 0 leads by 2.
+    rows = [[0, 1], [5, 0]]
+    graph = decode_graph(rows, K=2)
+    assert graph.weight(0, 1) == 2
+
+
+def test_decode_rejects_ambiguous_pair():
+    # d = 3 both ways on a cycle of 6.
+    rows = [[0, 3], [0, 0]]
+    with pytest.raises(IllFormedCounters):
+        decode_graph(rows, K=2)
+
+
+def test_inc_counters_changes_only_own_row():
+    counters = EdgeCounters(3, 2)
+    before = [list(r) for r in counters.rows]
+    new_row = inc_counters(1, counters.rows, 2)
+    assert counters.rows == before  # pure function
+    assert new_row != before[1]
+
+
+def test_inc_increments_mod_cycle():
+    counters = EdgeCounters(2, 2)
+    for _ in range(7):
+        counters.inc(0)
+        counters.inc(1)
+    # Ties throughout: both rows incremented 7 times, mod 6 -> 1.
+    assert counters.rows[0][1] == 7 % 6
+    assert counters.rows[1][0] == 7 % 6
+    assert counters.graph().weight(0, 1) == 0
+
+
+def test_runaway_leader_saturates_and_stops_incrementing():
+    counters = EdgeCounters(2, 2)
+    for _ in range(50):
+        counters.inc(0)
+    graph = counters.graph()
+    assert graph.weight(0, 1) == 2  # capped at K
+    # The counter itself stayed within {0..3K-1} by construction.
+    assert 0 <= counters.rows[0][1] < 6
+
+
+def test_trailing_process_catches_up():
+    counters = EdgeCounters(2, 2)
+    counters.inc(0)
+    counters.inc(0)  # 0 leads by 2
+    counters.inc(1)
+    assert counters.graph().weight(0, 1) == 1
+    counters.inc(1)
+    assert counters.graph().weight(0, 1) == 0
+    counters.inc(1)  # overtakes
+    assert counters.graph().weight(1, 0) == 1
+
+
+def test_max_counter_bounded_forever():
+    counters = EdgeCounters(3, 2)
+    import random
+
+    rng = random.Random(7)
+    for _ in range(500):
+        counters.inc(rng.randrange(3))
+        assert counters.max_counter() < 6
+
+
+def test_shrinking_respected_via_max_paths():
+    """Three processes: 0 races ahead, 2 trails far; when 2 catches up the
+    saturated shortcut edge (0, 2) must not be decremented (it is not on
+    the maximum path), matching the shrunken game."""
+    counters = EdgeCounters(3, 2)
+    # Build positions (4, 2, 0) step by step, never letting any gap exceed
+    # K so no intermediate shrink interferes.
+    for mover in (0, 0, 1, 0, 1, 0):
+        counters.inc(mover)
+    graph = counters.graph()
+    assert graph.weight(0, 2) == 2
+    assert graph.weight(1, 2) == 2
+    assert graph.weight(0, 1) == 2
+    counters.inc(2)
+    graph = counters.graph()
+    # 2 closed the gap to 1 (on the max path) but not the capped shortcut.
+    assert graph.weight(1, 2) == 1
+    assert graph.weight(0, 2) == 2

@@ -1,0 +1,125 @@
+"""Tests for shrink_K / normalize_K and the normalized shrunken game."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strip import ShrunkenTokenGame, TokenGame, normalize_k, shrink_k, shrink_normalize
+from repro.strip.invariants import check_nonpassive_shrinking
+
+positions_strategy = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=6
+)
+k_strategy = st.integers(min_value=1, max_value=4)
+
+
+def test_shrink_caps_large_gaps_only():
+    # positions 0, 2, 10 with K=3: gap 2 kept, gap 8 -> 3.
+    assert shrink_k([0, 2, 10], 3) == [0, 2, 5]
+
+
+def test_shrink_preserves_small_gaps_exactly():
+    assert shrink_k([4, 5, 7], 3) == [4, 5, 7]
+
+
+def test_shrink_anchors_at_minimum():
+    assert shrink_k([100, 7], 2)[1] == 7
+
+
+def test_shrink_handles_ties():
+    assert shrink_k([5, 5, 9], 2) == [5, 5, 7]
+
+
+def test_normalize_puts_max_at_kn():
+    assert normalize_k([0, 2, 5], 3) == [4, 6, 9]  # K·n = 9
+
+
+def test_shrink_normalize_range():
+    result = shrink_normalize([0, 100, 200], 2)
+    assert max(result) == 2 * 3
+    assert all(0 <= p <= 6 for p in result)
+
+
+@settings(max_examples=200, deadline=None)
+@given(positions_strategy, k_strategy)
+def test_shrink_normalize_always_lands_in_bounded_range(positions, K):
+    n = len(positions)
+    result = shrink_normalize(positions, K)
+    assert all(0 <= p <= K * n for p in result)
+    assert max(result) == K * n
+
+
+@settings(max_examples=200, deadline=None)
+@given(positions_strategy, k_strategy)
+def test_shrink_preserves_order_and_capped_pairwise_distances(positions, K):
+    shrunk = shrink_k(positions, K)
+    n = len(positions)
+    for i in range(n):
+        for j in range(n):
+            if positions[i] <= positions[j]:
+                assert shrunk[i] <= shrunk[j]
+            # pairwise distances capped at K agree (one-shot shrink).
+            if positions[i] >= positions[j]:
+                assert min(positions[i] - positions[j], K) == min(
+                    shrunk[i] - shrunk[j], K
+                )
+
+
+@settings(max_examples=100, deadline=None)
+@given(positions_strategy, k_strategy)
+def test_shrink_is_idempotent(positions, K):
+    once = shrink_k(positions, K)
+    assert shrink_k(once, K) == once
+
+
+def test_shrunken_game_tracks_iterated_semantics():
+    # A single runaway leader saturates at gap K and stops gaining ground.
+    game = ShrunkenTokenGame(2, K=2)
+    start = game.positions[0]
+    for _ in range(10):
+        game.move_token(0)
+    assert game.positions[0] - game.positions[1] == 2  # capped at K
+
+
+def test_shrunken_game_distances_are_underestimates():
+    moves = [0] * 6 + [1] * 2
+    unbounded = TokenGame(2).replay(moves)
+    shrunk = ShrunkenTokenGame.from_unbounded(unbounded, K=2)
+    real_gap = unbounded.positions[0] - unbounded.positions[1]
+    shrunk_gap = shrunk.positions[0] - shrunk.positions[1]
+    assert shrunk_gap <= real_gap
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    k_strategy,
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+)
+def test_nonpassive_shrinking_holds_along_any_play(n, K, moves):
+    game = ShrunkenTokenGame(n, K)
+    for raw in moves:
+        mover = raw % n
+        before = list(game.positions)
+        game.move_token(mover)
+        violations = check_nonpassive_shrinking(before, game.positions, mover, K)
+        assert violations == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    k_strategy,
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+)
+def test_shrunken_game_positions_stay_in_range_forever(n, K, moves):
+    game = ShrunkenTokenGame(n, K)
+    for raw in moves:
+        game.move_token(raw % n)
+        assert all(0 <= p <= K * n for p in game.positions)
+
+
+def test_invalid_k_rejected():
+    with pytest.raises(ValueError):
+        shrink_k([1, 2], 0)
+    with pytest.raises(ValueError):
+        ShrunkenTokenGame(2, 0)

@@ -1,0 +1,37 @@
+"""Tests for the unbounded token game."""
+
+import pytest
+
+from repro.strip import TokenGame
+
+
+def test_initial_state_all_zero():
+    game = TokenGame(3)
+    assert game.state() == (0, 0, 0)
+    assert game.gaps() == [0, 0]
+
+
+def test_moves_advance_single_tokens():
+    game = TokenGame(3)
+    game.move_token(1)
+    game.move_token(1)
+    game.move_token(2)
+    assert game.state() == (0, 2, 1)
+    assert game.moves == [1, 1, 2]
+
+
+def test_gaps_sorted():
+    game = TokenGame(3).replay([0] * 5 + [1] * 2)
+    assert game.gaps() == [2, 3]  # sorted positions 0, 2, 5
+
+
+def test_replay_reproduces_state():
+    moves = [0, 1, 1, 2, 0, 0]
+    a = TokenGame(3).replay(moves)
+    b = TokenGame(3).replay(moves)
+    assert a.state() == b.state()
+
+
+def test_rejects_empty_game():
+    with pytest.raises(ValueError):
+        TokenGame(0)

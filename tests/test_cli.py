@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_crashes, _parse_inputs, build_parser, main
+
+
+def test_parse_inputs():
+    assert _parse_inputs("0,1,1") == [0, 1, 1]
+    assert _parse_inputs("1") == [1]
+    assert _parse_inputs("0,1,") == [0, 1]
+
+
+def test_parse_crashes():
+    plan = _parse_crashes(["0:100", "2"])
+    assert plan.crash_at == {0: 100, 2: 0}
+
+
+def test_run_command_safe_exit_zero(capsys):
+    code = main(["run", "--inputs", "0,1", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "decisions" in out
+    assert "safety    : OK" in out
+
+
+def test_run_command_every_protocol(capsys):
+    for protocol in ("ads", "aspnes-herlihy", "local-coin", "atomic-coin"):
+        code = main(["run", "--protocol", protocol, "--inputs", "1,0", "--seed", "1"])
+        assert code == 0
+
+
+def test_run_command_with_crash_and_lockstep(capsys):
+    code = main(
+        ["run", "--inputs", "0,1,1", "--seed", "2", "--scheduler", "lockstep",
+         "--crash", "1:50"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "crashed   : [1]" in out
+
+
+def test_run_command_timeline(capsys):
+    code = main(["run", "--inputs", "0,1", "--seed", "5", "--timeline"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scan" in out and "|" in out
+
+
+def test_coin_command(capsys):
+    code = main(["coin", "--n", "3", "--reps", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "disagree rate" in out
+
+
+def test_coin_command_adversary(capsys):
+    assert main(["coin", "--n", "2", "--reps", "3", "--adversary"]) == 0
+
+
+def test_strip_command(capsys):
+    code = main(["strip", "--moves", "8", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("claim-4.1 ok") == 8
+    assert "final graph" in out
+
+
+def test_experiments_command(capsys):
+    code = main(["experiments"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for experiment_id in ("E1", "E12"):
+        assert experiment_id in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_parser_help_mentions_commands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("run", "coin", "strip", "experiments"):
+        assert command in help_text
+
+
+def test_report_command_prints_recorded_tables(capsys, tmp_path):
+    (tmp_path / "e1.txt").write_text("E1 table\nrow\n")
+    code = main(["report", "--results-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "E1 table" in out
+
+
+def test_report_command_without_results(capsys, tmp_path):
+    code = main(["report", "--results-dir", str(tmp_path / "nope")])
+    assert code == 1
+    assert "no recorded results" in capsys.readouterr().out

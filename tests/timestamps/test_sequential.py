@@ -1,0 +1,129 @@
+"""Tests for the sequential time-stamp systems.
+
+The bounded system's full contract is property-tested: after any sequence
+of takes, the freshly issued label dominates every other live label, the
+dominance order on live labels is a strict total order, and that order
+agrees with recency.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timestamps import BoundedSequentialTimestamps, UnboundedTimestamps, dominates
+
+take_sequences = st.tuples(
+    st.integers(min_value=2, max_value=5),  # processes
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60),
+)
+
+
+def test_digit_dominance_is_the_three_cycle():
+    assert dominates((1,), (0,))
+    assert dominates((2,), (1,))
+    assert dominates((0,), (2,))
+    assert not dominates((0,), (1,))
+    assert not dominates((1,), (1,))  # equal labels do not dominate
+
+
+def test_dominates_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        dominates((1, 0), (1,))
+
+
+def test_first_differing_position_decides():
+    assert dominates((1, 0, 0), (1, 2, 9 % 3))  # 0 beats 2 at position 1
+    assert not dominates((1, 2, 0), (1, 0, 0))
+
+
+def test_two_process_system_cycles_through_three_labels():
+    system = BoundedSequentialTimestamps(2)
+    seen = set()
+    taker = 0
+    for _ in range(9):
+        label = system.take(taker)
+        seen.add(label)
+        assert dominates(label, system.label_of(1 - taker))
+        taker = 1 - taker
+    assert seen == {(0,), (1,), (2,)}  # the classic 3-value 2-process TSS
+
+
+def test_fresh_label_dominates_all_others_small_run():
+    system = BoundedSequentialTimestamps(3)
+    for taker in [0, 1, 2, 0, 1, 2, 2, 1, 0, 0]:
+        label = system.take(taker)
+        for other in range(3):
+            if other != taker:
+                assert dominates(label, system.label_of(other))
+
+
+@settings(max_examples=300, deadline=None)
+@given(take_sequences)
+def test_bounded_system_contract(params):
+    n, raw_takers = params
+    system = BoundedSequentialTimestamps(n)
+    last_take_time = {}
+    for time, raw in enumerate(raw_takers):
+        taker = raw % n
+        label = system.take(taker)
+        last_take_time[taker] = time
+        # (1) fresh label dominates every other live label
+        for other in range(n):
+            if other != taker:
+                assert dominates(label, system.label_of(other))
+        # (2) live labels are bounded
+        assert system.max_component() <= 2
+        # (3) dominance agrees with recency among processes that have taken
+        takers = sorted(last_take_time, key=last_take_time.get)
+        for earlier, later in itertools.combinations(takers, 2):
+            assert dominates(
+                system.label_of(later), system.label_of(earlier)
+            ), (
+                f"label of later taker {later} does not dominate earlier "
+                f"{earlier}: {system.labels}"
+            )
+        # (4) strict total order: antisymmetry on all distinct live pairs
+        for p, q in itertools.combinations(range(n), 2):
+            x, y = system.label_of(p), system.label_of(q)
+            if x != y:
+                assert dominates(x, y) != dominates(y, x)
+
+
+@settings(max_examples=100, deadline=None)
+@given(take_sequences)
+def test_bounded_matches_unbounded_order(params):
+    """Both systems must induce the same live order for the same takes."""
+    n, raw_takers = params
+    bounded = BoundedSequentialTimestamps(n)
+    unbounded = UnboundedTimestamps(n)
+    touched = set()
+    for raw in raw_takers:
+        taker = raw % n
+        bounded.take(taker)
+        unbounded.take(taker)
+        touched.add(taker)
+    for p, q in itertools.combinations(sorted(touched), 2):
+        expect = unbounded.dominates(unbounded.label_of(p), unbounded.label_of(q))
+        assert dominates(bounded.label_of(p), bounded.label_of(q)) == expect
+
+
+def test_domain_size_and_length():
+    assert BoundedSequentialTimestamps(2).domain_size() == 3
+    assert BoundedSequentialTimestamps(4).domain_size() == 27
+    assert len(BoundedSequentialTimestamps(5).take(0)) == 4
+
+
+def test_unbounded_counter_grows_without_bound():
+    system = UnboundedTimestamps(2)
+    for _ in range(50):
+        system.take(0)
+        system.take(1)
+    assert system.max_component() == 100  # one per take: unbounded growth
+
+
+def test_single_process_system():
+    system = BoundedSequentialTimestamps(1)
+    first = system.take(0)
+    second = system.take(0)
+    assert len(first) == 1  # minimum length guard

@@ -1,0 +1,250 @@
+"""Tests for the universal construction over the paper's consensus.
+
+Correctness criterion: the decided log is one agreed sequence; every
+invocation appears exactly once (after dedup); every process's responses
+equal the sequential replay of that log — i.e. the object is linearizable
+with the log order as the witness.
+"""
+
+import pytest
+
+from repro.runtime import RandomScheduler, Simulation
+from repro.universal import (
+    CounterSpec,
+    FetchAndConsSpec,
+    QueueSpec,
+    StickyBitSpec,
+    UniversalObject,
+)
+from repro.universal.spec import QueueSpec as _QueueSpec
+
+
+def _run(n, spec, script, seed=0, max_steps=100_000_000):
+    """script(pid) -> list of operations for that process."""
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    obj = UniversalObject(sim, "obj", n, spec)
+
+    def factory(pid):
+        def body(ctx):
+            responses = []
+            for operation in script(pid):
+                responses.append((yield from obj.invoke(ctx, operation)))
+            return responses
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(max_steps)
+    return obj, outcome
+
+
+def _check_against_log(obj, outcome, script, n):
+    """Replay the agreed (deduplicated) log; responses must match."""
+    effective = obj.effective_operations()
+    _, replay_responses = obj.spec.replay(effective)
+    # Each invocation applied exactly once.
+    total_invocations = sum(len(script(pid)) for pid in range(n))
+    assert len(effective) == total_invocations
+    # Per-process program order appears in the log in order.
+    log = [entry for entry in obj.decided_log()]
+    seen = set()
+    per_pid_seqs = {pid: [] for pid in range(n)}
+    for pid, seq, _ in log:
+        if (pid, seq) in seen:
+            continue
+        seen.add((pid, seq))
+        per_pid_seqs[pid].append(seq)
+    for pid, seqs in per_pid_seqs.items():
+        assert seqs == sorted(seqs)
+    # Responses match the replay at each op's position.
+    position = {}
+    index = 0
+    seen.clear()
+    for pid, seq, _ in log:
+        if (pid, seq) in seen:
+            continue
+        seen.add((pid, seq))
+        position[(pid, seq)] = index
+        index += 1
+    for pid, responses in outcome.decisions.items():
+        for op_index, response in enumerate(responses, start=1):
+            assert replay_responses[position[(pid, op_index)]] == response
+
+
+def test_sequential_counter():
+    obj, outcome = _run(1, CounterSpec(), lambda pid: [("add", 1)] * 5 + [("read",)])
+    assert outcome.decisions[0] == [0, 1, 2, 3, 4, 5]
+    assert obj.current_state() == 5
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_concurrent_counter_every_add_counted_once(seed):
+    n = 3
+    script = lambda pid: [("add", 1)] * 4
+    obj, outcome = _run(n, CounterSpec(), script, seed=seed)
+    assert obj.current_state() == n * 4
+    # fetch&add responses are distinct pre-values 0..11 in some partition.
+    all_pre = sorted(v for vs in outcome.decisions.values() for v in vs)
+    assert all_pre == list(range(12))
+    _check_against_log(obj, outcome, script, n)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_concurrent_queue_linearizable(seed):
+    n = 3
+    script = lambda pid: [("enq", (pid, 0)), ("enq", (pid, 1)), ("deq",), ("deq",)]
+    obj, outcome = _run(n, QueueSpec(), script, seed=seed)
+    _check_against_log(obj, outcome, script, n)
+    # Everything enqueued was dequeued exactly once (6 enq, 6 deq).
+    dequeued = [v for vs in outcome.decisions.values() for v in vs if v is not None]
+    assert sorted(dequeued) == sorted((pid, k) for pid in range(n) for k in (0, 1))
+
+
+def test_sticky_bit_is_consensus():
+    # n processes all try to set their own pid parity: everyone must see
+    # the same winner — a consensus object built from consensus.
+    n = 4
+    script = lambda pid: [("set", pid % 2)]
+    obj, outcome = _run(n, StickyBitSpec(), script, seed=9)
+    winners = {vs[0] for vs in outcome.decisions.values()}
+    assert len(winners) == 1
+    assert obj.current_state() in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_fetch_and_cons_total_order(seed):
+    # Each response is the list before the cons: lengths must be a
+    # permutation of 0..total-1 and each response a prefix-chain member.
+    n = 3
+    script = lambda pid: [("cons", f"{pid}a"), ("cons", f"{pid}b")]
+    obj, outcome = _run(n, FetchAndConsSpec(), script, seed=seed)
+    responses = [v for vs in outcome.decisions.values() for v in vs]
+    lengths = sorted(len(r) for r in responses)
+    assert lengths == list(range(6))
+    final = obj.current_state()
+    for response in responses:
+        # every returned snapshot is a suffix of the final list
+        assert final[len(final) - len(response):] == response
+
+
+def test_helping_rule_logs_announced_ops():
+    # Process 1 does one op; process 0 does many: 0's helping must carry
+    # 1's op into the log even if 1 is slow (scheduled rarely).
+    n = 2
+    sim = Simulation(
+        n, RandomScheduler(seed=4, weights={1: 0.02}), seed=4
+    )
+    obj = UniversalObject(sim, "obj", n, CounterSpec())
+
+    def factory(pid):
+        def body(ctx):
+            ops = [("add", 1)] * (6 if pid == 0 else 1)
+            out = []
+            for op in ops:
+                out.append((yield from obj.invoke(ctx, op)))
+            return out
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(100_000_000)
+    assert obj.current_state() == 7
+    assert len(outcome.decisions[1]) == 1
+
+
+def test_log_grows_but_consensus_instances_stay_bounded():
+    from repro.registers import MemoryAudit
+
+    n = 2
+    sim = Simulation(n, RandomScheduler(seed=0), seed=0)
+    audit = MemoryAudit()
+    obj = UniversalObject(sim, "obj", n, CounterSpec(), audit=audit,
+                          m_bound=20)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(3):
+                yield from obj.invoke(ctx, ("add", 1))
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(100_000_000)
+    # Consensus-internal integers bounded by max(m+1, 3K-1); announce
+    # registers carry (pid, seq<=3, op) tuples.
+    assert audit.max_magnitude <= 21
+
+
+def test_two_objects_coexist():
+    sim = Simulation(2, RandomScheduler(seed=6), seed=6)
+    counter = UniversalObject(sim, "ctr", 2, CounterSpec())
+    queue = UniversalObject(sim, "q", 2, QueueSpec())
+
+    def factory(pid):
+        def body(ctx):
+            pre = yield from counter.invoke(ctx, ("add", 10))
+            yield from queue.invoke(ctx, ("enq", pid))
+            popped = yield from queue.invoke(ctx, ("deq",))
+            return (pre, popped)
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(100_000_000)
+    assert counter.current_state() == 20
+    assert sorted(v for _, v in outcome.decisions.values()) == [0, 1]
+
+
+def test_crashed_invoker_does_not_block_others():
+    """Helping tolerates crashes: a process that dies mid-invoke leaves its
+    announced op behind; survivors keep completing their own operations."""
+    from repro.runtime import CrashPlan
+
+    n = 3
+    sim = Simulation(n, RandomScheduler(seed=8), seed=8,
+                     crash_plan=CrashPlan({0: 40}))
+    obj = UniversalObject(sim, "obj", n, CounterSpec())
+
+    def factory(pid):
+        def body(ctx):
+            results = []
+            for _ in range(3):
+                results.append((yield from obj.invoke(ctx, ("add", 1))))
+            return results
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(200_000_000)
+    assert outcome.crashed == {0}
+    for pid in (1, 2):
+        assert len(outcome.decisions[pid]) == 3
+    # The survivors' six adds all took effect exactly once; the crashed
+    # process contributed between 0 and 3 (its announced op may have been
+    # helped into the log posthumously).
+    assert 6 <= obj.current_state() <= 9
+
+
+def test_announced_op_of_crashed_process_helped_at_most_once():
+    from repro.runtime import CrashPlan, ScriptedScheduler
+
+    n = 2
+    # Let pid 0 announce (1 write) then crash; pid 1 must help it exactly
+    # once and still complete its own op.
+    sim = Simulation(n, ScriptedScheduler([0]), seed=0,
+                     crash_plan=CrashPlan({0: 1}))
+    obj = UniversalObject(sim, "obj", n, CounterSpec())
+
+    def factory(pid):
+        def body(ctx):
+            return (yield from obj.invoke(ctx, ("add", 10 if pid == 0 else 1)))
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(100_000_000)
+    assert outcome.crashed == {0}
+    assert 1 in outcome.decisions
+    ops = obj.effective_operations()
+    assert ops.count(("add", 10)) <= 1  # helped at most once
+    assert ops.count(("add", 1)) == 1

@@ -1,0 +1,123 @@
+"""Black-box linearizability of the universal objects.
+
+These tests do NOT look at the construction's internal log: they take only
+the invocation/response spans a client could observe and ask the
+object-level Wing–Gong checker whether a linearization exists — the
+definition of correctness for a shared object.
+"""
+
+import pytest
+
+from repro.runtime import RandomScheduler, Simulation
+from repro.universal import CounterSpec, QueueSpec, StackSpec, UniversalObject
+from repro.universal.linearizability import (
+    ObjectOp,
+    check_object_history,
+    object_history_from_spans,
+)
+
+
+def _run_and_history(spec, script, n=3, seed=0):
+    sim = Simulation(n, RandomScheduler(seed=seed), seed=seed)
+    obj = UniversalObject(sim, "obj", n, spec)
+
+    def factory(pid):
+        def body(ctx):
+            for operation in script(pid):
+                yield from obj.invoke(ctx, operation)
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(200_000_000)
+    spans = sim.trace.spans_of_kind("invoke", "obj")
+    return object_history_from_spans(spans)
+
+
+# -- the checker itself ---------------------------------------------------------
+
+
+def test_checker_accepts_sequential_queue_history():
+    ops = [
+        ObjectOp(0, 0, ("enq", "a"), None, 0, 1),
+        ObjectOp(1, 1, ("deq",), "a", 2, 3),
+        ObjectOp(2, 1, ("deq",), None, 4, 5),
+    ]
+    assert check_object_history(QueueSpec(), ops) == [0, 1, 2]
+
+
+def test_checker_rejects_wrong_response():
+    ops = [
+        ObjectOp(0, 0, ("enq", "a"), None, 0, 1),
+        ObjectOp(1, 1, ("deq",), "b", 2, 3),  # never enqueued
+    ]
+    assert check_object_history(QueueSpec(), ops) is None
+
+
+def test_checker_rejects_reordered_fifo():
+    # enq a fully precedes enq b; two later deqs return b then a.
+    ops = [
+        ObjectOp(0, 0, ("enq", "a"), None, 0, 1),
+        ObjectOp(1, 0, ("enq", "b"), None, 2, 3),
+        ObjectOp(2, 1, ("deq",), "b", 4, 5),
+        ObjectOp(3, 1, ("deq",), "a", 6, 7),
+    ]
+    assert check_object_history(QueueSpec(), ops) is None
+
+
+def test_checker_allows_concurrent_reordering():
+    # The two enqueues overlap, so either dequeue order linearizes.
+    ops = [
+        ObjectOp(0, 0, ("enq", "a"), None, 0, 10),
+        ObjectOp(1, 1, ("enq", "b"), None, 0, 10),
+        ObjectOp(2, 2, ("deq",), "b", 11, 12),
+        ObjectOp(3, 2, ("deq",), "a", 13, 14),
+    ]
+    assert check_object_history(QueueSpec(), ops) is not None
+
+
+def test_checker_empty_history():
+    assert check_object_history(CounterSpec(), []) == []
+
+
+# -- black-box validation of the construction -------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_universal_queue_is_linearizable_black_box(seed):
+    history = _run_and_history(
+        QueueSpec(),
+        lambda pid: [("enq", (pid, 0)), ("deq",), ("enq", (pid, 1)), ("deq",)],
+        seed=seed,
+    )
+    assert len(history) == 12
+    assert check_object_history(QueueSpec(), history) is not None
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_universal_counter_is_linearizable_black_box(seed):
+    history = _run_and_history(
+        CounterSpec(), lambda pid: [("add", 1)] * 3, seed=seed
+    )
+    assert check_object_history(CounterSpec(), history) is not None
+
+
+def test_universal_stack_is_linearizable_black_box():
+    history = _run_and_history(
+        StackSpec(), lambda pid: [("push", pid), ("pop",)], seed=9
+    )
+    assert check_object_history(StackSpec(), history) is not None
+
+
+def test_witness_respects_real_time_precedence():
+    history = _run_and_history(
+        CounterSpec(), lambda pid: [("add", 1)] * 2, n=2, seed=1
+    )
+    witness = check_object_history(CounterSpec(), history)
+    assert witness is not None
+    position = {op_id: index for index, op_id in enumerate(witness)}
+    by_id = {op.op_id: op for op in history}
+    for a in history:
+        for b in history:
+            if a.precedes(b):
+                assert position[a.op_id] < position[b.op_id]

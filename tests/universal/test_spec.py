@@ -1,0 +1,84 @@
+"""Tests for the sequential object specifications."""
+
+import pytest
+
+from repro.universal import (
+    CasRegisterSpec,
+    CounterSpec,
+    FetchAndConsSpec,
+    QueueSpec,
+    StackSpec,
+    StickyBitSpec,
+)
+
+
+def test_counter_fetch_and_add():
+    spec = CounterSpec()
+    state = spec.initial_state()
+    state, old = spec.apply(state, ("add", 5))
+    assert old == 0
+    state, old = spec.apply(state, ("add", 2))
+    assert old == 5
+    state, value = spec.apply(state, ("read",))
+    assert value == 7 and state == 7
+
+
+def test_queue_fifo_order():
+    spec = QueueSpec()
+    _, responses = spec.replay(
+        [("enq", "a"), ("enq", "b"), ("deq",), ("deq",), ("deq",)]
+    )
+    assert responses == [None, None, "a", "b", None]
+
+
+def test_stack_lifo_order():
+    spec = StackSpec()
+    _, responses = spec.replay([("push", 1), ("push", 2), ("pop",), ("pop",), ("pop",)])
+    assert responses == [None, None, 2, 1, None]
+
+
+def test_cas_register_semantics():
+    spec = CasRegisterSpec(initial=0)
+    state = spec.initial_state()
+    state, ok = spec.apply(state, ("cas", 0, 10))
+    assert ok is True and state == 10
+    state, ok = spec.apply(state, ("cas", 0, 20))
+    assert ok is False and state == 10
+    state, _ = spec.apply(state, ("write", 99))
+    state, value = spec.apply(state, ("read",))
+    assert value == 99
+
+
+def test_sticky_bit_first_set_wins():
+    spec = StickyBitSpec()
+    state = spec.initial_state()
+    assert state is None
+    state, value = spec.apply(state, ("set", 1))
+    assert value == 1
+    state, value = spec.apply(state, ("set", 0))  # too late
+    assert value == 1
+    state, value = spec.apply(state, ("read",))
+    assert value == 1
+
+
+def test_fetch_and_cons_returns_previous_contents():
+    spec = FetchAndConsSpec()
+    state, responses = spec.replay([("cons", "x"), ("cons", "y"), ("read",)])
+    assert responses == [(), ("x",), ("y", "x")]
+    assert state == ("y", "x")
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [CounterSpec(), QueueSpec(), StackSpec(), CasRegisterSpec(), StickyBitSpec(),
+     FetchAndConsSpec()],
+)
+def test_unknown_operation_rejected(spec):
+    with pytest.raises(ValueError, match="unknown operation"):
+        spec.apply(spec.initial_state(), ("frobnicate",))
+
+
+def test_replay_from_scratch_is_pure():
+    spec = QueueSpec()
+    ops = [("enq", 1), ("deq",)]
+    assert spec.replay(ops) == spec.replay(ops)

@@ -1,0 +1,113 @@
+"""Tests for the exhaustive schedule explorer itself."""
+
+import math
+
+from repro.registers import AtomicRegister
+from repro.verify import explore_schedules
+
+
+def _two_writers_setup(sim):
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid + 1)
+            return (yield from reg.read(ctx))
+
+        return body
+
+    return factory
+
+
+def test_counts_all_interleavings():
+    # Two processes, two steps each: C(4, 2) = 6 complete schedules.
+    result = explore_schedules(2, _two_writers_setup, lambda sim, out: [])
+    assert result.complete_runs == math.comb(4, 2)
+    assert result.truncated_runs == 0
+    assert result.exhausted and result.ok
+
+
+def test_three_processes_interleavings():
+    def setup(sim):
+        reg = AtomicRegister(sim, "r", 0)
+
+        def factory(pid):
+            def body(ctx):
+                yield from reg.write(ctx, pid)
+
+            return body
+
+        return factory
+
+    # Three single-step processes: 3! = 6 schedules.
+    result = explore_schedules(3, setup, lambda sim, out: [])
+    assert result.complete_runs == 6
+
+
+def test_check_sees_final_state_and_finds_planted_violation():
+    # "Violation": process 0's read returned its own write (i.e. process 1
+    # did not overwrite in between) — planted so some schedules trip it.
+    def check(sim, outcome):
+        if outcome.decisions[0] == 1:
+            return ["p0 read its own write"]
+        return []
+
+    result = explore_schedules(
+        2, _two_writers_setup, check, stop_on_first_violation=False
+    )
+    assert not result.ok
+    assert 0 < len(result.violations) < result.complete_runs
+    assert result.witness_schedules
+
+
+def test_stop_on_first_violation_short_circuits():
+    result = explore_schedules(
+        2,
+        _two_writers_setup,
+        lambda sim, out: ["always"],
+        stop_on_first_violation=True,
+    )
+    assert result.complete_runs == 1
+    assert not result.exhausted
+    assert len(result.witness_schedules) == 1
+
+
+def test_truncation_counted():
+    def setup(sim):
+        reg = AtomicRegister(sim, "r", 0)
+
+        def factory(pid):
+            def body(ctx):
+                while True:
+                    yield from reg.write(ctx, pid)
+
+            return body
+
+        return factory
+
+    result = explore_schedules(1, setup, lambda sim, out: [], max_steps=5)
+    assert result.complete_runs == 0
+    assert result.truncated_runs == 1  # single schedule, cut at depth 5
+    assert "truncated" in result.summary()
+
+
+def test_max_runs_budget():
+    result = explore_schedules(
+        2, _two_writers_setup, lambda sim, out: [], max_runs=3
+    )
+    assert result.complete_runs == 3
+    assert not result.exhausted
+
+
+def test_replays_are_deterministic():
+    seen = set()
+
+    def check(sim, outcome):
+        seen.add(tuple(sorted(outcome.decisions.items())))
+        return []
+
+    explore_schedules(2, _two_writers_setup, check)
+    first = frozenset(seen)
+    seen.clear()
+    explore_schedules(2, _two_writers_setup, check)
+    assert frozenset(seen) == first
