@@ -5,31 +5,104 @@ paper-vs-measured table (visible with ``pytest -s`` and in the benchmark
 logs), persists it under ``benchmarks/results/`` for EXPERIMENTS.md, and
 asserts the *shape* of the paper's claim (growth exponents, orderings,
 bounds) rather than absolute constants.
+
+Two artifacts are written per experiment:
+
+- ``<experiment>.txt`` — the human-readable table(s), rewritten from
+  scratch on every run (``record`` is idempotent per experiment: rerunning
+  a benchmark, even with different parameters in the title, replaces the
+  file instead of appending duplicates);
+- ``BENCH_<EXPERIMENT>.json`` — a machine-readable artifact carrying the
+  same rows plus any attached metrics snapshots (see ``attach_metrics``),
+  the input to trend tracking across runs and the CI smoke job.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+# Per-process accumulator: experiment -> ordered {title: table rows}.
+# ``record`` rewrites both artifacts from this state, so reruns replace
+# rather than append, while multi-table benchmarks keep every table of the
+# current run.
+_TABLES: dict[str, dict[str, str]] = {}
+_JSON_TABLES: dict[str, dict[str, list[dict[str, Any]]]] = {}
+_JSON_EXTRAS: dict[str, dict[str, Any]] = {}
 
-def record(experiment: str, rows, title: str) -> str:
-    """Format, print and persist an experiment's result table."""
-    text = format_table(rows, title=title)
+
+def _txt_path(experiment: str) -> pathlib.Path:
+    return RESULTS_DIR / f"{experiment}.txt"
+
+
+def json_path(experiment: str) -> pathlib.Path:
+    """Path of the machine-readable artifact, e.g. ``BENCH_E6.json``."""
+    return RESULTS_DIR / f"BENCH_{experiment.upper()}.json"
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def _rewrite(experiment: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{experiment}.txt"
-    existing = path.read_text() if path.exists() else ""
-    if title not in existing:
-        path.write_text(existing + text + "\n\n")
+    tables = _TABLES.get(experiment, {})
+    _txt_path(experiment).write_text("\n\n".join(tables.values()) + "\n")
+    payload = {
+        "experiment": experiment,
+        "tables": [
+            {"title": title, "rows": rows}
+            for title, rows in _JSON_TABLES.get(experiment, {}).items()
+        ],
+    }
+    payload.update(_JSON_EXTRAS.get(experiment, {}))
+    json_path(experiment).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def record(experiment: str, rows: Sequence[Mapping[str, Any]], title: str) -> str:
+    """Format, print and persist an experiment's result table.
+
+    Idempotent per ``(experiment, title)``: recording the same title again
+    replaces that table, and both artifacts are always rewritten whole, so
+    stale tables from earlier runs (e.g. a title that differed only in a
+    parameter value) never accumulate.
+    """
+    text = format_table(rows, title=title)
+    _TABLES.setdefault(experiment, {})[title] = text
+    _JSON_TABLES.setdefault(experiment, {})[title] = [
+        {str(k): _jsonable(v) for k, v in row.items()} for row in rows
+    ]
+    _rewrite(experiment)
     print("\n" + text + "\n")
     return text
 
 
+def attach_metrics(experiment: str, name: str, snapshot: Any) -> None:
+    """Attach a ``MetricsSnapshot`` (or any JSON-able mapping) under
+    ``metrics.<name>`` in the experiment's ``BENCH_*.json`` artifact."""
+    if hasattr(snapshot, "to_json"):
+        snapshot = json.loads(snapshot.to_json())
+    extras = _JSON_EXTRAS.setdefault(experiment, {})
+    extras.setdefault("metrics", {})[name] = _jsonable(snapshot)
+    _rewrite(experiment)
+
+
 def reset(experiment: str) -> None:
-    """Clear a previous run's persisted table (called at bench start)."""
-    path = RESULTS_DIR / f"{experiment}.txt"
-    if path.exists():
-        path.unlink()
+    """Clear a previous run's persisted artifacts (called at bench start)."""
+    _TABLES.pop(experiment, None)
+    _JSON_TABLES.pop(experiment, None)
+    _JSON_EXTRAS.pop(experiment, None)
+    for path in (_txt_path(experiment), json_path(experiment)):
+        if path.exists():
+            path.unlink()

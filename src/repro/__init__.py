@@ -20,7 +20,10 @@ Layers (bottom-up):
 - :mod:`repro.consensus` — §5's protocol plus the Aspnes–Herlihy,
   Abrahamson and Chor–Israeli–Li regime baselines;
 - :mod:`repro.analysis` — experiment framework reproducing the paper's
-  quantitative claims (experiments E1–E12, see EXPERIMENTS.md).
+  quantitative claims (experiments E1–E12, see EXPERIMENTS.md);
+- :mod:`repro.obs` — runtime observability: the metrics registry every
+  simulation owns, structured trace export (JSONL / Chrome ``trace_event``)
+  and wall-clock profiling (see docs/observability.md).
 
 Quickstart::
 
@@ -42,6 +45,7 @@ from repro.consensus import (
     MultivaluedConsensusObject,
     validate_run,
 )
+from repro.obs import MetricsRegistry, MetricsSnapshot, Profiler
 from repro.universal import UniversalObject
 from repro.runtime import (
     CrashPlan,
@@ -64,7 +68,10 @@ __all__ = [
     "CrashPlan",
     "LocalCoinConsensus",
     "LockstepAdversary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "MultivaluedConsensusObject",
+    "Profiler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "ScriptedScheduler",

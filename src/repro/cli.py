@@ -8,6 +8,12 @@ Commands:
               report agreement rates and flip counts;
 - ``strip`` — play random moves on the rounds strip, printing the game /
               graph / counter state and checking Claim 4.1 at every move;
+- ``metrics`` — run one consensus execution and print its metrics snapshot
+              (the ``repro.obs`` registry: steps, scan retries, coin flips,
+              round advances, max register values) as a table or JSON;
+- ``trace`` — run one consensus execution with full event/span recording
+              and export the trace (Chrome ``trace_event`` JSON for
+              Perfetto / ``chrome://tracing``, or JSONL);
 - ``experiments`` — list the E1–E12 reproduction experiments and how to
               regenerate them;
 - ``report`` — print the recorded benchmark result tables
@@ -44,6 +50,7 @@ from repro.runtime import (
     SplitAdversary,
     WalkBalancingAdversary,
 )
+from repro.obs.export import export_trace
 from repro.runtime.adversary import LockstepAdversary
 from repro.runtime.timeline import render_timeline
 from repro.strip import DistanceGraph, EdgeCounters, ShrunkenTokenGame
@@ -127,6 +134,58 @@ def cmd_run(args) -> int:
             )
         )
     return 0 if report.ok else 1
+
+
+def cmd_metrics(args) -> int:
+    """Run one execution and print the deterministic metrics snapshot."""
+    inputs = _parse_inputs(args.inputs)
+    protocol = PROTOCOLS[args.protocol]()
+    run = protocol.run(
+        inputs,
+        scheduler=_make_scheduler(args.scheduler, args.seed),
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    snapshot = run.metrics
+    assert snapshot is not None  # metrics are on by default
+    if args.json:
+        print(snapshot.to_json())
+        return 0
+    print(
+        f"protocol  : {run.protocol}  (n={run.n}, seed={args.seed}, "
+        f"steps={run.total_steps})"
+    )
+    print()
+    rows = snapshot.to_rows()
+    if args.filter:
+        rows = [r for r in rows if args.filter in r["metric"]]
+    print(format_table(rows, title="metrics snapshot"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one execution with recording on and export the trace."""
+    inputs = _parse_inputs(args.inputs)
+    protocol = PROTOCOLS[args.protocol]()
+    run = protocol.run(
+        inputs,
+        scheduler=_make_scheduler(args.scheduler, args.seed),
+        seed=args.seed,
+        max_steps=args.max_steps,
+        record_events=True,
+        record_spans=True,
+        keep_simulation=True,
+    )
+    trace = run.simulation.trace
+    path = export_trace(trace, args.export)
+    fmt = "JSONL" if path.suffix == ".jsonl" else "Chrome trace_event"
+    print(
+        f"exported {len(trace.events)} events and {len(trace.spans)} spans "
+        f"({fmt}) to {path}"
+    )
+    if fmt != "JSONL":
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def cmd_coin(args) -> int:
@@ -240,6 +299,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeline", action="store_true", help="print span timeline")
     run.add_argument("--timeline-rows", type=int, default=40)
     run.set_defaults(func=cmd_run)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one execution and print its metrics snapshot"
+    )
+    metrics.add_argument("--protocol", choices=sorted(PROTOCOLS), default="ads")
+    metrics.add_argument("--inputs", default="0,1,0,1", help="comma-separated bits")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--scheduler",
+        choices=["random", "round-robin", "split", "lockstep"],
+        default="random",
+    )
+    metrics.add_argument("--max-steps", type=int, default=50_000_000)
+    metrics.add_argument("--json", action="store_true", help="print snapshot as JSON")
+    metrics.add_argument(
+        "--filter", default="", help="only metrics whose name contains this substring"
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="run one execution and export its trace for Perfetto"
+    )
+    trace.add_argument("--protocol", choices=sorted(PROTOCOLS), default="ads")
+    trace.add_argument("--inputs", default="0,1,0,1", help="comma-separated bits")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--scheduler",
+        choices=["random", "round-robin", "split", "lockstep"],
+        default="random",
+    )
+    trace.add_argument("--max-steps", type=int, default=50_000_000)
+    trace.add_argument(
+        "--export",
+        default="trace.json",
+        metavar="PATH",
+        help="output file; .jsonl exports JSONL, anything else Chrome trace_event",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     coin = sub.add_parser("coin", help="toss the bounded weak shared coin")
     coin.add_argument("--n", type=int, default=4)

@@ -46,6 +46,7 @@ class BoundedWalkSharedCoin(WalkSharedCoin):
         super().__init__(sim, name, n, b_barrier=b_barrier, audit=audit)
         self.m_bound = m_bound if m_bound is not None else logic.default_m(b_barrier, n)
         self.overflows = 0
+        self._overflow_counter = sim.metrics.counter("coin.overflows", coin=name)
 
     def read_value(self, ctx):
         """Threshold rule with the overflow-⇒-heads clause active."""
@@ -54,6 +55,7 @@ class BoundedWalkSharedCoin(WalkSharedCoin):
             -self.m_bound <= self._shadow[ctx.pid] <= self.m_bound
         ):
             self.overflows += 1
+            self._overflow_counter.inc()
         return result
 
     def any_overflow(self) -> bool:

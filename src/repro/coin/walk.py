@@ -42,6 +42,9 @@ class WalkSharedCoin(SharedCoin):
         self.n = n
         self.b_barrier = b_barrier
         self.total_steps = 0
+        self._flips = sim.metrics.counter("coin.flips", coin=name)
+        self._reads = sim.metrics.counter("coin.reads", coin=name)
+        self._excursion = sim.metrics.gauge("coin.max_excursion", coin=name)
         self.counters = RegisterArray(sim, f"{name}.c", n, initial=0, audit=audit)
         # Writer-local knowledge of the own counter (the own register is
         # single-writer, so its owner need not read it back).
@@ -53,6 +56,7 @@ class WalkSharedCoin(SharedCoin):
     def read_value(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
         """Collect all counters, then apply the threshold rule."""
         span = ctx.begin_span("coin_read", self.name)
+        self._reads.inc()
         collected = []
         for j in range(self.n):
             value = yield from self.counters[j].read(ctx)
@@ -74,6 +78,8 @@ class WalkSharedCoin(SharedCoin):
         yield from self.counters[ctx.pid].write(ctx, new)
         self._shadow[ctx.pid] = new
         self.total_steps += 1
+        self._flips.inc()
+        self._excursion.set_max(abs(new))
 
     # -- inspection -----------------------------------------------------------
 

@@ -185,12 +185,15 @@ class AdsConsensus(ConsensusProtocol):
         while True:
             view = yield from memory.scan(ctx)
             self._scans[i] += 1
+            self._m_scans.inc()
             graph = decode_graph([v.edges for v in view], self.K)
             mine = view[i]
             prefs = [v.pref for v in view]
+            self._observe_leader_gap(graph)
 
             # Line 2: leader with every disagreeing process K behind -> decide.
             if mine.pref is not BOTTOM and self._can_decide(i, graph, prefs, n):
+                self._m_decisions.inc()
                 return mine.pref
 
             # Lines 3-4: all leaders agree on a value -> adopt it, advance.
@@ -231,6 +234,23 @@ class AdsConsensus(ConsensusProtocol):
 
     # -- protocol pieces (the paper's procedures) ------------------------------
 
+    def _observe_leader_gap(self, graph: DistanceGraph) -> None:
+        """Track the largest lead any leader holds over the trailing pack.
+
+        The gap drives decidability (line 2 needs disagreeers to trail by
+        K), so its excursion over a run is the E4 round-dynamics signal.
+        Skipped when metrics are off: the extra longest-path relaxation is
+        pure observability cost.
+        """
+        if self._metrics is None or not self._metrics.enabled:
+            return
+        leaders = graph.leaders()
+        if not leaders:
+            return
+        dists = graph.all_dists_from(leaders[0])
+        finite = [d for d in dists if d != float("-inf")]
+        self._m_leader_gap.set_max(max(finite, default=0))
+
     def _can_decide(
         self, i: int, graph: DistanceGraph, prefs: list, n: int
     ) -> bool:
@@ -254,6 +274,10 @@ class AdsConsensus(ConsensusProtocol):
         rows[i] = list(cell.edges)  # own row: local knowledge is freshest
         new_row = inc_counters(i, rows, self.K)
         self._rounds[i] += 1
+        self._m_rounds.inc()
+        self._m_edge_incs.inc(
+            sum(1 for old, new in zip(cell.edges, new_row) if old != new)
+        )
         return AdsCell(
             pref=cell.pref,
             coins=tuple(coins),
@@ -299,6 +323,8 @@ class AdsConsensus(ConsensusProtocol):
         coins = list(cell.coins)
         coins[slot] = logic.walk_step_value(coins[slot], heads, m)
         self._flips[ctx.pid] += 1
+        self._m_flips.inc()
+        self._m_coin_excursion.set_max(abs(coins[slot]))
         return replace(cell, coins=tuple(coins))
 
 
@@ -346,6 +372,7 @@ class AdsConsensusObject:
             if m_bound is not None
             else logic.default_m(b_barrier, n, f_factor)
         )
+        self._protocol._bind_metrics(sim)
         self._initial = self._protocol._initial_cell(n)
         self._memory = self._protocol._make_memory(
             sim, n, self._initial, audit or MemoryAudit(), name=name

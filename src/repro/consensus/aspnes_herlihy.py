@@ -103,11 +103,14 @@ class AspnesHerlihyConsensus(ConsensusProtocol):
                 cell.coin_of(cell.round), ctx.rng.random() < 0.5, None
             )
             self._flips[ctx.pid] += 1
+            self._m_flips.inc()
+            self._m_coin_excursion.set_max(abs(stepped))
             return cell.with_coin(cell.round, stepped), False
         return self._advance(ctx.pid, cell, coin), True
 
     def _advance(self, pid: int, cell: RoundCell, pref) -> RoundCell:
         self._rounds[pid] += 1
+        self._m_rounds.inc()
         return RoundCell(pref=pref, round=cell.round + 1, coins=cell.coins)
 
     # -- the protocol ------------------------------------------------------------
@@ -120,8 +123,10 @@ class AspnesHerlihyConsensus(ConsensusProtocol):
         while True:
             view = yield from memory.scan(ctx)
             self._scans[i] += 1
+            self._m_scans.inc()
             mine = view[i]
             top = max(v.round for v in view)
+            self._m_leader_gap.set_max(top - min(v.round for v in view))
 
             if (
                 mine.pref is not BOTTOM
@@ -132,6 +137,7 @@ class AspnesHerlihyConsensus(ConsensusProtocol):
                     if j != i
                 )
             ):
+                self._m_decisions.inc()
                 return mine.pref
 
             leaders_value = agreed_value(

@@ -6,6 +6,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.metrics import NULL_INSTRUMENT, MetricsRegistry, MetricsSnapshot
 from repro.registers.base import MemoryAudit
 from repro.runtime.scheduler import CrashPlan, Scheduler
 from repro.runtime.simulation import Simulation, SimulationOutcome
@@ -39,6 +40,11 @@ class ConsensusRun:
     def total_steps(self) -> int:
         return self.outcome.total_steps
 
+    @property
+    def metrics(self) -> MetricsSnapshot | None:
+        """The run's metrics snapshot (``None`` if metrics were disabled)."""
+        return self.outcome.metrics
+
     def max_rounds(self) -> int:
         """Largest number of (local) round increments any process executed."""
         rounds = self.stats.get("rounds_by_pid", {})
@@ -55,6 +61,32 @@ class ConsensusProtocol(abc.ABC):
     """
 
     name: str = "consensus"
+
+    # Metric handles default to the shared no-op so protocol internals can
+    # always increment them; _bind_metrics swaps in live instruments when a
+    # run (or a composable object wrapper) attaches a simulation.
+    _m_rounds = NULL_INSTRUMENT
+    _m_scans = NULL_INSTRUMENT
+    _m_flips = NULL_INSTRUMENT
+    _m_decisions = NULL_INSTRUMENT
+    _m_leader_gap = NULL_INSTRUMENT
+    _m_edge_incs = NULL_INSTRUMENT
+    _m_coin_excursion = NULL_INSTRUMENT
+    _metrics: MetricsRegistry | None = None
+
+    def _bind_metrics(self, sim: Simulation) -> None:
+        """Resolve this protocol's instrument handles against ``sim.metrics``."""
+        registry = sim.metrics
+        self._metrics = registry
+        self._m_rounds = registry.counter("consensus.round_advances", protocol=self.name)
+        self._m_scans = registry.counter("consensus.scans", protocol=self.name)
+        self._m_flips = registry.counter("consensus.coin_flips", protocol=self.name)
+        self._m_decisions = registry.counter("consensus.decisions", protocol=self.name)
+        self._m_leader_gap = registry.gauge("consensus.leader_gap", protocol=self.name)
+        self._m_edge_incs = registry.counter("strip.edge_increments", protocol=self.name)
+        self._m_coin_excursion = registry.gauge(
+            "consensus.coin_excursion", protocol=self.name
+        )
 
     @abc.abstractmethod
     def _setup(self, sim: Simulation, inputs: Sequence[int], audit: MemoryAudit):
@@ -86,11 +118,13 @@ class ConsensusProtocol(abc.ABC):
         record_events: bool = False,
         record_spans: bool = False,
         keep_simulation: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> ConsensusRun:
         """Run one consensus instance with the given inputs.
 
         Spans/events are off by default (protocol runs are long; property
-        checking tests switch them on explicitly).
+        checking tests switch them on explicitly).  Metrics are on by
+        default; pass ``metrics=MetricsRegistry(enabled=False)`` to opt out.
         """
         self._validate_inputs(inputs)
         n = len(inputs)
@@ -102,7 +136,9 @@ class ConsensusProtocol(abc.ABC):
             crash_plan=crash_plan,
             record_events=record_events,
             record_spans=record_spans,
+            metrics=metrics,
         )
+        self._bind_metrics(sim)
         factory = self._setup(sim, inputs, audit)
         sim.spawn_all(factory)
         outcome = sim.run(max_steps)

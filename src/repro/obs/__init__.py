@@ -1,0 +1,53 @@
+"""repro.obs — runtime observability: metrics, trace export, profiling.
+
+The paper's claims are quantitative, so the reproduction measures itself:
+
+- :mod:`repro.obs.metrics` — the labeled counter/gauge/histogram registry
+  every :class:`~repro.runtime.simulation.Simulation` owns (``sim.metrics``)
+  and every layer reports into; snapshots are deterministic per seed and
+  serialize to JSON;
+- :mod:`repro.obs.export` — structured trace export (JSONL and Chrome
+  ``trace_event`` format, openable in Perfetto / ``chrome://tracing``);
+- :mod:`repro.obs.profiling` — wall-clock ``perf_counter`` sections with an
+  overhead self-test.
+
+See ``docs/observability.md`` for the metric catalog and how experiments
+E1–E12 map onto it.
+"""
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    parse_key,
+)
+from repro.obs.export import (
+    export_chrome,
+    export_jsonl,
+    export_trace,
+    load_jsonl,
+    trace_to_chrome,
+    trace_to_jsonl,
+)
+from repro.obs.profiling import Profiler, measure_overhead
+
+__all__ = [
+    "NULL_INSTRUMENT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Profiler",
+    "export_chrome",
+    "export_jsonl",
+    "export_trace",
+    "load_jsonl",
+    "measure_overhead",
+    "parse_key",
+    "trace_to_chrome",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,177 @@
+"""Structured trace export: JSONL and Chrome ``trace_event`` format.
+
+A recorded :class:`~repro.runtime.trace.Trace` holds the run's two parallel
+histories — atomic :class:`~repro.runtime.events.OpEvent`\\ s and high-level
+:class:`~repro.runtime.events.OpSpan`\\ s.  This module serializes both:
+
+- **JSONL** (one JSON object per line, ``type`` is ``"event"`` or
+  ``"span"``) — greppable, streamable, and round-trippable via
+  :func:`load_jsonl`;
+- **Chrome trace_event JSON** — open the file in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: each simulated process
+  becomes a named track, spans become duration slices positioned on the
+  logical clock, and atomic events become instants.
+
+The logical clock (global step index) is used directly as the timestamp:
+trace viewers render it in "microseconds", which for an interleaving
+simulator reads naturally as "atomic steps".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.runtime.events import OpEvent, OpSpan
+from repro.runtime.trace import Trace
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of a traced value to JSON-compatible data.
+
+    Register cells may hold arbitrary protocol structures (tuples,
+    dataclasses such as ``AdsCell``); anything not natively representable
+    falls back to ``repr`` so the export never fails mid-run.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dict__"):
+        return {k: jsonable(v) for k, v in vars(value).items()}
+    return repr(value)
+
+
+def event_to_dict(event: OpEvent) -> dict[str, Any]:
+    return {
+        "type": "event",
+        "step": event.step,
+        "pid": event.pid,
+        "kind": event.kind,
+        "target": event.target,
+        "value": jsonable(event.value),
+    }
+
+
+def span_to_dict(span: OpSpan) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "pid": span.pid,
+        "kind": span.kind,
+        "target": span.target,
+        "invoke_step": span.invoke_step,
+        "response_step": span.response_step,
+        "argument": jsonable(span.argument),
+        "result": jsonable(span.result),
+        "meta": jsonable(span.meta),
+    }
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialize every event and span, one JSON object per line."""
+    lines = [json.dumps(event_to_dict(e), sort_keys=True) for e in trace.events]
+    lines += [json.dumps(span_to_dict(s), sort_keys=True) for s in trace.spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_jsonl(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_jsonl(trace))
+    return path
+
+
+def load_jsonl(path: str | pathlib.Path) -> dict[str, list[dict[str, Any]]]:
+    """Parse a JSONL export back into ``{"events": [...], "spans": [...]}``."""
+    events, spans = [], []
+    for line in pathlib.Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        (events if record.get("type") == "event" else spans).append(record)
+    return {"events": events, "spans": spans}
+
+
+# -- Chrome trace_event -----------------------------------------------------
+
+
+def trace_to_chrome(trace: Trace) -> dict[str, Any]:
+    """Convert a trace to the Chrome ``trace_event`` JSON object format.
+
+    Spans become complete ("X") slices, atomic events become instants
+    ("i"), and each simulated process gets a named track via thread-name
+    metadata.  The result is loadable by Perfetto and ``chrome://tracing``.
+    """
+    trace_events: list[dict[str, Any]] = []
+    pids = sorted(
+        {e.pid for e in trace.events} | {s.pid for s in trace.spans}
+    )
+    for pid in pids:
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": pid,
+                "args": {"name": f"p{pid}"},
+            }
+        )
+    for span in trace.spans:
+        if span.invoke_step is None or span.response_step is None:
+            continue
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": f"{span.kind} {span.target}",
+                "cat": span.kind,
+                "pid": 0,
+                "tid": span.pid,
+                "ts": span.invoke_step,
+                "dur": max(1, span.response_step - span.invoke_step),
+                "args": {
+                    "argument": jsonable(span.argument),
+                    "result": jsonable(span.result),
+                    "meta": jsonable(span.meta),
+                },
+            }
+        )
+    for event in trace.events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": f"{event.kind} {event.target}",
+                "cat": event.kind,
+                "pid": 0,
+                "tid": event.pid,
+                "ts": event.step,
+                "args": {"value": jsonable(event.value)},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "logical steps (1 step = 1 'us')"},
+    }
+
+
+def export_chrome(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_chrome(trace)))
+    return path
+
+
+def export_trace(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
+    """Export by extension: ``.jsonl`` → JSONL, anything else → Chrome."""
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        return export_jsonl(trace, path)
+    return export_chrome(trace, path)

@@ -1,0 +1,267 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+The paper's headline claims are *quantitative* — polynomial expected step
+complexity (Theorem 6.1) and bounded register values (§5's boundedness
+argument) — so every layer of the reproduction emits measurements:
+
+- the runtime counts atomic steps per process;
+- the register layer tracks operation counts and the largest value each
+  audited register ever held (the live form of experiment E6's audit);
+- the snapshot layer measures scan collect-rounds and handshake-arrow
+  traffic (E7);
+- the coin layer measures walk flips and counter excursions (E2/E3);
+- the consensus layer measures round advances and the leader gap (E4).
+
+A :class:`MetricsRegistry` is owned by every
+:class:`~repro.runtime.simulation.Simulation` (``sim.metrics``) and handed
+down to shared objects at construction time.  Instruments are *cached
+handles*: call-sites resolve ``registry.counter(name, **labels)`` once and
+then pay only an attribute increment per event, keeping the hot path cheap.
+A registry can be constructed disabled (``MetricsRegistry(enabled=False)``),
+in which case every instrument resolves to a shared no-op.
+
+All state is plain Python integers/floats updated deterministically from
+the simulation, so two runs with identical seeds produce *identical*
+:class:`MetricsSnapshot`\\ s — snapshots are comparable, diffable and
+serializable (``to_json`` / ``from_json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+def _render_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical string form ``name{k=v,...}`` with sorted label keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of the canonical rendering (labels come back as strings)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` keeps a running maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A distribution of observations with exact percentiles.
+
+    Observations are kept verbatim (runs are bounded, and exactness keeps
+    snapshots deterministic); summary statistics are computed lazily at
+    snapshot time.
+    """
+
+    __slots__ = ("observations",)
+
+    def __init__(self) -> None:
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not self.observations:
+            return 0.0
+        ordered = sorted(self.observations)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        if not self.observations:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        total = sum(self.observations)
+        return {
+            "count": len(self.observations),
+            "sum": total,
+            "min": min(self.observations),
+            "max": max(self.observations),
+            "mean": total / len(self.observations),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in used by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002
+        pass
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def set_max(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+#: Shared no-op instrument; also the safe default for call-sites that may
+#: run before (or without) a registry being bound.
+NULL_INSTRUMENT = _NullInstrument()
+_NULL = NULL_INSTRUMENT
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable, serializable view of a registry at one instant.
+
+    Keys are the canonical ``name{label=value,...}`` strings; histogram
+    values are summary dicts (count/sum/min/max/mean/p50/p90/p99).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter over all its label sets."""
+        return sum(
+            v for k, v in self.counters.items() if parse_key(k)[0] == name
+        )
+
+    def gauge_max(self, name: str) -> float:
+        """Maximum of a gauge over all its label sets (0 if absent)."""
+        values = [v for k, v in self.gauges.items() if parse_key(k)[0] == name]
+        return max(values, default=0)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        payload = {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": dict(sorted(self.histograms.items())),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        payload = json.loads(text)
+        return cls(
+            counters=payload.get("counters", {}),
+            gauges=payload.get("gauges", {}),
+            histograms=payload.get("histograms", {}),
+        )
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Table rows for the CLI / reporting layer (sorted, deterministic)."""
+        rows: list[dict[str, Any]] = []
+        for key in sorted(self.counters):
+            rows.append({"metric": key, "type": "counter",
+                         "value": self.counters[key]})
+        for key in sorted(self.gauges):
+            rows.append({"metric": key, "type": "gauge",
+                         "value": self.gauges[key]})
+        for key in sorted(self.histograms):
+            s = self.histograms[key]
+            rows.append({"metric": key, "type": "histogram",
+                         "value": s["count"],
+                         "mean": round(s["mean"], 3), "p50": s["p50"],
+                         "p90": s["p90"], "max": s["max"]})
+        return rows
+
+
+class MetricsRegistry:
+    """Factory and store for labeled instruments.
+
+    Instruments are identified by ``(name, sorted labels)``; asking twice
+    for the same identity returns the same object, so call-sites can cache
+    the handle and increment it directly.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _render_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _render_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = _render_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every instrument (handles cached by call-sites go stale)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Deterministic point-in-time view of every instrument."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in sorted(self._counters.items())},
+            gauges={k: g.value for k, g in sorted(self._gauges.items())},
+            histograms={
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        )

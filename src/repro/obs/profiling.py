@@ -1,0 +1,58 @@
+"""Wall-clock profiling sections backed by the metrics registry.
+
+The simulator's own complexity measurements are *logical* (atomic steps on
+the global clock); this module adds the physical counterpart: named
+``perf_counter`` sections whose durations land in a registry histogram
+(``profile.<name>``, seconds), so benchmark harnesses can report both
+"steps taken" and "wall-clock spent" from the same snapshot.
+
+Because timing instrumentation is only trustworthy if its own cost is
+known, :func:`measure_overhead` self-tests the per-section overhead by
+timing empty sections; tests assert it stays far below the sections being
+measured.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Profiler:
+    """Named wall-clock sections recording into ``profile.*`` histograms."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the ``profile.<name>`` histogram."""
+        histogram = self.registry.histogram(f"profile.{name}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def seconds(self, name: str) -> float:
+        """Total wall-clock seconds recorded for a section so far."""
+        return sum(self.registry.histogram(f"profile.{name}").observations)
+
+
+def measure_overhead(repeats: int = 1000) -> float:
+    """Mean wall-clock cost (seconds) of one empty profiled section.
+
+    The overhead self-test: what a ``section`` costs when the body is
+    empty.  Kept out of any registry so the measurement itself does not
+    pollute snapshots.
+    """
+    profiler = Profiler(MetricsRegistry())
+    start = time.perf_counter()
+    for _ in range(repeats):
+        with profiler.section("overhead_selftest"):
+            pass
+    elapsed = time.perf_counter() - start
+    return elapsed / repeats

@@ -49,8 +49,13 @@ class AtomicRegister:
         self._value = initial
         self.writers = frozenset(writers) if writers is not None else None
         self.audit = audit
+        self._reads = sim.metrics.counter("registers.reads", register=name)
+        self._writes = sim.metrics.counter("registers.writes", register=name)
+        # Max-value-held gauges subsume the E6 memory audit for audited
+        # registers; the audit's measurement is reused, never recomputed.
+        self._magnitude = sim.metrics.gauge("memory.max_magnitude", register=name)
         if audit is not None:
-            audit.observe(name, initial)
+            self._magnitude.set_max(audit.observe(name, initial))
         sim.register_shared(name, self)
 
     def peek(self) -> Any:
@@ -65,6 +70,7 @@ class AtomicRegister:
         """Atomic read (one scheduling point)."""
         yield OpIntent(ctx.pid, "read", self.name)
         value = self._value
+        self._reads.inc()
         ctx.record("read", self.name, value)
         return value
 
@@ -77,8 +83,9 @@ class AtomicRegister:
             )
         yield OpIntent(ctx.pid, "write", self.name, value)
         self._value = value
+        self._writes.inc()
         if self.audit is not None:
-            self.audit.observe(self.name, value)
+            self._magnitude.set_max(self.audit.observe(self.name, value))
         ctx.record("write", self.name, value)
 
 

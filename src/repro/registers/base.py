@@ -62,13 +62,17 @@ class MemoryAudit:
     writes: int = 0
     per_target: dict[str, int] = field(default_factory=dict)
 
-    def observe(self, target: str, value: Any) -> None:
+    def observe(self, target: str, value: Any) -> int:
+        """Audit one stored value; returns its measured magnitude so
+        callers (e.g. the register layer's metrics gauges) need not
+        re-measure."""
         magnitude = measure_magnitude(value)
         self.max_magnitude = max(self.max_magnitude, magnitude)
         self.max_width = max(self.max_width, measure_width(value))
         self.writes += 1
         if magnitude > self.per_target.get(target, -1):
             self.per_target[target] = magnitude
+        return magnitude
 
     def merge(self, other: "MemoryAudit") -> "MemoryAudit":
         merged = MemoryAudit(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.events import OpEvent
 from repro.runtime.process import Process, ProcessContext, ProcessProgram, ProcessState
 from repro.runtime.rng import derive_rng
@@ -38,6 +39,7 @@ class SimulationOutcome:
     steps_by_pid: dict[int, int]
     finished: bool
     crashed: set[int] = field(default_factory=set)
+    metrics: MetricsSnapshot | None = None
 
     def decided_pids(self) -> list[int]:
         return sorted(self.decisions)
@@ -54,6 +56,7 @@ class Simulation:
         crash_plan: CrashPlan | None = None,
         record_events: bool = False,
         record_spans: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         if n < 1:
             raise ValueError("need at least one process")
@@ -63,6 +66,12 @@ class Simulation:
         self.scheduler.reset()
         self.crash_plan = crash_plan or CrashPlan()
         self.trace = Trace(record_events=record_events, record_spans=record_spans)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Cached instrument handles: the step loop is the hottest path.
+        self._steps_by_pid = [
+            self.metrics.counter("runtime.steps", pid=pid) for pid in range(n)
+        ]
+        self._crash_counter = self.metrics.counter("runtime.crashes")
         self.step_count = 0
         self._clock = 0
         self.processes: dict[int, Process] = {}
@@ -122,11 +131,13 @@ class Simulation:
 
     def crash(self, pid: int) -> None:
         self.processes[pid].crash()
+        self._crash_counter.inc()
 
     def _apply_crash_plan(self) -> None:
         for pid in self.crash_plan.due(self.step_count):
             if self.processes[pid].runnable:
                 self.processes[pid].crash()
+                self._crash_counter.inc()
 
     def step(self) -> int | None:
         """Advance one process by one atomic step; return its pid.
@@ -145,6 +156,7 @@ class Simulation:
         process = self.processes[pid]
         process.advance()
         self.step_count += 1
+        self._steps_by_pid[pid].inc()
         if process.state is ProcessState.FAILED:
             raise process.failure  # type: ignore[misc]
         return pid
@@ -182,4 +194,5 @@ class Simulation:
             steps_by_pid={pid: p.steps_taken for pid, p in self.processes.items()},
             finished=finished,
             crashed=crashed,
+            metrics=self.metrics.snapshot() if self.metrics.enabled else None,
         )

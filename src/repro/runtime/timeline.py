@@ -37,6 +37,13 @@ def render_timeline(
         targets: optional target filter.
         max_rows: cap on rendered rows (earliest first).
     """
+    if not trace.spans and not trace.record_spans:
+        # Span recording was explicitly disabled: an empty chart would be
+        # indistinguishable from "nothing happened", so explain instead.
+        return (
+            "(no spans: span recording is off — construct the Simulation "
+            "with record_spans=True, or pass --timeline to `repro run`)"
+        )
     kind_set = set(kinds) if kinds is not None else None
     target_set = set(targets) if targets is not None else None
     spans = [

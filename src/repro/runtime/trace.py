@@ -82,6 +82,13 @@ class Trace:
 
     def render(self, limit: int | None = None) -> str:
         """Human-readable dump of the first ``limit`` atomic events."""
+        if not self.events and not self.record_events:
+            # The silent-empty footgun: event recording is off by default
+            # (protocol runs are long), so say so instead of printing "".
+            return (
+                "(no events: event recording is off — construct the "
+                "Simulation with record_events=True)"
+            )
         selected: Iterable[OpEvent] = self.events if limit is None else self.events[:limit]
         return "\n".join(str(e) for e in selected)
 

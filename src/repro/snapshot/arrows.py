@@ -98,6 +98,12 @@ class ArrowScannableMemory(ScannableMemory):
         self._toggle = [0] * n
         self._wseq = [0] * n
         self._last_written = [initial] * n
+        self._scans = sim.metrics.counter("snapshot.scans", object=name)
+        self._scan_rounds = sim.metrics.histogram("snapshot.scan_rounds", object=name)
+        self._retries = sim.metrics.counter("snapshot.scan_retries", object=name)
+        self._arrow_toggles = sim.metrics.counter("snapshot.arrow_toggles", object=name)
+        self._writes = sim.metrics.counter("snapshot.writes", object=name)
+        self._value_magnitude = sim.metrics.gauge("memory.max_magnitude", register=f"{name}.V")
         self.V = RegisterArray(sim, f"{name}.V", n, initial=(initial, 0, 0))
         self.A: list[list[Any]] = [[None] * n for _ in range(n)]
         for i in range(n):
@@ -123,9 +129,11 @@ class ArrowScannableMemory(ScannableMemory):
         """Set all arrows towards potential scanners, then publish the value."""
         i = ctx.pid
         span = ctx.begin_span("write", self.name, value)
+        self._writes.inc()
         for j in range(self.n):
             if j != i:
                 yield from self.A[j][i].write(ctx, 1)
+                self._arrow_toggles.inc()
         self._toggle[i] ^= 1
         self._wseq[i] += 1
         span.meta["wseq"] = self._wseq[i]
@@ -133,7 +141,9 @@ class ArrowScannableMemory(ScannableMemory):
         if self.audit is not None:
             # Audit the algorithmic fields only; the ghost wseq is
             # verification instrumentation, not protocol memory.
-            self.audit.observe(f"{self.name}.V[{i}]", (value, self._toggle[i]))
+            self._value_magnitude.set_max(
+                self.audit.observe(f"{self.name}.V[{i}]", (value, self._toggle[i]))
+            )
         yield from self.V[i].write(ctx, cell)
         self._last_written[i] = value
         ctx.end_span(span)
@@ -142,17 +152,21 @@ class ArrowScannableMemory(ScannableMemory):
         """Double-collect with handshake arrows; retries until clean."""
         i = ctx.pid
         span = ctx.begin_span("scan", self.name)
+        self._scans.inc()
         others = [j for j in range(self.n) if j != i]
         rounds = 0
         while True:
             rounds += 1
             self._attempts += 1
+            if rounds > 1:
+                self._retries.inc()
             if self.max_rounds is not None and rounds > self.max_rounds:
                 raise ScanRetriesExceeded(
                     f"scan by {i} on {self.name} exceeded {self.max_rounds} rounds"
                 )
             for j in others:
                 yield from self.A[i][j].write(ctx, 0)
+                self._arrow_toggles.inc()
             first = {}
             for j in others:
                 first[j] = yield from self.V[j].read(ctx)
@@ -170,6 +184,7 @@ class ArrowScannableMemory(ScannableMemory):
             )
             if clean:
                 break
+        self._scan_rounds.observe(rounds)
         view = []
         wseqs = []
         for j in range(self.n):

@@ -60,6 +60,11 @@ class EmbeddedScanSnapshot(ScannableMemory):
         self.n = n
         self.initial = initial
         self._attempts = 0
+        self._scans = sim.metrics.counter("snapshot.scans", object=name)
+        self._scan_rounds = sim.metrics.histogram("snapshot.scan_rounds", object=name)
+        self._retries = sim.metrics.counter("snapshot.scan_retries", object=name)
+        self._writes = sim.metrics.counter("snapshot.writes", object=name)
+        self._borrows = sim.metrics.counter("snapshot.borrowed_views", object=name)
         initial_cell = _Cell(
             value=initial,
             seq=0,
@@ -90,16 +95,20 @@ class EmbeddedScanSnapshot(ScannableMemory):
         while True:
             rounds += 1
             self._attempts += 1
+            self._retries.inc()
             new = yield from self._collect(ctx)
             movers = [j for j in range(self.n) if new[j].seq != old[j].seq]
             if not movers:
                 view = tuple(cell.value for cell in new)
                 wseqs = tuple(cell.seq for cell in new)
+                self._scan_rounds.observe(rounds)
                 return view, wseqs, rounds
             for j in movers:
                 if j in moved:
                     # j completed a whole write inside this scan: its
                     # embedded view is a snapshot within our interval.
+                    self._borrows.inc()
+                    self._scan_rounds.observe(rounds)
                     return new[j].view, new[j].view_wseqs, rounds
                 moved.add(j)
             old = new
@@ -110,6 +119,7 @@ class EmbeddedScanSnapshot(ScannableMemory):
         """Scan (helping), then publish value + snapshot in one write."""
         i = ctx.pid
         span = ctx.begin_span("write", self.name, value)
+        self._writes.inc()
         view, wseqs, _ = yield from self._scan_internal(ctx)
         current: _Cell = self.cells[i].peek()  # own register: local knowledge
         cell = _Cell(value=value, seq=current.seq + 1, view=view, view_wseqs=wseqs)
@@ -119,6 +129,7 @@ class EmbeddedScanSnapshot(ScannableMemory):
 
     def scan(self, ctx: ProcessContext) -> Generator[OpIntent, None, list]:
         span = ctx.begin_span("scan", self.name)
+        self._scans.inc()
         view, wseqs, rounds = yield from self._scan_internal(ctx)
         span.meta["wseqs"] = wseqs
         span.meta["rounds"] = rounds

@@ -47,6 +47,10 @@ class SequencedScannableMemory(ScannableMemory):
         self._attempts = 0
         self._seq = [0] * n
         self._last_written = [initial] * n
+        self._scans = sim.metrics.counter("snapshot.scans", object=name)
+        self._scan_rounds = sim.metrics.histogram("snapshot.scan_rounds", object=name)
+        self._retries = sim.metrics.counter("snapshot.scan_retries", object=name)
+        self._writes = sim.metrics.counter("snapshot.writes", object=name)
         self.V = RegisterArray(sim, f"{name}.V", n, initial=(initial, 0), audit=audit)
         sim.register_shared(name, self)
 
@@ -54,6 +58,7 @@ class SequencedScannableMemory(ScannableMemory):
         """One atomic write of ``(value, seq+1)`` to the own slot."""
         i = ctx.pid
         span = ctx.begin_span("write", self.name, value)
+        self._writes.inc()
         self._seq[i] += 1
         span.meta["wseq"] = self._seq[i]
         yield from self.V[i].write(ctx, (value, self._seq[i]))
@@ -64,11 +69,14 @@ class SequencedScannableMemory(ScannableMemory):
         """Collect repeatedly until two consecutive collects are identical."""
         i = ctx.pid
         span = ctx.begin_span("scan", self.name)
+        self._scans.inc()
         rounds = 0
         previous = None
         while True:
             rounds += 1
             self._attempts += 1
+            if rounds > 1:
+                self._retries.inc()
             if self.max_rounds is not None and rounds > self.max_rounds:
                 raise RuntimeError(
                     f"scan by {i} on {self.name} exceeded {self.max_rounds} rounds"
@@ -80,6 +88,7 @@ class SequencedScannableMemory(ScannableMemory):
             if previous is not None and previous == collect:
                 break
             previous = collect
+        self._scan_rounds.observe(rounds)
         view = [cell[_VALUE] for cell in collect]
         span.meta["wseqs"] = tuple(cell[_SEQ] for cell in collect)
         span.meta["rounds"] = rounds

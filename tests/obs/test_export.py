@@ -1,0 +1,147 @@
+"""Tests for the structured trace exporters (JSONL, Chrome trace_event)."""
+
+import json
+
+from repro import AdsConsensus, Simulation
+from repro.obs.export import (
+    export_chrome,
+    export_jsonl,
+    export_trace,
+    jsonable,
+    load_jsonl,
+    trace_to_chrome,
+    trace_to_jsonl,
+)
+from repro.snapshot import ArrowScannableMemory
+
+
+def _recorded_run(seed=3, n=3):
+    sim = Simulation(n, seed=seed, record_events=True, record_spans=True)
+    mem = ArrowScannableMemory(sim, "M", n)
+
+    def factory(pid):
+        def body(ctx):
+            yield from mem.write(ctx, pid)
+            return tuple((yield from mem.scan(ctx)))
+
+        return body
+
+    sim.spawn_all(factory)
+    sim.run(100_000)
+    return sim
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    sim = _recorded_run()
+    path = export_jsonl(sim.trace, tmp_path / "trace.jsonl")
+    loaded = load_jsonl(path)
+    assert len(loaded["events"]) == len(sim.trace.events)
+    assert len(loaded["spans"]) == len(sim.trace.spans)
+    first = loaded["events"][0]
+    assert first["step"] == sim.trace.events[0].step
+    assert first["pid"] == sim.trace.events[0].pid
+    assert first["kind"] == sim.trace.events[0].kind
+    span_ids = {s["span_id"] for s in loaded["spans"]}
+    assert span_ids == {s.span_id for s in sim.trace.spans}
+
+
+def test_jsonl_every_line_is_json():
+    sim = _recorded_run()
+    for line in trace_to_jsonl(sim.trace).splitlines():
+        record = json.loads(line)
+        assert record["type"] in ("event", "span")
+
+
+def test_jsonl_empty_trace(tmp_path):
+    sim = Simulation(1, seed=0, record_events=True)
+
+    def program(ctx):
+        return 0
+        yield  # pragma: no cover
+
+    sim.spawn(0, program)
+    sim.run()
+    path = export_jsonl(sim.trace, tmp_path / "empty.jsonl")
+    assert load_jsonl(path) == {"events": [], "spans": []}
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    sim = _recorded_run()
+    chrome = trace_to_chrome(sim.trace)
+    events = chrome["traceEvents"]
+    assert isinstance(events, list) and events
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "i"}
+    for entry in events:
+        assert "name" in entry and "pid" in entry and "tid" in entry
+        if entry["ph"] == "X":
+            assert entry["dur"] >= 1
+            assert entry["ts"] >= 0
+        if entry["ph"] == "i":
+            assert "ts" in entry
+
+
+def test_chrome_trace_has_named_thread_per_process():
+    sim = _recorded_run(n=3)
+    chrome = trace_to_chrome(sim.trace)
+    names = {
+        e["args"]["name"]
+        for e in chrome["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {"p0", "p1", "p2"}
+
+
+def test_chrome_export_is_loadable_json(tmp_path):
+    sim = _recorded_run()
+    path = export_chrome(sim.trace, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert "traceEvents" in loaded
+
+
+def test_chrome_span_count_matches_completed_spans():
+    sim = _recorded_run()
+    chrome = trace_to_chrome(sim.trace)
+    slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    completed = [
+        s
+        for s in sim.trace.spans
+        if s.invoke_step is not None and s.response_step is not None
+    ]
+    assert len(slices) == len(completed)
+
+
+# -- dispatch and values -----------------------------------------------------
+
+
+def test_export_trace_dispatches_on_extension(tmp_path):
+    sim = _recorded_run()
+    jsonl = export_trace(sim.trace, tmp_path / "t.jsonl")
+    chrome = export_trace(sim.trace, tmp_path / "t.json")
+    assert "traceEvents" not in jsonl.read_text().splitlines()[0]
+    assert "traceEvents" in chrome.read_text()
+
+
+def test_jsonable_handles_protocol_cells(tmp_path):
+    # A full consensus run writes AdsCell dataclasses into registers; the
+    # export must serialize them without raising.
+    run = AdsConsensus().run(
+        [0, 1], seed=0, record_events=True, record_spans=True, keep_simulation=True
+    )
+    path = export_jsonl(run.simulation.trace, tmp_path / "ads.jsonl")
+    loaded = load_jsonl(path)
+    assert loaded["events"]
+
+
+def test_jsonable_fallback_to_repr():
+    assert jsonable({1, 2}) == "{1, 2}"  # sets have no JSON analogue: repr
+    value = jsonable(object())
+    assert isinstance(value, str) and "object" in value
+    assert jsonable((1, "a", None)) == [1, "a", None]
+    assert jsonable({"k": (1, 2)}) == {"k": [1, 2]}

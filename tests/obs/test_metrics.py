@@ -1,0 +1,207 @@
+"""Tests for the metrics registry: instrument semantics, label isolation,
+snapshot determinism and serialization."""
+
+import json
+
+from repro import AdsConsensus, MetricsRegistry, MetricsSnapshot, Simulation
+from repro.obs.metrics import parse_key
+from repro.registers.atomic import AtomicRegister
+
+
+# -- instrument semantics ----------------------------------------------------
+
+
+def test_counter_increments_and_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("c") is counter
+    assert registry.snapshot().counters["c"] == 5
+
+
+def test_gauge_set_and_set_max():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(7)
+    gauge.set_max(3)  # lower: ignored
+    assert registry.snapshot().gauges["g"] == 7
+    gauge.set_max(11)
+    assert registry.snapshot().gauges["g"] == 11
+    gauge.set(2)  # plain set always wins
+    assert registry.snapshot().gauges["g"] == 2
+
+
+def test_histogram_summary_and_percentiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+        histogram.observe(v)
+    summary = registry.snapshot().histograms["h"]
+    assert summary["count"] == 10
+    assert summary["sum"] == 55
+    assert summary["min"] == 1 and summary["max"] == 10
+    assert summary["mean"] == 5.5
+    assert summary["p50"] in (5, 6)
+    assert summary["p90"] in (9, 10)
+
+
+def test_empty_histogram_summary_is_zeroed():
+    registry = MetricsRegistry()
+    registry.histogram("h")
+    summary = registry.snapshot().histograms["h"]
+    assert summary["count"] == 0 and summary["mean"] == 0.0
+
+
+def test_label_isolation():
+    registry = MetricsRegistry()
+    registry.counter("ops", pid=0).inc()
+    registry.counter("ops", pid=1).inc(2)
+    registry.counter("ops").inc(10)
+    snapshot = registry.snapshot()
+    assert snapshot.counters["ops{pid=0}"] == 1
+    assert snapshot.counters["ops{pid=1}"] == 2
+    assert snapshot.counters["ops"] == 10
+    assert snapshot.counter_total("ops") == 13
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    registry.counter("x", a=1, b=2).inc()
+    assert registry.counter("x", b=2, a=1).value == 1
+
+
+def test_parse_key_round_trip():
+    assert parse_key("plain") == ("plain", {})
+    assert parse_key("ops{pid=3,reg=mem.V[0]}") == (
+        "ops",
+        {"pid": "3", "reg": "mem.V[0]"},
+    )
+
+
+def test_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("c").inc()
+    registry.gauge("g").set_max(5)
+    registry.histogram("h").observe(1)
+    snapshot = registry.snapshot()
+    assert snapshot.counters == {} and snapshot.gauges == {}
+
+
+def test_reset_clears_instruments():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.reset()
+    assert registry.snapshot().counters == {}
+
+
+# -- snapshot serialization --------------------------------------------------
+
+
+def test_snapshot_json_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("steps", pid=0).inc(9)
+    registry.gauge("gap").set_max(3)
+    registry.histogram("rounds").observe(2)
+    snapshot = registry.snapshot()
+    restored = MetricsSnapshot.from_json(snapshot.to_json())
+    assert restored.counters == snapshot.counters
+    assert restored.gauges == snapshot.gauges
+    assert restored.histograms == snapshot.histograms
+
+
+def test_snapshot_to_rows_is_sorted_and_typed():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    registry.gauge("g").set(1)
+    registry.histogram("h").observe(2)
+    rows = registry.snapshot().to_rows()
+    metrics = [r["metric"] for r in rows]
+    assert metrics == ["a", "b", "g", "h"]
+    assert [r["type"] for r in rows] == ["counter", "counter", "gauge", "histogram"]
+
+
+# -- simulation integration --------------------------------------------------
+
+
+def test_simulation_counts_steps_per_pid():
+    sim = Simulation(2, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            yield from reg.write(ctx, pid)
+            yield from reg.read(ctx)
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    snapshot = outcome.metrics
+    assert snapshot.counter_total("runtime.steps") == outcome.total_steps
+    assert snapshot.counters["runtime.steps{pid=0}"] == 2
+    assert snapshot.counters["registers.reads{register=r}"] == 2
+    assert snapshot.counters["registers.writes{register=r}"] == 2
+
+
+def test_disabled_metrics_leave_outcome_snapshot_none():
+    sim = Simulation(1, seed=0, metrics=MetricsRegistry(enabled=False))
+
+    def program(ctx):
+        return 0
+        yield  # pragma: no cover
+
+    sim.spawn(0, program)
+    outcome = sim.run()
+    assert outcome.metrics is None
+
+
+def test_consensus_run_snapshot_deterministic_across_identical_seeds():
+    first = AdsConsensus().run([0, 1, 1], seed=5)
+    second = AdsConsensus().run([0, 1, 1], seed=5)
+    assert first.metrics is not None
+    assert first.metrics.to_json() == second.metrics.to_json()
+    # and the instrumented seams all reported something
+    assert first.metrics.counter_total("consensus.scans") > 0
+    assert first.metrics.counter_total("snapshot.scans") > 0
+    assert first.metrics.counter_total("runtime.steps") == first.total_steps
+    assert first.metrics.counter_total("consensus.decisions") == 3
+
+
+def test_consensus_metrics_agree_with_protocol_stats():
+    protocol = AdsConsensus()
+    run = protocol.run([0, 1, 0, 1], seed=2)
+    snapshot = run.metrics
+    stats = run.stats
+    assert snapshot.counter_total("consensus.scans") == sum(
+        stats["scans_by_pid"].values()
+    )
+    assert snapshot.counter_total("consensus.coin_flips") == sum(
+        stats["flips_by_pid"].values()
+    )
+    assert snapshot.counter_total("consensus.round_advances") == sum(
+        stats["rounds_by_pid"].values()
+    )
+
+
+def test_memory_gauge_matches_audit():
+    run = AdsConsensus().run([0, 1, 1], seed=1)
+    assert run.metrics.gauge_max("memory.max_magnitude") == run.audit.max_magnitude
+
+
+def test_snapshot_scan_rounds_histogram_recorded():
+    run = AdsConsensus().run([0, 1], seed=3)
+    histograms = {
+        parse_key(k)[0] for k in run.metrics.histograms
+    }
+    assert "snapshot.scan_rounds" in histograms
+    summary = run.metrics.histograms["snapshot.scan_rounds{object=mem}"]
+    assert summary["count"] == run.metrics.counter_total("snapshot.scans")
+    assert summary["min"] >= 1
+
+
+def test_metrics_snapshot_json_is_valid_json():
+    run = AdsConsensus().run([0, 1], seed=0)
+    payload = json.loads(run.metrics.to_json())
+    assert set(payload) == {"counters", "gauges", "histograms"}

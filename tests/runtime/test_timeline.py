@@ -69,3 +69,12 @@ def test_width_respected():
 def test_empty_trace():
     sim = Simulation(1, seed=0)
     assert render_timeline(sim.trace) == "(no completed spans)"
+
+
+def test_recording_off_renders_explanation_instead_of_silence():
+    # The footgun: a Simulation without record_spans renders an empty
+    # timeline with no hint why.  It must say how to turn recording on.
+    sim = Simulation(1, seed=0, record_spans=False)
+    message = render_timeline(sim.trace)
+    assert "span recording is off" in message
+    assert "record_spans=True" in message

@@ -81,3 +81,10 @@ def test_trace_render_is_readable():
     text = sim.trace.render()
     assert "p0 write r = 123" in text
     assert trace.render() == ""
+
+
+def test_render_with_recording_off_explains_itself():
+    sim = Simulation(1, seed=0)
+    message = sim.trace.render()
+    assert "event recording is off" in message
+    assert "record_events=True" in message

@@ -1,0 +1,75 @@
+"""Tests for the benchmark artifact helpers in ``benchmarks/_common.py``:
+idempotent recording and the machine-readable BENCH_*.json artifacts."""
+
+import importlib
+import json
+import sys
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def common(tmp_path, monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    module = importlib.import_module("_common")
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    module.reset("etest")
+    yield module
+    module.reset("etest")
+    sys.modules.pop("_common", None)
+
+
+def test_record_is_idempotent_per_title(common, tmp_path, capsys):
+    rows = [{"n": 3, "steps": 10}]
+    common.record("etest", rows, "table A")
+    common.record("etest", rows, "table A")  # rerun: replaces, not appends
+    text = (tmp_path / "etest.txt").read_text()
+    assert text.count("table A") == 1
+    payload = json.loads(common.json_path("etest").read_text())
+    assert payload["experiment"] == "etest"
+    assert len(payload["tables"]) == 1
+    assert payload["tables"][0]["rows"] == [{"n": 3, "steps": 10}]
+
+
+def test_record_replaces_stale_titles_on_rerun(common, tmp_path):
+    common.record("etest", [{"x": 1}], "old title (m=5)")
+    common.reset("etest")  # what every benchmark does at run start
+    common.record("etest", [{"x": 2}], "new title (m=9)")
+    text = (tmp_path / "etest.txt").read_text()
+    assert "old title" not in text and "new title" in text
+
+
+def test_multiple_tables_accumulate_within_a_run(common, tmp_path):
+    common.record("etest", [{"a": 1}], "first")
+    common.record("etest", [{"b": 2}], "second")
+    text = (tmp_path / "etest.txt").read_text()
+    assert "first" in text and "second" in text
+    payload = json.loads(common.json_path("etest").read_text())
+    assert [t["title"] for t in payload["tables"]] == ["first", "second"]
+
+
+def test_attach_metrics_lands_in_json_artifact(common):
+    from repro import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("demo", pid=0).inc(7)
+    common.record("etest", [{"r": 1}], "t")
+    common.attach_metrics("etest", "ads", registry.snapshot())
+    payload = json.loads(common.json_path("etest").read_text())
+    assert payload["metrics"]["ads"]["counters"]["demo{pid=0}"] == 7
+
+
+def test_reset_removes_both_artifacts(common, tmp_path):
+    common.record("etest", [{"r": 1}], "t")
+    txt = tmp_path / "etest.txt"
+    js = common.json_path("etest")
+    assert txt.exists() and js.exists()
+    common.reset("etest")
+    assert not txt.exists() and not js.exists()
+
+
+def test_json_path_uppercases_experiment(common, tmp_path):
+    assert common.json_path("e6").name == "BENCH_E6.json"

@@ -98,3 +98,56 @@ def test_report_command_without_results(capsys, tmp_path):
     code = main(["report", "--results-dir", str(tmp_path / "nope")])
     assert code == 1
     assert "no recorded results" in capsys.readouterr().out
+
+
+def test_metrics_command_prints_snapshot_table(capsys):
+    code = main(["metrics", "--inputs", "0,1", "--seed", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "metrics snapshot" in out
+    assert "consensus.decisions" in out
+    assert "runtime.steps{pid=0}" in out
+
+
+def test_metrics_command_json_is_deterministic(capsys):
+    assert main(["metrics", "--inputs", "0,1", "--seed", "4", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["metrics", "--inputs", "0,1", "--seed", "4", "--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    import json
+
+    payload = json.loads(first)
+    assert set(payload) == {"counters", "gauges", "histograms"}
+
+
+def test_metrics_command_filter(capsys):
+    code = main(
+        ["metrics", "--inputs", "0,1", "--seed", "0", "--filter", "consensus."]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "consensus.coin_flips" in out
+    assert "registers.reads" not in out
+
+
+def test_trace_command_exports_chrome_file(capsys, tmp_path):
+    target = tmp_path / "trace.json"
+    code = main(["trace", "--inputs", "0,1", "--seed", "0", "--export", str(target)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert str(target) in out
+    import json
+
+    payload = json.loads(target.read_text())
+    assert payload["traceEvents"]
+
+
+def test_trace_command_exports_jsonl(capsys, tmp_path):
+    target = tmp_path / "trace.jsonl"
+    code = main(["trace", "--inputs", "0,1", "--seed", "0", "--export", str(target)])
+    assert code == 0
+    import json
+
+    first_line = target.read_text().splitlines()[0]
+    assert json.loads(first_line)["type"] in ("event", "span")
