@@ -17,7 +17,10 @@ Commands:
 - ``experiments`` — list the E1–E12 reproduction experiments and how to
               regenerate them;
 - ``report`` — print the recorded benchmark result tables
-              (``benchmarks/results/``), i.e. the data behind EXPERIMENTS.md.
+              (``benchmarks/results/``), i.e. the data behind EXPERIMENTS.md;
+- ``chaos`` — run the fault-injection mutation campaign (every fault class
+              must be caught by some checker) plus a crash-recovery and a
+              fault-injection fuzz grid (see ``docs/robustness.md``).
 
 Every command is seeded and deterministic; exit status is non-zero if a
 safety check fails.
@@ -45,6 +48,7 @@ from repro.consensus.ads import pref_reader
 from repro.runtime import (
     CrashPlan,
     RandomScheduler,
+    RecoveryPlan,
     RoundRobinScheduler,
     Simulation,
     SplitAdversary,
@@ -103,6 +107,14 @@ def _parse_crashes(entries: Sequence[str]) -> CrashPlan:
     return CrashPlan(plan)
 
 
+def _parse_restarts(entries: Sequence[str]) -> RecoveryPlan | None:
+    plan = {}
+    for entry in entries:
+        pid, _, step = entry.partition(":")
+        plan[int(pid)] = int(step) if step else 0
+    return RecoveryPlan(plan) if plan else None
+
+
 def cmd_run(args) -> int:
     inputs = _parse_inputs(args.inputs)
     protocol = PROTOCOLS[args.protocol]()
@@ -111,6 +123,7 @@ def cmd_run(args) -> int:
         scheduler=_make_scheduler(args.scheduler, args.seed),
         seed=args.seed,
         crash_plan=_parse_crashes(args.crash),
+        recovery_plan=_parse_restarts(args.restart),
         max_steps=args.max_steps,
         record_spans=args.timeline,
         keep_simulation=args.timeline,
@@ -120,6 +133,8 @@ def cmd_run(args) -> int:
     print(f"inputs    : {list(run.inputs)}")
     print(f"decisions : {run.decisions}")
     print(f"crashed   : {sorted(run.outcome.crashed) or '-'}")
+    if run.outcome.restarts:
+        print(f"restarts  : {run.outcome.restarts}")
     print(f"steps     : {run.total_steps}   rounds: {run.stats.get('rounds_by_pid')}")
     print(
         "memory    : max |int| stored "
@@ -262,6 +277,74 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Mutation-test the checkers, then fuzz crash-recovery and faults."""
+    import json
+
+    from repro.faults.campaign import run_mutation_campaign
+    from repro.verify.fuzz import fuzz_consensus
+
+    campaign = run_mutation_campaign(seed=args.seed)
+    rows = [
+        {k: row[k] for k in ("fault", "layer", "checker", "injections",
+                             "detected", "expected", "ok")}
+        for row in campaign.to_rows()
+    ]
+    print(format_table(rows, title="checker mutation campaign"))
+    print(f"detections by fault class: {campaign.detections_by_kind()}")
+    if campaign.holes:
+        print(f"HOLES (fault classes no checker caught): {campaign.holes}")
+
+    print()
+    recovery = fuzz_consensus(
+        lambda: AdsConsensus(),
+        n_values=(2, 3),
+        runs_per_cell=args.runs_per_cell,
+        crash_probability=1.0,
+        recovery_probability=1.0,
+        master_seed=args.seed,
+    )
+    print(f"crash-recovery fuzz : {recovery.summary()}")
+    for failure in recovery.failures:
+        print(f"  FAIL {failure}")
+
+    faults = fuzz_consensus(
+        lambda: AdsConsensus(),
+        n_values=(2, 3),
+        runs_per_cell=max(2, args.runs_per_cell // 5),
+        crash_probability=0.0,
+        fault_probability=1.0,
+        master_seed=args.seed,
+    )
+    print(f"fault-injection fuzz: {faults.summary()}")
+
+    ok = campaign.ok and recovery.ok and faults.ok
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "ok": ok,
+            "campaign": json.loads(campaign.to_json(indent=None)),
+            "recovery_fuzz": {
+                "runs": recovery.runs,
+                "recovery_runs": recovery.recovery_runs,
+                "degraded_runs": recovery.degraded_runs,
+                "failures": [str(f) for f in recovery.failures],
+            },
+            "fault_fuzz": {
+                "runs": faults.runs,
+                "fault_runs": faults.fault_runs,
+                "fault_injections": faults.fault_injections,
+                "fault_detections": faults.fault_detections,
+                "failures": [str(f) for f in faults.failures],
+            },
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote JSON report to {args.json}")
+    print(f"\nchaos: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def cmd_experiments(args) -> int:
     rows = [
         {"id": key.upper(), "claim": text,
@@ -294,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="PID[:STEP]",
         help="crash PID at STEP (repeatable)",
+    )
+    run.add_argument(
+        "--restart",
+        action="append",
+        default=[],
+        metavar="PID[:STEP]",
+        help="restart a crashed PID at STEP with local state lost (repeatable)",
     )
     run.add_argument("--max-steps", type=int, default=50_000_000)
     run.add_argument("--timeline", action="store_true", help="print span timeline")
@@ -353,6 +443,22 @@ def build_parser() -> argparse.ArgumentParser:
     strip.add_argument("--moves", type=int, default=15)
     strip.add_argument("--seed", type=int, default=0)
     strip.set_defaults(func=cmd_strip)
+
+    chaos = sub.add_parser(
+        "chaos", help="mutation-test the checkers and fuzz recovery/faults"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--runs-per-cell",
+        type=int,
+        default=25,
+        metavar="N",
+        help="recovery-fuzz runs per (n, scheduler) cell (default 25 → 200 runs)",
+    )
+    chaos.add_argument(
+        "--json", default="", metavar="PATH", help="also write a JSON report"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     experiments = sub.add_parser("experiments", help="list E1-E12")
     experiments.set_defaults(func=cmd_experiments)

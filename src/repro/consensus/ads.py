@@ -73,6 +73,10 @@ class AdsConsensus(ConsensusProtocol):
 
     name = "ads"
 
+    # The whole protocol state lives in the process's shared cell, so a
+    # restarted incarnation can recover by scanning — see _process.
+    supports_recovery = True
+
     def __init__(
         self,
         K: int = 2,
@@ -176,11 +180,28 @@ class AdsConsensus(ConsensusProtocol):
         initial: AdsCell,
     ):
         i = ctx.pid
-        # Initial write: one inc from the known all-initial state, with the
-        # input as preference (the paper's pre-loop write).
-        cell = self._inc(i, initial, [initial] * n)
-        cell = replace(cell, pref=input_value)
-        yield from memory.write(ctx, cell)
+        cell = None
+        if ctx.incarnation:
+            # Crash recovery: the cell *is* the process's entire protocol
+            # state, so a restarted incarnation scans and resumes from its
+            # own slot.  To every other process this is indistinguishable
+            # from the crashed incarnation merely being slow, so safety is
+            # untouched.  (A write that was in flight at the crash either
+            # landed or didn't — both are legal interleavings.)
+            view = yield from memory.scan(ctx)
+            self._scans[i] += 1
+            self._m_scans.inc()
+            if view[i] != initial:
+                cell = view[i]
+        if cell is None:
+            # Initial write: one inc from the known all-initial state, with
+            # the input as preference (the paper's pre-loop write).  Also
+            # the recovery path for a process that crashed before its
+            # pre-loop write landed: restarting fresh with the original
+            # input preserves validity.
+            cell = self._inc(i, initial, [initial] * n)
+            cell = replace(cell, pref=input_value)
+            yield from memory.write(ctx, cell)
 
         while True:
             view = yield from memory.scan(ctx)

@@ -6,9 +6,11 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
 from repro.obs.metrics import NULL_INSTRUMENT, MetricsRegistry, MetricsSnapshot
 from repro.registers.base import MemoryAudit
-from repro.runtime.scheduler import CrashPlan, Scheduler
+from repro.runtime.scheduler import CrashPlan, RecoveryPlan, Scheduler
 from repro.runtime.simulation import Simulation, SimulationOutcome
 
 #: The "undecided" preference the paper writes as ⊥.
@@ -62,6 +64,13 @@ class ConsensusProtocol(abc.ABC):
 
     name: str = "consensus"
 
+    # Whether this protocol's programs implement crash recovery (resume
+    # from the shared cell when ``ctx.incarnation > 0``).  Protocols that
+    # leave this False would restart from scratch — re-proposing their
+    # input over live protocol state, which is *not* safe in general — so
+    # the fuzz grid only attaches recovery plans when this is True.
+    supports_recovery: bool = False
+
     # Metric handles default to the shared no-op so protocol internals can
     # always increment them; _bind_metrics swaps in live instruments when a
     # run (or a composable object wrapper) attaches a simulation.
@@ -114,17 +123,25 @@ class ConsensusProtocol(abc.ABC):
         scheduler: Scheduler | None = None,
         seed: int = 0,
         crash_plan: CrashPlan | None = None,
+        recovery_plan: RecoveryPlan | None = None,
         max_steps: int = 2_000_000,
         record_events: bool = False,
         record_spans: bool = False,
         keep_simulation: bool = False,
         metrics: MetricsRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
+        watchdog: Watchdog | None = None,
+        raise_on_budget: bool = True,
     ) -> ConsensusRun:
         """Run one consensus instance with the given inputs.
 
         Spans/events are off by default (protocol runs are long; property
         checking tests switch them on explicitly).  Metrics are on by
         default; pass ``metrics=MetricsRegistry(enabled=False)`` to opt out.
+        Resilience hooks: ``recovery_plan`` restarts crashed processes,
+        ``fault_plan`` injects register faults, ``watchdog`` monitors the
+        step loop, and ``raise_on_budget=False`` turns a budget blowup into
+        a degraded outcome instead of :class:`StepBudgetExceeded`.
         """
         self._validate_inputs(inputs)
         n = len(inputs)
@@ -134,14 +151,18 @@ class ConsensusProtocol(abc.ABC):
             scheduler=scheduler,
             seed=seed,
             crash_plan=crash_plan,
+            recovery_plan=recovery_plan,
             record_events=record_events,
             record_spans=record_spans,
             metrics=metrics,
+            faults=fault_plan,
         )
         self._bind_metrics(sim)
         factory = self._setup(sim, inputs, audit)
         sim.spawn_all(factory)
-        outcome = sim.run(max_steps)
+        outcome = sim.run(
+            max_steps, raise_on_budget=raise_on_budget, watchdog=watchdog
+        )
         return ConsensusRun(
             protocol=self.name,
             n=n,

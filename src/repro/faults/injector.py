@@ -1,0 +1,127 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is owned by a :class:`~repro.runtime.simulation.Simulation`
+(``sim.faults``) and consulted by every :class:`AtomicRegister` at the
+moment an operation takes effect — the single substrate every register
+family, arrow and scannable memory in the repository bottoms out in, so a
+plan targeting ``"mem.V"`` perturbs the paper's protocol memory without the
+protocol, the metrics layer or the E6 audit being rewired at all: audited
+registers keep auditing (a corrupted value that blows the boundedness gauge
+is *supposed* to be visible there), and every injection increments the
+``faults.injected`` counter for its kind.
+
+Determinism: each register gets its own random stream derived from the
+plan's seed and the register's name, and a draw is consumed per eligible
+operation in execution order — identical schedules replay identical faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan, corrupt_value
+from repro.obs.metrics import MetricsRegistry, NULL_INSTRUMENT
+from repro.runtime.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    step: int
+    pid: int
+    register: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.step}] p{self.pid} {self.kind} on {self.register}: {self.detail}"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to register operations as they execute."""
+
+    def __init__(self, plan: FaultPlan, metrics: MetricsRegistry | None = None):
+        self.plan = plan
+        self.records: list[InjectionRecord] = []
+        self._rngs: dict[str, Any] = {}
+        self._remaining = plan.max_injections
+        if metrics is None:
+            self._counters = {kind: NULL_INSTRUMENT for kind in FAULT_KINDS}
+        else:
+            self._counters = {
+                kind: metrics.counter("faults.injected", kind=kind)
+                for kind in FAULT_KINDS
+            }
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    def injected_by_kind(self) -> dict[str, int]:
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for record in self.records:
+            counts[record.kind] += 1
+        return counts
+
+    # -- internals -----------------------------------------------------------
+
+    def _rng_for(self, register: str):
+        rng = self._rngs.get(register)
+        if rng is None:
+            rng = self._rngs[register] = derive_rng(self.plan.seed, "faults", register)
+        return rng
+
+    def _fire(self, register: str, kind: str) -> bool:
+        """Decide (consuming one draw) whether ``kind`` fires on this op."""
+        if self._remaining is not None and self._remaining <= 0:
+            return False
+        rate = self.plan.rate_of(kind)
+        if rate <= 0:
+            return False
+        if self._rng_for(register).random() >= rate:
+            return False
+        if self._remaining is not None:
+            self._remaining -= 1
+        return True
+
+    def _record(self, step: int, pid: int, register: str, kind: str, detail: str) -> None:
+        self.records.append(InjectionRecord(step, pid, register, kind, detail))
+        self._counters[kind].inc()
+
+    # -- hooks called by the register layer ----------------------------------
+
+    def on_read(
+        self, step: int, pid: int, register: str, current: Any, previous: Any
+    ) -> Any:
+        """Return the value the read should report (possibly stale)."""
+        if not self.plan.targets_register(register):
+            return current
+        # A stale read of a never-written register would be a no-op; skip
+        # the draw so the injection budget is only spent on visible faults.
+        if previous != current and self._fire(register, "stale_read"):
+            self._record(
+                step, pid, register, "stale_read",
+                f"returned {previous!r} instead of {current!r}",
+            )
+            return previous
+        return current
+
+    def on_write(
+        self, step: int, pid: int, register: str, value: Any
+    ) -> tuple[bool, Any]:
+        """Return ``(lost, value_to_store)`` for a write of ``value``."""
+        if not self.plan.targets_register(register):
+            return False, value
+        if self._fire(register, "lost_write"):
+            self._record(step, pid, register, "lost_write", f"dropped {value!r}")
+            return True, value
+        if self._fire(register, "corrupt_write"):
+            mutated = corrupt_value(value, self._rng_for(register))
+            self._record(
+                step, pid, register, "corrupt_write",
+                f"stored {mutated!r} instead of {value!r}",
+            )
+            return False, mutated
+        return False, value

@@ -1,0 +1,145 @@
+"""Replayable fault plans.
+
+A :class:`FaultPlan` describes *which* model violations to inject into a run
+and *how often*, without naming concrete operations: the decision for each
+individual register operation is drawn from a per-register random stream
+derived from the plan's seed, so two runs with identical schedules and
+identical plans inject byte-identical faults — a fault campaign failure can
+always be replayed from ``(protocol seed, fault plan)`` alone.
+
+Three fault classes, each stepping outside the paper's model in a distinct
+direction:
+
+- ``stale_read`` — a read returns the register's *previous* value instead of
+  the current one.  This is (an adversarially timed instance of) regular-
+  register semantics; Hadzilacos–Hu–Toueg show randomized consensus can
+  survive this weakening, and the handshake scan construction indeed masks
+  most stale reads (see ``docs/robustness.md``).
+- ``lost_write`` — a write takes its scheduling step, is observed by the
+  writer as complete, but never lands in the cell.  No register model
+  permits this; every checker layer should be able to catch it.
+- ``corrupt_write`` — the stored value is mutated (:func:`corrupt_value`)
+  before landing.  Models memory corruption / a buggy encoder; may also
+  break the paper's boundedness audit, which is itself a detector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any
+
+#: The three injectable fault kinds, in canonical order.
+FAULT_KINDS = ("stale_read", "lost_write", "corrupt_write")
+
+
+def corrupt_value(value: Any, rng: random.Random) -> Any:
+    """Deterministically mutate ``value`` into a different value.
+
+    Recurses into tuples, lists and dataclasses (one element/field is
+    corrupted, chosen by ``rng``), so corrupting a protocol cell perturbs a
+    single field rather than replacing the whole structure — the hardest
+    kind of corruption for a coarse checker to notice.
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + (1 if rng.random() < 0.5 else -1)
+    if isinstance(value, float):
+        return -value - 1.0
+    if value is None:
+        return 0
+    if isinstance(value, str):
+        return value + "?"
+    if isinstance(value, tuple) and value:
+        i = rng.randrange(len(value))
+        return value[:i] + (corrupt_value(value[i], rng),) + value[i + 1 :]
+    if isinstance(value, list) and value:
+        i = rng.randrange(len(value))
+        copy = list(value)
+        copy[i] = corrupt_value(copy[i], rng)
+        return copy
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = rng.choice([f.name for f in dataclasses.fields(value)])
+        return dataclasses.replace(
+            value, **{name: corrupt_value(getattr(value, name), rng)}
+        )
+    # Empty containers / unknown objects: return a distinguishable marker.
+    return "<corrupted>"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable register-fault specification.
+
+    Attributes:
+        seed: master seed of the per-register injection streams.
+        stale_read_rate: probability a targeted read returns the previous
+            value.
+        lost_write_rate: probability a targeted write is silently dropped.
+        corrupt_write_rate: probability a targeted write's stored value is
+            mutated.
+        targets: register-name prefixes the plan applies to (``("mem.V",)``
+            hits every ``mem.V[i]`` cell); empty means *all* registers.
+        max_injections: total injection budget across all kinds, or ``None``
+            for unlimited.
+    """
+
+    seed: int = 0
+    stale_read_rate: float = 0.0
+    lost_write_rate: float = 0.0
+    corrupt_write_rate: float = 0.0
+    targets: tuple[str, ...] = ()
+    max_injections: int | None = None
+
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        rate: float = 1.0,
+        targets: tuple[str, ...] = (),
+        max_injections: int | None = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A plan injecting only one fault kind (mutation-testing cells)."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        return cls(
+            seed=seed,
+            targets=tuple(targets),
+            max_injections=max_injections,
+            **{f"{kind}_rate": rate},
+        )
+
+    @classmethod
+    def random(
+        cls, rng: random.Random, targets: tuple[str, ...] = (), max_rate: float = 0.05
+    ) -> "FaultPlan":
+        """A random low-rate plan (fuzz-grid fault cells)."""
+        kind = rng.choice(FAULT_KINDS)
+        return cls.single(
+            kind,
+            rate=rng.uniform(0.005, max_rate),
+            targets=targets,
+            seed=rng.randrange(2**31),
+        )
+
+    def rate_of(self, kind: str) -> float:
+        return getattr(self, f"{kind}_rate")
+
+    def active_kinds(self) -> tuple[str, ...]:
+        return tuple(k for k in FAULT_KINDS if self.rate_of(k) > 0)
+
+    def enabled(self) -> bool:
+        return bool(self.active_kinds())
+
+    def targets_register(self, name: str) -> bool:
+        """Whether this plan applies to register ``name`` (prefix match)."""
+        return not self.targets or any(name.startswith(t) for t in self.targets)
+
+    def describe(self) -> str:
+        rates = ", ".join(f"{k}={self.rate_of(k)}" for k in self.active_kinds())
+        where = ",".join(self.targets) if self.targets else "*"
+        budget = "" if self.max_injections is None else f", max={self.max_injections}"
+        return f"FaultPlan(seed={self.seed}, {rates or 'inactive'}, targets={where}{budget})"

@@ -1,0 +1,153 @@
+"""Online safety monitors for the step loop.
+
+A :class:`Watchdog` is handed to :meth:`Simulation.run` and observes the run
+*while it happens*, diagnosing the two failure shapes that previously only
+surfaced as an opaque ``StepBudgetExceeded`` long after the fact:
+
+- **starvation** — a runnable process has not been scheduled for a whole
+  window of global steps (an adversary, a buggy scheduler, or a scripted
+  schedule that ran dry of a pid);
+- **livelock** — processes keep taking steps but nothing *progresses*: the
+  configured progress counters (round advances and decisions by default)
+  are frozen and no process finishes or crashes, which is what scan
+  starvation or a corrupted handshake bit looks like from the outside.
+
+Alerts are recorded on the watchdog (and copied into the run's
+:class:`SimulationOutcome`); kinds listed in ``halt_on`` additionally stop
+the run early with a *degraded* outcome carrying the diagnosis, so a doomed
+run costs a window instead of a full step budget.
+
+The watchdog reads only public simulation state (step counts, process
+states, metrics counter totals), so it works for any workload; livelock
+detection is only as sharp as the progress counters it watches — with
+metrics disabled it falls back to completion counts alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.simulation import Simulation
+
+#: Counters whose movement counts as progress for consensus workloads.
+DEFAULT_PROGRESS_COUNTERS = (
+    "consensus.round_advances",
+    "consensus.decisions",
+    "consensus.coin_flips",
+)
+
+
+@dataclass(frozen=True)
+class WatchdogAlert:
+    """One detected anomaly."""
+
+    step: int
+    kind: str  # "starvation" | "livelock"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[step {self.step}] {self.kind}: {self.detail}"
+
+
+class Watchdog:
+    """Starvation / no-progress monitor for :meth:`Simulation.run`.
+
+    Args:
+        starvation_window: global steps a runnable process may go
+            unscheduled before a ``starvation`` alert fires (once per pid).
+        progress_window: global steps the progress signal may stay frozen
+            before a ``livelock`` alert fires (once per run).
+        check_every: how often (in global steps) the monitor actually looks;
+            keeps the per-step overhead to one modulo.
+        progress_counters: metric counter names whose totals constitute the
+            progress signal (plus finished/crashed process counts, always).
+        halt_on: alert kinds that stop the run with a degraded outcome.
+    """
+
+    def __init__(
+        self,
+        starvation_window: int = 2_000,
+        progress_window: int = 10_000,
+        check_every: int = 64,
+        progress_counters: Iterable[str] = DEFAULT_PROGRESS_COUNTERS,
+        halt_on: Iterable[str] = (),
+    ):
+        self.starvation_window = starvation_window
+        self.progress_window = progress_window
+        self.check_every = max(1, check_every)
+        self.progress_counters = tuple(progress_counters)
+        self.halt_on = frozenset(halt_on)
+        self.reset()
+
+    def reset(self) -> None:
+        self.alerts: list[WatchdogAlert] = []
+        self._steps_seen: dict[int, int] = {}
+        self._stuck_since: dict[int, int] = {}
+        self._progress_signal: tuple | None = None
+        self._progress_since = 0
+        self._fired: set = set()
+
+    # -- the monitor ---------------------------------------------------------
+
+    def _signal(self, sim: "Simulation") -> tuple:
+        finished = sum(1 for p in sim.processes.values() if not p.runnable)
+        totals = tuple(
+            sim.metrics.counter_total(name) for name in self.progress_counters
+        )
+        return (finished, *totals)
+
+    def observe(self, sim: "Simulation") -> list[WatchdogAlert]:
+        """Inspect the simulation; return any *new* alerts."""
+        step = sim.step_count
+        if step % self.check_every:
+            return []
+        new: list[WatchdogAlert] = []
+        for pid, process in sim.processes.items():
+            if not process.runnable:
+                self._steps_seen.pop(pid, None)
+                self._stuck_since.pop(pid, None)
+                continue
+            taken = process.steps_taken
+            if self._steps_seen.get(pid) != taken:
+                self._steps_seen[pid] = taken
+                self._stuck_since[pid] = step
+            elif (
+                step - self._stuck_since[pid] >= self.starvation_window
+                and ("starvation", pid) not in self._fired
+            ):
+                self._fired.add(("starvation", pid))
+                new.append(
+                    WatchdogAlert(
+                        step,
+                        "starvation",
+                        f"process {pid} runnable but unscheduled for "
+                        f"{step - self._stuck_since[pid]} steps "
+                        f"(stuck at {taken} own steps)",
+                    )
+                )
+        signal = self._signal(sim)
+        if signal != self._progress_signal:
+            self._progress_signal = signal
+            self._progress_since = step
+        elif (
+            step - self._progress_since >= self.progress_window
+            and "livelock" not in self._fired
+        ):
+            self._fired.add("livelock")
+            counters = ", ".join(
+                f"{name}={value}"
+                for name, value in zip(self.progress_counters, signal[1:])
+            )
+            new.append(
+                WatchdogAlert(
+                    step,
+                    "livelock",
+                    f"no progress for {step - self._progress_since} steps "
+                    f"({counters or 'no progress counters'}; "
+                    f"{signal[0]}/{len(sim.processes)} processes done)",
+                )
+            )
+        self.alerts.extend(new)
+        return new

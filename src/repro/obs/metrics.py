@@ -248,6 +248,24 @@ class MetricsRegistry:
             instrument = self._histograms[key] = Histogram()
         return instrument
 
+    # -- live queries --------------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a live counter over all its label sets (0 if absent).
+
+        The mid-run counterpart of :meth:`MetricsSnapshot.counter_total`,
+        used by online monitors (watchdogs, budget diagnostics) that must
+        not pay for a full snapshot per check.
+        """
+        if not self.enabled:
+            return 0
+        prefix = name + "{"
+        return sum(
+            c.value
+            for key, c in self._counters.items()
+            if key == name or key.startswith(prefix)
+        )
+
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:

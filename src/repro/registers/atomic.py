@@ -47,6 +47,10 @@ class AtomicRegister:
         self.sim = sim
         self.name = name
         self._value = initial
+        # Previous value, kept for the fault injector's stale reads
+        # (regular-register semantics: a read may return the overwritten
+        # value).  Mirrors the write history one step deep.
+        self._prev_value = initial
         self.writers = frozenset(writers) if writers is not None else None
         self.audit = audit
         self._reads = sim.metrics.counter("registers.reads", register=name)
@@ -64,28 +68,57 @@ class AtomicRegister:
 
     def poke(self, value: Any) -> None:
         """Test-only direct mutation (not a process step)."""
+        self._prev_value = self._value
         self._value = value
 
     def read(self, ctx: ProcessContext) -> Generator[OpIntent, None, Any]:
-        """Atomic read (one scheduling point)."""
+        """Atomic read (one scheduling point).
+
+        With a fault injector installed on the simulation, the *returned*
+        value may be stale (the previous write's value) — the register's
+        actual content is untouched, and the recorded event carries what
+        the process really saw, so trace checkers judge the faulty
+        behaviour, not the intent.
+        """
         yield OpIntent(ctx.pid, "read", self.name)
         value = self._value
+        injector = self.sim.faults
+        if injector is not None:
+            value = injector.on_read(
+                self.sim.step_count, ctx.pid, self.name, value, self._prev_value
+            )
         self._reads.inc()
         ctx.record("read", self.name, value)
         return value
 
     def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
-        """Atomic write (one scheduling point)."""
+        """Atomic write (one scheduling point).
+
+        The fault injector may drop the write (the cell keeps its old
+        value) or corrupt the stored value.  Either way the writer believes
+        it wrote ``value`` — the event records the intent, while the audit
+        and the max-value gauges observe what actually landed (a corrupted
+        value that blows the E6 bound is meant to be visible there).
+        """
         if self.writers is not None and ctx.pid not in self.writers:
             raise PermissionError(
                 f"process {ctx.pid} may not write register {self.name} "
                 f"(writers: {sorted(self.writers)})"
             )
         yield OpIntent(ctx.pid, "write", self.name, value)
-        self._value = value
+        stored = value
+        lost = False
+        injector = self.sim.faults
+        if injector is not None:
+            lost, stored = injector.on_write(
+                self.sim.step_count, ctx.pid, self.name, value
+            )
         self._writes.inc()
-        if self.audit is not None:
-            self._magnitude.set_max(self.audit.observe(self.name, value))
+        if not lost:
+            self._prev_value = self._value
+            self._value = stored
+            if self.audit is not None:
+                self._magnitude.set_max(self.audit.observe(self.name, stored))
         ctx.record("write", self.name, value)
 
 

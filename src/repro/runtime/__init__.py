@@ -26,6 +26,7 @@ from repro.runtime.rng import derive_rng, derive_seed
 from repro.runtime.scheduler import (
     CrashPlan,
     RandomScheduler,
+    RecoveryPlan,
     RoundRobinScheduler,
     Scheduler,
     ScriptedScheduler,
@@ -48,6 +49,7 @@ __all__ = [
     "ProcessContext",
     "ProcessState",
     "RandomScheduler",
+    "RecoveryPlan",
     "RoundRobinScheduler",
     "ScanStarvingAdversary",
     "Scheduler",

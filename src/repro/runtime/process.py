@@ -52,6 +52,10 @@ class ProcessContext:
         n: total number of processes in the simulation.
         rng: this process's private random stream (local coin flips).
         simulation: back-reference used by shared objects to record events.
+        incarnation: 0 for the original run of the program; ``k > 0`` for
+            the ``k``-th restart after a crash (crash-recovery model).  A
+            restarted incarnation gets a fresh ``local`` dict and a fresh
+            rng stream — local state does not survive a crash.
     """
 
     pid: int
@@ -59,6 +63,7 @@ class ProcessContext:
     rng: random.Random
     simulation: "Simulation"
     local: dict[str, Any] = field(default_factory=dict)
+    incarnation: int = 0
 
     def record(self, kind: str, target: str, value: Any = None) -> None:
         """Record that this process just performed an atomic operation."""
@@ -94,9 +99,11 @@ class Process:
     def __init__(self, pid: int, ctx: ProcessContext, program: ProcessProgram):
         self.pid = pid
         self.ctx = ctx
+        self.program = program
         self.state = ProcessState.RUNNABLE
         self.decision: Any = None
         self.steps_taken = 0
+        self.restarts = 0
         self.pending: OpIntent | None = None
         self.failure: BaseException | None = None
         self._generator = program(ctx)
@@ -132,11 +139,30 @@ class Process:
         return self.state is ProcessState.RUNNABLE
 
     def crash(self) -> None:
-        """Stop this process forever (it takes no further steps)."""
+        """Stop this process (it takes no further steps unless restarted)."""
         if self.state is ProcessState.RUNNABLE:
             self.state = ProcessState.CRASHED
             self._generator.close()
             self.pending = None
+
+    def restart(self, ctx: ProcessContext) -> None:
+        """Re-run the program after a crash (crash-recovery model).
+
+        The new incarnation's context carries no local state — shared
+        memory is the only thing that survives.  Programs that want to
+        resume rather than start over must recover from their shared cell
+        (``ctx.incarnation > 0`` tells them they are a restart).
+        """
+        if self.state is not ProcessState.CRASHED:
+            raise RuntimeError(
+                f"process {self.pid} is {self.state.value}, only crashed "
+                "processes can restart"
+            )
+        self.ctx = ctx
+        self.restarts += 1
+        self.state = ProcessState.RUNNABLE
+        self._generator = self.program(ctx)
+        self._prime()
 
     def advance(self) -> None:
         """Perform the pending atomic operation and run to the next yield."""

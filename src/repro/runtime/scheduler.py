@@ -9,6 +9,8 @@ scheduler subclass can implement any adversary the model allows.
 
 Wait-freedom is modelled by :class:`CrashPlan`: the adversary may stop up to
 ``n - 1`` processes forever, and the surviving processes must still decide.
+:class:`RecoveryPlan` extends the fault model beyond the paper: a crashed
+process may later restart with local state lost but shared memory intact.
 """
 
 from __future__ import annotations
@@ -76,6 +78,10 @@ class RandomScheduler(Scheduler):
         if self.weights is None:
             return self._rng.choice(runnable)
         weights = [self.weights.get(pid, 1.0) for pid in runnable]
+        if not any(w > 0 for w in weights):
+            # Every runnable process is weighted 0 (e.g. the non-zero ones
+            # all finished): fall back to uniform rather than raising.
+            return self._rng.choice(runnable)
         return self._rng.choices(runnable, weights=weights, k=1)[0]
 
 
@@ -133,5 +139,57 @@ class CrashPlan:
         return cls({pid: rng.randint(0, horizon) for pid in victims})
 
     def due(self, step: int) -> list[int]:
-        """Pids whose crash step has arrived at global step ``step``."""
+        """Pids whose crash step has arrived at global step ``step``.
+
+        Pure query over the plan; the simulation itself consumes the plan
+        through a sorted fire-once schedule, so an entry is never rescanned
+        (or re-applied to a restarted process) after it has fired.
+        """
         return [pid for pid, at in self.crash_at.items() if at <= step]
+
+    def schedule(self) -> list[tuple[int, int]]:
+        """The plan as a ``(pid, step)`` list sorted by firing order."""
+        return sorted(self.crash_at.items(), key=lambda item: (item[1], item[0]))
+
+
+@dataclass
+class RecoveryPlan:
+    """A schedule of crash *recoveries* (the crash-recovery fault model).
+
+    ``restart_at[pid] = step`` restarts ``pid`` at global step ``step`` if it
+    is crashed by then: the process's program is re-run from the top with
+    all local state (including its private coin stream) lost, while every
+    shared register — in particular its scannable-memory cell — keeps its
+    value.  A restart entry for a process that is not crashed when its step
+    arrives is dropped; each entry fires at most once.
+
+    This weakens the paper's crash = halt-forever model in the direction of
+    real systems.  Safety of the paper's protocol survives it because a
+    recovered process resumes from its own (still intact) cell and is then
+    indistinguishable from a merely slow process; wait-freedom bounds do
+    not transfer, since a process can lose arbitrary local progress (see
+    ``docs/robustness.md``).
+    """
+
+    restart_at: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def random(
+        cls,
+        crash_plan: CrashPlan,
+        rng: random.Random,
+        probability: float = 0.5,
+        max_delay: int = 1000,
+    ) -> "RecoveryPlan":
+        """Restart each crashed pid with ``probability``, some steps later."""
+        return cls(
+            {
+                pid: at + rng.randint(1, max_delay)
+                for pid, at in crash_plan.crash_at.items()
+                if rng.random() < probability
+            }
+        )
+
+    def schedule(self) -> list[tuple[int, int]]:
+        """The plan as a ``(pid, step)`` list sorted by firing order."""
+        return sorted(self.restart_at.items(), key=lambda item: (item[1], item[0]))

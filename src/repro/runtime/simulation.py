@@ -16,23 +16,45 @@ largest value any register ever held.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.events import OpEvent
 from repro.runtime.process import Process, ProcessContext, ProcessProgram, ProcessState
 from repro.runtime.rng import derive_rng
-from repro.runtime.scheduler import CrashPlan, RandomScheduler, Scheduler
+from repro.runtime.scheduler import CrashPlan, RandomScheduler, RecoveryPlan, Scheduler
 from repro.runtime.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.faults.watchdog import Watchdog, WatchdogAlert
+
+#: How many trailing trace events a degraded outcome carries as evidence.
+TRACE_EXCERPT_EVENTS = 64
 
 
 class StepBudgetExceeded(Exception):
-    """Raised when a run does not terminate within its step budget."""
+    """Raised when a run does not terminate within its step budget.
+
+    The message carries the per-pid step counts and a metrics summary
+    (scan retries, round advances, decisions) so a budget blowup is
+    diagnosable without a rerun; pass ``raise_on_budget=False`` to
+    :meth:`Simulation.run` to get a degraded :class:`SimulationOutcome`
+    instead of the raise.
+    """
 
 
 @dataclass
 class SimulationOutcome:
-    """Result of :meth:`Simulation.run`."""
+    """Result of :meth:`Simulation.run`.
+
+    A *degraded* outcome means the run did not complete normally — the step
+    budget ran out (with ``raise_on_budget=False``) or a watchdog halted it
+    — and carries the diagnosis instead of raising: ``failure_reason`` (why
+    it stopped), any watchdog ``alerts``, and a ``trace_excerpt`` of the
+    last recorded events (empty unless event recording was on).
+    """
 
     decisions: dict[int, Any]
     total_steps: int
@@ -40,6 +62,11 @@ class SimulationOutcome:
     finished: bool
     crashed: set[int] = field(default_factory=set)
     metrics: MetricsSnapshot | None = None
+    restarts: dict[int, int] = field(default_factory=dict)
+    degraded: bool = False
+    failure_reason: str | None = None
+    alerts: list["WatchdogAlert"] = field(default_factory=list)
+    trace_excerpt: list[OpEvent] = field(default_factory=list)
 
     def decided_pids(self) -> list[int]:
         return sorted(self.decisions)
@@ -54,9 +81,11 @@ class Simulation:
         scheduler: Scheduler | None = None,
         seed: int = 0,
         crash_plan: CrashPlan | None = None,
+        recovery_plan: RecoveryPlan | None = None,
         record_events: bool = False,
         record_spans: bool = True,
         metrics: MetricsRegistry | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         if n < 1:
             raise ValueError("need at least one process")
@@ -65,13 +94,29 @@ class Simulation:
         self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
         self.scheduler.reset()
         self.crash_plan = crash_plan or CrashPlan()
+        self.recovery_plan = recovery_plan or RecoveryPlan()
+        # Crash/restart entries fire once, in step order: long runs pay an
+        # O(1) amortized check per step, and a restarted process is not
+        # immediately re-crashed by its already-fired crash entry.
+        self._crash_schedule = self.crash_plan.schedule()
+        self._crash_index = 0
+        self._restart_schedule = self.recovery_plan.schedule()
+        self._restart_index = 0
         self.trace = Trace(record_events=record_events, record_spans=record_spans)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults: "FaultInjector | None" = None
+        if faults is not None:
+            # Imported lazily: repro.faults builds on the runtime package,
+            # so a top-level import here would be circular.
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(faults, self.metrics)
         # Cached instrument handles: the step loop is the hottest path.
         self._steps_by_pid = [
             self.metrics.counter("runtime.steps", pid=pid) for pid in range(n)
         ]
         self._crash_counter = self.metrics.counter("runtime.crashes")
+        self._restart_counter = self.metrics.counter("runtime.restarts")
         self.step_count = 0
         self._clock = 0
         self.processes: dict[int, Process] = {}
@@ -82,10 +127,19 @@ class Simulation:
 
     # -- construction ------------------------------------------------------
 
-    def context(self, pid: int) -> ProcessContext:
-        """Create the :class:`ProcessContext` for process ``pid``."""
+    def context(self, pid: int, incarnation: int = 0) -> ProcessContext:
+        """Create the :class:`ProcessContext` for process ``pid``.
+
+        Each incarnation draws from its own rng stream (incarnation 0 keeps
+        the historical tags, so existing seeds replay unchanged).
+        """
+        tags = ("process", pid) if incarnation == 0 else ("process", pid, incarnation)
         return ProcessContext(
-            pid=pid, n=self.n, rng=derive_rng(self.seed, "process", pid), simulation=self
+            pid=pid,
+            n=self.n,
+            rng=derive_rng(self.seed, *tags),
+            simulation=self,
+            incarnation=incarnation,
         )
 
     def spawn(self, pid: int, program: ProcessProgram) -> None:
@@ -133,11 +187,40 @@ class Simulation:
         self.processes[pid].crash()
         self._crash_counter.inc()
 
-    def _apply_crash_plan(self) -> None:
-        for pid in self.crash_plan.due(self.step_count):
+    def restart(self, pid: int) -> None:
+        """Restart a crashed process (crash-recovery model).
+
+        The new incarnation gets a fresh context — local state and private
+        rng stream are lost; shared registers keep their values.  Spans the
+        dead incarnation had opened but never stamped stay open (checkers
+        skip open spans) and must not be stamped by the new incarnation's
+        first operation.
+        """
+        process = self.processes[pid]
+        incarnation = process.restarts + 1
+        self.pending_invokes.pop(pid, None)
+        process.restart(self.context(pid, incarnation=incarnation))
+        self._restart_counter.inc()
+
+    def _apply_fault_schedules(self) -> None:
+        """Fire due crash and restart entries (each fires exactly once)."""
+        step = self.step_count
+        while (
+            self._crash_index < len(self._crash_schedule)
+            and self._crash_schedule[self._crash_index][1] <= step
+        ):
+            pid = self._crash_schedule[self._crash_index][0]
+            self._crash_index += 1
             if self.processes[pid].runnable:
-                self.processes[pid].crash()
-                self._crash_counter.inc()
+                self.crash(pid)
+        while (
+            self._restart_index < len(self._restart_schedule)
+            and self._restart_schedule[self._restart_index][1] <= step
+        ):
+            pid = self._restart_schedule[self._restart_index][0]
+            self._restart_index += 1
+            if self.processes[pid].state is ProcessState.CRASHED:
+                self.restart(pid)
 
     def step(self) -> int | None:
         """Advance one process by one atomic step; return its pid.
@@ -146,8 +229,21 @@ class Simulation:
         process's exception if its program raised (a protocol bug should
         never be silent).
         """
-        self._apply_crash_plan()
+        self._apply_fault_schedules()
         runnable = self.runnable_pids()
+        if not runnable and self._restart_index < len(self._restart_schedule):
+            # Everyone alive is done/crashed but restarts are still
+            # scheduled.  Global time is measured in process steps, so it
+            # cannot advance to reach them — warp to the next entries that
+            # actually revive someone.
+            while (
+                not runnable and self._restart_index < len(self._restart_schedule)
+            ):
+                pid = self._restart_schedule[self._restart_index][0]
+                self._restart_index += 1
+                if self.processes[pid].state is ProcessState.CRASHED:
+                    self.restart(pid)
+                    runnable = self.runnable_pids()
         if not runnable:
             return None
         pid = self.scheduler.choose(self, runnable)
@@ -162,20 +258,77 @@ class Simulation:
         return pid
 
     def run(
-        self, max_steps: int = 1_000_000, raise_on_budget: bool = True
+        self,
+        max_steps: int = 1_000_000,
+        raise_on_budget: bool = True,
+        watchdog: "Watchdog | None" = None,
     ) -> SimulationOutcome:
-        """Run until all processes finish/crash, or the budget runs out."""
+        """Run until all processes finish/crash, or the budget runs out.
+
+        With ``raise_on_budget=False`` a budget blowup produces a degraded
+        :class:`SimulationOutcome` (``degraded=True``, populated
+        ``failure_reason``) instead of raising.  An optional
+        :class:`~repro.faults.watchdog.Watchdog` observes every step; its
+        alerts are copied into the outcome, and alert kinds in its
+        ``halt_on`` set stop the run early with a degraded outcome.
+        """
+        if watchdog is not None:
+            watchdog.reset()
+        halted: "WatchdogAlert | None" = None
         while self.step_count < max_steps:
             if self.step() is None:
                 break
+            if watchdog is not None:
+                for alert in watchdog.observe(self):
+                    if alert.kind in watchdog.halt_on:
+                        halted = alert
+                        break
+                if halted is not None:
+                    break
         else:
-            if self.runnable_pids() and raise_on_budget:
-                raise StepBudgetExceeded(
-                    f"{self.step_count} steps taken, runnable={self.runnable_pids()}"
+            if self.runnable_pids():
+                reason = self._budget_diagnosis(max_steps)
+                if raise_on_budget:
+                    raise StepBudgetExceeded(reason)
+                return self.outcome(
+                    degraded=True, failure_reason=reason, watchdog=watchdog
                 )
-        return self.outcome()
+        if halted is not None:
+            return self.outcome(
+                degraded=True,
+                failure_reason=f"watchdog halt — {halted}",
+                watchdog=watchdog,
+            )
+        return self.outcome(watchdog=watchdog)
 
-    def outcome(self) -> SimulationOutcome:
+    def _budget_diagnosis(self, max_steps: int) -> str:
+        """Readable diagnosis of a budget blowup (steps + progress metrics)."""
+        per_pid = ", ".join(
+            f"p{pid}={p.steps_taken}" for pid, p in sorted(self.processes.items())
+        )
+        decided = sorted(
+            pid for pid, p in self.processes.items()
+            if p.state is ProcessState.FINISHED
+        )
+        progress = (
+            f"scan_retries={self.metrics.counter_total('snapshot.scan_retries')}, "
+            f"round_advances={self.metrics.counter_total('consensus.round_advances')}, "
+            f"coin_flips={self.metrics.counter_total('consensus.coin_flips')}"
+            if self.metrics.enabled
+            else "metrics disabled"
+        )
+        return (
+            f"step budget exhausted: {self.step_count} steps taken "
+            f"(budget {max_steps}), runnable={self.runnable_pids()}, "
+            f"decided={decided}, steps_by_pid=[{per_pid}], {progress}"
+        )
+
+    def outcome(
+        self,
+        degraded: bool = False,
+        failure_reason: str | None = None,
+        watchdog: "Watchdog | None" = None,
+    ) -> SimulationOutcome:
         decisions = {
             pid: p.decision
             for pid, p in self.processes.items()
@@ -188,6 +341,9 @@ class Simulation:
             p.state in (ProcessState.FINISHED, ProcessState.CRASHED)
             for p in self.processes.values()
         )
+        alerts = list(watchdog.alerts) if watchdog is not None else []
+        if degraded and alerts and failure_reason is not None:
+            failure_reason += "; alerts: " + "; ".join(str(a) for a in alerts)
         return SimulationOutcome(
             decisions=decisions,
             total_steps=self.step_count,
@@ -195,4 +351,13 @@ class Simulation:
             finished=finished,
             crashed=crashed,
             metrics=self.metrics.snapshot() if self.metrics.enabled else None,
+            restarts={
+                pid: p.restarts for pid, p in self.processes.items() if p.restarts
+            },
+            degraded=degraded,
+            failure_reason=failure_reason,
+            alerts=alerts,
+            trace_excerpt=list(self.trace.events[-TRACE_EXCERPT_EVENTS:])
+            if degraded
+            else [],
         )

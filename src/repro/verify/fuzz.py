@@ -12,7 +12,10 @@ behind experiment E11 and available as a user-facing tool::
 
 Schedules covered by default: fair random, round-robin, the lockstep
 barrier adversary, and the split adversary; half the runs add a random
-crash plan (never killing everyone).
+crash plan (never killing everyone).  For protocols that support crash
+recovery, some crashed runs additionally restart their victims
+(:class:`~repro.runtime.scheduler.RecoveryPlan`); an optional fault cell
+injects register faults and counts how often the validators catch them.
 """
 
 from __future__ import annotations
@@ -23,9 +26,15 @@ from typing import Any, Callable, Iterable
 from repro.consensus.ads import pref_reader
 from repro.consensus.interface import ConsensusRun
 from repro.consensus.validation import validate_run
+from repro.faults.plan import FaultPlan
 from repro.runtime.adversary import LockstepAdversary, SplitAdversary
 from repro.runtime.rng import derive_rng
-from repro.runtime.scheduler import CrashPlan, RandomScheduler, RoundRobinScheduler
+from repro.runtime.scheduler import (
+    CrashPlan,
+    RandomScheduler,
+    RecoveryPlan,
+    RoundRobinScheduler,
+)
 
 DEFAULT_SCHEDULERS: dict[str, Callable[[int], Any]] = {
     "random": lambda seed: RandomScheduler(seed=seed),
@@ -46,12 +55,22 @@ class FuzzFailure:
     inputs: tuple
     crashes: dict[int, int]
     problems: list[str]
+    recoveries: dict[int, int] = field(default_factory=dict)
+    degraded: bool = False
+    fault_plan: str | None = None
 
     def __str__(self) -> str:
+        extras = ""
+        if self.recoveries:
+            extras += f" recoveries={self.recoveries}"
+        if self.fault_plan:
+            extras += f" faults={self.fault_plan}"
+        if self.degraded:
+            extras += " [degraded]"
         return (
             f"{self.protocol} n={self.n} scheduler={self.scheduler} "
-            f"seed={self.seed} inputs={self.inputs} crashes={self.crashes}: "
-            + "; ".join(self.problems)
+            f"seed={self.seed} inputs={self.inputs} crashes={self.crashes}"
+            f"{extras}: " + "; ".join(self.problems)
         )
 
 
@@ -63,6 +82,11 @@ class FuzzReport:
     failures: list[FuzzFailure] = field(default_factory=list)
     steps_total: int = 0
     by_scheduler: dict[str, int] = field(default_factory=dict)
+    recovery_runs: int = 0
+    degraded_runs: int = 0
+    fault_runs: int = 0
+    fault_injections: int = 0
+    fault_detections: int = 0
 
     @property
     def ok(self) -> bool:
@@ -70,9 +94,20 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "CLEAN" if self.ok else f"{len(self.failures)} FAILURES"
+        extras = ""
+        if self.recovery_runs:
+            extras += f", {self.recovery_runs} with recoveries"
+        if self.fault_runs:
+            extras += (
+                f", {self.fault_runs} with faults "
+                f"({self.fault_injections} injected, "
+                f"{self.fault_detections} detected)"
+            )
+        if self.degraded_runs:
+            extras += f", {self.degraded_runs} degraded"
         return (
             f"{self.runs} runs ({', '.join(f'{k}: {v}' for k, v in sorted(self.by_scheduler.items()))}), "
-            f"{self.steps_total} total steps: {status}"
+            f"{self.steps_total} total steps{extras}: {status}"
         )
 
 
@@ -82,6 +117,11 @@ def fuzz_consensus(
     runs_per_cell: int = 10,
     schedulers: dict[str, Callable[[int], Any]] | None = None,
     crash_probability: float = 0.5,
+    recovery_probability: float = 0.5,
+    fault_probability: float = 0.0,
+    fault_plan_factory: Callable[[Any], FaultPlan] | None = None,
+    fault_max_steps: int = 300_000,
+    expect_fault_detection: bool = False,
     max_steps: int = 100_000_000,
     master_seed: int = 0,
     extra_check: Callable[[ConsensusRun], list[str]] | None = None,
@@ -97,8 +137,25 @@ def fuzz_consensus(
             schedules (the split adversary is skipped for protocols whose
             memory layout it cannot read — it degrades to random there).
         crash_probability: fraction of runs that get a random crash plan.
+        recovery_probability: fraction of *crashed* runs whose victims all
+            restart (only for protocols with ``supports_recovery``) — the
+            validators then require the restarted processes to decide too.
+        fault_probability: fraction of runs that get a random register
+            fault plan.  Faulty runs are judged differently: validation
+            problems and degraded outcomes count as *detections* rather
+            than failures (the injected fault is supposed to break things),
+            and they run under the tighter ``fault_max_steps`` budget with
+            ``raise_on_budget=False`` since lost progress is expected.
+        fault_plan_factory: ``rng -> FaultPlan`` override for fault runs
+            (default: :meth:`FaultPlan.random` on the ``mem.`` registers).
+        expect_fault_detection: append a synthetic failure when faults were
+            injected but no run detected anything (a verification hole).
         extra_check: optional additional per-run validation returning
             problem strings (e.g. a memory-bound assertion).
+
+    Budget-exhausted runs never raise: they come back as degraded outcomes
+    and are reported as failures (with ``degraded=True``) on fault-free
+    runs, so one livelocked schedule cannot abort a whole campaign.
     """
     schedulers = dict(schedulers) if schedulers is not None else dict(DEFAULT_SCHEDULERS)
     report = FuzzReport()
@@ -114,21 +171,54 @@ def fuzz_consensus(
                     else CrashPlan()
                 )
                 protocol = protocol_factory()
+                recoveries = RecoveryPlan()
+                if (
+                    protocol.supports_recovery
+                    and crashes.crash_at
+                    and rng.random() < recovery_probability
+                ):
+                    recoveries = RecoveryPlan.random(crashes, rng, probability=1.0)
+                faults = None
+                if rng.random() < fault_probability:
+                    faults = (
+                        fault_plan_factory(rng)
+                        if fault_plan_factory is not None
+                        else FaultPlan.random(rng, targets=("mem.",))
+                    )
                 run = protocol.run(
                     inputs,
                     scheduler=scheduler_factory(seed),
                     seed=seed,
                     crash_plan=crashes,
-                    max_steps=max_steps,
+                    recovery_plan=recoveries if recoveries.restart_at else None,
+                    fault_plan=faults,
+                    max_steps=fault_max_steps if faults is not None else max_steps,
+                    raise_on_budget=False,
                 )
                 report.runs += 1
                 report.steps_total += run.total_steps
                 report.by_scheduler[scheduler_name] = (
                     report.by_scheduler.get(scheduler_name, 0) + 1
                 )
+                if recoveries.restart_at:
+                    report.recovery_runs += 1
+                if run.outcome.degraded:
+                    report.degraded_runs += 1
                 problems = list(validate_run(run).problems)
                 if extra_check is not None:
                     problems.extend(extra_check(run))
+                if faults is not None:
+                    # Faulty cell: detections are the *point*, not failures.
+                    report.fault_runs += 1
+                    injected = run.outcome.metrics.counter_total("faults.injected") if run.outcome.metrics else 0
+                    report.fault_injections += injected
+                    if problems or run.outcome.degraded:
+                        report.fault_detections += 1
+                    continue
+                if run.outcome.degraded:
+                    problems.append(
+                        f"degraded: {run.outcome.failure_reason}"
+                    )
                 if problems:
                     report.failures.append(
                         FuzzFailure(
@@ -139,8 +229,30 @@ def fuzz_consensus(
                             inputs=tuple(inputs),
                             crashes=dict(crashes.crash_at),
                             problems=problems,
+                            recoveries=dict(recoveries.restart_at),
+                            degraded=run.outcome.degraded,
                         )
                     )
                     if stop_on_first_failure:
                         return report
+    if (
+        expect_fault_detection
+        and report.fault_injections > 0
+        and report.fault_detections == 0
+    ):
+        report.failures.append(
+            FuzzFailure(
+                protocol="(campaign)",
+                n=0,
+                scheduler="*",
+                seed=master_seed,
+                inputs=(),
+                crashes={},
+                problems=[
+                    f"{report.fault_injections} faults injected across "
+                    f"{report.fault_runs} runs but nothing was detected"
+                ],
+                fault_plan="random",
+            )
+        )
     return report

@@ -1,0 +1,57 @@
+"""Tests for the checker mutation-testing campaign."""
+
+from repro.faults.campaign import CampaignCell, run_mutation_campaign
+from repro.faults.plan import FAULT_KINDS
+
+
+def test_campaign_has_no_detection_holes():
+    report = run_mutation_campaign(seed=0, consensus_max_steps=100_000)
+    assert report.holes == [], report.to_json()
+    assert report.ok, report.to_json()
+    # Every fault class is caught by at least one checker layer.
+    for kind, count in report.detections_by_kind().items():
+        assert count >= 1, f"{kind} was never detected"
+
+
+def test_register_layer_detects_every_fault_class():
+    report = run_mutation_campaign(seed=0, consensus_max_steps=100_000)
+    register_cells = {
+        c.fault: c for c in report.cells if c.layer == "register" and c.fault != "none"
+    }
+    assert set(register_cells) == set(FAULT_KINDS)
+    for cell in register_cells.values():
+        assert cell.detected and cell.expected and cell.injections > 0
+
+
+def test_control_cells_stay_clean():
+    report = run_mutation_campaign(seed=0, consensus_max_steps=100_000)
+    controls = [c for c in report.cells if c.fault == "none"]
+    assert len(controls) == 2  # register + snapshot
+    for cell in controls:
+        assert not cell.detected and cell.injections == 0 and cell.ok
+
+
+def test_campaign_is_deterministic_per_seed():
+    first = run_mutation_campaign(seed=4, consensus_max_steps=50_000)
+    second = run_mutation_campaign(seed=4, consensus_max_steps=50_000)
+    assert first.to_json() == second.to_json()
+
+
+def test_cell_ok_semantics():
+    assert CampaignCell("none", "register", "lin", detected=False, expected=False).ok
+    assert not CampaignCell("none", "register", "lin", detected=True, expected=False).ok
+    assert CampaignCell("lost_write", "register", "lin", detected=True, expected=True).ok
+    assert not CampaignCell("lost_write", "register", "lin", detected=False, expected=True).ok
+    # Observational cells are ok either way.
+    assert CampaignCell("corrupt_write", "consensus", "v", detected=False, expected=False).ok
+
+
+def test_json_report_round_trips_the_essentials():
+    import json
+
+    report = run_mutation_campaign(seed=0, consensus_max_steps=50_000)
+    payload = json.loads(report.to_json())
+    assert payload["seed"] == 0
+    assert payload["ok"] is True
+    assert set(payload["detections_by_kind"]) == set(FAULT_KINDS)
+    assert len(payload["cells"]) == len(report.cells)

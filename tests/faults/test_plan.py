@@ -1,0 +1,77 @@
+"""Tests for fault plans and the value corruptor."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan, corrupt_value
+
+
+def test_single_activates_exactly_one_kind():
+    for kind in FAULT_KINDS:
+        plan = FaultPlan.single(kind, rate=0.5)
+        assert plan.active_kinds() == (kind,)
+        assert plan.rate_of(kind) == 0.5
+        assert plan.enabled()
+
+
+def test_single_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.single("bit_flip")
+
+
+def test_default_plan_is_inactive():
+    plan = FaultPlan()
+    assert not plan.enabled()
+    assert plan.active_kinds() == ()
+
+
+def test_targets_are_prefix_matched():
+    plan = FaultPlan.single("lost_write", targets=("mem.V",))
+    assert plan.targets_register("mem.V[0]")
+    assert plan.targets_register("mem.V[3]")
+    assert not plan.targets_register("mem.A[0,1]")
+    assert not plan.targets_register("other")
+    # Empty targets means every register.
+    assert FaultPlan.single("lost_write").targets_register("anything")
+
+
+def test_random_plan_is_single_kind_low_rate():
+    rng = random.Random(3)
+    plan = FaultPlan.random(rng, targets=("mem.",), max_rate=0.05)
+    assert len(plan.active_kinds()) == 1
+    assert 0 < plan.rate_of(plan.active_kinds()[0]) <= 0.05
+
+
+def test_describe_mentions_active_kinds_and_targets():
+    text = FaultPlan.single("stale_read", targets=("r",), max_injections=3).describe()
+    assert "stale_read" in text and "targets=r" in text and "max=3" in text
+
+
+@dataclass(frozen=True)
+class _Cell:
+    pref: int
+    coins: tuple
+
+
+def test_corrupt_value_always_differs():
+    rng = random.Random(0)
+    for value in (True, 0, 7, -3, 1.5, None, "x", (1, 2, 3), [4, 5], _Cell(1, (0, 0))):
+        assert corrupt_value(value, rng) != value
+
+
+def test_corrupt_value_mutates_one_dataclass_field():
+    rng = random.Random(1)
+    cell = _Cell(pref=1, coins=(0, 2))
+    mutated = corrupt_value(cell, rng)
+    assert isinstance(mutated, _Cell)
+    changed = sum(
+        getattr(mutated, name) != getattr(cell, name) for name in ("pref", "coins")
+    )
+    assert changed == 1
+
+
+def test_corrupt_value_is_deterministic_per_rng_seed():
+    results = [corrupt_value((1, 2, 3), random.Random(9)) for _ in range(2)]
+    assert results[0] == results[1]

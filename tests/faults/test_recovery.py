@@ -1,0 +1,165 @@
+"""Tests for the crash-recovery process model."""
+
+import pytest
+
+from repro.consensus.ads import AdsConsensus
+from repro.consensus.validation import validate_run
+from repro.registers import AtomicRegister
+from repro.runtime import (
+    CrashPlan,
+    RecoveryPlan,
+    RoundRobinScheduler,
+    Simulation,
+)
+from repro.snapshot.properties import check_all_properties
+from repro.verify.fuzz import fuzz_consensus
+
+
+def test_restart_requires_a_crashed_process():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 1)
+
+    sim.spawn(0, program)
+    with pytest.raises(RuntimeError, match="crashed"):
+        sim.restart(0)
+
+
+def test_restart_loses_local_state_but_keeps_shared_memory():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+    incarnations = []
+
+    def program(ctx):
+        incarnations.append((ctx.incarnation, dict(ctx.local)))
+        ctx.local["progress"] = "half-done"
+        yield from reg.write(ctx, reg.peek() + 1)
+        yield from reg.write(ctx, reg.peek() + 1)
+        return reg.peek()
+
+    sim.spawn(0, program)
+    sim.step()  # first write lands
+    sim.crash(0)
+    sim.restart(0)
+    outcome = sim.run()
+    # The new incarnation started the program over with empty locals,
+    # while the register kept the first incarnation's write.
+    assert incarnations == [(0, {}), (1, {})]
+    assert outcome.decisions == {0: 3}
+    assert outcome.restarts == {0: 1}
+
+
+def test_recovery_plan_entry_fires_once_and_crash_is_not_reapplied():
+    sim = Simulation(
+        2,
+        RoundRobinScheduler(),
+        seed=0,
+        crash_plan=CrashPlan({1: 2}),
+        recovery_plan=RecoveryPlan({1: 4}),
+    )
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(5):
+                yield from reg.write(ctx, pid)
+            return pid
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    # The crash entry fired before the restart; were it rescanned after the
+    # restart, pid 1 would be killed again and never decide.
+    assert outcome.decisions == {0: 0, 1: 1}
+    assert outcome.crashed == set()
+    assert outcome.restarts == {1: 1}
+
+
+def test_restart_revives_a_fully_crashed_simulation():
+    # Both processes crash before the restart step is reachable by global
+    # time; the simulation must warp to the restart instead of deadlocking.
+    sim = Simulation(
+        2,
+        RoundRobinScheduler(),
+        seed=0,
+        crash_plan=CrashPlan({0: 1, 1: 1}),
+        recovery_plan=RecoveryPlan({0: 500}),
+    )
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(3):
+                yield from reg.write(ctx, pid)
+            return pid
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run(max_steps=1_000)
+    assert outcome.decisions == {0: 0}
+    assert outcome.crashed == {1}
+    assert outcome.restarts == {0: 1}
+
+
+def test_restarted_incarnation_draws_a_fresh_rng_stream():
+    draws = []
+    sim = Simulation(1, seed=0, crash_plan=CrashPlan({0: 1}),
+                     recovery_plan=RecoveryPlan({0: 1}))
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        draws.append((ctx.incarnation, ctx.rng.random()))
+        yield from reg.write(ctx, 1)
+        yield from reg.write(ctx, 2)
+
+    sim.spawn(0, program)
+    sim.run()
+    assert [inc for inc, _ in draws] == [0, 1]
+    assert draws[0][1] != draws[1][1]
+
+
+def test_ads_crash_recovery_preserves_safety_and_snapshot_properties():
+    proto = AdsConsensus(ghost_wseqs=True)
+    run = proto.run(
+        [0, 1, 1],
+        seed=7,
+        crash_plan=CrashPlan({0: 40, 1: 90}),
+        recovery_plan=RecoveryPlan({0: 200, 1: 350}),
+        record_spans=True,
+        keep_simulation=True,
+    )
+    assert run.outcome.restarts == {0: 1, 1: 1}
+    report = validate_run(run)
+    assert report.ok, report.problems
+    assert check_all_properties(run.simulation.trace, "mem", run.n) == []
+
+
+def test_ads_recovering_before_its_first_write_reuses_its_input():
+    # pid 0 crashes at step 0 (it never wrote); on restart it must propose
+    # its original input or validity could break on agreeing inputs.
+    proto = AdsConsensus()
+    run = proto.run(
+        [1, 1],
+        seed=3,
+        crash_plan=CrashPlan({0: 0}),
+        recovery_plan=RecoveryPlan({0: 50}),
+    )
+    assert validate_run(run).ok
+    assert run.decisions[0] == 1
+
+
+def test_recovery_fuzz_grid_is_clean():
+    report = fuzz_consensus(
+        AdsConsensus,
+        n_values=(2, 3),
+        runs_per_cell=3,
+        crash_probability=1.0,
+        recovery_probability=1.0,
+        master_seed=13,
+    )
+    assert report.ok, [str(f) for f in report.failures]
+    assert report.recovery_runs > 0

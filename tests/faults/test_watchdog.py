@@ -1,0 +1,77 @@
+"""Tests for the online starvation/livelock watchdog."""
+
+from repro.faults.watchdog import Watchdog
+from repro.registers import AtomicRegister
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Simulation
+
+
+def _looping_setup(sim, iterations):
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(iterations):
+                yield from reg.write(ctx, pid)
+            return pid
+
+        return body
+
+    return factory
+
+
+def test_starvation_alert_fires_for_an_unscheduled_process():
+    # Weight 0 starves pid 1 while pid 0 loops.
+    sim = Simulation(2, RandomScheduler(seed=0, weights={1: 0.0}), seed=0)
+    sim.spawn_all(_looping_setup(sim, iterations=10_000))
+    watchdog = Watchdog(starvation_window=200, progress_window=10**9,
+                        check_every=10)
+    outcome = sim.run(max_steps=1_000, raise_on_budget=False, watchdog=watchdog)
+    kinds = [a.kind for a in outcome.alerts]
+    assert kinds.count("starvation") == 1  # fires once per pid, not per check
+    assert "process 1" in outcome.alerts[0].detail
+
+
+def test_livelock_alert_fires_when_progress_counters_freeze():
+    # Endless register writes move no consensus progress counter.
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    sim.spawn_all(_looping_setup(sim, iterations=10**9))
+    watchdog = Watchdog(starvation_window=10**9, progress_window=300,
+                        check_every=10)
+    outcome = sim.run(max_steps=2_000, raise_on_budget=False, watchdog=watchdog)
+    assert [a.kind for a in outcome.alerts] == ["livelock"]
+    assert "no progress" in outcome.alerts[0].detail
+
+
+def test_halt_on_stops_the_run_early_with_a_degraded_outcome():
+    sim = Simulation(2, RoundRobinScheduler(), seed=0)
+    sim.spawn_all(_looping_setup(sim, iterations=10**9))
+    watchdog = Watchdog(starvation_window=10**9, progress_window=300,
+                        check_every=10, halt_on=("livelock",))
+    outcome = sim.run(max_steps=1_000_000, raise_on_budget=False,
+                      watchdog=watchdog)
+    assert outcome.degraded
+    assert outcome.total_steps < 1_000_000
+    assert "watchdog halt" in outcome.failure_reason
+    assert "livelock" in outcome.failure_reason
+
+
+def test_healthy_run_raises_no_alerts():
+    sim = Simulation(3, RoundRobinScheduler(), seed=0)
+    sim.spawn_all(_looping_setup(sim, iterations=50))
+    watchdog = Watchdog(starvation_window=60, progress_window=200, check_every=5)
+    outcome = sim.run(watchdog=watchdog)
+    assert outcome.finished
+    assert not outcome.degraded
+    assert outcome.alerts == []
+
+
+def test_reset_clears_state_between_runs():
+    watchdog = Watchdog(starvation_window=10**9, progress_window=300,
+                        check_every=10)
+    for _ in range(2):
+        sim = Simulation(2, RoundRobinScheduler(), seed=0)
+        sim.spawn_all(_looping_setup(sim, iterations=10**9))
+        outcome = sim.run(max_steps=2_000, raise_on_budget=False,
+                          watchdog=watchdog)
+        # Without the reset in run(), the second run would never re-fire.
+        assert [a.kind for a in outcome.alerts] == ["livelock"]

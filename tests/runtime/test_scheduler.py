@@ -8,6 +8,7 @@ from repro.registers import AtomicRegister
 from repro.runtime import (
     CrashPlan,
     RandomScheduler,
+    RecoveryPlan,
     RoundRobinScheduler,
     ScriptedScheduler,
     Simulation,
@@ -83,6 +84,24 @@ def test_scripted_scheduler_skips_non_runnable_entries():
     assert order == [1, 1, 0, 0]
 
 
+def test_scripted_scheduler_skips_crashed_pids_mid_script():
+    sim = Simulation(3, ScriptedScheduler([0, 1, 1, 1, 2]), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=10))
+    assert sim.step() == 0
+    sim.crash(1)
+    # The remaining 1-entries name a crashed pid: they are skipped, not
+    # replayed onto whatever happens to be runnable.
+    assert sim.step() == 2
+    assert sim.step() in (0, 2)
+
+
+def test_random_scheduler_all_zero_weights_falls_back_to_uniform():
+    sim = Simulation(2, RandomScheduler(seed=1, weights={0: 0.0, 1: 0.0}), seed=0)
+    sim.spawn_all(_looping_factory(sim, iterations=5))
+    scheduled = {sim.step() for _ in range(10)}
+    assert scheduled == {0, 1}
+
+
 def test_crash_plan_due():
     plan = CrashPlan({0: 10, 2: 5})
     assert plan.due(4) == []
@@ -102,6 +121,21 @@ def test_crash_plan_random_never_crashes_everyone():
         rng = random.Random(seed)
         plan = CrashPlan.random(4, rng)
         assert len(plan.crash_at) <= 3
+
+
+def test_recovery_plan_random_restarts_a_subset_of_crash_victims():
+    crash = CrashPlan({0: 10, 1: 20, 2: 30})
+    rng = random.Random(8)
+    plan = RecoveryPlan.random(crash, rng, probability=1.0, max_delay=100)
+    assert set(plan.restart_at) == {0, 1, 2}
+    for pid, at in plan.restart_at.items():
+        assert crash.crash_at[pid] < at <= crash.crash_at[pid] + 100
+    assert RecoveryPlan.random(crash, rng, probability=0.0).restart_at == {}
+
+
+def test_plans_schedule_in_step_then_pid_order():
+    assert CrashPlan({2: 5, 0: 5, 1: 3}).schedule() == [(1, 3), (0, 5), (2, 5)]
+    assert RecoveryPlan({1: 9, 0: 2}).schedule() == [(0, 2), (1, 9)]
 
 
 def test_scheduler_choosing_nonrunnable_pid_is_an_error():

@@ -73,8 +73,29 @@ def test_step_budget_raises_on_nonterminating_program():
         run_with_setup(2, setup, max_steps=100)
 
 
+def test_step_budget_message_carries_a_diagnosis():
+    def setup(sim):
+        reg = AtomicRegister(sim, "r", 0)
+
+        def factory(pid):
+            def body(ctx):
+                while True:
+                    yield from reg.write(ctx, pid)
+
+            return body
+
+        return factory
+
+    with pytest.raises(StepBudgetExceeded) as excinfo:
+        run_with_setup(2, setup, max_steps=100)
+    message = str(excinfo.value)
+    assert "100 steps taken" in message
+    assert "steps_by_pid=[p0=" in message
+    assert "scan_retries=" in message and "round_advances=" in message
+
+
 def test_step_budget_can_return_instead_of_raise():
-    sim = Simulation(1, seed=0)
+    sim = Simulation(1, seed=0, record_events=True)
     reg = AtomicRegister(sim, "r", 0)
 
     def program(ctx):
@@ -85,6 +106,24 @@ def test_step_budget_can_return_instead_of_raise():
     outcome = sim.run(max_steps=50, raise_on_budget=False)
     assert not outcome.finished
     assert outcome.total_steps == 50
+    assert outcome.degraded
+    assert "step budget exhausted" in outcome.failure_reason
+    assert outcome.trace_excerpt  # evidence tail comes with the diagnosis
+
+
+def test_normal_completion_is_not_degraded():
+    sim = Simulation(1, seed=0)
+    reg = AtomicRegister(sim, "r", 0)
+
+    def program(ctx):
+        yield from reg.write(ctx, 1)
+        return 1
+
+    sim.spawn(0, program)
+    outcome = sim.run()
+    assert outcome.finished and not outcome.degraded
+    assert outcome.failure_reason is None
+    assert outcome.trace_excerpt == []
 
 
 def test_crash_stops_a_process_permanently():

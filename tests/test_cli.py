@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import _parse_crashes, _parse_inputs, build_parser, main
+from repro.cli import (
+    _parse_crashes,
+    _parse_inputs,
+    _parse_restarts,
+    build_parser,
+    main,
+)
 
 
 def test_parse_inputs():
@@ -14,6 +20,12 @@ def test_parse_inputs():
 def test_parse_crashes():
     plan = _parse_crashes(["0:100", "2"])
     assert plan.crash_at == {0: 100, 2: 0}
+
+
+def test_parse_restarts():
+    plan = _parse_restarts(["0:300", "2"])
+    assert plan.restart_at == {0: 300, 2: 0}
+    assert _parse_restarts([]) is None
 
 
 def test_run_command_safe_exit_zero(capsys):
@@ -45,6 +57,32 @@ def test_run_command_timeline(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "scan" in out and "|" in out
+
+
+def test_run_command_with_restart(capsys):
+    code = main(
+        ["run", "--inputs", "0,1,1", "--seed", "7", "--crash", "0:40",
+         "--restart", "0:300"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "restarts  : {0: 1}" in out
+    assert "crashed   : -" in out
+
+
+def test_chaos_command_writes_json_report(tmp_path, capsys):
+    report = tmp_path / "chaos.json"
+    code = main(["chaos", "--runs-per-cell", "2", "--json", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "checker mutation campaign" in out
+    assert "chaos: OK" in out
+    import json
+
+    payload = json.loads(report.read_text())
+    assert payload["ok"] is True
+    assert payload["campaign"]["holes"] == []
+    assert payload["recovery_fuzz"]["runs"] > 0
 
 
 def test_coin_command(capsys):

@@ -1,6 +1,7 @@
 """Tests for the fuzz harness (and a small real campaign)."""
 
 from repro.consensus import AdsConsensus, BoundedLocalCoinConsensus
+from repro.faults.plan import FaultPlan
 from repro.verify.fuzz import FuzzFailure, fuzz_consensus
 
 
@@ -70,3 +71,96 @@ def test_scheduler_counts_tracked():
                             master_seed=5)
     assert set(report.by_scheduler) == {"random", "round-robin", "lockstep", "split"}
     assert all(v == 2 for v in report.by_scheduler.values())
+
+
+def test_recovery_runs_are_exercised_and_clean():
+    report = fuzz_consensus(
+        AdsConsensus,
+        n_values=(2, 3),
+        runs_per_cell=3,
+        crash_probability=1.0,
+        recovery_probability=1.0,
+        master_seed=17,
+    )
+    assert report.ok, [str(f) for f in report.failures]
+    assert report.recovery_runs > 0
+    assert "with recoveries" in report.summary()
+
+
+def test_recovery_is_skipped_for_protocols_without_support():
+    from repro.consensus import AspnesHerlihyConsensus
+    from repro.runtime import RandomScheduler
+
+    # Restarting its program would re-propose over live state, so the fuzz
+    # grid must never attach a recovery plan to it.
+    assert not AspnesHerlihyConsensus.supports_recovery
+    # The strip-based protocols keep all state in the shared cell and
+    # inherit the ADS recovery path, so they do support recovery.
+    assert BoundedLocalCoinConsensus.supports_recovery
+    report = fuzz_consensus(
+        AspnesHerlihyConsensus,
+        n_values=(2,),
+        runs_per_cell=3,
+        schedulers={"random": lambda seed: RandomScheduler(seed=seed)},
+        crash_probability=1.0,
+        recovery_probability=1.0,
+        master_seed=2,
+    )
+    assert report.ok, [str(f) for f in report.failures]
+    assert report.recovery_runs == 0
+
+
+def test_fault_cell_counts_detections_not_failures():
+    report = fuzz_consensus(
+        AdsConsensus,
+        n_values=(2,),
+        runs_per_cell=3,
+        crash_probability=0.0,
+        fault_probability=1.0,
+        master_seed=23,
+    )
+    # Injected faults may break validation, but faulty runs never land in
+    # report.failures — they land in the detection counters.
+    assert report.ok, [str(f) for f in report.failures]
+    assert report.fault_runs == report.runs
+    assert report.fault_injections > 0
+    assert "with faults" in report.summary()
+
+
+def test_degraded_fault_free_run_is_reported_as_failure():
+    # A tiny budget forces a degraded outcome; without faults that is a
+    # (liveness) failure, surfaced with the diagnosis instead of a raise.
+    report = fuzz_consensus(
+        AdsConsensus,
+        n_values=(3,),
+        runs_per_cell=1,
+        crash_probability=0.0,
+        max_steps=30,
+        master_seed=1,
+    )
+    assert not report.ok
+    assert report.degraded_runs == report.runs
+    failure = report.failures[0]
+    assert failure.degraded
+    assert any("degraded" in p for p in failure.problems)
+
+
+def test_expect_fault_detection_flags_a_detection_hole():
+    # Rate-0 plans inject nothing, so no detections and no hole; a plan
+    # that injects but is fully masked must surface as a campaign failure.
+    report = fuzz_consensus(
+        AdsConsensus,
+        n_values=(2,),
+        runs_per_cell=2,
+        crash_probability=0.0,
+        fault_probability=1.0,
+        # Stale reads are masked by the handshake scan: detections stay 0.
+        fault_plan_factory=lambda rng: FaultPlan.single(
+            "stale_read", rate=0.01, targets=("mem.V",), seed=rng.randrange(2**31)
+        ),
+        expect_fault_detection=True,
+        master_seed=29,
+    )
+    if report.fault_injections > 0 and report.fault_detections == 0:
+        assert not report.ok
+        assert "nothing was detected" in str(report.failures[-1])
