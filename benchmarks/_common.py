@@ -13,19 +13,33 @@ Two artifacts are written per experiment:
   a benchmark, even with different parameters in the title, replaces the
   file instead of appending duplicates);
 - ``BENCH_<EXPERIMENT>.json`` — a machine-readable artifact carrying the
-  same rows plus any attached metrics snapshots (see ``attach_metrics``),
-  the input to trend tracking across runs and the CI smoke job.
+  same rows plus any attached metrics snapshots (see ``attach_metrics``)
+  and wall-clock timings (``bench_timer`` / ``record_speedup``), the input
+  to trend tracking, the CI ``bench-gate`` job and ``repro bench --check``.
+
+Benchmarks accept a worker-process count (``--workers N`` on the script,
+``REPRO_BENCH_WORKERS`` in the environment — see ``bench_workers``) and
+fan replications out through :mod:`repro.parallel`; results are identical
+at any worker count because every replication seeds its own simulation.
+The regression gate compares measured values only — timing keys record
+the host and are skipped (see ``repro.analysis.benchgate``).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import pathlib
-from typing import Any, Mapping, Sequence
+import sys
+import time
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.parallel import available_workers, resolve_workers
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINES_DIR = pathlib.Path(__file__).parent / "baselines"
 
 # Per-process accumulator: experiment -> ordered {title: table rows}.
 # ``record`` rewrites both artifacts from this state, so reruns replace
@@ -96,6 +110,92 @@ def attach_metrics(experiment: str, name: str, snapshot: Any) -> None:
     extras = _JSON_EXTRAS.setdefault(experiment, {})
     extras.setdefault("metrics", {})[name] = _jsonable(snapshot)
     _rewrite(experiment)
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker-process count for this benchmark run.
+
+    Priority: a ``--workers N`` argument (benches run as scripts), then
+    the ``REPRO_BENCH_WORKERS`` environment variable (how CI opts every
+    bench in at once), then ``default``.  ``0`` means all available CPUs.
+    """
+    argv = sys.argv
+    for i, arg in enumerate(argv):
+        if arg == "--workers" and i + 1 < len(argv):
+            return resolve_workers(int(argv[i + 1]))
+        if arg.startswith("--workers="):
+            return resolve_workers(int(arg.split("=", 1)[1]))
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if raw:
+        return resolve_workers(int(raw))
+    return resolve_workers(default)
+
+
+def attach_timing(
+    experiment: str, name: str, seconds: float, workers: int = 1, **extra: Any
+) -> None:
+    """Record a wall-clock measurement under ``timings.<name>`` in the
+    experiment's ``BENCH_*.json``.  Timing keys are host measurements: the
+    regression gate (``repro bench --check``) skips them by design."""
+    extras = _JSON_EXTRAS.setdefault(experiment, {})
+    extras.setdefault("timings", {})[name] = _jsonable(
+        {
+            "wall_seconds": round(seconds, 4),
+            "workers": workers,
+            "cpus_available": available_workers(),
+            **extra,
+        }
+    )
+    _rewrite(experiment)
+
+
+@contextlib.contextmanager
+def bench_timer(experiment: str, workers: int = 1):
+    """Time a benchmark's main body and attach it as ``timings.total``, so
+    every artifact carries its wall-clock alongside the measured metric."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        attach_timing(experiment, "total", time.perf_counter() - start, workers)
+
+
+def record_speedup(
+    experiment: str,
+    run: Callable[[int], Any],
+    workers: int = 4,
+    name: str = "speedup_probe",
+) -> float:
+    """Time ``run(1)`` vs ``run(workers)`` and attach the observed speedup.
+
+    The probe measures the parallel engine on this benchmark's own
+    workload.  The artifact records the CPU count alongside, so a ~1×
+    result on a single-core host reads as what it is — no parallel
+    hardware — rather than an engine regression; the bench gate never
+    compares timing values.
+    """
+    start = time.perf_counter()
+    run(1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run(workers)
+    parallel_s = time.perf_counter() - start
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    extras = _JSON_EXTRAS.setdefault(experiment, {})
+    extras.setdefault("timings", {})[name] = {
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "workers": workers,
+        "speedup": round(speedup, 3),
+        "cpus_available": available_workers(),
+    }
+    _rewrite(experiment)
+    print(
+        f"[{experiment}] speedup probe: serial {serial_s:.2f}s, "
+        f"{workers} workers {parallel_s:.2f}s -> {speedup:.2f}x "
+        f"({available_workers()} CPUs available)"
+    )
+    return speedup
 
 
 def reset(experiment: str) -> None:

@@ -15,7 +15,7 @@ the memory audit; the assertions encode the table's qualitative cells.
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.consensus import (
     AdsConsensus,
@@ -38,8 +38,14 @@ PROTOCOLS = [
 ]
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e10")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e10", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     table = {}
     rows = []
     for n in N_VALUES:
@@ -99,13 +105,13 @@ def test_e10_regime_table(benchmark):
 
     # Bounded vs unbounded: ADS stores smaller integers than AH at the
     # largest n even though it runs more steps.
-    assert (
-        table[("ads", n_large)]["max int"] < table[("aspnes-herlihy", n_large)]["max int"]
-    )
+    ads_int = table[("ads", n_large)]["max int"]
+    assert ads_int < table[("aspnes-herlihy", n_large)]["max int"]
 
     # The atomic-coin primitive buys the least work of all regimes.
     for name in ("ads", "aspnes-herlihy", "local-coin"):
-        assert table[("atomic-coin", n_large)]["steps"] <= table[(name, n_large)]["steps"]
+        atomic_steps = table[("atomic-coin", n_large)]["steps"]
+        assert atomic_steps <= table[(name, n_large)]["steps"]
 
 
 if __name__ == "__main__":

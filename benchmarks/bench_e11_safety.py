@@ -7,7 +7,7 @@ domain and completion.  Measured: violations (paper: zero, by Lemmas
 6.1–6.6), with run counts printed so zero is meaningful.
 """
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.consensus import (
     AdsConsensus,
@@ -17,7 +17,13 @@ from repro.consensus import (
     validate_run,
 )
 from repro.consensus.ads import pref_reader
-from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler, SplitAdversary
+from repro.parallel import run_tasks
+from repro.runtime import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SplitAdversary,
+)
 from repro.runtime.adversary import LockstepAdversary
 from repro.runtime.rng import derive_rng
 
@@ -31,43 +37,54 @@ SCHEDULERS = {
     "lockstep": lambda seed: LockstepAdversary("mem", seed=seed),
 }
 
-PROTOCOLS = [AdsConsensus, AspnesHerlihyConsensus, LocalCoinConsensus, AtomicCoinConsensus]
+PROTOCOLS = [
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    LocalCoinConsensus,
+    AtomicCoinConsensus,
+]
 
 
-def run_experiment():
+def _grid_cell(spec):
+    """One (protocol, scheduler) cell; every run's rng derives from its
+    seed, so cells can run in any process in any order."""
+    protocol_cls, scheduler_name = spec
+    scheduler_factory = SCHEDULERS[scheduler_name]
+    runs = violations = 0
+    for seed in SEEDS:
+        rng = derive_rng(seed, "e11", protocol_cls.name, scheduler_name)
+        inputs = [rng.randint(0, 1) for _ in range(N)]
+        crash_plan = (
+            CrashPlan.random(N, rng, horizon=400) if seed % 2 else CrashPlan()
+        )
+        run = protocol_cls().run(
+            inputs,
+            scheduler=scheduler_factory(seed),
+            seed=seed,
+            crash_plan=crash_plan,
+            max_steps=100_000_000,
+        )
+        runs += 1
+        if not validate_run(run).ok:
+            violations += 1
+    return {
+        "protocol": protocol_cls.name,
+        "scheduler": scheduler_name,
+        "runs": runs,
+        "safety violations": violations,
+        "paper": 0,
+    }
+
+
+def run_experiment(workers=None):
     reset("e11")
-    rows = []
-    for protocol_cls in PROTOCOLS:
-        for scheduler_name, scheduler_factory in SCHEDULERS.items():
-            runs = violations = 0
-            for seed in SEEDS:
-                rng = derive_rng(seed, "e11", protocol_cls.name, scheduler_name)
-                inputs = [rng.randint(0, 1) for _ in range(N)]
-                crash_plan = (
-                    CrashPlan.random(N, rng, horizon=400)
-                    if seed % 2
-                    else CrashPlan()
-                )
-                run = protocol_cls().run(
-                    inputs,
-                    scheduler=scheduler_factory(seed),
-                    seed=seed,
-                    crash_plan=crash_plan,
-                    max_steps=100_000_000,
-                )
-                runs += 1
-                if not validate_run(run).ok:
-                    violations += 1
-            rows.append(
-                {
-                    "protocol": protocol_cls.name,
-                    "scheduler": scheduler_name,
-                    "runs": runs,
-                    "safety violations": violations,
-                    "paper": 0,
-                }
-            )
-    record("e11", rows, f"E11 Lemmas 6.1–6.6 — safety grid (n={N}, crashes mixed in)")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e11", workers=workers):
+        specs = [(p, s) for p in PROTOCOLS for s in SCHEDULERS]
+        rows = run_tasks(_grid_cell, specs, workers=workers)
+    record(
+        "e11", rows, f"E11 Lemmas 6.1–6.6 — safety grid (n={N}, crashes mixed in)"
+    )
     return rows
 
 

@@ -16,7 +16,7 @@ Three knobs the paper fixes, swept:
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.consensus import AdsConsensus, validate_run
 from repro.runtime import RandomScheduler
@@ -47,8 +47,14 @@ def measure(protocol, label, rows):
     return row
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e12")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e12", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     snapshot_rows = []
     for kind in ("arrows", "sequenced", "arrows-bloom", "embedded"):
         measure(AdsConsensus(snapshot_kind=kind), kind, snapshot_rows)

@@ -7,8 +7,9 @@ the fraction of tosses on which any two processes saw different outcomes,
 with a Wilson upper confidence bound compared against the paper's 1/b.
 """
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, record_speedup, reset
 
+from repro.analysis.experiment import repeat_runs
 from repro.analysis.stats import wilson_interval
 from repro.analysis.theory import e1_disagreement_bound
 from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
@@ -18,6 +19,7 @@ from repro.runtime.adversary import CoinDisagreementAdversary
 N = 3
 REPS = 120
 B_VALUES = (2, 4, 8)
+PROBE_REPS = 60  # replications for the serial-vs-4-worker speedup probe
 
 
 SCHEDULERS = {
@@ -36,29 +38,45 @@ def toss(n, b, seed, scheduler_name):
     return len(set(outcome.decisions.values())) > 1
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e1")
+    workers = bench_workers() if workers is None else workers
     tables = {}
-    for label in SCHEDULERS:
-        rows = []
-        for b in B_VALUES:
-            disagreements = sum(toss(N, b, seed, label) for seed in range(REPS))
-            rate, low, high = wilson_interval(disagreements, REPS)
-            rows.append(
-                {
-                    "b": b,
-                    "disagree rate": rate,
-                    "wilson high": high,
-                    "paper bound 1/b": e1_disagreement_bound(b),
-                    "tosses": REPS,
-                }
+    with bench_timer("e1", workers=workers):
+        for label in SCHEDULERS:
+            rows = []
+            for b in B_VALUES:
+                flags = repeat_runs(
+                    lambda seed: float(toss(N, b, seed, label)),
+                    range(REPS),
+                    workers=workers,
+                )
+                disagreements = int(sum(flags))
+                rate, low, high = wilson_interval(disagreements, REPS)
+                rows.append(
+                    {
+                        "b": b,
+                        "disagree rate": rate,
+                        "wilson high": high,
+                        "paper bound 1/b": e1_disagreement_bound(b),
+                        "tosses": REPS,
+                    }
+                )
+            tables[label] = rows
+            record(
+                "e1",
+                rows,
+                f"E1 Lemma 3.1 — coin disagreement vs b (n={N}, {label} scheduler)",
             )
-        tables[label] = rows
-        record(
-            "e1",
-            rows,
-            f"E1 Lemma 3.1 — coin disagreement vs b (n={N}, {label} scheduler)",
-        )
+    record_speedup(
+        "e1",
+        lambda w: repeat_runs(
+            lambda seed: float(toss(N, 8, seed, "walk-balancing")),
+            range(PROBE_REPS),
+            workers=w,
+        ),
+        workers=4,
+    )
     return tables
 
 

@@ -8,8 +8,9 @@ adversary pushes the ratio towards 1; fair schedules decide sooner).
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
+from repro.analysis.experiment import repeat_runs
 from repro.analysis.stats import growth_exponent
 from repro.analysis.theory import e2_expected_flips
 from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
@@ -33,14 +34,24 @@ def flips_for(n, seed, adversarial):
     return coin.total_steps
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e2")
+    workers = bench_workers() if workers is None else workers
     results = {}
+    with bench_timer("e2", workers=workers):
+        return _run_tables(workers, results)
+
+
+def _run_tables(workers, results):
     for adversarial in (False, True):
         rows = []
         means = []
         for n in N_VALUES:
-            samples = [flips_for(n, seed, adversarial) for seed in range(REPS)]
+            samples = repeat_runs(
+                lambda seed: flips_for(n, seed, adversarial),
+                range(REPS),
+                workers=workers,
+            )
             mean = statistics.mean(samples)
             means.append(mean)
             predicted = e2_expected_flips(B, n)

@@ -6,8 +6,9 @@ tosses in which any process's counter left {-m..m} (forcing the
 deterministic-heads rule), against the paper's C·b·n/√m shape.
 """
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
+from repro.analysis.experiment import repeat_runs
 from repro.analysis.stats import wilson_interval
 from repro.analysis.theory import e3_overflow_bound
 from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
@@ -27,12 +28,21 @@ def toss_overflows(n, b, m, seed):
     return coin.any_overflow()
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e3")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e3", workers=workers):
+        return _run_table(workers)
+
+
+def _run_table(workers):
     m_values = [9, 36, 144, default_m(B, N)]  # default_m(2, 3) = 576
     rows = []
     for m in m_values:
-        overflows = sum(toss_overflows(N, B, m, seed) for seed in range(REPS))
+        flags = repeat_runs(
+            lambda seed: toss_overflows(N, B, m, seed), range(REPS), workers=workers
+        )
+        overflows = sum(flags)
         rate, _, high = wilson_interval(overflows, REPS)
         rows.append(
             {

@@ -11,8 +11,9 @@ slope in n (paper: ≈ 0).
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
+from repro.analysis.experiment import repeat_runs
 from repro.analysis.stats import growth_exponent
 from repro.consensus import AdsConsensus, validate_run
 from repro.runtime import RandomScheduler
@@ -27,23 +28,39 @@ def rounds_for(n, seed, lockstep):
         LockstepAdversary("mem", seed=seed) if lockstep else RandomScheduler(seed=seed)
     )
     inputs = [p % 2 for p in range(n)]
-    run = AdsConsensus().run(inputs, scheduler=scheduler, seed=seed,
-                             max_steps=100_000_000)
+    run = AdsConsensus().run(
+        inputs, scheduler=scheduler, seed=seed, max_steps=100_000_000
+    )
     assert validate_run(run).ok
     return run.max_rounds()
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e4")
+    workers = bench_workers() if workers is None else workers
     results = {}
+    with bench_timer("e4", workers=workers):
+        return _run_tables(workers, results)
+
+
+def _run_tables(workers, results):
     for lockstep in (False, True):
         rows, means = [], []
         for n in N_VALUES:
-            samples = [rounds_for(n, seed, lockstep) for seed in range(REPS)]
+            samples = repeat_runs(
+                lambda seed: rounds_for(n, seed, lockstep),
+                range(REPS),
+                workers=workers,
+            )
             mean = statistics.mean(samples)
             means.append(mean)
             rows.append(
-                {"n": n, "mean rounds": mean, "max rounds": max(samples), "paper": "O(1)"}
+                {
+                    "n": n,
+                    "mean rounds": mean,
+                    "max rounds": max(samples),
+                    "paper": "O(1)",
+                }
             )
         slope = growth_exponent(list(N_VALUES), means)
         rows.append({"n": "slope", "mean rounds": slope, "paper": "~0"})

@@ -13,9 +13,10 @@ Measured:
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.analysis.charts import log_series_chart
+from repro.analysis.experiment import repeat_runs
 from repro.analysis.stats import doubling_ratio, growth_exponent
 from repro.consensus import AdsConsensus, LocalCoinConsensus, validate_run
 from repro.runtime.adversary import LockstepAdversary
@@ -36,13 +37,25 @@ def measure(protocol_cls, n, seed):
     return run.total_steps, run.max_rounds()
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e5")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e5", workers=workers):
+        return _run_table(workers)
+
+
+def _run_table(workers):
     rows = []
     ads_steps, local_steps, local_rounds = [], [], []
     for n in N_VALUES:
-        ads = [measure(AdsConsensus, n, seed) for seed in range(REPS)]
-        local = [measure(LocalCoinConsensus, n, seed) for seed in range(REPS)]
+        ads = repeat_runs(
+            lambda seed: measure(AdsConsensus, n, seed), range(REPS), workers=workers
+        )
+        local = repeat_runs(
+            lambda seed: measure(LocalCoinConsensus, n, seed),
+            range(REPS),
+            workers=workers,
+        )
         ads_mean = statistics.mean(s for s, _ in ads)
         local_mean = statistics.mean(s for s, _ in local)
         local_rounds_mean = statistics.mean(r for _, r in local)

@@ -15,7 +15,7 @@ the ad-hoc audit; the audit numbers are kept in the table as the
 cross-check that gauge and audit agree.
 """
 
-from _common import attach_metrics, record, reset
+from _common import attach_metrics, bench_timer, bench_workers, record, reset
 
 from repro.analysis.theory import e6_bounded_magnitude
 from repro.consensus import AdsConsensus, AspnesHerlihyConsensus, validate_run
@@ -27,8 +27,14 @@ M_BOUND = 60  # small fixed m so the ADS bound is visibly tight
 K = 2
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e6")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e6", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     rows = []
     ads_bound = e6_bounded_magnitude(K, 2, max(N_VALUES), M_BOUND)
     for n in N_VALUES:

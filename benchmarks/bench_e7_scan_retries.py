@@ -14,7 +14,7 @@ mean collect rounds per scan vs w (paper: 1 round iff quiescent).
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.runtime import RandomScheduler, Simulation
 from repro.snapshot import ArrowScannableMemory
@@ -57,8 +57,14 @@ def rounds_with_writers(writers, seed):
     return statistics.mean(counts)
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e7")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e7", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     rows = []
     for writers in (0, 1, 2, 3, 5):
         samples = [rounds_with_writers(writers, seed) for seed in SEEDS]

@@ -7,7 +7,7 @@ checkers (paper: zero), plus how many scans/writes were actually checked
 — silence must mean "checked and clean", not "nothing ran".
 """
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.runtime import RandomScheduler, Simulation
 from repro.snapshot import (
@@ -42,8 +42,14 @@ def run_workload(make_memory, seed):
     return len(violations), scans, writes
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e8")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e8", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     variants = {
         "arrows": lambda sim: ArrowScannableMemory(sim, "M", N),
         "arrows-on-bloom": lambda sim: ArrowScannableMemory(

@@ -11,7 +11,7 @@ Two measurements:
 
 import random
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.strip import (
     DistanceGraph,
@@ -45,8 +45,14 @@ def play(n, K, seed):
     return mismatches, invariant_failures
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("e9")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("e9", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     rows = []
     for n, K in GRID:
         mismatches = failures = 0

@@ -14,7 +14,7 @@ extension and guard it against regressions.
 
 import statistics
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.consensus import MultivaluedAdsConsensus, validate_run
 from repro.runtime import RandomScheduler, Simulation
@@ -51,8 +51,14 @@ def _universal_steps_per_op(n, spec, ops_per_pid, seed):
     return outcome.total_steps / total_ops
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("x1")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("x1", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     rows = []
     for n in N_VALUES:
         mv = [_multivalued_steps(n, seed) for seed in range(REPS)]

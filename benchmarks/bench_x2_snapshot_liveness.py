@@ -10,7 +10,7 @@ Measured: whether the scan completed, collect rounds burned, and the
 price the wait-free variant pays (unbounded sequence numbers, audited).
 """
 
-from _common import record, reset
+from _common import bench_timer, bench_workers, record, reset
 
 from repro.registers import MemoryAudit
 from repro.runtime import ScanStarvingAdversary, Simulation
@@ -23,8 +23,9 @@ SEEDS = range(6)
 
 def starve(memory_cls, seed):
     audit = MemoryAudit()
-    sim = Simulation(N, ScanStarvingAdversary(victim=0, period=10, seed=seed),
-                     seed=seed)
+    sim = Simulation(
+        N, ScanStarvingAdversary(victim=0, period=10, seed=seed), seed=seed
+    )
     mem = memory_cls(sim, "M", N, audit=audit)
 
     def factory(pid):
@@ -49,8 +50,14 @@ def starve(memory_cls, seed):
     }
 
 
-def run_experiment():
+def run_experiment(workers=None):
     reset("x2")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("x2", workers=workers):
+        return _run_body()
+
+
+def _run_body():
     rows = []
     for label, memory_cls in [
         ("arrows (the paper)", ArrowScannableMemory),

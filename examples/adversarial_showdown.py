@@ -63,8 +63,10 @@ def main(n: int = 6, repetitions: int = 5) -> None:
     print(f"inputs: {inputs}   ({repetitions} runs per cell)\n")
 
     for label, scheduler_factory in [
-        ("LOCKSTEP ADVERSARY (worst case for local coins)",
-         lambda s: LockstepAdversary("mem", seed=s)),
+        (
+            "LOCKSTEP ADVERSARY (worst case for local coins)",
+            lambda s: LockstepAdversary("mem", seed=s),
+        ),
         ("random scheduler", lambda s: RandomScheduler(seed=s)),
     ]:
         rows = []

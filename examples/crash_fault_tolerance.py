@@ -17,10 +17,14 @@ SCENARIOS = [
     ("no crashes", lambda n, rng: CrashPlan()),
     ("one early crash", lambda n, rng: CrashPlan({0: 0})),
     ("minority mid-run", lambda n, rng: CrashPlan({0: 150, 1: 300})),
-    ("all but one, immediately",
-     lambda n, rng: CrashPlan({pid: 0 for pid in range(1, n)})),
-    ("all but one, staggered",
-     lambda n, rng: CrashPlan({pid: pid * 200 for pid in range(1, n)})),
+    (
+        "all but one, immediately",
+        lambda n, rng: CrashPlan({pid: 0 for pid in range(1, n)}),
+    ),
+    (
+        "all but one, staggered",
+        lambda n, rng: CrashPlan({pid: pid * 200 for pid in range(1, n)}),
+    ),
     ("random plan", lambda n, rng: CrashPlan.random(n, rng, horizon=600)),
 ]
 

@@ -41,8 +41,10 @@ def main(moves: int = 18, seed: int = 5, n: int = 3, K: int = 2) -> None:
     counters = EdgeCounters(n, K)
 
     print(f"n={n}, K={K}; tokens {GLYPHS[:n]}; '*' marks a tie")
-    print(f"{'mv':>3} {'unbounded strip':<{moves + 3}} "
-          f"{'shrunken [0..' + str(K * n) + ']':<{K * n + 3}} counters (mod {3 * K})")
+    print(
+        f"{'mv':>3} {'unbounded strip':<{moves + 3}} "
+        f"{'shrunken [0..' + str(K * n) + ']':<{K * n + 3}} counters (mod {3 * K})"
+    )
     for step in range(moves):
         mover = rng.randrange(n)
         unbounded.move_token(mover)
@@ -66,8 +68,11 @@ def main(moves: int = 18, seed: int = 5, n: int = 3, K: int = 2) -> None:
     print("\nfinal unbounded positions :", unbounded.positions)
     print("final shrunken positions  :", shrunken.positions)
     print("final distance graph      :", graph)
-    print("max edge counter          :", counters.max_counter(),
-          f"(always < 3K = {3 * K})")
+    print(
+        "max edge counter          :",
+        counters.max_counter(),
+        f"(always < 3K = {3 * K})",
+    )
     print("\nevery move checked: game == graph == counters (Claim 4.1).")
 
 

@@ -45,7 +45,9 @@ def main(n: int = 4, repetitions: int = 40) -> None:
     for adversarial in (False, True):
         rows = []
         for b in (2, 4, 8):
-            results = [toss_once(n, b, seed, adversarial) for seed in range(repetitions)]
+            results = [
+                toss_once(n, b, seed, adversarial) for seed in range(repetitions)
+            ]
             rows.append(
                 {
                     "b": b,

@@ -39,8 +39,10 @@ def demo_properties(n=4, writes=4, seed=7):
     for pid, view in sorted(outcome.decisions.items()):
         print(f"   p{pid} final view: {view}")
     violations = check_all_properties(sim.trace, "M", n)
-    print(f"   P1 regularity + P2 snapshot + P3 serializability: "
-          f"{'ALL HOLD' if not violations else violations}")
+    print(
+        f"   P1 regularity + P2 snapshot + P3 serializability: "
+        f"{'ALL HOLD' if not violations else violations}"
+    )
     print()
 
 
@@ -101,8 +103,10 @@ def demo_starvation(n=3, seed=1):
 
     sim.spawn_all(factory)
     outcome = sim.run(30_000, raise_on_budget=False)
-    print(f"   after {outcome.total_steps} steps: victim decided? "
-          f"{0 in outcome.decisions}")
+    print(
+        f"   after {outcome.total_steps} steps: victim decided? "
+        f"{0 in outcome.decisions}"
+    )
     print(f"   collect rounds burned by the victim: {mem.scan_attempts()}")
     print(f"   writes completed by others: {progress['writes']}")
     print("   -> the scan starves, but some write completes infinitely often:")

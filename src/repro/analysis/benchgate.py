@@ -1,0 +1,221 @@
+"""The benchmark regression gate: compare ``BENCH_*.json`` to baselines.
+
+Every benchmark writes a machine-readable artifact
+(``benchmarks/results/BENCH_<ID>.json``, see ``benchmarks/_common.py``)
+whose measured values are **deterministic per seed** — the simulations
+draw all randomness from derived streams.  That makes regression gating
+simple: check the current artifact against a checked-in baseline
+(``benchmarks/baselines/BENCH_<ID>.json``) value by value, within a
+relative tolerance band.
+
+What is compared: every numeric cell of every result table, plus any
+attached metrics snapshots.  What is *not*: wall-clock data (timings,
+speedups, worker counts, cpu counts) — those measure the host, not the
+protocols, and live under keys the gate skips by name.
+
+Used by ``repro bench --check`` locally and the CI ``bench-gate`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Key substrings (lowercased) whose values measure the host rather than
+#: the simulation — never compared against baselines.
+TIMING_KEY_MARKERS = (
+    "wall",
+    "seconds",
+    "elapsed",
+    "speedup",
+    "workers",
+    "cpu",
+    "timing",
+)
+
+DEFAULT_TOLERANCE = 0.10
+
+
+def is_timing_key(key: str) -> bool:
+    lowered = key.lower()
+    return any(marker in lowered for marker in TIMING_KEY_MARKERS)
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one experiment's artifact against its baseline."""
+
+    experiment: str
+    problems: list[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.problems)} deviations"
+        return f"{self.experiment.upper()}: {self.compared} values compared, {status}"
+
+
+def _within(baseline: float, measured: float, tolerance: float) -> bool:
+    if baseline == measured:
+        return True
+    denom = max(abs(baseline), abs(measured), 1e-12)
+    return abs(measured - baseline) / denom <= tolerance
+
+
+def _compare_value(
+    result: GateResult,
+    location: str,
+    baseline: Any,
+    measured: Any,
+    tolerance: float,
+) -> None:
+    if isinstance(baseline, bool) or isinstance(measured, bool):
+        # bools are ints in Python; compare them exactly, not numerically.
+        if baseline != measured:
+            result.problems.append(
+                f"{location}: expected {baseline!r}, got {measured!r}"
+            )
+        result.compared += 1
+        return
+    if isinstance(baseline, (int, float)) and isinstance(measured, (int, float)):
+        result.compared += 1
+        if not _within(float(baseline), float(measured), tolerance):
+            denom = max(abs(baseline), abs(measured), 1e-12)
+            drift = abs(measured - baseline) / denom
+            result.problems.append(
+                f"{location}: {measured!r} deviates {drift:.1%} from baseline "
+                f"{baseline!r} (tolerance {tolerance:.0%})"
+            )
+        return
+    if isinstance(baseline, Mapping) and isinstance(measured, Mapping):
+        for key in sorted(set(baseline) | set(measured)):
+            if is_timing_key(str(key)):
+                continue
+            if key not in baseline:
+                result.problems.append(f"{location}.{key}: not in baseline")
+            elif key not in measured:
+                result.problems.append(f"{location}.{key}: missing from artifact")
+            else:
+                _compare_value(
+                    result, f"{location}.{key}", baseline[key], measured[key], tolerance
+                )
+        return
+    if isinstance(baseline, list) and isinstance(measured, list):
+        if len(baseline) != len(measured):
+            result.problems.append(
+                f"{location}: {len(measured)} entries vs baseline {len(baseline)}"
+            )
+            return
+        for i, (b, m) in enumerate(zip(baseline, measured)):
+            _compare_value(result, f"{location}[{i}]", b, m, tolerance)
+        return
+    result.compared += 1
+    if baseline != measured:
+        result.problems.append(f"{location}: expected {baseline!r}, got {measured!r}")
+
+
+def compare_payloads(
+    experiment: str,
+    baseline: Mapping[str, Any],
+    measured: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Gate one artifact payload against its baseline payload.
+
+    Tables are matched by title (order-insensitive) so adding a table is
+    reported as exactly one problem, not a cascade of shifted rows.
+    """
+    result = GateResult(experiment=experiment)
+    base_tables = {
+        t.get("title", ""): t.get("rows", []) for t in baseline.get("tables", [])
+    }
+    meas_tables = {
+        t.get("title", ""): t.get("rows", []) for t in measured.get("tables", [])
+    }
+    for title in sorted(set(base_tables) | set(meas_tables)):
+        if title not in meas_tables:
+            result.problems.append(f"table {title!r}: missing from artifact")
+        elif title not in base_tables:
+            result.problems.append(f"table {title!r}: not in baseline")
+        else:
+            _compare_value(
+                result,
+                f"table {title!r}",
+                base_tables[title],
+                meas_tables[title],
+                tolerance,
+            )
+    _compare_value(
+        result,
+        "metrics",
+        baseline.get("metrics", {}),
+        measured.get("metrics", {}),
+        tolerance,
+    )
+    return result
+
+
+def check_experiment(
+    experiment: str,
+    results_dir: pathlib.Path,
+    baselines_dir: pathlib.Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Load one experiment's artifact + baseline from disk and gate them."""
+    name = f"BENCH_{experiment.upper()}.json"
+    artifact = pathlib.Path(results_dir) / name
+    baseline = pathlib.Path(baselines_dir) / name
+    result = GateResult(experiment=experiment)
+    if not baseline.exists():
+        result.problems.append(
+            f"no baseline {baseline} — record one with `repro bench --update`"
+        )
+        return result
+    if not artifact.exists():
+        result.problems.append(
+            f"no artifact {artifact} — run the benchmark first "
+            f"(`python benchmarks/bench_{experiment}_*.py`)"
+        )
+        return result
+    return compare_payloads(
+        experiment,
+        json.loads(baseline.read_text()),
+        json.loads(artifact.read_text()),
+        tolerance,
+    )
+
+
+def check_experiments(
+    experiments: Iterable[str],
+    results_dir: pathlib.Path,
+    baselines_dir: pathlib.Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[GateResult]:
+    return [
+        check_experiment(exp, results_dir, baselines_dir, tolerance)
+        for exp in experiments
+    ]
+
+
+def update_baselines(
+    experiments: Iterable[str],
+    results_dir: pathlib.Path,
+    baselines_dir: pathlib.Path,
+) -> list[str]:
+    """Copy current artifacts over the baselines; returns experiments copied."""
+    results_dir = pathlib.Path(results_dir)
+    baselines_dir = pathlib.Path(baselines_dir)
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    copied = []
+    for experiment in experiments:
+        name = f"BENCH_{experiment.upper()}.json"
+        artifact = results_dir / name
+        if artifact.exists():
+            (baselines_dir / name).write_text(artifact.read_text())
+            copied.append(experiment)
+    return copied

@@ -1,4 +1,11 @@
-"""Seeded experiment execution: repetitions and parameter sweeps."""
+"""Seeded experiment execution: repetitions and parameter sweeps.
+
+Both entry points accept a ``workers`` count and fan their replications
+out through :mod:`repro.parallel`.  Each replication derives all of its
+randomness from its own seed, so the parallel path returns results
+bit-identical to the serial loop — same seeds, same outputs, any worker
+count (see ``docs/performance.md``).
+"""
 
 from __future__ import annotations
 
@@ -6,13 +13,22 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.stats import Summary, summarize
+from repro.parallel import run_tasks
 
 
 def repeat_runs(
-    run_once: Callable[[int], float], seeds: Iterable[int]
+    run_once: Callable[[int], float],
+    seeds: Iterable[int],
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> list[float]:
-    """Execute ``run_once(seed)`` for every seed; collect the metric."""
-    return [run_once(seed) for seed in seeds]
+    """Execute ``run_once(seed)`` for every seed; collect the metric.
+
+    ``workers`` > 1 distributes the seeds across a process pool; results
+    come back in seed order either way.  ``progress(done, total)`` is
+    called in the parent as replications complete.
+    """
+    return run_tasks(run_once, seeds, workers=workers, progress=progress)
 
 
 @dataclass
@@ -38,6 +54,8 @@ class Sweep:
         run_once: ``run_once(value, seed) -> metric``.
         repetitions: seeds 0..repetitions-1 are used per point (offset by
             ``seed_base`` so different experiments never share streams).
+        workers: default process count for :meth:`execute` (``None`` →
+            serial unless ``REPRO_WORKERS`` is set).
     """
 
     parameter: str
@@ -45,15 +63,37 @@ class Sweep:
     run_once: Callable[[Any, int], float]
     repetitions: int = 10
     seed_base: int = 0
+    workers: int | None = None
 
-    def execute(self) -> list[SweepPoint]:
+    def execute(
+        self,
+        workers: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list[SweepPoint]:
+        """Run every (value, seed) cell; chunked across workers if asked.
+
+        The full cross product is submitted as one task list (better pool
+        utilisation than per-point batches when repetitions are few), then
+        regrouped by point in value order — output is identical to the
+        serial nested loop for any worker count.
+        """
+        if workers is None:
+            workers = self.workers
+        tasks = [
+            (value, self.seed_base + rep)
+            for value in self.values
+            for rep in range(self.repetitions)
+        ]
+        samples = run_tasks(
+            lambda task: self.run_once(task[0], task[1]),
+            tasks,
+            workers=workers,
+            progress=progress,
+        )
         points = []
-        for value in self.values:
-            samples = [
-                self.run_once(value, self.seed_base + rep)
-                for rep in range(self.repetitions)
-            ]
-            points.append(SweepPoint({self.parameter: value}, samples))
+        for i, value in enumerate(self.values):
+            chunk = samples[i * self.repetitions : (i + 1) * self.repetitions]
+            points.append(SweepPoint({self.parameter: value}, list(chunk)))
         return points
 
 

@@ -27,7 +27,9 @@ class Summary:
         )
 
 
-def mean_and_ci(samples: Sequence[float], z: float = 1.96) -> tuple[float, float, float]:
+def mean_and_ci(
+    samples: Sequence[float], z: float = 1.96
+) -> tuple[float, float, float]:
     """Sample mean with a normal-approximation confidence interval."""
     if not samples:
         raise ValueError("empty sample")
@@ -51,7 +53,9 @@ def summarize(samples: Sequence[float]) -> Summary:
     )
 
 
-def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float, float]:
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float, float]:
     """Wilson score interval for a binomial proportion (rate, low, high).
 
     Preferred over the normal approximation because the measured rates

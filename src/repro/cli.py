@@ -20,7 +20,13 @@ Commands:
               (``benchmarks/results/``), i.e. the data behind EXPERIMENTS.md;
 - ``chaos`` — run the fault-injection mutation campaign (every fault class
               must be caught by some checker) plus a crash-recovery and a
-              fault-injection fuzz grid (see ``docs/robustness.md``).
+              fault-injection fuzz grid (see ``docs/robustness.md``);
+- ``sweep`` — sweep a protocol over process counts with replicated seeded
+              runs, optionally fanned out across cores (``--workers``,
+              see ``docs/performance.md``);
+- ``bench`` — list the machine-readable benchmark artifacts and gate them
+              against the checked-in baselines (``--check``), the same
+              comparison the CI ``bench-gate`` job runs.
 
 Every command is seeded and deterministic; exit status is non-zero if a
 safety check fails.
@@ -140,12 +146,15 @@ def cmd_run(args) -> int:
         "memory    : max |int| stored "
         f"{run.audit.max_magnitude}, widest cell {run.audit.max_width}"
     )
-    print(f"safety    : {'OK' if report.ok else 'VIOLATED: ' + '; '.join(report.problems)}")
+    verdict = "OK" if report.ok else "VIOLATED: " + "; ".join(report.problems)
+    print(f"safety    : {verdict}")
     if args.timeline and run.simulation is not None:
         print()
         print(
             render_timeline(
-                run.simulation.trace, kinds={"scan", "write"}, max_rows=args.timeline_rows
+                run.simulation.trace,
+                kinds={"scan", "write"},
+                max_rows=args.timeline_rows,
             )
         )
     return 0 if report.ok else 1
@@ -284,12 +293,9 @@ def cmd_chaos(args) -> int:
     from repro.faults.campaign import run_mutation_campaign
     from repro.verify.fuzz import fuzz_consensus
 
-    campaign = run_mutation_campaign(seed=args.seed)
-    rows = [
-        {k: row[k] for k in ("fault", "layer", "checker", "injections",
-                             "detected", "expected", "ok")}
-        for row in campaign.to_rows()
-    ]
+    campaign = run_mutation_campaign(seed=args.seed, workers=args.workers)
+    columns = ("fault", "layer", "checker", "injections", "detected", "expected", "ok")
+    rows = [{k: row[k] for k in columns} for row in campaign.to_rows()]
     print(format_table(rows, title="checker mutation campaign"))
     print(f"detections by fault class: {campaign.detections_by_kind()}")
     if campaign.holes:
@@ -303,6 +309,7 @@ def cmd_chaos(args) -> int:
         crash_probability=1.0,
         recovery_probability=1.0,
         master_seed=args.seed,
+        workers=args.workers,
     )
     print(f"crash-recovery fuzz : {recovery.summary()}")
     for failure in recovery.failures:
@@ -315,6 +322,7 @@ def cmd_chaos(args) -> int:
         crash_probability=0.0,
         fault_probability=1.0,
         master_seed=args.seed,
+        workers=args.workers,
     )
     print(f"fault-injection fuzz: {faults.summary()}")
 
@@ -345,10 +353,124 @@ def cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_sweep(args) -> int:
+    """Sweep a protocol over process counts with replicated, seeded runs.
+
+    The parallel counterpart of repeated ``repro run`` invocations: every
+    (n, seed) cell is an independent simulation, so ``--workers`` fans the
+    grid out across cores and the table is identical for any worker count.
+    """
+    from repro.analysis.experiment import Sweep, sweep_table
+
+    n_values = _parse_inputs(args.n_values)
+    metric = args.metric
+
+    def run_once(n: int, seed: int) -> float:
+        protocol = PROTOCOLS[args.protocol]()
+        inputs = [(seed + i) % 2 for i in range(n)]
+        run = protocol.run(
+            inputs,
+            scheduler=_make_scheduler(args.scheduler, seed),
+            seed=seed,
+            max_steps=args.max_steps,
+        )
+        report = validate_run(run)
+        if not report.ok:
+            raise RuntimeError(
+                f"unsafe run (n={n}, seed={seed}): " + "; ".join(report.problems)
+            )
+        return float(run.max_rounds() if metric == "rounds" else run.total_steps)
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r{done}/{total} runs", end="", file=sys.stderr, flush=True)
+
+    sweep = Sweep(
+        "n",
+        n_values,
+        run_once,
+        repetitions=args.reps,
+        seed_base=args.seed_base,
+    )
+    points = sweep.execute(
+        workers=args.workers, progress=progress if args.progress else None
+    )
+    if args.progress:
+        print(file=sys.stderr)
+    print(
+        format_table(
+            sweep_table(points),
+            title=(
+                f"{args.protocol} — {metric} vs n "
+                f"({args.reps} reps, {args.scheduler} scheduler, "
+                f"workers={args.workers})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """List benchmark artifacts, gate them against baselines, or update."""
+    import pathlib
+
+    from repro.analysis.benchgate import (
+        check_experiments,
+        update_baselines,
+    )
+
+    results_dir = pathlib.Path(args.results_dir)
+    baselines_dir = pathlib.Path(args.baselines_dir)
+    experiments = (
+        [e.strip().lower() for e in args.experiments.split(",") if e.strip()]
+        if args.experiments
+        else sorted(
+            p.stem.replace("BENCH_", "").lower()
+            for p in results_dir.glob("BENCH_*.json")
+        )
+    )
+    if not experiments:
+        print(f"no BENCH_*.json artifacts in {results_dir}/ — run the benchmarks")
+        return 1
+    if args.update:
+        copied = update_baselines(experiments, results_dir, baselines_dir)
+        print(f"updated baselines for: {', '.join(e.upper() for e in copied)}")
+        missing = sorted(set(experiments) - set(copied))
+        if missing:
+            print(f"no artifact yet for: {', '.join(e.upper() for e in missing)}")
+        return 0 if not missing else 1
+    if not args.check:
+        rows = []
+        for experiment in experiments:
+            name = f"BENCH_{experiment.upper()}.json"
+            rows.append(
+                {
+                    "experiment": experiment.upper(),
+                    "artifact": (results_dir / name).exists(),
+                    "baseline": (baselines_dir / name).exists(),
+                }
+            )
+        print(format_table(rows, title="benchmark artifacts"))
+        print("run `repro bench --check` to gate artifacts against baselines")
+        return 0
+    results = check_experiments(
+        experiments, results_dir, baselines_dir, tolerance=args.tolerance
+    )
+    for result in results:
+        print(result.summary())
+        for problem in result.problems:
+            print(f"  REGRESSION {problem}")
+    ok = all(r.ok for r in results)
+    print(f"\nbench gate: {'OK' if ok else 'FAILED'} (tolerance {args.tolerance:.0%})")
+    return 0 if ok else 1
+
+
 def cmd_experiments(args) -> int:
     rows = [
-        {"id": key.upper(), "claim": text,
-         "regenerate": f"pytest benchmarks/bench_{key}_*.py --benchmark-only -s"}
+        {
+            "id": key.upper(),
+            "claim": text,
+            "regenerate": f"pytest benchmarks/bench_{key}_*.py --benchmark-only -s",
+        }
         for key, text in EXPERIMENTS.items()
     ]
     print(format_table(rows, title="reproduction experiments (see EXPERIMENTS.md)"))
@@ -358,7 +480,10 @@ def cmd_experiments(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Bounded Polynomial Randomized Consensus (PODC 1989) — reproduction toolkit",
+        description=(
+            "Bounded Polynomial Randomized Consensus (PODC 1989) — "
+            "reproduction toolkit"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -458,7 +583,68 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", default="", metavar="PATH", help="also write a JSON report"
     )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaign + fuzz cells "
+        "(default serial; 0 = all CPUs; results identical at any count)",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep a protocol over n with replicated parallel runs"
+    )
+    sweep.add_argument("--protocol", choices=sorted(PROTOCOLS), default="ads")
+    sweep.add_argument(
+        "--n-values", default="2,3,4", help="comma-separated process counts"
+    )
+    sweep.add_argument("--reps", type=int, default=10, help="seeded runs per point")
+    sweep.add_argument("--seed-base", type=int, default=0)
+    sweep.add_argument(
+        "--scheduler",
+        choices=["random", "round-robin", "split", "lockstep"],
+        default="random",
+    )
+    sweep.add_argument("--metric", choices=["steps", "rounds"], default="steps")
+    sweep.add_argument("--max-steps", type=int, default=50_000_000)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default serial; 0 = all CPUs)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="tick run completion on stderr"
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="list/gate benchmark artifacts against baselines"
+    )
+    bench.add_argument(
+        "--check", action="store_true", help="fail on deviation from baselines"
+    )
+    bench.add_argument(
+        "--update", action="store_true", help="copy current artifacts to baselines"
+    )
+    bench.add_argument(
+        "--experiments",
+        default="",
+        metavar="E1,E6,...",
+        help="experiments to gate (default: every artifact present)",
+    )
+    bench.add_argument("--results-dir", default="benchmarks/results")
+    bench.add_argument("--baselines-dir", default="benchmarks/baselines")
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative deviation allowed per value (default 0.10)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     experiments = sub.add_parser("experiments", help="list E1-E12")
     experiments.set_defaults(func=cmd_experiments)

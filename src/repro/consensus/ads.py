@@ -51,7 +51,7 @@ from repro.snapshot.arrows import ArrowScannableMemory
 from repro.snapshot.interface import ScannableMemory
 from repro.snapshot.sequenced import SequencedScannableMemory
 from repro.strip.distance_graph import DistanceGraph
-from repro.strip.edge_counters import cycle_size, decode_graph, inc_counters
+from repro.strip.edge_counters import decode_graph, inc_counters
 
 
 @dataclass(frozen=True)

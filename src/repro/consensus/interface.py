@@ -87,12 +87,16 @@ class ConsensusProtocol(abc.ABC):
         """Resolve this protocol's instrument handles against ``sim.metrics``."""
         registry = sim.metrics
         self._metrics = registry
-        self._m_rounds = registry.counter("consensus.round_advances", protocol=self.name)
+        self._m_rounds = registry.counter(
+            "consensus.round_advances", protocol=self.name
+        )
         self._m_scans = registry.counter("consensus.scans", protocol=self.name)
         self._m_flips = registry.counter("consensus.coin_flips", protocol=self.name)
         self._m_decisions = registry.counter("consensus.decisions", protocol=self.name)
         self._m_leader_gap = registry.gauge("consensus.leader_gap", protocol=self.name)
-        self._m_edge_incs = registry.counter("strip.edge_increments", protocol=self.name)
+        self._m_edge_incs = registry.counter(
+            "strip.edge_increments", protocol=self.name
+        )
         self._m_coin_excursion = registry.gauge(
             "consensus.coin_excursion", protocol=self.name
         )

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.consensus.ads import AdsConsensus
 from repro.consensus.validation import validate_run
 from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.parallel import run_tasks
 from repro.registers.atomic import AtomicRegister
 from repro.registers.linearizability import HistoryOp, check_register_history
 from repro.runtime.scheduler import RoundRobinScheduler
@@ -286,15 +287,37 @@ def _consensus_cell(fault: str, seed: int, max_steps: int) -> CampaignCell:
     )
 
 
+def _campaign_cell(
+    spec: tuple[str, str | None], seed: int, consensus_max_steps: int
+) -> CampaignCell:
+    """Dispatch one (layer, fault) cell; self-contained and picklable."""
+    layer, fault = spec
+    if layer == "register":
+        return _register_cell(fault, seed)
+    if layer == "snapshot":
+        return _snapshot_cell(fault, seed)
+    assert layer == "consensus" and fault is not None
+    return _consensus_cell(fault, seed, consensus_max_steps)
+
+
 def run_mutation_campaign(
-    seed: int = 0, consensus_max_steps: int = 200_000
+    seed: int = 0,
+    consensus_max_steps: int = 200_000,
+    workers: int | None = None,
 ) -> CampaignReport:
-    """Run every mutation-test cell; deterministic for a given seed."""
-    report = CampaignReport(seed=seed)
-    report.cells.append(_register_cell(None, seed))
-    report.cells.append(_snapshot_cell(None, seed))
+    """Run every mutation-test cell; deterministic for a given seed.
+
+    Each cell seeds its own simulation, so with ``workers`` > 1 the cells
+    run concurrently and the report (cells in the canonical order) is
+    identical to the serial campaign.
+    """
+    specs: list[tuple[str, str | None]] = [("register", None), ("snapshot", None)]
     for kind in FAULT_KINDS:
-        report.cells.append(_register_cell(kind, seed))
-        report.cells.append(_snapshot_cell(kind, seed))
-        report.cells.append(_consensus_cell(kind, seed, consensus_max_steps))
+        specs.extend([("register", kind), ("snapshot", kind), ("consensus", kind)])
+    report = CampaignReport(seed=seed)
+    report.cells = run_tasks(
+        lambda spec: _campaign_cell(spec, seed, consensus_max_steps),
+        specs,
+        workers=workers,
+    )
     return report

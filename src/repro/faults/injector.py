@@ -36,7 +36,10 @@ class InjectionRecord:
     detail: str
 
     def __str__(self) -> str:
-        return f"[{self.step}] p{self.pid} {self.kind} on {self.register}: {self.detail}"
+        return (
+            f"[{self.step}] p{self.pid} {self.kind} on "
+            f"{self.register}: {self.detail}"
+        )
 
 
 class FaultInjector:
@@ -86,7 +89,9 @@ class FaultInjector:
             self._remaining -= 1
         return True
 
-    def _record(self, step: int, pid: int, register: str, kind: str, detail: str) -> None:
+    def _record(
+        self, step: int, pid: int, register: str, kind: str, detail: str
+    ) -> None:
         self.records.append(InjectionRecord(step, pid, register, kind, detail))
         self._counters[kind].inc()
 

@@ -142,4 +142,7 @@ class FaultPlan:
         rates = ", ".join(f"{k}={self.rate_of(k)}" for k in self.active_kinds())
         where = ",".join(self.targets) if self.targets else "*"
         budget = "" if self.max_injections is None else f", max={self.max_injections}"
-        return f"FaultPlan(seed={self.seed}, {rates or 'inactive'}, targets={where}{budget})"
+        return (
+            f"FaultPlan(seed={self.seed}, {rates or 'inactive'}, "
+            f"targets={where}{budget})"
+        )

@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    merge_snapshots,
     parse_key,
 )
 from repro.obs.export import (
@@ -47,6 +48,7 @@ __all__ = [
     "export_trace",
     "load_jsonl",
     "measure_overhead",
+    "merge_snapshots",
     "parse_key",
     "trace_to_chrome",
     "trace_to_jsonl",

@@ -187,22 +187,100 @@ class MetricsSnapshot:
             histograms=payload.get("histograms", {}),
         )
 
+    def relabel(self, **labels: Any) -> "MetricsSnapshot":
+        """A copy with extra labels appended to every instrument key.
+
+        The bridge across the process boundary: a worker returns its run's
+        snapshot, the parent relabels it (``task=3``, ``worker=...``) so
+        per-task series stay distinguishable after merging, then absorbs it
+        into its own registry (:meth:`MetricsRegistry.absorb`) or unions it
+        with its siblings (:func:`merge_snapshots`).
+        """
+
+        def rekey(key: str) -> str:
+            name, existing = parse_key(key)
+            merged = {**existing, **{k: str(v) for k, v in labels.items()}}
+            return _render_key(name, merged)
+
+        return MetricsSnapshot(
+            counters={rekey(k): v for k, v in self.counters.items()},
+            gauges={rekey(k): v for k, v in self.gauges.items()},
+            histograms={rekey(k): dict(v) for k, v in self.histograms.items()},
+        )
+
     def to_rows(self) -> list[dict[str, Any]]:
         """Table rows for the CLI / reporting layer (sorted, deterministic)."""
         rows: list[dict[str, Any]] = []
         for key in sorted(self.counters):
-            rows.append({"metric": key, "type": "counter",
-                         "value": self.counters[key]})
+            rows.append(
+                {"metric": key, "type": "counter", "value": self.counters[key]}
+            )
         for key in sorted(self.gauges):
-            rows.append({"metric": key, "type": "gauge",
-                         "value": self.gauges[key]})
+            rows.append({"metric": key, "type": "gauge", "value": self.gauges[key]})
         for key in sorted(self.histograms):
             s = self.histograms[key]
-            rows.append({"metric": key, "type": "histogram",
-                         "value": s["count"],
-                         "mean": round(s["mean"], 3), "p50": s["p50"],
-                         "p90": s["p90"], "max": s["max"]})
+            rows.append(
+                {
+                    "metric": key,
+                    "type": "histogram",
+                    "value": s["count"],
+                    "mean": round(s["mean"], 3),
+                    "p50": s["p50"],
+                    "p90": s["p90"],
+                    "max": s["max"],
+                }
+            )
         return rows
+
+
+def _merge_histogram_summaries(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> dict[str, float]:
+    """Combine two histogram summaries (count/sum/min/max exactly; mean is
+    derived; percentiles are count-weighted means, the best available
+    without the raw observations — exact when the inputs agree)."""
+    if not a.get("count"):
+        return dict(b)
+    if not b.get("count"):
+        return dict(a)
+    count = a["count"] + b["count"]
+    merged = {
+        "count": count,
+        "sum": a["sum"] + b["sum"],
+        "min": min(a["min"], b["min"]),
+        "max": max(a["max"], b["max"]),
+        "mean": (a["sum"] + b["sum"]) / count,
+    }
+    for q in ("p50", "p90", "p99"):
+        merged[q] = (a[q] * a["count"] + b[q] * b["count"]) / count
+    return merged
+
+
+def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
+    """Union snapshots into one; deterministic in the input order.
+
+    Keys that collide combine by instrument semantics: counters add,
+    gauges keep the maximum, histogram summaries merge count-weighted.
+    Workers' snapshots relabelled with distinct labels never collide, so
+    their series survive verbatim.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        for key, value in snap.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.gauges.items():
+            gauges[key] = max(gauges.get(key, value), value)
+        for key, summary in snap.histograms.items():
+            histograms[key] = _merge_histogram_summaries(
+                histograms.get(key, {}), summary
+            )
+    return MetricsSnapshot(
+        counters=dict(sorted(counters.items())),
+        gauges=dict(sorted(gauges.items())),
+        histograms=dict(sorted(histograms.items())),
+    )
 
 
 class MetricsRegistry:
@@ -218,6 +296,10 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Histogram *summaries* absorbed from worker snapshots: merged at
+        # the summary level (no raw observations cross the process
+        # boundary) and unioned into every snapshot() of this registry.
+        self._absorbed_histograms: dict[str, dict[str, float]] = {}
 
     # -- instrument factories ------------------------------------------------
 
@@ -266,6 +348,35 @@ class MetricsRegistry:
             if key == name or key.startswith(prefix)
         )
 
+    # -- cross-process merging -----------------------------------------------
+
+    def absorb(self, snapshot: MetricsSnapshot, **labels: Any) -> None:
+        """Merge a worker's snapshot into this registry, labelled.
+
+        Counters increment, gauges keep their maximum, and histogram
+        summaries merge count-weighted (see
+        :func:`_merge_histogram_summaries`).  The extra ``labels`` —
+        typically a deterministic task id, e.g. ``task=7`` — are appended
+        to every absorbed key so per-worker series stay distinguishable
+        and repeated absorption of distinct tasks never collides.
+        Deterministic: the merged state depends only on the snapshots and
+        labels, never on which OS process produced them or when.
+        """
+        if not self.enabled:
+            return
+        if labels:
+            snapshot = snapshot.relabel(**labels)
+        for key, value in snapshot.counters.items():
+            name, key_labels = parse_key(key)
+            self.counter(name, **key_labels).inc(value)
+        for key, value in snapshot.gauges.items():
+            name, key_labels = parse_key(key)
+            self.gauge(name, **key_labels).set_max(value)
+        for key, summary in snapshot.histograms.items():
+            self._absorbed_histograms[key] = _merge_histogram_summaries(
+                self._absorbed_histograms.get(key, {}), summary
+            )
+
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
@@ -273,13 +384,17 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._absorbed_histograms.clear()
 
     def snapshot(self) -> MetricsSnapshot:
         """Deterministic point-in-time view of every instrument."""
+        histograms = {k: h.summary() for k, h in self._histograms.items()}
+        for key, summary in self._absorbed_histograms.items():
+            histograms[key] = _merge_histogram_summaries(
+                histograms.get(key, {}), summary
+            )
         return MetricsSnapshot(
             counters={k: c.value for k, c in sorted(self._counters.items())},
             gauges={k: g.value for k, g in sorted(self._gauges.items())},
-            histograms={
-                k: h.summary() for k, h in sorted(self._histograms.items())
-            },
+            histograms=dict(sorted(histograms.items())),
         )

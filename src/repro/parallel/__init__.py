@@ -1,0 +1,22 @@
+"""Parallel execution of independent seeded simulation tasks.
+
+See :mod:`repro.parallel.engine` for the execution model and determinism
+guarantees, and ``docs/performance.md`` for the user-facing tour (which
+``--workers`` flags exist and what they promise).
+"""
+
+from repro.parallel.engine import (
+    ParallelExecutionError,
+    TaskError,
+    available_workers,
+    resolve_workers,
+    run_tasks,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "TaskError",
+    "available_workers",
+    "resolve_workers",
+    "run_tasks",
+]

@@ -1,0 +1,293 @@
+"""The process-pool execution engine behind every ``--workers`` flag.
+
+Every replicated workload in this repository — benchmark sweeps, the fuzz
+grid, the mutation campaign — is an embarrassingly parallel loop over
+independent *(params, seed)* simulation tasks: each task builds its own
+:class:`~repro.runtime.simulation.Simulation` with its own derived rng
+streams and never touches shared state.  :func:`run_tasks` fans such tasks
+out across worker processes and reassembles the results **in submission
+order**, so the merged output is bit-identical to the serial loop for any
+worker count:
+
+- per-task randomness is derived from the task itself (seed in, streams
+  out), never from execution order or worker identity;
+- results are keyed by task index during collection and reassembled into
+  submission order before returning (order-insensitive merge);
+- ``workers <= 1`` short-circuits to a plain in-process loop — the exact
+  code path the serial callers always used.
+
+Worker failures never hang the pool: an exception inside a task comes back
+as a structured :class:`TaskError` (worker pid, task params, seed, full
+traceback) and :func:`run_tasks` raises :class:`ParallelExecutionError`
+carrying every failure, after all surviving tasks finished.  A worker
+*process* dying outright (segfault, ``os._exit``) is surfaced the same way
+via the executor's broken-pool detection.
+
+The engine uses the ``fork`` start method so the task function — which may
+be a closure or lambda (protocol factories, scheduler tables) — is
+inherited by the workers instead of pickled.  Task inputs and results
+still cross the process boundary and must be picklable.  On platforms
+without ``fork`` the engine degrades to the serial path rather than
+failing (documented in ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "ParallelExecutionError",
+    "TaskError",
+    "available_workers",
+    "resolve_workers",
+    "run_tasks",
+]
+
+#: Environment variable consulted when ``workers=None`` (the library default
+#: everywhere) — lets a shell opt whole programs into parallelism without
+#: threading a flag through every call-site.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """One failed task, with everything needed to diagnose and replay it."""
+
+    index: int
+    params: str
+    seed: int | None
+    worker_pid: int
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return (
+            f"task #{self.index} ({self.params}){seed} "
+            f"[worker pid {self.worker_pid}]: {self.exc_type}: {self.message}"
+        )
+
+
+class ParallelExecutionError(RuntimeError):
+    """Raised when one or more tasks failed; carries every :class:`TaskError`."""
+
+    def __init__(self, errors: Sequence[TaskError]):
+        self.errors = sorted(errors, key=lambda e: e.index)
+        lines = [f"{len(self.errors)} of the submitted tasks failed:"]
+        for error in self.errors[:10]:
+            lines.append(f"  - {error}")
+        if len(self.errors) > 10:
+            lines.append(f"  ... and {len(self.errors) - 10} more")
+        first = self.errors[0] if self.errors else None
+        if first is not None and first.traceback:
+            lines.append("first failure's worker traceback:")
+            lines.append(first.traceback.rstrip())
+        super().__init__("\n".join(lines))
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may use (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` argument to a concrete positive count.
+
+    ``None`` reads :data:`WORKERS_ENV` (defaulting to 1, the serial path);
+    ``0`` means "all available CPUs"; any other value is used as given.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(raw) if raw else 1
+    if workers == 0:
+        return available_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _describe_task(task: Any) -> tuple[str, int | None]:
+    """Best-effort (params, seed) extraction for error reports."""
+    seed = getattr(task, "seed", None)
+    if seed is None and isinstance(task, tuple):
+        for item in reversed(task):
+            if isinstance(item, int) and not isinstance(item, bool):
+                seed = item
+                break
+    text = repr(task)
+    if len(text) > 200:
+        text = text[:197] + "..."
+    return text, seed if isinstance(seed, int) else None
+
+
+# The task function is installed into this module-level slot *before* the
+# pool forks, so workers inherit it through the forked address space and it
+# never needs to be picklable (closures and lambdas included).
+_WORKER_FN: Callable[[Any], Any] | None = None
+
+
+def _install_worker_fn(fn: Callable[[Any], Any]) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _run_chunk(chunk: list[tuple[int, Any]]) -> list[tuple[str, int, Any]]:
+    """Worker-side entry point: run a chunk, never raise.
+
+    Returns ``("ok", index, result)`` or ``("err", index, payload)`` triples
+    so one bad task cannot take down its chunk-mates or the pool.
+    """
+    out: list[tuple[str, int, Any]] = []
+    for index, task in chunk:
+        try:
+            assert _WORKER_FN is not None, "worker forked before fn install"
+            out.append(("ok", index, _WORKER_FN(task)))
+        except BaseException as exc:  # noqa: BLE001 - converted to data
+            params, seed = _describe_task(task)
+            out.append(
+                (
+                    "err",
+                    index,
+                    TaskError(
+                        index=index,
+                        params=params,
+                        seed=seed,
+                        worker_pid=os.getpid(),
+                        exc_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                    ),
+                )
+            )
+    return out
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    progress: Callable[[int, int], None] | None,
+) -> list[Any]:
+    results: list[Any] = []
+    errors: list[TaskError] = []
+    for index, task in enumerate(tasks):
+        try:
+            results.append(fn(task))
+        except Exception as exc:
+            params, seed = _describe_task(task)
+            errors.append(
+                TaskError(
+                    index=index,
+                    params=params,
+                    seed=seed,
+                    worker_pid=os.getpid(),
+                    exc_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                )
+            )
+            results.append(None)
+        if progress is not None:
+            progress(index + 1, len(tasks))
+    if errors:
+        raise ParallelExecutionError(errors)
+    return results
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    workers: int | None = None,
+    chunksize: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[Any]:
+    """Run ``fn`` over every task, possibly across processes; keep order.
+
+    Args:
+        fn: the task function.  May be any callable — closures included —
+            because workers inherit it via ``fork`` rather than pickling.
+        tasks: the task inputs.  Each must be picklable, as must ``fn``'s
+            return values.
+        workers: process count; see :func:`resolve_workers`.  ``<= 1`` (the
+            default) runs the plain serial loop in this process.
+        chunksize: tasks handed to a worker per dispatch; defaults to
+            ``ceil(len(tasks) / (4 * workers))`` to amortise IPC while
+            keeping the pool load-balanced.
+        progress: ``progress(done, total)`` invoked in the *parent* as
+            chunks complete (serially: after every task).
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — same values, same order, regardless of
+        worker count or completion order.
+
+    Raises:
+        ParallelExecutionError: if any task raised (or its worker died);
+            carries one :class:`TaskError` per failure.
+    """
+    tasks = list(tasks)
+    count = resolve_workers(workers)
+    if count <= 1 or len(tasks) <= 1 or not _fork_available():
+        return _run_serial(fn, tasks, progress)
+    count = min(count, len(tasks))
+    if chunksize is None:
+        chunksize = max(1, -(-len(tasks) // (4 * count)))
+    indexed = list(enumerate(tasks))
+    chunks = [
+        indexed[start : start + chunksize]
+        for start in range(0, len(tasks), chunksize)
+    ]
+    results: dict[int, Any] = {}
+    errors: list[TaskError] = []
+    done = 0
+    _install_worker_fn(fn)
+    context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(max_workers=count, mp_context=context) as pool:
+            pending = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        # The worker process died without reporting (e.g.
+                        # os._exit or a segfault): attribute the loss to
+                        # every task of the chunk it was holding.
+                        for index, task in chunk:
+                            params, seed = _describe_task(task)
+                            errors.append(
+                                TaskError(
+                                    index=index,
+                                    params=params,
+                                    seed=seed,
+                                    worker_pid=-1,
+                                    exc_type=type(exc).__name__,
+                                    message=str(exc) or "worker process died",
+                                )
+                            )
+                    else:
+                        for status, index, payload in future.result():
+                            if status == "ok":
+                                results[index] = payload
+                            else:
+                                errors.append(payload)
+                    done += len(chunk)
+                    if progress is not None:
+                        progress(done, len(tasks))
+    finally:
+        _install_worker_fn(None)  # type: ignore[arg-type]
+    if errors:
+        raise ParallelExecutionError(errors)
+    return [results[index] for index in range(len(tasks))]

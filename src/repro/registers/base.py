@@ -82,5 +82,7 @@ class MemoryAudit:
         )
         merged.per_target = dict(self.per_target)
         for target, magnitude in other.per_target.items():
-            merged.per_target[target] = max(merged.per_target.get(target, -1), magnitude)
+            merged.per_target[target] = max(
+                merged.per_target.get(target, -1), magnitude
+            )
         return merged

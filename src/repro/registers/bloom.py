@@ -64,10 +64,18 @@ class TwoWriterRegister:
         self.initial = initial
         # Initial tags differ, so the initial value is attributed to writer 1.
         self.cell0 = AtomicRegister(
-            sim, f"{name}.cell0", initial=(initial, 0, 0), writers=[writer0], audit=audit
+            sim,
+            f"{name}.cell0",
+            initial=(initial, 0, 0),
+            writers=[writer0],
+            audit=audit,
         )
         self.cell1 = AtomicRegister(
-            sim, f"{name}.cell1", initial=(initial, 1, 0), writers=[writer1], audit=audit
+            sim,
+            f"{name}.cell1",
+            initial=(initial, 1, 0),
+            writers=[writer1],
+            audit=audit,
         )
         self._toggle = {writer0: 0, writer1: 0}
         sim.register_shared(name, self)

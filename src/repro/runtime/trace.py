@@ -89,7 +89,9 @@ class Trace:
                 "(no events: event recording is off — construct the "
                 "Simulation with record_events=True)"
             )
-        selected: Iterable[OpEvent] = self.events if limit is None else self.events[:limit]
+        selected: Iterable[OpEvent] = (
+            self.events if limit is None else self.events[:limit]
+        )
         return "\n".join(str(e) for e in selected)
 
     def __len__(self) -> int:

@@ -103,7 +103,9 @@ class ArrowScannableMemory(ScannableMemory):
         self._retries = sim.metrics.counter("snapshot.scan_retries", object=name)
         self._arrow_toggles = sim.metrics.counter("snapshot.arrow_toggles", object=name)
         self._writes = sim.metrics.counter("snapshot.writes", object=name)
-        self._value_magnitude = sim.metrics.gauge("memory.max_magnitude", register=f"{name}.V")
+        self._value_magnitude = sim.metrics.gauge(
+            "memory.max_magnitude", register=f"{name}.V"
+        )
         self.V = RegisterArray(sim, f"{name}.V", n, initial=(initial, 0, 0))
         self.A: list[list[Any]] = [[None] * n for _ in range(n)]
         for i in range(n):

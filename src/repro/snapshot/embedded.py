@@ -71,8 +71,9 @@ class EmbeddedScanSnapshot(ScannableMemory):
             view=(initial,) * n,
             view_wseqs=(0,) * n,
         )
-        self.cells = RegisterArray(sim, f"{name}.V", n, initial=initial_cell,
-                                   audit=audit)
+        self.cells = RegisterArray(
+            sim, f"{name}.V", n, initial=initial_cell, audit=audit
+        )
         sim.register_shared(name, self)
 
     # -- internals -------------------------------------------------------------

@@ -50,7 +50,12 @@ class PropertyViolation:
 
 
 _INITIAL = OpSpan(
-    span_id=-1, pid=-1, kind="write", target="<initial>", invoke_step=-1, response_step=-1
+    span_id=-1,
+    pid=-1,
+    kind="write",
+    target="<initial>",
+    invoke_step=-1,
+    response_step=-1,
 )
 
 
@@ -136,7 +141,9 @@ def check_p2_snapshot(trace: Trace, name: str, n: int) -> list[PropertyViolation
     return violations
 
 
-def check_p3_serializability(trace: Trace, name: str, n: int) -> list[PropertyViolation]:
+def check_p3_serializability(
+    trace: Trace, name: str, n: int
+) -> list[PropertyViolation]:
     """All views are slot-wise comparable (scans serialize)."""
     violations = []
     scans = _scans(trace, name)

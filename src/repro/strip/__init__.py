@@ -29,7 +29,12 @@ from repro.strip.invariants import (
     check_graph_invariants,
     graphs_equal,
 )
-from repro.strip.shrink import ShrunkenTokenGame, normalize_k, shrink_k, shrink_normalize
+from repro.strip.shrink import (
+    ShrunkenTokenGame,
+    normalize_k,
+    shrink_k,
+    shrink_normalize,
+)
 from repro.strip.token_game import TokenGame
 
 __all__ = [

@@ -127,7 +127,9 @@ class DistanceGraph:
             if all(self.has_edge(i, j) for j in range(self.n) if j != i)
         ]
 
-    def edge_on_max_path_to(self, j: int, i: int, dists_to_i: list[float] | None = None) -> bool:
+    def edge_on_max_path_to(
+        self, j: int, i: int, dists_to_i: list[float] | None = None
+    ) -> bool:
         """Is edge ``(j, i)`` on some maximum-weight path ``k → i``?
 
         Edge ``(j, i)`` lies on a maximum path ``k → i`` iff
@@ -188,7 +190,9 @@ class DistanceGraph:
 
     def as_weight_matrix(self) -> list[list[float]]:
         """n×n matrix of edge weights (``None`` for absent edges)."""
-        matrix: list[list[float]] = [[None] * self.n for _ in range(self.n)]  # type: ignore[list-item]
+        matrix: list[list[float]] = [
+            [None] * self.n for _ in range(self.n)  # type: ignore[list-item]
+        ]
         for (i, j), w in self.weights.items():
             matrix[i][j] = w
         return matrix

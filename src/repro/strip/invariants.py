@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import permutations
 from typing import Sequence
 
 from repro.strip.distance_graph import DistanceGraph
@@ -134,7 +133,9 @@ def _check_property_4(graph: DistanceGraph) -> list[InvariantViolation]:
     return violations
 
 
-def check_property_5(graph: DistanceGraph, positions: Sequence[int]) -> list[InvariantViolation]:
+def check_property_5(
+    graph: DistanceGraph, positions: Sequence[int]
+) -> list[InvariantViolation]:
     """Property 5: ``dist(i, j) = r_i - r_j`` whenever a path exists."""
     violations = []
     for i in range(graph.n):

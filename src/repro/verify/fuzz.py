@@ -27,6 +27,7 @@ from repro.consensus.ads import pref_reader
 from repro.consensus.interface import ConsensusRun
 from repro.consensus.validation import validate_run
 from repro.faults.plan import FaultPlan
+from repro.parallel import run_tasks
 from repro.runtime.adversary import LockstepAdversary, SplitAdversary
 from repro.runtime.rng import derive_rng
 from repro.runtime.scheduler import (
@@ -105,10 +106,132 @@ class FuzzReport:
             )
         if self.degraded_runs:
             extras += f", {self.degraded_runs} degraded"
+        per_sched = ", ".join(
+            f"{k}: {v}" for k, v in sorted(self.by_scheduler.items())
+        )
         return (
-            f"{self.runs} runs ({', '.join(f'{k}: {v}' for k, v in sorted(self.by_scheduler.items()))}), "
+            f"{self.runs} runs ({per_sched}), "
             f"{self.steps_total} total steps{extras}: {status}"
         )
+
+
+@dataclass
+class _CellOutcome:
+    """Everything one (n, scheduler) grid cell contributes to the report.
+
+    Picklable on purpose: parallel campaigns run each cell in a worker
+    process and merge these in grid order, which keeps the final report
+    bit-identical to the serial nested loop.
+    """
+
+    n: int
+    scheduler: str
+    runs: int = 0
+    steps_total: int = 0
+    recovery_runs: int = 0
+    degraded_runs: int = 0
+    fault_runs: int = 0
+    fault_injections: int = 0
+    fault_detections: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    stopped: bool = False
+
+
+def _run_cell(
+    spec: tuple[int, str],
+    protocol_factory: Callable[[], Any],
+    schedulers: dict[str, Callable[[int], Any]],
+    runs_per_cell: int,
+    crash_probability: float,
+    recovery_probability: float,
+    fault_probability: float,
+    fault_plan_factory: Callable[[Any], FaultPlan] | None,
+    fault_max_steps: int,
+    max_steps: int,
+    master_seed: int,
+    extra_check: Callable[[ConsensusRun], list[str]] | None,
+    stop_on_first_failure: bool,
+) -> _CellOutcome:
+    """Run every repetition of one grid cell; all rng derives from the cell
+    identity, so the outcome is independent of where or when it runs."""
+    n, scheduler_name = spec
+    scheduler_factory = schedulers[scheduler_name]
+    cell = _CellOutcome(n=n, scheduler=scheduler_name)
+    for rep in range(runs_per_cell):
+        rng = derive_rng(master_seed, "fuzz", n, scheduler_name, rep)
+        seed = rng.randrange(2**31)
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        crashes = (
+            CrashPlan.random(n, rng, horizon=500)
+            if rng.random() < crash_probability
+            else CrashPlan()
+        )
+        protocol = protocol_factory()
+        recoveries = RecoveryPlan()
+        if (
+            protocol.supports_recovery
+            and crashes.crash_at
+            and rng.random() < recovery_probability
+        ):
+            recoveries = RecoveryPlan.random(crashes, rng, probability=1.0)
+        faults = None
+        if rng.random() < fault_probability:
+            faults = (
+                fault_plan_factory(rng)
+                if fault_plan_factory is not None
+                else FaultPlan.random(rng, targets=("mem.",))
+            )
+        run = protocol.run(
+            inputs,
+            scheduler=scheduler_factory(seed),
+            seed=seed,
+            crash_plan=crashes,
+            recovery_plan=recoveries if recoveries.restart_at else None,
+            fault_plan=faults,
+            max_steps=fault_max_steps if faults is not None else max_steps,
+            raise_on_budget=False,
+        )
+        cell.runs += 1
+        cell.steps_total += run.total_steps
+        if recoveries.restart_at:
+            cell.recovery_runs += 1
+        if run.outcome.degraded:
+            cell.degraded_runs += 1
+        problems = list(validate_run(run).problems)
+        if extra_check is not None:
+            problems.extend(extra_check(run))
+        if faults is not None:
+            # Faulty cell: detections are the *point*, not failures.
+            cell.fault_runs += 1
+            injected = (
+                run.outcome.metrics.counter_total("faults.injected")
+                if run.outcome.metrics
+                else 0
+            )
+            cell.fault_injections += injected
+            if problems or run.outcome.degraded:
+                cell.fault_detections += 1
+            continue
+        if run.outcome.degraded:
+            problems.append(f"degraded: {run.outcome.failure_reason}")
+        if problems:
+            cell.failures.append(
+                FuzzFailure(
+                    protocol=run.protocol,
+                    n=n,
+                    scheduler=scheduler_name,
+                    seed=seed,
+                    inputs=tuple(inputs),
+                    crashes=dict(crashes.crash_at),
+                    problems=problems,
+                    recoveries=dict(recoveries.restart_at),
+                    degraded=run.outcome.degraded,
+                )
+            )
+            if stop_on_first_failure:
+                cell.stopped = True
+                return cell
+    return cell
 
 
 def fuzz_consensus(
@@ -126,6 +249,8 @@ def fuzz_consensus(
     master_seed: int = 0,
     extra_check: Callable[[ConsensusRun], list[str]] | None = None,
     stop_on_first_failure: bool = False,
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> FuzzReport:
     """Run a randomized safety campaign; every run is validated.
 
@@ -156,85 +281,65 @@ def fuzz_consensus(
     Budget-exhausted runs never raise: they come back as degraded outcomes
     and are reported as failures (with ``degraded=True``) on fault-free
     runs, so one livelocked schedule cannot abort a whole campaign.
+
+    ``workers`` > 1 runs the grid cells concurrently (one worker task per
+    (n, scheduler) cell); every run's randomness derives from the cell
+    identity, and cell outcomes merge in grid order, so the report —
+    detection holes included — is identical to the serial campaign.
+    ``stop_on_first_failure`` needs the serial scan order to mean
+    anything, so it forces the serial path.  ``progress(done, total)``
+    ticks as cells complete.
     """
-    schedulers = dict(schedulers) if schedulers is not None else dict(DEFAULT_SCHEDULERS)
+    schedulers = (
+        dict(schedulers) if schedulers is not None else dict(DEFAULT_SCHEDULERS)
+    )
     report = FuzzReport()
-    for n in n_values:
-        for scheduler_name, scheduler_factory in schedulers.items():
-            for rep in range(runs_per_cell):
-                rng = derive_rng(master_seed, "fuzz", n, scheduler_name, rep)
-                seed = rng.randrange(2**31)
-                inputs = [rng.randint(0, 1) for _ in range(n)]
-                crashes = (
-                    CrashPlan.random(n, rng, horizon=500)
-                    if rng.random() < crash_probability
-                    else CrashPlan()
-                )
-                protocol = protocol_factory()
-                recoveries = RecoveryPlan()
-                if (
-                    protocol.supports_recovery
-                    and crashes.crash_at
-                    and rng.random() < recovery_probability
-                ):
-                    recoveries = RecoveryPlan.random(crashes, rng, probability=1.0)
-                faults = None
-                if rng.random() < fault_probability:
-                    faults = (
-                        fault_plan_factory(rng)
-                        if fault_plan_factory is not None
-                        else FaultPlan.random(rng, targets=("mem.",))
-                    )
-                run = protocol.run(
-                    inputs,
-                    scheduler=scheduler_factory(seed),
-                    seed=seed,
-                    crash_plan=crashes,
-                    recovery_plan=recoveries if recoveries.restart_at else None,
-                    fault_plan=faults,
-                    max_steps=fault_max_steps if faults is not None else max_steps,
-                    raise_on_budget=False,
-                )
-                report.runs += 1
-                report.steps_total += run.total_steps
-                report.by_scheduler[scheduler_name] = (
-                    report.by_scheduler.get(scheduler_name, 0) + 1
-                )
-                if recoveries.restart_at:
-                    report.recovery_runs += 1
-                if run.outcome.degraded:
-                    report.degraded_runs += 1
-                problems = list(validate_run(run).problems)
-                if extra_check is not None:
-                    problems.extend(extra_check(run))
-                if faults is not None:
-                    # Faulty cell: detections are the *point*, not failures.
-                    report.fault_runs += 1
-                    injected = run.outcome.metrics.counter_total("faults.injected") if run.outcome.metrics else 0
-                    report.fault_injections += injected
-                    if problems or run.outcome.degraded:
-                        report.fault_detections += 1
-                    continue
-                if run.outcome.degraded:
-                    problems.append(
-                        f"degraded: {run.outcome.failure_reason}"
-                    )
-                if problems:
-                    report.failures.append(
-                        FuzzFailure(
-                            protocol=run.protocol,
-                            n=n,
-                            scheduler=scheduler_name,
-                            seed=seed,
-                            inputs=tuple(inputs),
-                            crashes=dict(crashes.crash_at),
-                            problems=problems,
-                            recoveries=dict(recoveries.restart_at),
-                            degraded=run.outcome.degraded,
-                        )
-                    )
-                    if stop_on_first_failure:
-                        return report
+    specs = [(n, name) for n in n_values for name in schedulers]
+
+    def run_cell(spec: tuple[int, str]) -> _CellOutcome:
+        return _run_cell(
+            spec,
+            protocol_factory,
+            schedulers,
+            runs_per_cell,
+            crash_probability,
+            recovery_probability,
+            fault_probability,
+            fault_plan_factory,
+            fault_max_steps,
+            max_steps,
+            master_seed,
+            extra_check,
+            stop_on_first_failure,
+        )
+
+    if stop_on_first_failure:
+        cells = []
+        for done, spec in enumerate(specs):
+            cell = run_cell(spec)
+            cells.append(cell)
+            if progress is not None:
+                progress(done + 1, len(specs))
+            if cell.stopped:
+                break
+    else:
+        cells = run_tasks(run_cell, specs, workers=workers, progress=progress)
+
+    for cell in cells:
+        report.runs += cell.runs
+        report.steps_total += cell.steps_total
+        if cell.runs:
+            report.by_scheduler[cell.scheduler] = (
+                report.by_scheduler.get(cell.scheduler, 0) + cell.runs
+            )
+        report.recovery_runs += cell.recovery_runs
+        report.degraded_runs += cell.degraded_runs
+        report.fault_runs += cell.fault_runs
+        report.fault_injections += cell.fault_injections
+        report.fault_detections += cell.fault_detections
+        report.failures.extend(cell.failures)
+        if cell.stopped:
+            return report
     if (
         expect_fault_detection
         and report.fault_injections > 0

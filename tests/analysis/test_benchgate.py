@@ -1,0 +1,117 @@
+"""Tests for the benchmark regression gate (repro.analysis.benchgate)."""
+
+import json
+
+from repro.analysis.benchgate import (
+    check_experiment,
+    check_experiments,
+    compare_payloads,
+    is_timing_key,
+    update_baselines,
+)
+
+
+def _payload(value, title="T"):
+    return {
+        "experiment": "e0",
+        "tables": [{"title": title, "rows": [{"n": 3, "steps": value}]}],
+    }
+
+
+def test_identical_payloads_pass():
+    result = compare_payloads("e0", _payload(100), _payload(100))
+    assert result.ok
+    assert result.compared >= 2  # n and steps
+
+
+def test_drift_within_tolerance_passes():
+    result = compare_payloads("e0", _payload(100), _payload(105), tolerance=0.10)
+    assert result.ok
+
+
+def test_regression_beyond_tolerance_fails():
+    result = compare_payloads("e0", _payload(100), _payload(150), tolerance=0.10)
+    assert not result.ok
+    assert "steps" in result.problems[0]
+    assert "deviates" in result.problems[0]
+
+
+def test_timing_keys_are_never_compared():
+    for key in ("wall_seconds", "speedup", "workers", "cpus_available", "elapsed"):
+        assert is_timing_key(key)
+    assert not is_timing_key("steps")
+    baseline = _payload(100)
+    measured = _payload(100)
+    baseline["tables"][0]["rows"][0]["wall_seconds"] = 1.0
+    measured["tables"][0]["rows"][0]["wall_seconds"] = 99.0
+    assert compare_payloads("e0", baseline, measured).ok
+
+
+def test_timings_section_is_skipped_entirely():
+    baseline = _payload(100)
+    measured = _payload(100)
+    measured["timings"] = {"total": {"wall_seconds": 5.0, "workers": 4}}
+    assert compare_payloads("e0", baseline, measured).ok
+
+
+def test_bools_compare_exactly_not_numerically():
+    # False/True differ by 1.0 relative drift, but more importantly they
+    # must never be softened by the numeric tolerance band.
+    result = compare_payloads(
+        "e0", _payload(True), _payload(False), tolerance=10.0
+    )
+    assert not result.ok
+
+
+def test_missing_and_extra_tables_reported_once_each():
+    baseline = _payload(1, title="old")
+    measured = _payload(1, title="new")
+    result = compare_payloads("e0", baseline, measured)
+    assert len(result.problems) == 2
+    assert any("missing from artifact" in p for p in result.problems)
+    assert any("not in baseline" in p for p in result.problems)
+
+
+def test_row_count_change_is_one_problem():
+    baseline = _payload(1)
+    measured = _payload(1)
+    measured["tables"][0]["rows"].append({"n": 4, "steps": 2})
+    result = compare_payloads("e0", baseline, measured)
+    assert len(result.problems) == 1
+    assert "entries" in result.problems[0]
+
+
+def test_metrics_extras_are_gated_too():
+    baseline = _payload(1)
+    measured = _payload(1)
+    baseline["metrics"] = {"m": {"counters": {"sim.steps": 100}}}
+    measured["metrics"] = {"m": {"counters": {"sim.steps": 500}}}
+    assert not compare_payloads("e0", baseline, measured).ok
+
+
+def test_check_experiment_missing_baseline_hints_update(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_E0.json").write_text(json.dumps(_payload(1)))
+    result = check_experiment("e0", results, tmp_path / "baselines")
+    assert not result.ok
+    assert "repro bench --update" in result.problems[0]
+
+
+def test_check_experiment_missing_artifact_hints_run(tmp_path):
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    (baselines / "BENCH_E0.json").write_text(json.dumps(_payload(1)))
+    result = check_experiment("e0", tmp_path / "results", baselines)
+    assert not result.ok
+    assert "run the benchmark" in result.problems[0]
+
+
+def test_update_then_check_round_trip(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_E0.json").write_text(json.dumps(_payload(42)))
+    copied = update_baselines(["e0"], results, tmp_path / "baselines")
+    assert copied == ["e0"]
+    gates = check_experiments(["e0"], results, tmp_path / "baselines")
+    assert all(g.ok for g in gates)

@@ -1,6 +1,5 @@
 """Tests for the random-walk theory helpers (Lemmas 3.1-3.4 shapes)."""
 
-import math
 import random
 
 import pytest

@@ -2,8 +2,6 @@
 
 import statistics
 
-import pytest
-
 from repro.coin import (
     BoundedWalkSharedCoin,
     HEADS,
@@ -11,7 +9,12 @@ from repro.coin import (
     WalkSharedCoin,
     coin_flipper_program,
 )
-from repro.runtime import RandomScheduler, RoundRobinScheduler, Simulation, WalkBalancingAdversary
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Simulation,
+    WalkBalancingAdversary,
+)
 
 
 def _run_coin(coin_cls, n=3, b=2, seed=0, scheduler=None, **kwargs):

@@ -5,7 +5,7 @@ import pytest
 from repro.consensus import AdsConsensus, validate_run
 from repro.consensus.ads import AdsCell
 from repro.consensus.interface import BOTTOM
-from repro.runtime import RandomScheduler, RoundRobinScheduler
+from repro.runtime import RoundRobinScheduler
 from repro.strip import decode_graph
 
 

@@ -127,6 +127,7 @@ def test_bounded_local_coin_safe_on_random_schedules():
     from repro.consensus import BoundedLocalCoinConsensus
 
     for seed in range(6):
-        run = BoundedLocalCoinConsensus().run([0, 1, 0, 1], seed=seed,
-                                              max_steps=100_000_000)
+        run = BoundedLocalCoinConsensus().run(
+            [0, 1, 0, 1], seed=seed, max_steps=100_000_000
+        )
         assert validate_run(run).ok

@@ -93,8 +93,7 @@ def test_ads_extreme_m_one():
     # m = 1: counters overflow almost immediately; overflow => heads keeps
     # the protocol safe (agreement may simply take more rounds).
     for seed in range(6):
-        run = AdsConsensus(m_bound=1).run([0, 1, 0], seed=seed,
-                                          max_steps=50_000_000)
+        run = AdsConsensus(m_bound=1).run([0, 1, 0], seed=seed, max_steps=50_000_000)
         assert validate_run(run).ok
 
 

@@ -13,18 +13,27 @@ from repro.consensus import (
     AspnesHerlihyConsensus,
     AtomicCoinConsensus,
     LocalCoinConsensus,
-    validate_run,
 )
 from repro.consensus.ads import pref_reader
 from repro.consensus.validation import assert_safe
-from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler, SplitAdversary
+from repro.runtime import (
+    CrashPlan,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SplitAdversary,
+)
 from repro.runtime.adversary import LockstepAdversary
 from repro.runtime.rng import derive_rng
 from repro.runtime.scheduler import Scheduler
 from repro.strip import check_graph_invariants, decode_graph
 from repro.strip.edge_counters import IllFormedCounters
 
-PROTOCOLS = [AdsConsensus, AspnesHerlihyConsensus, LocalCoinConsensus, AtomicCoinConsensus]
+PROTOCOLS = [
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    LocalCoinConsensus,
+    AtomicCoinConsensus,
+]
 
 
 @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
@@ -55,8 +64,9 @@ def test_ads_survives_all_but_one_crashing_immediately():
 
 def test_ads_survives_mid_flight_crashes():
     plan = CrashPlan({0: 50, 2: 120})
-    run = AdsConsensus().run([1, 0, 1, 0], seed=4, crash_plan=plan,
-                             max_steps=30_000_000)
+    run = AdsConsensus().run(
+        [1, 0, 1, 0], seed=4, crash_plan=plan, max_steps=30_000_000
+    )
     assert_safe(run)
 
 
@@ -170,6 +180,5 @@ def test_round_robin_all_protocols():
 
 
 def test_larger_population():
-    run = AdsConsensus().run([p % 2 for p in range(8)], seed=1,
-                             max_steps=50_000_000)
+    run = AdsConsensus().run([p % 2 for p in range(8)], seed=1, max_steps=50_000_000)
     assert_safe(run)

@@ -13,7 +13,9 @@ from repro.consensus.validation import assert_safe
 from repro.runtime import CrashPlan, RandomScheduler, RoundRobinScheduler
 from repro.runtime.adversary import LockstepAdversary
 
-inputs_strategy = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=6)
+inputs_strategy = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=6
+)
 seed_strategy = st.integers(min_value=0, max_value=10_000)
 
 

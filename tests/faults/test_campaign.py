@@ -40,10 +40,16 @@ def test_campaign_is_deterministic_per_seed():
 def test_cell_ok_semantics():
     assert CampaignCell("none", "register", "lin", detected=False, expected=False).ok
     assert not CampaignCell("none", "register", "lin", detected=True, expected=False).ok
-    assert CampaignCell("lost_write", "register", "lin", detected=True, expected=True).ok
-    assert not CampaignCell("lost_write", "register", "lin", detected=False, expected=True).ok
+    assert CampaignCell(
+        "lost_write", "register", "lin", detected=True, expected=True
+    ).ok
+    assert not CampaignCell(
+        "lost_write", "register", "lin", detected=False, expected=True
+    ).ok
     # Observational cells are ok either way.
-    assert CampaignCell("corrupt_write", "consensus", "v", detected=False, expected=False).ok
+    assert CampaignCell(
+        "corrupt_write", "consensus", "v", detected=False, expected=False
+    ).ok
 
 
 def test_json_report_round_trips_the_essentials():

@@ -100,16 +100,21 @@ def test_metrics_count_injections_per_kind():
 def test_fault_plan_replay_is_deterministic():
     """Two identical runs inject byte-identical faults and leave identical
     traces — a failing fault campaign is always replayable."""
-    plan = FaultPlan(seed=5, stale_read_rate=0.4, corrupt_write_rate=0.3,
-                     targets=("r",))
+    plan = FaultPlan(
+        seed=5, stale_read_rate=0.4, corrupt_write_rate=0.3, targets=("r",)
+    )
 
     def execute():
         sim, reg, seen = _write_read_scenario(plan, seed=11)
         return (
-            [(r.step, r.pid, r.register, r.kind, r.detail)
-             for r in sim.faults.records],
-            [(e.step, e.pid, e.kind, e.target, repr(e.value))
-             for e in sim.trace.events],
+            [
+                (r.step, r.pid, r.register, r.kind, r.detail)
+                for r in sim.faults.records
+            ],
+            [
+                (e.step, e.pid, e.kind, e.target, repr(e.value))
+                for e in sim.trace.events
+            ],
             seen,
             reg.peek(),
         )

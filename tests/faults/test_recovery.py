@@ -107,8 +107,9 @@ def test_restart_revives_a_fully_crashed_simulation():
 
 def test_restarted_incarnation_draws_a_fresh_rng_stream():
     draws = []
-    sim = Simulation(1, seed=0, crash_plan=CrashPlan({0: 1}),
-                     recovery_plan=RecoveryPlan({0: 1}))
+    sim = Simulation(
+        1, seed=0, crash_plan=CrashPlan({0: 1}), recovery_plan=RecoveryPlan({0: 1})
+    )
     reg = AtomicRegister(sim, "r", 0)
 
     def program(ctx):

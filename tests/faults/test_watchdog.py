@@ -45,10 +45,13 @@ def test_livelock_alert_fires_when_progress_counters_freeze():
 def test_halt_on_stops_the_run_early_with_a_degraded_outcome():
     sim = Simulation(2, RoundRobinScheduler(), seed=0)
     sim.spawn_all(_looping_setup(sim, iterations=10**9))
-    watchdog = Watchdog(starvation_window=10**9, progress_window=300,
-                        check_every=10, halt_on=("livelock",))
-    outcome = sim.run(max_steps=1_000_000, raise_on_budget=False,
-                      watchdog=watchdog)
+    watchdog = Watchdog(
+        starvation_window=10**9,
+        progress_window=300,
+        check_every=10,
+        halt_on=("livelock",),
+    )
+    outcome = sim.run(max_steps=1_000_000, raise_on_budget=False, watchdog=watchdog)
     assert outcome.degraded
     assert outcome.total_steps < 1_000_000
     assert "watchdog halt" in outcome.failure_reason
@@ -71,7 +74,6 @@ def test_reset_clears_state_between_runs():
     for _ in range(2):
         sim = Simulation(2, RoundRobinScheduler(), seed=0)
         sim.spawn_all(_looping_setup(sim, iterations=10**9))
-        outcome = sim.run(max_steps=2_000, raise_on_budget=False,
-                          watchdog=watchdog)
+        outcome = sim.run(max_steps=2_000, raise_on_budget=False, watchdog=watchdog)
         # Without the reset in run(), the second run would never re-fire.
         assert [a.kind for a in outcome.alerts] == ["livelock"]

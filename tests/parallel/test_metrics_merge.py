@@ -1,0 +1,95 @@
+"""Metrics across the process boundary: relabel, merge, absorb.
+
+Workers return serialized :class:`MetricsSnapshot` payloads; the parent
+relabels them with deterministic task ids and merges them into its own
+registry.  The merged state must depend only on the snapshots and labels —
+never on which OS process produced them or in what order they arrived.
+"""
+
+import json
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, merge_snapshots
+
+
+def _worker_snapshot(task: int) -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    registry.counter("sim.steps", protocol="ads").inc(10 * (task + 1))
+    registry.gauge("memory.max_magnitude").set(float(task))
+    hist = registry.histogram("coin.flips")
+    for v in range(task + 2):
+        hist.observe(float(v))
+    return registry.snapshot()
+
+
+def test_relabel_appends_labels_to_every_key():
+    snap = _worker_snapshot(0)
+    labelled = snap.relabel(task=3)
+    assert "sim.steps{protocol=ads,task=3}" in labelled.counters
+    assert all("task=" in key for key in labelled.counters)
+    assert all("task=" in key for key in labelled.gauges)
+    assert all("task=" in key for key in labelled.histograms)
+    # Totals are unchanged by relabelling.
+    assert labelled.counter_total("sim.steps") == snap.counter_total("sim.steps")
+
+
+def test_snapshot_round_trips_through_json():
+    snap = _worker_snapshot(2)
+    clone = MetricsSnapshot.from_json(snap.to_json())
+    assert clone == snap
+
+
+def test_merge_snapshots_adds_counters_and_maxes_gauges():
+    merged = merge_snapshots([_worker_snapshot(0), _worker_snapshot(1)])
+    assert merged.counter_total("sim.steps") == 10 + 20
+    assert merged.gauge_max("memory.max_magnitude") == 1.0
+    summary = merged.histograms["coin.flips"]
+    assert summary["count"] == 2 + 3  # count-weighted union
+    assert summary["max"] == 2.0
+
+
+def test_absorb_keeps_per_task_series_distinguishable():
+    parent = MetricsRegistry()
+    parent.absorb(_worker_snapshot(0), task=0)
+    parent.absorb(_worker_snapshot(1), task=1)
+    snap = parent.snapshot()
+    assert snap.counters["sim.steps{protocol=ads,task=0}"] == 10
+    assert snap.counters["sim.steps{protocol=ads,task=1}"] == 20
+    assert snap.counter_total("sim.steps") == 30
+    assert snap.gauge_max("memory.max_magnitude") == 1.0
+
+
+def test_absorb_is_order_insensitive():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    snapshots = [(i, _worker_snapshot(i)) for i in range(4)]
+    for i, snap in snapshots:
+        a.absorb(snap, task=i)
+    for i, snap in reversed(snapshots):
+        b.absorb(snap, task=i)
+    assert a.snapshot().to_json() == b.snapshot().to_json()
+
+
+def test_absorb_merges_histogram_summaries():
+    parent = MetricsRegistry()
+    parent.absorb(_worker_snapshot(0))  # no labels: same-key merge
+    parent.absorb(_worker_snapshot(0))
+    summary = parent.snapshot().histograms["coin.flips"]
+    assert summary["count"] == 4
+    assert summary["sum"] == 2.0
+    assert summary["min"] == 0.0
+    assert summary["max"] == 1.0
+    assert summary["mean"] == 0.5
+
+
+def test_absorbed_state_survives_into_artifact_payload():
+    parent = MetricsRegistry()
+    parent.absorb(_worker_snapshot(1), task=0)
+    payload = json.loads(parent.snapshot().to_json())
+    assert any("task=" in key for key in payload["counters"])
+
+
+def test_reset_clears_absorbed_histograms():
+    parent = MetricsRegistry()
+    parent.absorb(_worker_snapshot(1))
+    parent.reset()
+    assert parent.snapshot().histograms == {}

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.registers import AtomicRegister, MemoryAudit, RegisterArray, measure_magnitude
+from repro.registers import (
+    AtomicRegister,
+    MemoryAudit,
+    RegisterArray,
+    measure_magnitude,
+)
 from repro.registers.base import measure_width
 from repro.runtime import RoundRobinScheduler, Simulation
 

@@ -77,7 +77,8 @@ def test_context_rngs_differ_across_pids_and_seeds():
     assert draws_a0 != draws_a1
     assert draws_a0 != draws_b0
     # Same seed+pid reproduces.
-    assert sim_a.context(0).rng.random() == Simulation(2, seed=1).context(0).rng.random()
+    fresh = Simulation(2, seed=1)
+    assert sim_a.context(0).rng.random() == fresh.context(0).rng.random()
 
 
 def test_failure_during_priming_raises_at_spawn():

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.registers import MemoryAudit
-from repro.runtime import RandomScheduler, RoundRobinScheduler, ScriptedScheduler, Simulation
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Simulation,
+)
 from repro.snapshot import SequencedScannableMemory, check_all_properties
 
 

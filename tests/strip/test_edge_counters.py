@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.strip import DistanceGraph, EdgeCounters, decode_graph, inc_counters
+from repro.strip import EdgeCounters, decode_graph, inc_counters
 from repro.strip.edge_counters import IllFormedCounters, cycle_size
 
 

@@ -3,7 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.strip import ShrunkenTokenGame, TokenGame, normalize_k, shrink_k, shrink_normalize
+from repro.strip import (
+    ShrunkenTokenGame,
+    TokenGame,
+    normalize_k,
+    shrink_k,
+    shrink_normalize,
+)
 from repro.strip.invariants import check_nonpassive_shrinking
 
 positions_strategy = st.lists(

@@ -44,8 +44,17 @@ def test_run_command_every_protocol(capsys):
 
 def test_run_command_with_crash_and_lockstep(capsys):
     code = main(
-        ["run", "--inputs", "0,1,1", "--seed", "2", "--scheduler", "lockstep",
-         "--crash", "1:50"]
+        [
+            "run",
+            "--inputs",
+            "0,1,1",
+            "--seed",
+            "2",
+            "--scheduler",
+            "lockstep",
+            "--crash",
+            "1:50",
+        ]
     )
     out = capsys.readouterr().out
     assert code == 0
@@ -61,8 +70,17 @@ def test_run_command_timeline(capsys):
 
 def test_run_command_with_restart(capsys):
     code = main(
-        ["run", "--inputs", "0,1,1", "--seed", "7", "--crash", "0:40",
-         "--restart", "0:300"]
+        [
+            "run",
+            "--inputs",
+            "0,1,1",
+            "--seed",
+            "7",
+            "--crash",
+            "0:40",
+            "--restart",
+            "0:300",
+        ]
     )
     out = capsys.readouterr().out
     assert code == 0
@@ -189,3 +207,111 @@ def test_trace_command_exports_jsonl(capsys, tmp_path):
 
     first_line = target.read_text().splitlines()[0]
     assert json.loads(first_line)["type"] in ("event", "span")
+
+
+def test_sweep_command_prints_table(capsys):
+    code = main(
+        ["sweep", "--n-values", "2,3", "--reps", "2", "--metric", "rounds"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "rounds vs n" in out
+    assert "mean" in out
+
+
+def test_sweep_command_identical_across_worker_counts(capsys):
+    def table(workers):
+        assert (
+            main(["sweep", "--n-values", "2,3", "--reps", "2", "--workers", workers])
+            == 0
+        )
+        return capsys.readouterr().out.replace(f"workers={workers}", "workers=*")
+
+    assert table("1") == table("2")
+
+
+def test_chaos_command_accepts_workers(tmp_path, capsys):
+    report = tmp_path / "chaos.json"
+    code = main(
+        ["chaos", "--runs-per-cell", "2", "--workers", "2", "--json", str(report)]
+    )
+    assert code == 0
+    assert report.exists()
+
+
+def test_bench_command_lists_artifacts(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_E0.json").write_text('{"experiment": "e0", "tables": []}')
+    code = main(
+        [
+            "bench",
+            "--results-dir",
+            str(results),
+            "--baselines-dir",
+            str(tmp_path / "baselines"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "E0" in out
+    assert "repro bench --check" in out
+
+
+def test_bench_command_update_then_check(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    payload = '{"experiment": "e0", "tables": [{"title": "t", "rows": [{"v": 1}]}]}'
+    (results / "BENCH_E0.json").write_text(payload)
+    common = [
+        "--results-dir",
+        str(results),
+        "--baselines-dir",
+        str(tmp_path / "baselines"),
+    ]
+    assert main(["bench", "--update", *common]) == 0
+    assert main(["bench", "--check", *common]) == 0
+    out = capsys.readouterr().out
+    assert "bench gate: OK" in out
+
+
+def test_bench_command_check_flags_regression(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    base = '{"experiment": "e0", "tables": [{"title": "t", "rows": [{"v": 100}]}]}'
+    drifted = '{"experiment": "e0", "tables": [{"title": "t", "rows": [{"v": 200}]}]}'
+    (baselines / "BENCH_E0.json").write_text(base)
+    (results / "BENCH_E0.json").write_text(drifted)
+    code = main(
+        [
+            "bench",
+            "--check",
+            "--results-dir",
+            str(results),
+            "--baselines-dir",
+            str(baselines),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REGRESSION" in out
+
+
+def test_bench_command_check_without_baseline_fails(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_E0.json").write_text('{"experiment": "e0", "tables": []}')
+    code = main(
+        [
+            "bench",
+            "--check",
+            "--results-dir",
+            str(results),
+            "--baselines-dir",
+            str(tmp_path / "nope"),
+        ]
+    )
+    assert code == 1
+    assert "repro bench --update" in capsys.readouterr().out

@@ -16,7 +16,6 @@ from repro.universal import (
     StickyBitSpec,
     UniversalObject,
 )
-from repro.universal.spec import QueueSpec as _QueueSpec
 
 
 def _run(n, spec, script, seed=0, max_steps=100_000_000):
@@ -158,8 +157,7 @@ def test_log_grows_but_consensus_instances_stay_bounded():
     n = 2
     sim = Simulation(n, RandomScheduler(seed=0), seed=0)
     audit = MemoryAudit()
-    obj = UniversalObject(sim, "obj", n, CounterSpec(), audit=audit,
-                          m_bound=20)
+    obj = UniversalObject(sim, "obj", n, CounterSpec(), audit=audit, m_bound=20)
 
     def factory(pid):
         def body(ctx):
@@ -201,8 +199,9 @@ def test_crashed_invoker_does_not_block_others():
     from repro.runtime import CrashPlan
 
     n = 3
-    sim = Simulation(n, RandomScheduler(seed=8), seed=8,
-                     crash_plan=CrashPlan({0: 40}))
+    sim = Simulation(
+        n, RandomScheduler(seed=8), seed=8, crash_plan=CrashPlan({0: 40})
+    )
     obj = UniversalObject(sim, "obj", n, CounterSpec())
 
     def factory(pid):
@@ -231,8 +230,7 @@ def test_announced_op_of_crashed_process_helped_at_most_once():
     n = 2
     # Let pid 0 announce (1 write) then crash; pid 1 must help it exactly
     # once and still complete its own op.
-    sim = Simulation(n, ScriptedScheduler([0]), seed=0,
-                     crash_plan=CrashPlan({0: 1}))
+    sim = Simulation(n, ScriptedScheduler([0]), seed=0, crash_plan=CrashPlan({0: 1}))
     obj = UniversalObject(sim, "obj", n, CounterSpec())
 
     def factory(pid):

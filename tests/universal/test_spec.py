@@ -70,8 +70,14 @@ def test_fetch_and_cons_returns_previous_contents():
 
 @pytest.mark.parametrize(
     "spec",
-    [CounterSpec(), QueueSpec(), StackSpec(), CasRegisterSpec(), StickyBitSpec(),
-     FetchAndConsSpec()],
+    [
+        CounterSpec(),
+        QueueSpec(),
+        StackSpec(),
+        CasRegisterSpec(),
+        StickyBitSpec(),
+        FetchAndConsSpec(),
+    ],
 )
 def test_unknown_operation_rejected(spec):
     with pytest.raises(ValueError, match="unknown operation"):

@@ -7,8 +7,6 @@ workload, which is the strongest evidence (short of a proof) that the
 reconstruction in :mod:`repro.registers.bloom` is atomic.
 """
 
-import pytest
-
 from repro.registers import (
     TwoWriterRegister,
     check_register_history,
