@@ -112,6 +112,24 @@ def attach_metrics(experiment: str, name: str, snapshot: Any) -> None:
     _rewrite(experiment)
 
 
+def attach_series(experiment: str, name: str, snapshot: Any) -> None:
+    """Attach a snapshot's time series under ``series.<name>`` in the
+    experiment's ``BENCH_*.json``.
+
+    Accepts a ``MetricsSnapshot`` (its ``.series`` payloads are taken) or a
+    raw ``{key: payload}`` mapping.  Series live under their own top-level
+    key, which the regression gate does not compare — they enrich the
+    artifact (and the ``repro report`` dashboard) without changing what is
+    gated, so attaching series to a benchmark never breaks its baseline.
+    """
+    payloads = getattr(snapshot, "series", snapshot)
+    extras = _JSON_EXTRAS.setdefault(experiment, {})
+    extras.setdefault("series", {})[name] = _jsonable(
+        dict(sorted(payloads.items()))
+    )
+    _rewrite(experiment)
+
+
 def bench_workers(default: int = 1) -> int:
     """Worker-process count for this benchmark run.
 

@@ -14,8 +14,9 @@ mean collect rounds per scan vs w (paper: 1 round iff quiescent).
 
 import statistics
 
-from _common import bench_timer, bench_workers, record, reset
+from _common import attach_series, bench_timer, bench_workers, record, reset
 
+from repro.obs import SeriesSpec
 from repro.runtime import RandomScheduler, Simulation
 from repro.snapshot import ArrowScannableMemory
 
@@ -23,9 +24,12 @@ N = 6
 BURST = 60
 SEEDS = range(10)
 
+#: Sampling period for the representative run's retry/scan time series.
+SERIES_EVERY = 32
 
-def rounds_with_writers(writers, seed):
-    sim = Simulation(N, RandomScheduler(seed=seed), seed=seed)
+
+def rounds_with_writers(writers, seed, series=None):
+    sim = Simulation(N, RandomScheduler(seed=seed), seed=seed, series=series)
     mem = ArrowScannableMemory(sim, "M", N)
     active = {"writers": writers}
 
@@ -49,12 +53,11 @@ def rounds_with_writers(writers, seed):
         return body
 
     sim.spawn_all(factory)
-    sim.run(5_000_000)
+    outcome = sim.run(5_000_000)
     spans = [s for s in sim.trace.spans if s.kind == "scan" and not s.is_open]
     counts = [s.meta["rounds"] for s in spans]
-    if not counts:
-        return 1.0
-    return statistics.mean(counts)
+    mean = statistics.mean(counts) if counts else 1.0
+    return (mean, outcome.metrics) if series is not None else mean
 
 
 def run_experiment(workers=None):
@@ -77,6 +80,11 @@ def _run_body():
             }
         )
     record("e7", rows, f"E7 §2.2 — scan collect rounds vs writer pressure (n={N})")
+    # One representative max-contention run re-executed with a series
+    # recorder: the artifact then shows *when* the retries happened, not
+    # just how many (the gate never compares the series key).
+    _, snapshot = rounds_with_writers(5, 0, series=SeriesSpec(every=SERIES_EVERY))
+    attach_series("e7", "writers5_seed0", snapshot)
     return rows
 
 

@@ -11,6 +11,8 @@ Commands:
 - ``metrics`` — run one consensus execution and print its metrics snapshot
               (the ``repro.obs`` registry: steps, scan retries, coin flips,
               round advances, max register values) as a table or JSON;
+              ``--series-every K`` also samples tracked counters into
+              deterministic time series;
 - ``trace`` — run one consensus execution with full event/span recording
               and export the trace (Chrome ``trace_event`` JSON for
               Perfetto / ``chrome://tracing``, or JSONL);
@@ -18,6 +20,10 @@ Commands:
               regenerate them;
 - ``report`` — print the recorded benchmark result tables
               (``benchmarks/results/``), i.e. the data behind EXPERIMENTS.md;
+              with ``--out report.html``, render the self-contained HTML
+              dashboard instead (metrics snapshot, time-series sparklines,
+              causal critical-path attribution, baselines-vs-results
+              deltas for every checked-in benchmark);
 - ``chaos`` — run the fault-injection mutation campaign (every fault class
               must be caught by some checker) plus a crash-recovery and a
               fault-injection fuzz grid (see ``docs/robustness.md``);
@@ -162,13 +168,17 @@ def cmd_run(args) -> int:
 
 def cmd_metrics(args) -> int:
     """Run one execution and print the deterministic metrics snapshot."""
+    from repro.obs.timeseries import SeriesSpec
+
     inputs = _parse_inputs(args.inputs)
     protocol = PROTOCOLS[args.protocol]()
+    series = SeriesSpec(every=args.series_every) if args.series_every else None
     run = protocol.run(
         inputs,
         scheduler=_make_scheduler(args.scheduler, args.seed),
         seed=args.seed,
         max_steps=args.max_steps,
+        series=series,
     )
     snapshot = run.metrics
     assert snapshot is not None  # metrics are on by default
@@ -272,6 +282,8 @@ def cmd_strip(args) -> int:
 def cmd_report(args) -> int:
     import pathlib
 
+    if args.out:
+        return _report_dashboard(args)
     results = pathlib.Path(args.results_dir)
     files = sorted(results.glob("*.txt"))
     if not files:
@@ -283,6 +295,50 @@ def cmd_report(args) -> int:
     for path in files:
         print(path.read_text().rstrip())
         print()
+    return 0
+
+
+def _report_dashboard(args) -> int:
+    """Render the self-contained HTML dashboard (``repro report --out``).
+
+    Drives one fully-instrumented reference run (events + spans + series)
+    for the metrics/series/causality sections, then gates every baseline
+    ``BENCH_*.json`` against the current artifacts for the deltas table.
+    Deterministic: same arguments and artifact set ⇒ byte-identical file.
+    """
+    from repro.obs.causality import causal_report_for
+    from repro.obs.report import gate_all_benchmarks, write_report
+    from repro.obs.timeseries import SeriesSpec
+
+    inputs = _parse_inputs(args.inputs)
+    protocol = PROTOCOLS[args.protocol]()
+    run = protocol.run(
+        inputs,
+        scheduler=_make_scheduler(args.scheduler, args.seed),
+        seed=args.seed,
+        max_steps=args.max_steps,
+        record_events=True,
+        record_spans=True,
+        keep_simulation=True,
+        series=SeriesSpec(every=args.series_every),
+    )
+    causal = causal_report_for(run.simulation, run.outcome)
+    gates = gate_all_benchmarks(args.results_dir, args.baselines_dir)
+    meta = {
+        "protocol": run.protocol,
+        "n": run.n,
+        "seed": args.seed,
+        "scheduler": args.scheduler,
+        "steps": run.total_steps,
+        "series_every": args.series_every,
+    }
+    path = write_report(args.out, run.metrics, causal, gates, meta)
+    ok = sum(1 for g in gates if g.ok)
+    print(
+        f"wrote {path} — {run.total_steps} steps analyzed, "
+        f"critical path {causal.critical_length}, "
+        f"{ok}/{len(gates)} benchmarks within tolerance"
+    )
     return 0
 
 
@@ -531,6 +587,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--filter", default="", help="only metrics whose name contains this substring"
     )
+    metrics.add_argument(
+        "--series-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also sample tracked counters every K steps into time series "
+        "(0 = off)",
+    )
     metrics.set_defaults(func=cmd_metrics)
 
     trace = sub.add_parser(
@@ -649,8 +713,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="list E1-E12")
     experiments.set_defaults(func=cmd_experiments)
 
-    report = sub.add_parser("report", help="print recorded benchmark tables")
+    report = sub.add_parser(
+        "report",
+        help="print recorded benchmark tables, or render the HTML dashboard",
+    )
     report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--baselines-dir", default="benchmarks/baselines")
+    report.add_argument(
+        "--out",
+        default="",
+        metavar="PATH",
+        help="write the self-contained HTML dashboard (metrics, time "
+        "series, causal critical path, baseline deltas) instead of "
+        "printing tables",
+    )
+    report.add_argument("--protocol", choices=sorted(PROTOCOLS), default="ads")
+    report.add_argument("--inputs", default="0,1,1", help="comma-separated bits")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--scheduler",
+        choices=["random", "round-robin", "split", "lockstep"],
+        default="random",
+    )
+    report.add_argument("--max-steps", type=int, default=50_000_000)
+    report.add_argument(
+        "--series-every",
+        type=int,
+        default=64,
+        metavar="K",
+        help="series sampling period for the dashboard's reference run",
+    )
     report.set_defaults(func=cmd_report)
     return parser
 

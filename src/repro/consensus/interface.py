@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import Watchdog
@@ -12,6 +12,9 @@ from repro.obs.metrics import NULL_INSTRUMENT, MetricsRegistry, MetricsSnapshot
 from repro.registers.base import MemoryAudit
 from repro.runtime.scheduler import CrashPlan, RecoveryPlan, Scheduler
 from repro.runtime.simulation import Simulation, SimulationOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.timeseries import SeriesSpec
 
 #: The "undecided" preference the paper writes as ⊥.
 BOTTOM = None
@@ -136,12 +139,16 @@ class ConsensusProtocol(abc.ABC):
         fault_plan: FaultPlan | None = None,
         watchdog: Watchdog | None = None,
         raise_on_budget: bool = True,
+        series: "SeriesSpec | None" = None,
     ) -> ConsensusRun:
         """Run one consensus instance with the given inputs.
 
         Spans/events are off by default (protocol runs are long; property
         checking tests switch them on explicitly).  Metrics are on by
         default; pass ``metrics=MetricsRegistry(enabled=False)`` to opt out.
+        ``series`` attaches a :class:`~repro.obs.timeseries.SeriesRecorder`
+        sampling the tracked counters every ``series.every`` steps; the
+        series ride on the run's metrics snapshot.
         Resilience hooks: ``recovery_plan`` restarts crashed processes,
         ``fault_plan`` injects register faults, ``watchdog`` monitors the
         step loop, and ``raise_on_budget=False`` turns a budget blowup into
@@ -160,6 +167,7 @@ class ConsensusProtocol(abc.ABC):
             record_spans=record_spans,
             metrics=metrics,
             faults=fault_plan,
+            series=series,
         )
         self._bind_metrics(sim)
         factory = self._setup(sim, inputs, audit)

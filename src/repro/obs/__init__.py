@@ -9,7 +9,14 @@ The paper's claims are quantitative, so the reproduction measures itself:
 - :mod:`repro.obs.export` — structured trace export (JSONL and Chrome
   ``trace_event`` format, openable in Perfetto / ``chrome://tracing``);
 - :mod:`repro.obs.profiling` — wall-clock ``perf_counter`` sections with an
-  overhead self-test.
+  overhead self-test;
+- :mod:`repro.obs.timeseries` — deterministic metric time series sampled
+  every K scheduler steps (``SeriesRecorder``/``SeriesSpec``), serialized
+  inside snapshots and merged across worker processes;
+- :mod:`repro.obs.causality` — happens-before DAG over the recorded event
+  timeline, critical-path attribution per layer/pid (``CausalReport``);
+- :mod:`repro.obs.report` — the self-contained HTML dashboard behind
+  ``repro report --out report.html``.
 
 See ``docs/observability.md`` for the metric catalog and how experiments
 E1–E12 map onto it.
@@ -34,22 +41,45 @@ from repro.obs.export import (
     trace_to_jsonl,
 )
 from repro.obs.profiling import Profiler, measure_overhead
+from repro.obs.timeseries import (
+    DEFAULT_TRACK,
+    SeriesRecorder,
+    SeriesSpec,
+    merge_series_payloads,
+)
+from repro.obs.causality import (
+    CausalReport,
+    CriticalPath,
+    build_causal_report,
+    causal_report_for,
+)
+from repro.obs.report import render_report, write_report
 
 __all__ = [
+    "DEFAULT_TRACK",
     "NULL_INSTRUMENT",
+    "CausalReport",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Profiler",
+    "SeriesRecorder",
+    "SeriesSpec",
+    "build_causal_report",
+    "causal_report_for",
     "export_chrome",
     "export_jsonl",
     "export_trace",
     "load_jsonl",
     "measure_overhead",
+    "merge_series_payloads",
     "merge_snapshots",
     "parse_key",
+    "render_report",
     "trace_to_chrome",
     "trace_to_jsonl",
+    "write_report",
 ]

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.timeseries import SeriesRecorder
 
 
 def _render_key(name: str, labels: Mapping[str, Any]) -> str:
@@ -82,6 +85,20 @@ class Gauge:
             self.value = value
 
 
+#: The canonical summary of a histogram that saw no observations.  Merge
+#: and snapshot paths share this one shape so "empty" is always well-formed.
+ZERO_SUMMARY: dict[str, float] = {
+    "count": 0,
+    "sum": 0.0,
+    "min": 0.0,
+    "max": 0.0,
+    "mean": 0.0,
+    "p50": 0.0,
+    "p90": 0.0,
+    "p99": 0.0,
+}
+
+
 class Histogram:
     """A distribution of observations with exact percentiles.
 
@@ -102,25 +119,29 @@ class Histogram:
         """Nearest-rank percentile, ``q`` in [0, 100]."""
         if not self.observations:
             return 0.0
-        ordered = sorted(self.observations)
-        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
-        return ordered[rank]
+        return _nearest_rank(sorted(self.observations), q)
 
     def summary(self) -> dict[str, float]:
         if not self.observations:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
-        total = sum(self.observations)
+            return dict(ZERO_SUMMARY)
+        ordered = sorted(self.observations)
+        total = sum(ordered)
         return {
-            "count": len(self.observations),
+            "count": len(ordered),
             "sum": total,
-            "min": min(self.observations),
-            "max": max(self.observations),
-            "mean": total / len(self.observations),
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": _nearest_rank(ordered, 50),
+            "p90": _nearest_rank(ordered, 90),
+            "p99": _nearest_rank(ordered, 99),
         }
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 class _NullInstrument:
@@ -152,12 +173,15 @@ class MetricsSnapshot:
     """Immutable, serializable view of a registry at one instant.
 
     Keys are the canonical ``name{label=value,...}`` strings; histogram
-    values are summary dicts (count/sum/min/max/mean/p50/p90/p99).
+    values are summary dicts (count/sum/min/max/mean/p50/p90/p99); series
+    values are time-series payloads (``kind``/``every``/``points``, see
+    :mod:`repro.obs.timeseries`) sampled every K scheduler steps.
     """
 
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    series: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def counter_total(self, name: str) -> int:
         """Sum of a counter over all its label sets."""
@@ -171,11 +195,16 @@ class MetricsSnapshot:
         return max(values, default=0)
 
     def to_json(self, indent: int | None = 2) -> str:
-        payload = {
+        payload: dict[str, Any] = {
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "histograms": dict(sorted(self.histograms.items())),
         }
+        if self.series:
+            # Only present when a recorder ran: snapshots without series
+            # keep their historical byte-for-byte JSON shape (benchmark
+            # baselines embed them verbatim).
+            payload["series"] = dict(sorted(self.series.items()))
         return json.dumps(payload, indent=indent, sort_keys=True)
 
     @classmethod
@@ -185,6 +214,7 @@ class MetricsSnapshot:
             counters=payload.get("counters", {}),
             gauges=payload.get("gauges", {}),
             histograms=payload.get("histograms", {}),
+            series=payload.get("series", {}),
         )
 
     def relabel(self, **labels: Any) -> "MetricsSnapshot":
@@ -206,6 +236,7 @@ class MetricsSnapshot:
             counters={rekey(k): v for k, v in self.counters.items()},
             gauges={rekey(k): v for k, v in self.gauges.items()},
             histograms={rekey(k): dict(v) for k, v in self.histograms.items()},
+            series={rekey(k): dict(v) for k, v in self.series.items()},
         )
 
     def to_rows(self) -> list[dict[str, Any]]:
@@ -230,6 +261,17 @@ class MetricsSnapshot:
                     "max": s["max"],
                 }
             )
+        for key in sorted(self.series):
+            payload = self.series[key]
+            points = payload.get("points", [])
+            rows.append(
+                {
+                    "metric": key,
+                    "type": "series",
+                    "value": len(points),
+                    "last": points[-1][1] if points else 0,
+                }
+            )
         return rows
 
 
@@ -238,7 +280,13 @@ def _merge_histogram_summaries(
 ) -> dict[str, float]:
     """Combine two histogram summaries (count/sum/min/max exactly; mean is
     derived; percentiles are count-weighted means, the best available
-    without the raw observations — exact when the inputs agree)."""
+    without the raw observations — exact when the inputs agree).
+
+    Zero-count inputs never reach the count division, and merging *two*
+    empty summaries yields the canonical :data:`ZERO_SUMMARY` rather than
+    whatever partial dict one side happened to carry."""
+    if not a.get("count") and not b.get("count"):
+        return dict(ZERO_SUMMARY)
     if not a.get("count"):
         return dict(b)
     if not b.get("count"):
@@ -260,13 +308,18 @@ def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
     """Union snapshots into one; deterministic in the input order.
 
     Keys that collide combine by instrument semantics: counters add,
-    gauges keep the maximum, histogram summaries merge count-weighted.
-    Workers' snapshots relabelled with distinct labels never collide, so
-    their series survive verbatim.
+    gauges keep the maximum, histogram summaries merge count-weighted,
+    time series union pointwise (see
+    :func:`repro.obs.timeseries.merge_series_payloads`).  Workers'
+    snapshots relabelled with distinct labels never collide, so their
+    series survive verbatim.
     """
+    from repro.obs.timeseries import merge_series_payloads
+
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, dict[str, float]] = {}
+    series: dict[str, dict[str, Any]] = {}
     for snap in snapshots:
         for key, value in snap.counters.items():
             counters[key] = counters.get(key, 0) + value
@@ -276,10 +329,13 @@ def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
             histograms[key] = _merge_histogram_summaries(
                 histograms.get(key, {}), summary
             )
+        for key, payload in snap.series.items():
+            series[key] = merge_series_payloads(series.get(key), payload)
     return MetricsSnapshot(
         counters=dict(sorted(counters.items())),
         gauges=dict(sorted(gauges.items())),
         histograms=dict(sorted(histograms.items())),
+        series=dict(sorted(series.items())),
     )
 
 
@@ -300,6 +356,10 @@ class MetricsRegistry:
         # the summary level (no raw observations cross the process
         # boundary) and unioned into every snapshot() of this registry.
         self._absorbed_histograms: dict[str, dict[str, float]] = {}
+        # Series payloads absorbed from worker snapshots, and the local
+        # recorder (if one is bound) sampling this registry's instruments.
+        self._absorbed_series: dict[str, dict[str, Any]] = {}
+        self._series_recorder: "SeriesRecorder | None" = None
 
     # -- instrument factories ------------------------------------------------
 
@@ -376,6 +436,24 @@ class MetricsRegistry:
             self._absorbed_histograms[key] = _merge_histogram_summaries(
                 self._absorbed_histograms.get(key, {}), summary
             )
+        if snapshot.series:
+            from repro.obs.timeseries import merge_series_payloads
+
+            for key, payload in snapshot.series.items():
+                self._absorbed_series[key] = merge_series_payloads(
+                    self._absorbed_series.get(key), payload
+                )
+
+    # -- time series ---------------------------------------------------------
+
+    def bind_series(self, recorder: "SeriesRecorder | None") -> None:
+        """Attach (or detach, with ``None``) the recorder whose exported
+        series ride on every :meth:`snapshot` of this registry."""
+        self._series_recorder = recorder
+
+    @property
+    def series_recorder(self) -> "SeriesRecorder | None":
+        return self._series_recorder
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -385,6 +463,9 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
         self._absorbed_histograms.clear()
+        self._absorbed_series.clear()
+        if self._series_recorder is not None:
+            self._series_recorder.reset()
 
     def snapshot(self) -> MetricsSnapshot:
         """Deterministic point-in-time view of every instrument."""
@@ -393,8 +474,17 @@ class MetricsRegistry:
             histograms[key] = _merge_histogram_summaries(
                 histograms.get(key, {}), summary
             )
+        series: dict[str, dict[str, Any]] = {}
+        if self._series_recorder is not None:
+            series.update(self._series_recorder.export())
+        if self._absorbed_series:
+            from repro.obs.timeseries import merge_series_payloads
+
+            for key, payload in self._absorbed_series.items():
+                series[key] = merge_series_payloads(series.get(key), payload)
         return MetricsSnapshot(
             counters={k: c.value for k, c in sorted(self._counters.items())},
             gauges={k: g.value for k, g in sorted(self._gauges.items())},
             histograms=dict(sorted(histograms.items())),
+            series=dict(sorted(series.items())),
         )

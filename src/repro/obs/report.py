@@ -1,0 +1,270 @@
+"""Self-contained HTML dashboard: metrics, series, causality, bench deltas.
+
+``repro report --out report.html`` renders one file answering, offline:
+
+- what a reference run measured (the metrics snapshot, as a table);
+- how the tracked counters *trended* over the schedule (inline SVG
+  sparklines of the :mod:`repro.obs.timeseries` series — no external
+  assets, no scripts);
+- where the latency came from (the :mod:`repro.obs.causality` critical
+  path, per layer and per process, plus the adversary table);
+- whether the benchmark artifacts drifted from their checked-in baselines
+  (one row per ``BENCH_*.json``, via the same comparison the CI
+  bench-gate runs).
+
+The output is **byte-stable**: no timestamps, no environment probes, all
+iteration orders sorted and all floats formatted through one helper — two
+renders over the same inputs are identical files, so the report itself can
+be diffed and gated.
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.benchgate import GateResult, check_experiments
+from repro.obs.causality import CausalReport
+from repro.obs.metrics import MetricsSnapshot
+
+#: How many gate problems the dashboard lists per benchmark before eliding.
+_MAX_PROBLEMS_SHOWN = 4
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any) -> str:
+    """One number formatter for the whole report (byte-stability)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4f}"
+    return str(value)
+
+
+def sparkline(
+    points: Sequence[Sequence[float]], width: int = 220, height: int = 36
+) -> str:
+    """Inline SVG sparkline for ``[step, value]`` points (deterministic).
+
+    Coordinates are formatted to two decimals through one f-string, so the
+    same points always render the same bytes.
+    """
+    if not points:
+        return '<svg class="spark" width="220" height="36"></svg>'
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    pad = 2.0
+    coords = []
+    for x, y in zip(xs, ys):
+        px = pad + (x - x_lo) / x_span * (width - 2 * pad)
+        py = height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+        coords.append(f"{px:.2f},{py:.2f}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="currentColor" stroke-width="1.5" '
+        f'points="{" ".join(coords)}" /></svg>'
+    )
+
+
+def _table(
+    rows: Iterable[Mapping[str, Any]], columns: Sequence[str]
+) -> str:
+    head = "".join(f"<th>{_esc(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = "".join(
+            f"<td>{_esc(_fmt(row.get(c, '')))}</td>" for c in columns
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f'<table><thead><tr>{head}</tr></thead>'
+        f'<tbody>{"".join(body)}</tbody></table>'
+    )
+
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1f24; background: #fcfcfc; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem;
+     border-bottom: 1px solid #d0d4d8; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: .6rem 0; font-size: .82rem; }
+th, td { border: 1px solid #d0d4d8; padding: .2rem .55rem;
+         text-align: right; }
+th { background: #eef1f3; } td:first-child, th:first-child
+ { text-align: left; }
+.ok { color: #1a7f37; } .bad { color: #b42318; font-weight: bold; }
+.spark { color: #0b5fa5; vertical-align: middle; }
+.meta { color: #57606a; font-size: .85rem; }
+.series-row td { vertical-align: middle; }
+""".strip()
+
+
+def render_report(
+    snapshot: MetricsSnapshot | None,
+    causal: CausalReport | None,
+    gates: Sequence[GateResult],
+    meta: Mapping[str, Any],
+) -> str:
+    """Render the dashboard HTML (a pure function of its inputs)."""
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>repro report</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        "<h1>repro report — Bounded Polynomial Randomized Consensus</h1>",
+        '<p class="meta">'
+        + " · ".join(
+            f"{_esc(k)}={_esc(_fmt(meta[k]))}" for k in sorted(meta)
+        )
+        + "</p>",
+    ]
+
+    # -- metrics snapshot ---------------------------------------------------
+    parts.append("<h2>Metrics snapshot</h2>")
+    if snapshot is None:
+        parts.append("<p>(metrics disabled for this run)</p>")
+    else:
+        rows = [r for r in snapshot.to_rows() if r["type"] != "series"]
+        parts.append(
+            _table(rows, ("metric", "type", "value", "mean", "p50", "p90", "max"))
+        )
+
+    # -- time series --------------------------------------------------------
+    parts.append("<h2>Time series</h2>")
+    if snapshot is None or not snapshot.series:
+        parts.append(
+            "<p>(no series recorded — pass a sampling period, e.g. "
+            "<code>--series-every 64</code>)</p>"
+        )
+    else:
+        series_rows = []
+        for key in sorted(snapshot.series):
+            payload = snapshot.series[key]
+            points = payload.get("points", [])
+            last = points[-1][1] if points else 0
+            series_rows.append(
+                f'<tr class="series-row"><td>{_esc(key)}</td>'
+                f"<td>{_esc(payload.get('kind', ''))}</td>"
+                f"<td>{_esc(len(points))}</td>"
+                f"<td>{_esc(_fmt(last))}</td>"
+                f"<td>{sparkline(points)}</td></tr>"
+            )
+        parts.append(
+            "<table><thead><tr><th>series</th><th>kind</th>"
+            "<th>points</th><th>last</th><th>trend</th></tr></thead>"
+            f'<tbody>{"".join(series_rows)}</tbody></table>'
+        )
+
+    # -- causal attribution -------------------------------------------------
+    parts.append("<h2>Causal critical path</h2>")
+    if causal is None:
+        parts.append("<p>(no event timeline — causal analysis skipped)</p>")
+    else:
+        parts.append(
+            f"<p>critical path: <b>{causal.critical_length}</b> of "
+            f"{causal.total_events} recorded atomic operations "
+            f"(decide of pid {_fmt(causal.critical_pid)}; "
+            "everything off this chain was schedulable in parallel)</p>"
+        )
+        layer_rows = [
+            {"layer": layer, "steps on critical path": count}
+            for layer, count in causal.per_layer().items()
+        ]
+        parts.append(_table(layer_rows, ("layer", "steps on critical path")))
+        parts.append("<h2>Adversary attribution</h2>")
+        parts.append(
+            "<p>steps the scheduler granted each process vs. steps that "
+            "landed on the critical path — a low share means the "
+            "adversary burned that process&#x27;s budget without delaying "
+            "the decision.</p>"
+        )
+        parts.append(
+            _table(
+                causal.adversary,
+                ("pid", "granted", "on_critical_path", "share"),
+            )
+        )
+
+    # -- benchmark deltas ---------------------------------------------------
+    parts.append("<h2>Benchmark baselines vs. results</h2>")
+    if not gates:
+        parts.append("<p>(no BENCH_*.json artifacts found)</p>")
+    else:
+        gate_rows = []
+        for gate in gates:
+            status = (
+                '<span class="ok">OK</span>'
+                if gate.ok
+                else f'<span class="bad">{len(gate.problems)} deviations</span>'
+            )
+            shown = [
+                _esc(p) for p in gate.problems[:_MAX_PROBLEMS_SHOWN]
+            ]
+            if len(gate.problems) > _MAX_PROBLEMS_SHOWN:
+                shown.append(
+                    f"… {len(gate.problems) - _MAX_PROBLEMS_SHOWN} more"
+                )
+            gate_rows.append(
+                f"<tr><td>{_esc(gate.experiment.upper())}</td>"
+                f"<td>{gate.compared}</td><td>{status}</td>"
+                f'<td style="text-align:left">{"<br>".join(shown)}</td></tr>'
+            )
+        parts.append(
+            "<table><thead><tr><th>experiment</th><th>values compared</th>"
+            "<th>status</th><th>deviations</th></tr></thead>"
+            f'<tbody>{"".join(gate_rows)}</tbody></table>'
+        )
+        ok = sum(1 for g in gates if g.ok)
+        parts.append(
+            f"<p>{ok}/{len(gates)} benchmarks within tolerance.</p>"
+        )
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def gate_all_benchmarks(
+    results_dir: pathlib.Path | str,
+    baselines_dir: pathlib.Path | str,
+    tolerance: float = 0.10,
+) -> list[GateResult]:
+    """Gate every baseline benchmark against the current artifacts.
+
+    Keyed off the *baselines* directory (the checked-in ground truth), so
+    a missing artifact shows up as a problem row instead of silently
+    shrinking the table.
+    """
+    baselines = pathlib.Path(baselines_dir)
+    experiments = sorted(
+        p.stem.replace("BENCH_", "").lower()
+        for p in baselines.glob("BENCH_*.json")
+    )
+    return check_experiments(
+        experiments, pathlib.Path(results_dir), baselines, tolerance
+    )
+
+
+def write_report(
+    path: pathlib.Path | str,
+    snapshot: MetricsSnapshot | None,
+    causal: CausalReport | None,
+    gates: Sequence[GateResult],
+    meta: Mapping[str, Any],
+) -> pathlib.Path:
+    """Render and write the dashboard; returns the output path."""
+    out = pathlib.Path(path)
+    out.write_text(render_report(snapshot, causal, gates, meta))
+    return out

@@ -1,0 +1,190 @@
+"""Deterministic metric time series sampled every K scheduler steps.
+
+Flat end-of-run counters say *that* a run took N steps; a time series says
+*when* the steps were spent — which stretch of the schedule drove the scan
+retries, when the coin walks flipped, how the round counter advanced.  A
+:class:`SeriesRecorder` rides on a :class:`~repro.obs.metrics.MetricsRegistry`
+and, every ``every`` scheduler steps, samples the tracked counters/gauges
+into label-keyed ``[step, value]`` point lists.
+
+Everything is deterministic for a fixed seed: sampling is keyed to the
+logical clock (the global step index), never wall time, so two identical
+runs produce byte-identical series.  Series serialize inside
+:class:`~repro.obs.metrics.MetricsSnapshot` and survive the process
+boundary: ``relabel`` rekeys them, :func:`merge_series_payloads` unions
+them (counters sum at equal steps, gauges take the max), and
+``MetricsRegistry.absorb`` carries worker series into the parent registry
+intact.
+
+Like :class:`~repro.obs.metrics.Histogram`, a series may be *bounded*
+(``max_points``): the recorder then keeps the most recent points as a ring
+and counts what it dropped, so memory stays O(max_points) on runs of any
+length while the payload still reports how much history was shed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.obs.metrics import MetricsRegistry, parse_key
+
+#: Metric-name prefixes sampled by default: the quantities the paper's
+#: analysis decomposes over time (steps, scans/retries, rounds, coin flips).
+DEFAULT_TRACK: tuple[str, ...] = (
+    "runtime.steps",
+    "snapshot.scans",
+    "snapshot.scan_retries",
+    "consensus.round_advances",
+    "consensus.coin_flips",
+    "coin.flips",
+    "faults.injected",
+)
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """How a :class:`SeriesRecorder` samples.
+
+    ``every``
+        Sampling period in scheduler steps (every K-th step is eligible).
+    ``max_points``
+        Bound on retained points per series (``None`` = keep everything);
+        when exceeded the oldest points are dropped and counted.
+    ``track``
+        Metric-name prefixes to sample; an instrument is tracked when its
+        *name* (labels stripped) starts with any of these.
+    """
+
+    every: int = 64
+    max_points: int | None = None
+    track: tuple[str, ...] = DEFAULT_TRACK
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.max_points is not None and self.max_points < 1:
+            raise ValueError(
+                f"max_points must be >= 1 or None, got {self.max_points}"
+            )
+
+    def tracks(self, name: str) -> bool:
+        return any(name.startswith(prefix) for prefix in self.track)
+
+
+class SeriesRecorder:
+    """Samples a registry's tracked instruments on the logical clock.
+
+    The simulation calls :meth:`maybe_sample` once per scheduler step; the
+    recorder samples when the step index crosses a period boundary, at most
+    once per step (re-entrant calls are idempotent).  Call :meth:`sample`
+    directly to force a final sample at run end so the last point always
+    reflects the finished run.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, spec: SeriesSpec | None = None
+    ) -> None:
+        self.registry = registry
+        self.spec = spec or SeriesSpec()
+        self._points: dict[str, list[list[float]]] = {}
+        self._kinds: dict[str, str] = {}
+        self._dropped: dict[str, int] = {}
+        self._last_step: int | None = None
+
+    # -- sampling ------------------------------------------------------------
+
+    def maybe_sample(self, step: int) -> None:
+        """Sample iff ``step`` lands on the period (and wasn't sampled)."""
+        if step % self.spec.every == 0:
+            self.sample(step)
+
+    def sample(self, step: int) -> None:
+        """Record one point per tracked instrument at logical time ``step``."""
+        if step == self._last_step:
+            return
+        self._last_step = step
+        for key, counter in self.registry._counters.items():
+            if self.spec.tracks(parse_key(key)[0]):
+                self._append(key, "counter", step, counter.value)
+        for key, gauge in self.registry._gauges.items():
+            if self.spec.tracks(parse_key(key)[0]):
+                self._append(key, "gauge", step, gauge.value)
+
+    def _append(self, key: str, kind: str, step: int, value: float) -> None:
+        points = self._points.get(key)
+        if points is None:
+            points = self._points[key] = []
+            self._kinds[key] = kind
+            self._dropped[key] = 0
+        points.append([step, value])
+        limit = self.spec.max_points
+        if limit is not None and len(points) > limit:
+            del points[: len(points) - limit]
+            self._dropped[key] += 1
+
+    # -- export --------------------------------------------------------------
+
+    def export(self) -> dict[str, dict[str, Any]]:
+        """Serializable payloads, sorted by key (deterministic)."""
+        return {
+            key: {
+                "kind": self._kinds[key],
+                "every": self.spec.every,
+                "points": [list(p) for p in self._points[key]],
+                "dropped": self._dropped[key],
+            }
+            for key in sorted(self._points)
+        }
+
+    def reset(self) -> None:
+        self._points.clear()
+        self._kinds.clear()
+        self._dropped.clear()
+        self._last_step = None
+
+
+def merge_series_payloads(
+    a: Mapping[str, Any] | None, b: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Union two series payloads for the same key; commutative/associative.
+
+    Points are unioned by step: at equal steps counters sum (two workers'
+    contributions to one total) and gauges take the max, mirroring
+    counter/gauge semantics in :func:`repro.obs.metrics.merge_snapshots`.
+    In the common path workers' series are relabelled per task before
+    merging, so keys never collide and payloads pass through verbatim.
+    """
+    if not a:
+        return _copy_payload(b or {})
+    if not b:
+        return _copy_payload(a)
+    kind = a.get("kind", "counter")
+    combined: dict[float, float] = {}
+    for step, value in _iter_points(a):
+        combined[step] = value
+    for step, value in _iter_points(b):
+        if step in combined:
+            if kind == "gauge":
+                combined[step] = max(combined[step], value)
+            else:
+                combined[step] += value
+        else:
+            combined[step] = value
+    return {
+        "kind": kind,
+        "every": min(a.get("every", 1), b.get("every", 1)),
+        "points": [[step, combined[step]] for step in sorted(combined)],
+        "dropped": int(a.get("dropped", 0)) + int(b.get("dropped", 0)),
+    }
+
+
+def _iter_points(payload: Mapping[str, Any]) -> Iterable[tuple[float, float]]:
+    for point in payload.get("points", []):
+        yield point[0], point[1]
+
+
+def _copy_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    copied = dict(payload)
+    copied["points"] = [list(p) for p in payload.get("points", [])]
+    return copied

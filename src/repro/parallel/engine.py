@@ -206,12 +206,30 @@ def _run_serial(
     return results
 
 
+def _record_engine_metrics(
+    metrics: Any, tasks: int, chunks: int, workers: int, failures: int
+) -> None:
+    """Record the engine's own dispatch shape into a metrics registry.
+
+    Counts submissions, not wall-clock — they are deterministic for a
+    fixed task list, so they are gate-safe (``workers`` lives in a gauge
+    whose key the bench gate's timing filter already skips).
+    """
+    if metrics is None or not getattr(metrics, "enabled", False):
+        return
+    metrics.counter("parallel.tasks").inc(tasks)
+    metrics.counter("parallel.chunks").inc(chunks)
+    metrics.counter("parallel.task_failures").inc(failures)
+    metrics.gauge("parallel.workers").set_max(workers)
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     tasks: Iterable[Any],
     workers: int | None = None,
     chunksize: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    metrics: Any = None,
 ) -> list[Any]:
     """Run ``fn`` over every task, possibly across processes; keep order.
 
@@ -227,6 +245,10 @@ def run_tasks(
             keeping the pool load-balanced.
         progress: ``progress(done, total)`` invoked in the *parent* as
             chunks complete (serially: after every task).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`; the
+            engine records its dispatch shape into it (``parallel.tasks``,
+            ``parallel.chunks``, ``parallel.task_failures`` counters and a
+            ``parallel.workers`` gauge).
 
     Returns:
         ``[fn(t) for t in tasks]`` — same values, same order, regardless of
@@ -239,7 +261,13 @@ def run_tasks(
     tasks = list(tasks)
     count = resolve_workers(workers)
     if count <= 1 or len(tasks) <= 1 or not _fork_available():
-        return _run_serial(fn, tasks, progress)
+        try:
+            results = _run_serial(fn, tasks, progress)
+        except ParallelExecutionError as exc:
+            _record_engine_metrics(metrics, len(tasks), 1, 1, len(exc.errors))
+            raise
+        _record_engine_metrics(metrics, len(tasks), 1, 1, 0)
+        return results
     count = min(count, len(tasks))
     if chunksize is None:
         chunksize = max(1, -(-len(tasks) // (4 * count)))
@@ -288,6 +316,7 @@ def run_tasks(
                         progress(done, len(tasks))
     finally:
         _install_worker_fn(None)  # type: ignore[arg-type]
+    _record_engine_metrics(metrics, len(tasks), len(chunks), count, len(errors))
     if errors:
         raise ParallelExecutionError(errors)
     return [results[index] for index in range(len(tasks))]

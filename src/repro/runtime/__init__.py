@@ -30,6 +30,7 @@ from repro.runtime.scheduler import (
     RoundRobinScheduler,
     Scheduler,
     ScriptedScheduler,
+    TracingScheduler,
 )
 from repro.runtime.adversary import (
     Adversary,
@@ -59,6 +60,7 @@ __all__ = [
     "SplitAdversary",
     "StepBudgetExceeded",
     "Trace",
+    "TracingScheduler",
     "WalkBalancingAdversary",
     "derive_rng",
     "derive_seed",

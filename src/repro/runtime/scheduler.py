@@ -112,6 +112,64 @@ class ScriptedScheduler(Scheduler):
         return self._fallback.choose(sim, runnable)
 
 
+class TracingScheduler(Scheduler):
+    """Wraps any scheduler and records what it *granted*.
+
+    The causal layer (:mod:`repro.obs.causality`) attributes latency to
+    the schedule; this wrapper records the schedule's shape from the
+    scheduler's side — grants per pid, the longest consecutive streak each
+    pid was given, and a bounded tail of the grant sequence — without
+    changing a single choice (the inner scheduler sees the same calls in
+    the same order, so a traced run replays identically).
+    """
+
+    def __init__(self, inner: Scheduler, history: int = 1024):
+        if history < 0:
+            raise ValueError(f"history must be >= 0, got {history}")
+        self.inner = inner
+        self.history = history
+        self.grants: dict[int, int] = {}
+        self.max_streak: dict[int, int] = {}
+        self.recent: list[int] = []
+        self._streak_pid: int | None = None
+        self._streak_len = 0
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.grants = {}
+        self.max_streak = {}
+        self.recent = []
+        self._streak_pid = None
+        self._streak_len = 0
+
+    def choose(self, sim: "Simulation", runnable: list[int]) -> int:
+        pid = self.inner.choose(sim, runnable)
+        self.grants[pid] = self.grants.get(pid, 0) + 1
+        if pid == self._streak_pid:
+            self._streak_len += 1
+        else:
+            self._streak_pid = pid
+            self._streak_len = 1
+        if self._streak_len > self.max_streak.get(pid, 0):
+            self.max_streak[pid] = self._streak_len
+        if self.history:
+            self.recent.append(pid)
+            if len(self.recent) > self.history:
+                del self.recent[: len(self.recent) - self.history]
+        return pid
+
+    def to_rows(self) -> list[dict[str, int]]:
+        """One row per pid: grants and longest streak (sorted by pid)."""
+        return [
+            {
+                "pid": pid,
+                "granted": self.grants[pid],
+                "max_streak": self.max_streak.get(pid, 0),
+            }
+            for pid in sorted(self.grants)
+        ]
+
+
 @dataclass
 class CrashPlan:
     """A schedule of permanent process failures.

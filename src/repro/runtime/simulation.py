@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
     from repro.faults.watchdog import Watchdog, WatchdogAlert
+    from repro.obs.timeseries import SeriesSpec
 
 #: How many trailing trace events a degraded outcome carries as evidence.
 TRACE_EXCERPT_EVENTS = 64
@@ -86,6 +87,7 @@ class Simulation:
         record_spans: bool = True,
         metrics: MetricsRegistry | None = None,
         faults: "FaultPlan | None" = None,
+        series: "SeriesSpec | None" = None,
     ):
         if n < 1:
             raise ValueError("need at least one process")
@@ -111,6 +113,14 @@ class Simulation:
             from repro.faults.injector import FaultInjector
 
             self.faults = FaultInjector(faults, self.metrics)
+        self.series_recorder = None
+        if series is not None:
+            # Imported lazily for the same reason as the fault injector:
+            # repro.obs.timeseries sits above the metrics core.
+            from repro.obs.timeseries import SeriesRecorder
+
+            self.series_recorder = SeriesRecorder(self.metrics, series)
+            self.metrics.bind_series(self.series_recorder)
         # Cached instrument handles: the step loop is the hottest path.
         self._steps_by_pid = [
             self.metrics.counter("runtime.steps", pid=pid) for pid in range(n)
@@ -253,6 +263,11 @@ class Simulation:
         process.advance()
         self.step_count += 1
         self._steps_by_pid[pid].inc()
+        if self.series_recorder is not None:
+            # Sampling is keyed to the step counter (the logical clock the
+            # adversary drives), never wall time, so series stay
+            # deterministic per seed.
+            self.series_recorder.maybe_sample(self.step_count)
         if process.state is ProcessState.FAILED:
             raise process.failure  # type: ignore[misc]
         return pid
@@ -329,6 +344,11 @@ class Simulation:
         failure_reason: str | None = None,
         watchdog: "Watchdog | None" = None,
     ) -> SimulationOutcome:
+        if self.series_recorder is not None and self.step_count:
+            # Final sample: the last point of every series reflects the
+            # finished run even when the run length is not a multiple of
+            # the sampling period (idempotent if it already sampled here).
+            self.series_recorder.sample(self.step_count)
         decisions = {
             pid: p.decision
             for pid, p in self.processes.items()

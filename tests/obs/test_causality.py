@@ -1,0 +1,176 @@
+"""Tests for the happens-before DAG, critical-path attribution and the
+adversary table (satellite S4)."""
+
+import json
+
+import pytest
+
+from repro import AdsConsensus, Simulation
+from repro.obs import build_causal_report, causal_report_for
+from repro.obs.causality import LAYERS, classify_event
+from repro.runtime.events import OpEvent, OpSpan
+
+# -- hand-built interleaving -------------------------------------------------
+#
+# Two processes ping-pong through two registers:
+#
+#   step 1  p0 write r        (decide chain root)
+#   step 2  p1 read  r        <- sees p0's write
+#   step 3  p1 write s
+#   step 4  p0 read  s        <- sees p1's write
+#
+# The only maximal chain is 1 -> 2 -> 3 -> 4, so p0's critical path has
+# length 4 and p1's (ending at its last event, step 3) has length 3.
+
+PING_PONG = [
+    OpEvent(step=1, pid=0, kind="write", target="r", value=5),
+    OpEvent(step=2, pid=1, kind="read", target="r", value=5),
+    OpEvent(step=3, pid=1, kind="write", target="s", value=6),
+    OpEvent(step=4, pid=0, kind="read", target="s", value=6),
+]
+
+
+def test_hand_built_critical_path_is_the_full_chain():
+    report = build_causal_report(PING_PONG)
+    assert report.total_events == 4
+    assert report.decided == [0, 1]
+    assert report.critical_pid == 0
+    assert report.critical_length == 4
+    assert report.paths[1].length == 3
+    p0 = report.paths[0]
+    assert p0.per_pid == {0: 2, 1: 2}
+    assert p0.first_step == 1 and p0.last_step == 4
+    # no spans recorded: everything is a bare register op
+    assert p0.per_layer["register.op"] == 4
+
+
+def test_hand_built_adversary_table_counts_every_step():
+    report = build_causal_report(PING_PONG)
+    assert report.adversary == [
+        {"pid": 0, "granted": 2, "on_critical_path": 2, "share": 1.0},
+        {"pid": 1, "granted": 2, "on_critical_path": 2, "share": 1.0},
+    ]
+
+
+def test_independent_processes_have_independent_paths():
+    # p1 reads a register nobody wrote: no cross edge, so each path is
+    # just that process's program order.
+    events = [
+        OpEvent(step=1, pid=0, kind="write", target="r", value=1),
+        OpEvent(step=2, pid=1, kind="read", target="other", value=None),
+        OpEvent(step=3, pid=0, kind="write", target="r", value=2),
+    ]
+    report = build_causal_report(events)
+    assert report.paths[0].length == 2
+    assert report.paths[1].length == 1
+    assert report.critical_pid == 0
+
+
+def test_decisions_restrict_the_decide_nodes():
+    report = build_causal_report(PING_PONG, decisions={1: "v"})
+    assert report.decided == [1]
+    assert report.critical_pid == 1
+    assert report.critical_length == 3
+
+
+def test_steps_by_pid_overrides_the_granted_column():
+    report = build_causal_report(PING_PONG, steps_by_pid={0: 10, 1: 2})
+    rows = {row["pid"]: row for row in report.adversary}
+    assert rows[0]["granted"] == 10
+    assert rows[0]["share"] == pytest.approx(0.2)
+
+
+# -- layer classification ----------------------------------------------------
+
+
+def test_classify_event_layers():
+    flip = OpEvent(step=1, pid=0, kind="atomic_flip", target="coin.c[0]")
+    assert classify_event(flip, None) == "coin.walk"
+    coin_read = OpEvent(step=2, pid=0, kind="read", target="coin.c[1]")
+    assert classify_event(coin_read, None) == "coin.walk"
+    read = OpEvent(step=3, pid=0, kind="read", target="r")
+    assert classify_event(read, None) == "register.op"
+    scan = OpSpan(1, 0, "scan", "M", invoke_step=3, response_step=9)
+    assert classify_event(read, scan) == "scan.collect"
+    write_span = OpSpan(2, 0, "write", "M", invoke_step=3, response_step=9)
+    assert classify_event(read, write_span) == "round.update"
+
+
+def test_third_read_of_a_cell_inside_one_scan_is_a_retry():
+    span = OpSpan(7, 0, "scan", "M", invoke_step=1, response_step=4)
+    events = [
+        OpEvent(step=1, pid=0, kind="read", target="M[0]"),
+        OpEvent(step=2, pid=0, kind="read", target="M[0]"),
+        OpEvent(step=3, pid=0, kind="read", target="M[0]"),
+        OpEvent(step=4, pid=0, kind="read", target="M[0]"),
+    ]
+    report = build_causal_report(events, [span])
+    layers = report.paths[0].per_layer
+    assert layers["scan.collect"] == 2  # the clean double collect
+    assert layers["scan.retry"] == 2  # third and fourth reads
+    assert report.per_layer()["scan.retry"] == 2
+
+
+def test_empty_timeline_raises():
+    sim = Simulation(2, seed=0)
+    with pytest.raises(ValueError, match="record_events=True"):
+        causal_report_for(sim)
+
+
+# -- real runs ----------------------------------------------------------------
+
+
+def _report_for_seed(seed, n=3):
+    run = AdsConsensus().run(
+        [i % 2 for i in range(n)],
+        seed=seed,
+        record_events=True,
+        record_spans=True,
+        keep_simulation=True,
+    )
+    return causal_report_for(run.simulation, run.outcome)
+
+
+def test_critical_path_bounds_hold_across_seeds():
+    # Property from the issue: the critical path can never exceed the
+    # total number of recorded steps, and (since program order alone is a
+    # chain) can never undercut the busiest decided process.
+    for seed in range(6):
+        report = _report_for_seed(seed)
+        assert report.critical_length <= report.total_events
+        decided = set(report.decided)
+        busiest = max(
+            row["granted"]
+            for row in report.adversary
+            if row["pid"] in decided
+        )
+        assert report.critical_length >= busiest
+        for row in report.adversary:
+            assert 0.0 <= row["share"] <= 1.0
+
+
+def test_report_layers_cover_consensus_and_coin_work():
+    per_layer = _report_for_seed(1).per_layer()
+    assert set(per_layer) == set(LAYERS)
+    assert per_layer["round.update"] > 0
+    assert per_layer["scan.collect"] > 0
+
+
+def test_report_json_is_deterministic_per_seed():
+    assert _report_for_seed(3).to_json() == _report_for_seed(3).to_json()
+    payload = json.loads(_report_for_seed(3).to_json())
+    assert payload["critical_length"] == payload["per_layer"]["round.update"] + sum(
+        v for k, v in payload["per_layer"].items() if k != "round.update"
+    )
+
+
+def test_serial_and_parallel_workers_agree_on_causal_json():
+    from repro.parallel import run_tasks
+
+    def analyze(seed):
+        return _report_for_seed(seed).to_json()
+
+    seeds = list(range(4))
+    serial = run_tasks(analyze, seeds, workers=1)
+    parallel = run_tasks(analyze, seeds, workers=4)
+    assert serial == parallel

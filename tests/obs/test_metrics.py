@@ -4,7 +4,12 @@ snapshot determinism and serialization."""
 import json
 
 from repro import AdsConsensus, MetricsRegistry, MetricsSnapshot, Simulation
-from repro.obs.metrics import parse_key
+from repro.obs.metrics import (
+    ZERO_SUMMARY,
+    Histogram,
+    merge_snapshots,
+    parse_key,
+)
 from repro.registers.atomic import AtomicRegister
 
 
@@ -205,3 +210,67 @@ def test_metrics_snapshot_json_is_valid_json():
     run = AdsConsensus().run([0, 1], seed=0)
     payload = json.loads(run.metrics.to_json())
     assert set(payload) == {"counters", "gauges", "histograms"}
+
+
+# -- snapshot merging regressions --------------------------------------------
+
+
+def test_merge_snapshots_of_nothing_is_a_wellformed_empty_snapshot():
+    merged = merge_snapshots([])
+    assert merged.counters == {}
+    assert merged.gauges == {}
+    assert merged.histograms == {}
+    assert merged.series == {}
+    assert json.loads(merged.to_json()) == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def test_merging_two_empty_histogram_summaries_stays_zeroed():
+    # Regression: the count-weighted mean used to divide by a zero total.
+    a = MetricsSnapshot(histograms={"h": dict(ZERO_SUMMARY)})
+    b = MetricsSnapshot(histograms={"h": dict(ZERO_SUMMARY)})
+    merged = merge_snapshots([a, b])
+    assert merged.histograms["h"] == ZERO_SUMMARY
+
+
+def test_merging_empty_into_populated_histogram_keeps_the_data():
+    registry = MetricsRegistry()
+    for v in (2, 4, 6):
+        registry.histogram("h").observe(v)
+    populated = registry.snapshot()
+    empty = MetricsSnapshot(histograms={"h": dict(ZERO_SUMMARY)})
+    for order in ([populated, empty], [empty, populated]):
+        merged = merge_snapshots(order)
+        assert merged.histograms["h"]["count"] == 3
+        assert merged.histograms["h"]["mean"] == 4.0
+
+
+def test_merge_snapshots_same_key_collisions_combine():
+    def snap():
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(3)
+        registry.gauge("peak").set_max(5)
+        registry.histogram("lat").observe(2)
+        return registry.snapshot()
+
+    a, b = snap(), snap()
+    b.gauges["peak"] = 9
+    merged = merge_snapshots([a, b])
+    assert merged.counters["ops"] == 6  # counters add
+    assert merged.gauges["peak"] == 9  # gauges take the max
+    assert merged.histograms["lat"]["count"] == 2  # histograms pool counts
+    assert merged.histograms["lat"]["sum"] == 4
+
+
+def test_histogram_summary_agrees_with_percentile_and_is_stable():
+    histogram = Histogram()
+    for v in (9, 1, 5, 3, 7, 5, 2):
+        histogram.observe(v)
+    first, second = histogram.summary(), histogram.summary()
+    assert first == second  # summary() must not disturb the observations
+    for q, key in ((50, "p50"), (90, "p90"), (99, "p99")):
+        assert first[key] == histogram.percentile(q)
+    assert histogram.observations == [9, 1, 5, 3, 7, 5, 2]  # insertion order

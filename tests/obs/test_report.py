@@ -1,0 +1,96 @@
+"""Tests for the HTML dashboard: self-containment, byte-stability and
+coverage of every gated benchmark (satellite S6)."""
+
+import pathlib
+import re
+
+from repro import AdsConsensus
+from repro.obs import (
+    SeriesSpec,
+    causal_report_for,
+    render_report,
+    write_report,
+)
+from repro.obs.report import gate_all_benchmarks, sparkline
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+RESULTS = REPO / "benchmarks" / "results"
+BASELINES = REPO / "benchmarks" / "baselines"
+
+
+def _full_inputs():
+    run = AdsConsensus().run(
+        [0, 1, 1],
+        seed=7,
+        record_events=True,
+        record_spans=True,
+        keep_simulation=True,
+        series=SeriesSpec(every=64),
+    )
+    causal = causal_report_for(run.simulation, run.outcome)
+    gates = gate_all_benchmarks(RESULTS, BASELINES)
+    meta = {"protocol": "ads", "n": 3, "seed": 7}
+    return run.metrics, causal, gates, meta
+
+
+def test_report_is_self_contained():
+    html = render_report(*_full_inputs())
+    assert "http://" not in html
+    assert "https://" not in html
+    assert "<script" not in html
+    assert 'src="' not in html  # no external images/frames
+    assert "@import" not in html and "url(" not in html
+
+
+def test_report_is_byte_stable():
+    first = render_report(*_full_inputs())
+    second = render_report(*_full_inputs())
+    assert first == second
+
+
+def test_report_covers_all_gated_benchmarks():
+    snapshot, causal, gates, meta = _full_inputs()
+    baselines = sorted(BASELINES.glob("BENCH_*.json"))
+    assert len(baselines) == 14
+    assert len(gates) == len(baselines)
+    html = render_report(snapshot, causal, gates, meta)
+    for path in baselines:
+        assert path.stem.replace("BENCH_", "") in html
+    assert f"/{len(baselines)} benchmarks within tolerance" in html
+
+
+def test_report_renders_series_and_causal_sections():
+    html = render_report(*_full_inputs())
+    assert '<svg class="spark"' in html
+    assert "Causal critical path" in html
+    assert "Adversary attribution" in html
+    assert "runtime.steps" in html
+
+
+def test_report_degrades_without_snapshot_or_causal():
+    html = render_report(None, None, [], {"note": "empty"})
+    assert "metrics disabled" in html
+    assert "causal analysis skipped" in html
+    assert "no BENCH_*.json artifacts found" in html
+
+
+def test_write_report_round_trips(tmp_path):
+    out = write_report(tmp_path / "r.html", None, None, [], {})
+    assert out.read_text() == render_report(None, None, [], {})
+
+
+def test_sparkline_is_deterministic_and_escaped():
+    points = [[0, 0], [64, 3], [128, 3], [192, 9]]
+    first, second = sparkline(points), sparkline(points)
+    assert first == second
+    assert first.startswith('<svg class="spark"')
+    # every coordinate uses the fixed 2-decimal format
+    for coord in re.findall(r"[\d.]+,[\d.]+", first):
+        x, y = coord.split(",")
+        assert "." in x and "." in y
+    assert sparkline([]) == '<svg class="spark" width="220" height="36"></svg>'
+
+
+def test_sparkline_handles_flat_series():
+    flat = sparkline([[1, 5], [2, 5], [3, 5]])
+    assert "NaN" not in flat and "inf" not in flat

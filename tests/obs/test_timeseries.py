@@ -1,0 +1,232 @@
+"""Tests for the time-series layer: sampling determinism, bounded rings,
+merge algebra, and survival across the process boundary."""
+
+import json
+
+import pytest
+
+from repro import AdsConsensus, MetricsRegistry, Simulation
+from repro.obs import SeriesRecorder, SeriesSpec, merge_series_payloads
+from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+from repro.registers.atomic import AtomicRegister
+
+# -- spec validation ---------------------------------------------------------
+
+
+def test_spec_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SeriesSpec(every=0)
+    with pytest.raises(ValueError):
+        SeriesSpec(max_points=0)
+
+
+def test_spec_tracks_by_name_prefix():
+    spec = SeriesSpec(track=("runtime.steps", "coin."))
+    assert spec.tracks("runtime.steps")
+    assert spec.tracks("coin.flips")
+    assert not spec.tracks("snapshot.scans")
+
+
+# -- recorder sampling -------------------------------------------------------
+
+
+def test_recorder_samples_on_period_and_is_idempotent():
+    registry = MetricsRegistry()
+    steps = registry.counter("runtime.steps", pid=0)
+    recorder = SeriesRecorder(registry, SeriesSpec(every=4))
+    for step in range(1, 13):
+        steps.inc()
+        recorder.maybe_sample(step)
+        recorder.maybe_sample(step)  # re-entrant: same step never doubles
+    series = recorder.export()["runtime.steps{pid=0}"]
+    assert series["points"] == [[4, 4], [8, 8], [12, 12]]
+    assert series["kind"] == "counter"
+    assert series["every"] == 4
+    assert series["dropped"] == 0
+
+
+def test_recorder_tracks_gauges_with_kind():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("coin.max_excursion", coin="c")
+    recorder = SeriesRecorder(
+        registry, SeriesSpec(every=1, track=("coin.max_excursion",))
+    )
+    gauge.set_max(3)
+    recorder.sample(1)
+    gauge.set_max(7)
+    recorder.sample(2)
+    series = recorder.export()["coin.max_excursion{coin=c}"]
+    assert series["kind"] == "gauge"
+    assert series["points"] == [[1, 3], [2, 7]]
+
+
+def test_bounded_ring_drops_oldest_and_counts():
+    registry = MetricsRegistry()
+    steps = registry.counter("runtime.steps")
+    recorder = SeriesRecorder(
+        registry, SeriesSpec(every=1, max_points=3, track=("runtime.steps",))
+    )
+    for step in range(1, 6):
+        steps.inc()
+        recorder.sample(step)
+    series = recorder.export()["runtime.steps"]
+    assert series["points"] == [[3, 3], [4, 4], [5, 5]]
+    assert series["dropped"] == 2
+
+
+def test_recorder_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("runtime.steps").inc()
+    recorder = SeriesRecorder(registry, SeriesSpec(every=1))
+    recorder.sample(1)
+    recorder.reset()
+    assert recorder.export() == {}
+    recorder.sample(1)  # step 1 samples again after reset
+    assert recorder.export()["runtime.steps"]["points"] == [[1, 1]]
+
+
+# -- merge algebra -----------------------------------------------------------
+
+
+def _payload(kind, points, every=1, dropped=0):
+    return {"kind": kind, "every": every, "points": points, "dropped": dropped}
+
+
+def test_merge_handles_empty_sides():
+    p = _payload("counter", [[1, 2]])
+    assert merge_series_payloads(None, p) == p
+    assert merge_series_payloads(p, None) == p
+    assert merge_series_payloads(None, None) == {"points": []}
+    # merged payloads are copies: mutating the result leaves inputs alone
+    merged = merge_series_payloads(None, p)
+    merged["points"].append([9, 9])
+    assert p["points"] == [[1, 2]]
+
+
+def test_merge_counters_sum_at_equal_steps():
+    a = _payload("counter", [[1, 2], [2, 5]])
+    b = _payload("counter", [[2, 3], [3, 4]])
+    merged = merge_series_payloads(a, b)
+    assert merged["points"] == [[1, 2], [2, 8], [3, 4]]
+
+
+def test_merge_gauges_take_max_at_equal_steps():
+    a = _payload("gauge", [[1, 9]])
+    b = _payload("gauge", [[1, 4], [2, 2]])
+    merged = merge_series_payloads(a, b)
+    assert merged["points"] == [[1, 9], [2, 2]]
+
+
+def test_merge_is_commutative_and_accumulates_dropped():
+    a = _payload("counter", [[1, 1], [4, 4]], every=4, dropped=2)
+    b = _payload("counter", [[2, 2]], every=2, dropped=1)
+    ab, ba = merge_series_payloads(a, b), merge_series_payloads(b, a)
+    assert ab == ba
+    assert ab["dropped"] == 3
+    assert ab["every"] == 2
+
+
+# -- snapshot round trips ----------------------------------------------------
+
+
+def test_snapshot_serializes_series_and_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("runtime.steps").inc(8)
+    recorder = SeriesRecorder(registry, SeriesSpec(every=2))
+    registry.bind_series(recorder)
+    recorder.sample(2)
+    snapshot = registry.snapshot()
+    restored = MetricsSnapshot.from_json(snapshot.to_json())
+    assert restored.series == snapshot.series
+    assert snapshot.series["runtime.steps"]["points"] == [[2, 8]]
+
+
+def test_snapshot_without_series_keeps_historical_json_shape():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    payload = json.loads(registry.snapshot().to_json())
+    assert set(payload) == {"counters", "gauges", "histograms"}
+
+
+def test_relabel_rekeys_series():
+    snap = MetricsSnapshot(
+        series={"runtime.steps{pid=0}": _payload("counter", [[1, 1]])}
+    )
+    relabeled = snap.relabel(task=3)
+    assert list(relabeled.series) == ["runtime.steps{pid=0,task=3}"]
+
+
+def test_merge_snapshots_unions_series():
+    a = MetricsSnapshot(series={"s{task=0}": _payload("counter", [[1, 1]])})
+    b = MetricsSnapshot(series={"s{task=1}": _payload("counter", [[1, 5]])})
+    merged = merge_snapshots([a, b])
+    assert sorted(merged.series) == ["s{task=0}", "s{task=1}"]
+
+
+def test_absorb_carries_series_across_the_boundary():
+    worker = MetricsRegistry()
+    worker.counter("runtime.steps").inc(4)
+    recorder = SeriesRecorder(worker, SeriesSpec(every=2))
+    worker.bind_series(recorder)
+    recorder.sample(2)
+    parent = MetricsRegistry()
+    parent.absorb(worker.snapshot(), task=7)
+    series = parent.snapshot().series
+    assert series["runtime.steps{task=7}"]["points"] == [[2, 4]]
+    parent.reset()
+    assert parent.snapshot().series == {}
+
+
+# -- simulation + protocol integration ---------------------------------------
+
+
+def test_simulation_series_sample_on_logical_clock():
+    sim = Simulation(2, seed=0, series=SeriesSpec(every=2))
+    reg = AtomicRegister(sim, "r", 0)
+
+    def factory(pid):
+        def body(ctx):
+            for _ in range(3):
+                yield from reg.write(ctx, pid)
+
+        return body
+
+    sim.spawn_all(factory)
+    outcome = sim.run()
+    series = outcome.metrics.series
+    steps = [k for k in series if k.startswith("runtime.steps")]
+    assert steps, series.keys()
+    # the final sample reflects the finished run
+    total = sum(series[k]["points"][-1][1] for k in steps)
+    assert total == outcome.total_steps
+
+
+def test_consensus_series_deterministic_per_seed():
+    spec = SeriesSpec(every=64)
+    first = AdsConsensus().run([0, 1, 1], seed=5, series=spec)
+    second = AdsConsensus().run([0, 1, 1], seed=5, series=spec)
+    assert first.metrics.series
+    assert first.metrics.to_json() == second.metrics.to_json()
+
+
+def test_series_survive_parallel_merge_identically():
+    from repro.parallel import run_tasks
+
+    def one(task):
+        n, seed = task
+        run = AdsConsensus().run(
+            [(seed + i) % 2 for i in range(n)],
+            seed=seed,
+            series=SeriesSpec(every=64),
+        )
+        return run.metrics
+
+    tasks = [(3, s) for s in range(4)]
+
+    def merged(workers):
+        snaps = run_tasks(one, tasks, workers=workers)
+        return merge_snapshots(
+            [s.relabel(task=i) for i, s in enumerate(snaps)]
+        )
+
+    assert merged(1).to_json() == merged(4).to_json()

@@ -187,3 +187,47 @@ def test_error_message_lists_failures():
     message = str(info.value)
     assert "task #0" in message
     assert "ValueError" in message
+
+
+# -- engine self-metrics ------------------------------------------------------
+
+
+def test_serial_run_records_dispatch_metrics():
+    from repro import MetricsRegistry
+
+    registry = MetricsRegistry()
+    run_tasks(_square, [1, 2, 3], workers=1, metrics=registry)
+    snapshot = registry.snapshot()
+    assert snapshot.counters["parallel.tasks"] == 3
+    assert snapshot.counters["parallel.chunks"] == 1
+    assert snapshot.counters["parallel.task_failures"] == 0
+    assert snapshot.gauges["parallel.workers"] == 1
+
+
+@needs_fork
+def test_parallel_run_records_chunks_and_workers():
+    from repro import MetricsRegistry
+
+    registry = MetricsRegistry()
+    run_tasks(_square, list(range(8)), workers=2, chunksize=2, metrics=registry)
+    snapshot = registry.snapshot()
+    assert snapshot.counters["parallel.tasks"] == 8
+    assert snapshot.counters["parallel.chunks"] == 4
+    assert snapshot.gauges["parallel.workers"] == 2
+
+
+def test_failures_counted_even_when_the_run_raises():
+    from repro import MetricsRegistry
+
+    registry = MetricsRegistry()
+    with pytest.raises(ParallelExecutionError):
+        run_tasks(_fail_on_three, [1, 3], workers=1, metrics=registry)
+    assert registry.snapshot().counters["parallel.task_failures"] == 1
+
+
+def test_disabled_registry_records_nothing():
+    from repro import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=False)
+    run_tasks(_square, [1], workers=1, metrics=registry)
+    assert registry.snapshot().counters == {}

@@ -12,6 +12,7 @@ from repro.runtime import (
     RoundRobinScheduler,
     ScriptedScheduler,
     Simulation,
+    TracingScheduler,
 )
 
 
@@ -147,3 +148,46 @@ def test_scheduler_choosing_nonrunnable_pid_is_an_error():
     sim.spawn_all(_looping_factory(sim, iterations=1))
     with pytest.raises(RuntimeError, match="non-runnable"):
         sim.step()
+
+
+def test_tracing_scheduler_replays_identically_to_its_inner():
+    def decisions(scheduler):
+        sim = Simulation(3, scheduler, seed=6)
+        sim.spawn_all(_looping_factory(sim, iterations=10))
+        return sim.run().decisions
+
+    traced = TracingScheduler(RandomScheduler(seed=6))
+    assert decisions(traced) == decisions(RandomScheduler(seed=6))
+
+
+def test_tracing_scheduler_counts_every_grant():
+    traced = TracingScheduler(RandomScheduler(seed=2))
+    sim = Simulation(3, traced, seed=2)
+    sim.spawn_all(_looping_factory(sim, iterations=10))
+    outcome = sim.run()
+    assert sum(traced.grants.values()) == outcome.total_steps
+    assert traced.grants == outcome.steps_by_pid
+    rows = traced.to_rows()
+    assert [r["pid"] for r in rows] == sorted(traced.grants)
+    for row in rows:
+        assert 1 <= row["max_streak"] <= row["granted"]
+
+
+def test_tracing_scheduler_streaks_and_bounded_history():
+    traced = TracingScheduler(ScriptedScheduler([0, 0, 0, 1, 0, 1]), history=4)
+    sim = Simulation(2, traced, seed=0)
+    for pid in (0, 0, 0, 1, 0, 1):
+        assert traced.choose(sim, [0, 1]) == pid
+    assert traced.grants == {0: 4, 1: 2}
+    assert traced.max_streak == {0: 3, 1: 1}
+    assert traced.recent == [0, 1, 0, 1]  # bounded tail keeps the newest
+
+
+def test_tracing_scheduler_reset_and_validation():
+    traced = TracingScheduler(RoundRobinScheduler())
+    sim = Simulation(2, traced, seed=0)
+    traced.choose(sim, [0, 1])
+    traced.reset()
+    assert traced.grants == {} and traced.recent == []
+    with pytest.raises(ValueError):
+        TracingScheduler(RoundRobinScheduler(), history=-1)

@@ -187,6 +187,59 @@ def test_metrics_command_filter(capsys):
     assert "registers.reads" not in out
 
 
+def test_metrics_command_series_every_records_series(capsys):
+    code = main(
+        ["metrics", "--inputs", "0,1", "--seed", "0", "--series-every", "8"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "series" in out
+    assert "runtime.steps{pid=0}" in out
+
+
+def test_metrics_command_series_json_round_trips(capsys):
+    args = ["metrics", "--inputs", "0,1", "--seed", "4", "--series-every", "8"]
+    assert main([*args, "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main([*args, "--json"]) == 0
+    assert first == capsys.readouterr().out
+    import json
+
+    payload = json.loads(first)
+    assert set(payload) == {"counters", "gauges", "histograms", "series"}
+    some_series = payload["series"]["runtime.steps{pid=0}"]
+    assert some_series["every"] == 8
+    assert some_series["points"]
+
+
+def test_report_command_out_writes_selfcontained_html(capsys, tmp_path):
+    target = tmp_path / "report.html"
+    args = [
+        "report",
+        "--out",
+        str(target),
+        "--inputs",
+        "0,1",
+        "--seed",
+        "3",
+        "--series-every",
+        "32",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert str(target) in out
+    html = target.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+    assert "Causal critical path" in html
+    # byte-stability: a second run over the same inputs is identical
+    first = html
+    assert main(args) == 0
+    capsys.readouterr()
+    assert target.read_text() == first
+
+
 def test_trace_command_exports_chrome_file(capsys, tmp_path):
     target = tmp_path / "trace.json"
     code = main(["trace", "--inputs", "0,1", "--seed", "0", "--export", str(target)])
