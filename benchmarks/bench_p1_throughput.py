@@ -1,0 +1,84 @@
+"""P1 — serial step-loop throughput across instrumentation modes.
+
+The reproduction's semantic claims are gated exactly (steps, metrics,
+audits are deterministic per seed); this benchmark records the *physical*
+counterpart: atomic steps per wall-clock second sustained by the serial
+step loop, for three workloads (full ADS consensus, arrow-scan traffic
+only, bounded-coin traffic only) under three instrumentation modes
+(bare / metrics-on / full trace recording).
+
+Gated values: the step counts, which are deterministic per seed and must
+be identical across modes (instrumentation that changed the schedule
+would be a correctness bug — ``throughput_table`` raises on it, and the
+A/B golden tests pin the same invariant).  The ``steps_per_sec`` and
+``overhead_vs_bare_wall`` columns measure the host and are skipped by the
+regression gate (``per_sec`` / ``wall`` are timing-key markers); CI runs
+the gate on this artifact with a wide tolerance anyway, so even incidental
+numeric drift in future columns fails soft rather than flaky.
+"""
+
+from _common import attach_timing, bench_timer, bench_workers, record, reset
+
+from repro.analysis.perfbench import (
+    DEFAULT_SEEDS,
+    overhead_rows,
+    throughput_table,
+)
+
+REPEATS = 3
+
+
+def run_experiment(workers=None):
+    reset("p1")
+    workers = bench_workers() if workers is None else workers
+    with bench_timer("p1", workers=workers):
+        return _run_body()
+
+
+def _run_body():
+    samples = throughput_table(seeds=DEFAULT_SEEDS, repeats=REPEATS)
+    by_cell = {(s.workload, s.mode): s for s in samples}
+    rows = []
+    for row in overhead_rows(samples):
+        rows.append(
+            {
+                "workload": row["workload"],
+                "mode": row["mode"],
+                "steps": row["steps"],
+                "steps_per_sec": row["steps_per_sec"],
+                "overhead_vs_bare_wall": row["overhead_vs_bare"],
+            }
+        )
+    record(
+        "p1",
+        rows,
+        "P1 — serial steps/sec by workload and instrumentation mode",
+    )
+    bare = by_cell[("consensus", "bare")]
+    attach_timing(
+        "p1",
+        "consensus_bare",
+        bare.wall_seconds,
+        steps_per_sec=round(bare.steps_per_sec),
+        repeats=REPEATS,
+    )
+    return rows
+
+
+def test_p1_throughput(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], set()).add(row["steps"])
+    # Instrumentation must not change the schedule: per workload, every
+    # mode took exactly the same number of atomic steps.
+    for workload, counts in by_workload.items():
+        assert len(counts) == 1, (workload, counts)
+        assert counts.pop() > 0
+    # Throughput was actually measured (host-dependent, so no magnitude
+    # assertion here — the 2x acceptance number is recorded in the PR).
+    assert all(row["steps_per_sec"] > 0 for row in rows)
+
+
+if __name__ == "__main__":
+    run_experiment()

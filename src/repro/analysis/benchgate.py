@@ -33,6 +33,7 @@ TIMING_KEY_MARKERS = (
     "workers",
     "cpu",
     "timing",
+    "per_sec",
 )
 
 DEFAULT_TOLERANCE = 0.10

@@ -32,7 +32,12 @@ Commands:
               see ``docs/performance.md``);
 - ``bench`` — list the machine-readable benchmark artifacts and gate them
               against the checked-in baselines (``--check``), the same
-              comparison the CI ``bench-gate`` job runs.
+              comparison the CI ``bench-gate`` job runs;
+- ``profile`` — measure serial step-loop throughput (steps/sec) for the
+              P1 workloads across instrumentation modes (bare / metrics /
+              trace) and print the wall-clock breakdown plus the
+              instrumented-vs-bare overhead ratios (see
+              ``docs/performance.md``).
 
 Every command is seeded and deterministic; exit status is non-zero if a
 safety check fails.
@@ -520,6 +525,45 @@ def cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_profile(args) -> int:
+    """Measure step-loop throughput and instrumentation overhead (P1)."""
+    from repro.analysis.perfbench import DEFAULT_SEEDS, profile_breakdown
+
+    seeds = range(DEFAULT_SEEDS[0], DEFAULT_SEEDS[0] + args.runs)
+    rows, profiler = profile_breakdown(seeds=list(seeds), repeats=args.repeats)
+    print(
+        format_table(
+            rows,
+            title=(
+                f"serial step-loop throughput ({args.runs} seeded runs per "
+                f"cell, best of {args.repeats})"
+            ),
+        )
+    )
+    timing_rows = [
+        {
+            "section": section,
+            "repeats": int(summary["count"]),
+            "min_s": round(summary["min"], 4),
+            "mean_s": round(summary["mean"], 4),
+            "max_s": round(summary["max"], 4),
+        }
+        for section, summary in profiler.sections().items()
+    ]
+    print()
+    print(format_table(timing_rows, title="wall-clock per section (seconds)"))
+    bare = {r["workload"]: r["steps_per_sec"] for r in rows if r["mode"] == "bare"}
+    worst = max(
+        (r["overhead_vs_bare"] for r in rows if r["mode"] == "metrics"),
+        default=0.0,
+    )
+    print(
+        f"\nbare consensus throughput: {bare.get('consensus', 0):,} steps/sec; "
+        f"worst metrics-on overhead: {worst:.2f}x"
+    )
+    return 0
+
+
 def cmd_experiments(args) -> int:
     rows = [
         {
@@ -709,6 +753,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative deviation allowed per value (default 0.10)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="measure step-loop throughput and instrumentation overhead",
+    )
+    profile.add_argument(
+        "--runs",
+        type=int,
+        default=6,
+        metavar="N",
+        help="seeded runs per (workload, mode) cell (default 6)",
+    )
+    profile.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per cell, best one kept (default 3)",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     experiments = sub.add_parser("experiments", help="list E1-E12")
     experiments.set_defaults(func=cmd_experiments)

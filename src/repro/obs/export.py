@@ -23,6 +23,7 @@ import json
 import pathlib
 from typing import Any
 
+from repro.registers.base import slot_items
 from repro.runtime.events import OpEvent, OpSpan
 from repro.runtime.trace import Trace
 
@@ -31,8 +32,10 @@ def jsonable(value: Any) -> Any:
     """Best-effort conversion of a traced value to JSON-compatible data.
 
     Register cells may hold arbitrary protocol structures (tuples,
-    dataclasses such as ``AdsCell``); anything not natively representable
-    falls back to ``repr`` so the export never fails mid-run.
+    dataclasses such as ``AdsCell`` — possibly slotted ones, which expose
+    attributes via ``__slots__`` instead of ``__dict__``); anything not
+    natively representable falls back to ``repr`` so the export never
+    fails mid-run.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
@@ -42,6 +45,9 @@ def jsonable(value: Any) -> Any:
         return {str(k): jsonable(v) for k, v in value.items()}
     if hasattr(value, "__dict__"):
         return {k: jsonable(v) for k, v in vars(value).items()}
+    items = slot_items(value)
+    if items is not None:
+        return {k: jsonable(v) for k, v in items}
     return repr(value)
 
 

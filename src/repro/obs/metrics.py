@@ -104,27 +104,37 @@ class Histogram:
 
     Observations are kept verbatim (runs are bounded, and exactness keeps
     snapshots deterministic); summary statistics are computed lazily at
-    snapshot time.
+    snapshot time, over one cached sorted copy that is invalidated by the
+    next :meth:`observe` — repeated percentile queries between observations
+    (dashboards poll p50/p90/p99 in a burst) sort once, not once per query.
     """
 
-    __slots__ = ("observations",)
+    __slots__ = ("observations", "_sorted")
 
     def __init__(self) -> None:
         self.observations: list[float] = []
+        self._sorted: list[float] | None = None
 
     def observe(self, value: float) -> None:
         self.observations.append(value)
+        self._sorted = None
+
+    def _ordered(self) -> list[float]:
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.observations)
+        return ordered
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, ``q`` in [0, 100]."""
         if not self.observations:
             return 0.0
-        return _nearest_rank(sorted(self.observations), q)
+        return _nearest_rank(self._ordered(), q)
 
     def summary(self) -> dict[str, float]:
         if not self.observations:
             return dict(ZERO_SUMMARY)
-        ordered = sorted(self.observations)
+        ordered = self._ordered()
         total = sum(ordered)
         return {
             "count": len(ordered),

@@ -36,6 +36,19 @@ class AtomicRegister:
         audit: optional shared :class:`MemoryAudit` to report writes to.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_value",
+        "_prev_value",
+        "writers",
+        "audit",
+        "_reads",
+        "_writes",
+        "_magnitude",
+        "_read_intents",
+    )
+
     def __init__(
         self,
         sim: "Simulation",
@@ -58,6 +71,11 @@ class AtomicRegister:
         # Max-value-held gauges subsume the E6 memory audit for audited
         # registers; the audit's measurement is reused, never recomputed.
         self._magnitude = sim.metrics.gauge("memory.max_magnitude", register=name)
+        # Read intents carry no payload, so one immutable intent per reader
+        # pid serves every read of this register (reads dominate the step
+        # mix — a scan is n reads per round — making this the single
+        # biggest allocation site the cache removes).
+        self._read_intents: dict[int, OpIntent] = {}
         if audit is not None:
             self._magnitude.set_max(audit.observe(name, initial))
         sim.register_shared(name, self)
@@ -80,7 +98,12 @@ class AtomicRegister:
         the process really saw, so trace checkers judge the faulty
         behaviour, not the intent.
         """
-        yield OpIntent(ctx.pid, "read", self.name)
+        intent = self._read_intents.get(ctx.pid)
+        if intent is None:
+            intent = self._read_intents[ctx.pid] = OpIntent(
+                ctx.pid, "read", self.name
+            )
+        yield intent
         value = self._value
         injector = self.sim.faults
         if injector is not None:
@@ -88,7 +111,8 @@ class AtomicRegister:
                 self.sim.step_count, ctx.pid, self.name, value, self._prev_value
             )
         self._reads.inc()
-        ctx.record("read", self.name, value)
+        if ctx.recording:
+            ctx.record("read", self.name, value)
         return value
 
     def write(self, ctx: ProcessContext, value: Any) -> Generator[OpIntent, None, None]:
@@ -119,7 +143,8 @@ class AtomicRegister:
             self._value = stored
             if self.audit is not None:
                 self._magnitude.set_max(self.audit.observe(self.name, stored))
-        ctx.record("write", self.name, value)
+        if ctx.recording:
+            ctx.record("write", self.name, value)
 
 
 class RegisterArray:
@@ -128,6 +153,8 @@ class RegisterArray:
     By default register ``i`` is single-writer (owned by pid ``i``), the
     layout used for the ``V_i`` registers of the scannable memory.
     """
+
+    __slots__ = ("name", "registers")
 
     def __init__(
         self,

@@ -13,38 +13,107 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
+def slot_items(value: Any) -> list[tuple[str, Any]] | None:
+    """``(name, value)`` pairs of a ``__slots__``-only object, else ``None``.
+
+    The audit measurers and the trace exporter treat an object's attributes
+    as its contents; for slotted classes (no per-instance ``__dict__``) the
+    slot names across the MRO play the role ``vars()`` plays for ordinary
+    objects.  Unset slots are skipped, mirroring how they would simply be
+    absent from a ``__dict__``.
+    """
+    names: list[str] = []
+    for klass in type(value).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    if not names:
+        return None
+    sentinel = object()
+    return [
+        (name, attr)
+        for name in names
+        if (attr := getattr(value, name, sentinel)) is not sentinel
+    ]
+
+
 def measure_magnitude(value: Any) -> int:
     """Largest absolute integer found anywhere inside ``value``.
 
-    Recurses through tuples, lists, dicts and dataclass-like objects (via
-    ``__dict__``).  Booleans and ``None`` count as 0; strings count as 0
-    (they are labels, not counters).
+    Descends through tuples, lists, dicts and dataclass-like objects (via
+    ``__dict__`` or ``__slots__``).  Booleans and ``None`` count as 0;
+    strings count as 0 (they are labels, not counters).  Iterative — an
+    explicit work stack instead of recursion — because the audit runs on
+    every audited register write.
     """
-    if value is None or isinstance(value, (str, bytes, bool)):
-        return 0
-    if isinstance(value, int):
-        return abs(value)
-    if isinstance(value, float):
-        return int(abs(value))
-    if isinstance(value, dict):
-        parts = list(value.keys()) + list(value.values())
-        return max((measure_magnitude(v) for v in parts), default=0)
-    if isinstance(value, (tuple, list, set, frozenset)):
-        return max((measure_magnitude(v) for v in value), default=0)
-    if hasattr(value, "__dict__"):
-        return measure_magnitude(vars(value))
-    return 0
+    best = 0
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if v is None or isinstance(v, (str, bytes, bool)):
+            continue
+        if isinstance(v, int):
+            if v < 0:
+                v = -v
+            if v > best:
+                best = v
+        elif isinstance(v, float):
+            a = int(abs(v))
+            if a > best:
+                best = a
+        elif isinstance(v, dict):
+            stack.extend(v.keys())
+            stack.extend(v.values())
+        elif isinstance(v, (tuple, list, set, frozenset)):
+            stack.extend(v)
+        elif hasattr(v, "__dict__"):
+            stack.extend(vars(v).values())
+        else:
+            items = slot_items(v)
+            if items is not None:
+                stack.extend(attr for _, attr in items)
+    return best
 
 
 def measure_width(value: Any) -> int:
-    """Number of atomic leaves inside ``value`` (structure size)."""
-    if isinstance(value, dict):
-        return sum(measure_width(v) for v in value.values()) or 1
-    if isinstance(value, (tuple, list, set, frozenset)):
-        return sum(measure_width(v) for v in value) or 1
-    if hasattr(value, "__dict__") and not isinstance(value, (str, bytes)):
-        return measure_width(vars(value))
-    return 1
+    """Number of atomic leaves inside ``value`` (structure size).
+
+    Empty containers count as one leaf; non-empty containers contribute
+    the sum of their elements' widths.  Iterative, like
+    :func:`measure_magnitude`, and with the same ``__slots__`` handling so
+    a slotted cell measures exactly as its ``__dict__`` twin would.
+    """
+    total = 0
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if v is None or isinstance(v, (bool, int, float, str, bytes)):
+            total += 1
+        elif isinstance(v, dict):
+            if v:
+                stack.extend(v.values())
+            else:
+                total += 1
+        elif isinstance(v, (tuple, list, set, frozenset)):
+            if v:
+                stack.extend(v)
+            else:
+                total += 1
+        elif hasattr(v, "__dict__"):
+            d = vars(v)
+            if d:
+                stack.extend(d.values())
+            else:
+                total += 1
+        elif (items := slot_items(v)) is not None:
+            if items:
+                stack.extend(attr for _, attr in items)
+            else:
+                total += 1
+        else:
+            total += 1
+    return total
 
 
 @dataclass

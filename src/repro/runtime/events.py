@@ -21,9 +21,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpIntent:
     """The next atomic operation a process will perform when scheduled.
+
+    One intent is allocated per atomic step (a register's ``read``/``write``
+    generator yields it before taking effect), so the class is slotted: the
+    step loop is the hottest allocation site in the simulator.
 
     Attributes:
         pid: the process about to act.
@@ -38,7 +42,7 @@ class OpIntent:
     payload: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpEvent:
     """One atomic operation that took effect at global step ``step``."""
 
@@ -52,7 +56,7 @@ class OpEvent:
         return f"[{self.step}] p{self.pid} {self.kind} {self.target} = {self.value!r}"
 
 
-@dataclass
+@dataclass(slots=True)
 class OpSpan:
     """A high-level operation execution bracketing many atomic steps.
 

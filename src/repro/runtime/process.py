@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, TYPE_CHECKING
 
 from repro.runtime.events import OpIntent
+from repro.runtime.trace import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.runtime.simulation import Simulation
@@ -43,7 +44,7 @@ class ProcessState(enum.Enum):
     FAILED = "failed"  # raised an exception (a bug, surfaced by the driver)
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessContext:
     """Per-process handle given to process programs.
 
@@ -52,6 +53,9 @@ class ProcessContext:
         n: total number of processes in the simulation.
         rng: this process's private random stream (local coin flips).
         simulation: back-reference used by shared objects to record events.
+        recording: whether the simulation records events or spans; hot
+            call-sites branch on this instead of paying two calls into a
+            trace that keeps nothing (``if ctx.recording: ctx.record(...)``).
         incarnation: 0 for the original run of the program; ``k > 0`` for
             the ``k``-th restart after a crash (crash-recovery model).  A
             restarted incarnation gets a fresh ``local`` dict and a fresh
@@ -64,6 +68,7 @@ class ProcessContext:
     simulation: "Simulation"
     local: dict[str, Any] = field(default_factory=dict)
     incarnation: int = 0
+    recording: bool = True
 
     def record(self, kind: str, target: str, value: Any = None) -> None:
         """Record that this process just performed an atomic operation."""
@@ -76,7 +81,16 @@ class ProcessContext:
         first atomic operation: a process that has *queued* an operation
         but not yet executed any step of it has not invoked it in the
         global-time model.
+
+        When neither events nor spans are recorded the shared
+        :data:`~repro.runtime.trace.NULL_SPAN` is returned instead: no
+        allocation, no id, no clock traffic.  (With event recording on, a
+        real span is still created even if span recording is off, because
+        its stamping consumes logical-clock ticks that recorded event step
+        numbers depend on.)
         """
+        if not self.recording:
+            return NULL_SPAN
         span = self.simulation.trace.begin_span(
             self.pid, kind, target, argument, None
         )
@@ -85,6 +99,8 @@ class ProcessContext:
 
     def end_span(self, span, result: Any = None) -> None:
         """Close a high-level operation span with its result."""
+        if span is NULL_SPAN:
+            return
         self.simulation.trace.end_span(span, self.simulation.next_tick(), result)
 
 
@@ -93,8 +109,22 @@ class Process:
 
     The wrapper tracks the pending :class:`OpIntent` (the last yielded
     value), the lifecycle state, step counts, and the final decision returned
-    by the program.
+    by the program.  Slotted: one instance per process, but its ``state`` /
+    ``pending`` attributes are read several times per simulation step.
     """
+
+    __slots__ = (
+        "pid",
+        "ctx",
+        "program",
+        "state",
+        "decision",
+        "steps_taken",
+        "restarts",
+        "pending",
+        "failure",
+        "_generator",
+    )
 
     def __init__(self, pid: int, ctx: ProcessContext, program: ProcessProgram):
         self.pid = pid

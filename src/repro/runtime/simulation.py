@@ -34,6 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: How many trailing trace events a degraded outcome carries as evidence.
 TRACE_EXCERPT_EVENTS = 64
 
+_RUNNABLE = ProcessState.RUNNABLE
+_FAILED = ProcessState.FAILED
+
 
 class StepBudgetExceeded(Exception):
     """Raised when a run does not terminate within its step budget.
@@ -105,6 +108,10 @@ class Simulation:
         self._restart_schedule = self.recovery_plan.schedule()
         self._restart_index = 0
         self.trace = Trace(record_events=record_events, record_spans=record_spans)
+        # Recording flag consulted on every atomic operation: when neither
+        # events nor spans are kept, the per-op trace work (event object,
+        # clock ticks, span stamping) is skipped wholesale.
+        self._recording = record_events or record_spans
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.faults: "FaultInjector | None" = None
         if faults is not None:
@@ -127,9 +134,18 @@ class Simulation:
         ]
         self._crash_counter = self.metrics.counter("runtime.crashes")
         self._restart_counter = self.metrics.counter("runtime.restarts")
+        # True while any crash/restart entry has not fired yet; lets the
+        # step loop skip the schedule scan entirely in fault-free runs.
+        self._fault_entries_pending = bool(
+            self._crash_schedule or self._restart_schedule
+        )
         self.step_count = 0
         self._clock = 0
         self.processes: dict[int, Process] = {}
+        # pid-sorted (pid, process) pairs, rebuilt on spawn.  Process
+        # objects are mutated in place (crash/restart/finish), never
+        # replaced, so the sorted view stays valid between spawns.
+        self._proc_seq: list[tuple[int, Process]] = []
         self.shared: dict[str, Any] = {}
         # Spans opened but not yet stamped with an invocation instant;
         # stamped at the owning process's next atomic operation.
@@ -150,6 +166,7 @@ class Simulation:
             rng=derive_rng(self.seed, *tags),
             simulation=self,
             incarnation=incarnation,
+            recording=self._recording,
         )
 
     def spawn(self, pid: int, program: ProcessProgram) -> None:
@@ -159,6 +176,7 @@ class Simulation:
         if not 0 <= pid < self.n:
             raise ValueError(f"pid {pid} out of range for n={self.n}")
         self.processes[pid] = Process(pid, self.context(pid), program)
+        self._proc_seq = sorted(self.processes.items())
 
     def spawn_all(self, program_factory: Callable[[int], ProcessProgram]) -> None:
         """Spawn processes ``0..n-1`` with per-pid programs."""
@@ -178,6 +196,11 @@ class Simulation:
         return self._clock
 
     def record_event(self, pid: int, kind: str, target: str, value: Any) -> None:
+        if not self._recording:
+            # Nothing keeps events or spans: no ticks, no allocation.  The
+            # logical clock is unobservable in this mode (nothing reads it),
+            # so skipping it cannot change any output.
+            return
         pending = self.pending_invokes.get(pid)
         if pending:
             # This atomic operation is the first step of every span the
@@ -186,12 +209,19 @@ class Simulation:
             for span in pending:
                 span.invoke_step = self.next_tick()
             pending.clear()
-        self.trace.add_event(OpEvent(self.next_tick(), pid, kind, target, value))
+        if self.trace.record_events:
+            self.trace.events.append(
+                OpEvent(self.next_tick(), pid, kind, target, value)
+            )
+        else:
+            # Span recording is on: the event's instant must still consume
+            # a tick so span invoke/response stamps keep their positions.
+            self.next_tick()
 
     # -- execution ----------------------------------------------------------
 
     def runnable_pids(self) -> list[int]:
-        return [pid for pid, p in sorted(self.processes.items()) if p.runnable]
+        return [pid for pid, p in self._proc_seq if p.state is _RUNNABLE]
 
     def crash(self, pid: int) -> None:
         self.processes[pid].crash()
@@ -239,8 +269,12 @@ class Simulation:
         process's exception if its program raised (a protocol bug should
         never be silent).
         """
-        self._apply_fault_schedules()
-        runnable = self.runnable_pids()
+        if self._fault_entries_pending:
+            self._apply_fault_schedules()
+            self._fault_entries_pending = self._crash_index < len(
+                self._crash_schedule
+            ) or self._restart_index < len(self._restart_schedule)
+        runnable = [pid for pid, p in self._proc_seq if p.state is _RUNNABLE]
         if not runnable and self._restart_index < len(self._restart_schedule):
             # Everyone alive is done/crashed but restarts are still
             # scheduled.  Global time is measured in process steps, so it
@@ -257,9 +291,9 @@ class Simulation:
         if not runnable:
             return None
         pid = self.scheduler.choose(self, runnable)
-        if pid not in self.processes or not self.processes[pid].runnable:
+        process = self.processes.get(pid)
+        if process is None or process.state is not _RUNNABLE:
             raise RuntimeError(f"scheduler chose non-runnable pid {pid}")
-        process = self.processes[pid]
         process.advance()
         self.step_count += 1
         self._steps_by_pid[pid].inc()
@@ -268,7 +302,7 @@ class Simulation:
             # adversary drives), never wall time, so series stay
             # deterministic per seed.
             self.series_recorder.maybe_sample(self.step_count)
-        if process.state is ProcessState.FAILED:
+        if process.state is _FAILED:
             raise process.failure  # type: ignore[misc]
         return pid
 

@@ -20,6 +20,56 @@ from typing import Any, Iterable
 from repro.runtime.events import OpEvent, OpSpan
 
 
+class _NullSpanMeta(dict):
+    """A ``meta`` dict that silently discards writes (shared, stays empty)."""
+
+    __slots__ = ()
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        pass
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        return default
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+class NullSpan:
+    """Shared no-op stand-in returned by ``ctx.begin_span`` when nothing
+    records.
+
+    With both event and span recording off, a span would be allocated,
+    id-stamped and clock-stamped only to be thrown away; protocol code
+    still *writes* to it (``span.meta["wseq"] = ...``) but nothing ever
+    reads it back.  This singleton absorbs those writes for free, which is
+    what makes disabled tracing zero-cost on the per-operation hot path.
+    """
+
+    __slots__ = ()
+
+    span_id = -1
+    pid = -1
+    kind = ""
+    target = ""
+    invoke_step = None
+    response_step = None
+    argument = None
+    result = None
+    meta = _NullSpanMeta()
+    is_open = True
+
+    def precedes(self, other: Any) -> bool:
+        return False
+
+    def overlaps(self, other: Any) -> bool:
+        return False
+
+
+#: The shared no-op span (identity-checked by ``ProcessContext.end_span``).
+NULL_SPAN = NullSpan()
+
+
 class Trace:
     """Recorded history of one simulation run."""
 

@@ -123,6 +123,22 @@ class ArrowScannableMemory(ScannableMemory):
                     )
                 else:
                     raise ValueError(f"unknown arrow_kind: {arrow_kind!r}")
+        # Per-pid register views, precomputed once: the scan loop touches
+        # every one of these per round, and indexing ``self.A[i][j]`` /
+        # ``self.V[i]`` per access was a measurable share of scan cost.
+        self._v_regs = self.V.registers
+        self._others = [[j for j in range(n) if j != i] for i in range(n)]
+        # Row i: the arrows scanner i re-arms and reads (A[i][j], j != i).
+        self._scan_arrows = [
+            [self.A[i][j] for j in self._others[i]] for i in range(n)
+        ]
+        # Column i: the arrows writer i raises (A[j][i], j != i).
+        self._write_arrows = [
+            [self.A[j][i] for j in self._others[i]] for i in range(n)
+        ]
+        self._other_vregs = [
+            [self._v_regs[j] for j in self._others[i]] for i in range(n)
+        ]
         sim.register_shared(name, self)
 
     # -- operations ----------------------------------------------------------
@@ -132,10 +148,10 @@ class ArrowScannableMemory(ScannableMemory):
         i = ctx.pid
         span = ctx.begin_span("write", self.name, value)
         self._writes.inc()
-        for j in range(self.n):
-            if j != i:
-                yield from self.A[j][i].write(ctx, 1)
-                self._arrow_toggles.inc()
+        arrow_toggles = self._arrow_toggles
+        for reg in self._write_arrows[i]:
+            yield from reg.write(ctx, 1)
+            arrow_toggles.inc()
         self._toggle[i] ^= 1
         self._wseq[i] += 1
         span.meta["wseq"] = self._wseq[i]
@@ -146,7 +162,7 @@ class ArrowScannableMemory(ScannableMemory):
             self._value_magnitude.set_max(
                 self.audit.observe(f"{self.name}.V[{i}]", (value, self._toggle[i]))
             )
-        yield from self.V[i].write(ctx, cell)
+        yield from self._v_regs[i].write(ctx, cell)
         self._last_written[i] = value
         ctx.end_span(span)
 
@@ -155,50 +171,68 @@ class ArrowScannableMemory(ScannableMemory):
         i = ctx.pid
         span = ctx.begin_span("scan", self.name)
         self._scans.inc()
-        others = [j for j in range(self.n) if j != i]
+        scan_arrows = self._scan_arrows[i]
+        other_vregs = self._other_vregs[i]
+        arrow_toggles = self._arrow_toggles
+        max_rounds = self.max_rounds
+        # Collect buffers live for one scan call and are cleared between
+        # retry rounds (per-call, not per-instance: concurrent scans by
+        # different pids each hold their own).
+        first: list = []
+        second: list = []
+        arrows: list = []
         rounds = 0
         while True:
             rounds += 1
             self._attempts += 1
             if rounds > 1:
                 self._retries.inc()
-            if self.max_rounds is not None and rounds > self.max_rounds:
+            if max_rounds is not None and rounds > max_rounds:
                 raise ScanRetriesExceeded(
-                    f"scan by {i} on {self.name} exceeded {self.max_rounds} rounds"
+                    f"scan by {i} on {self.name} exceeded {max_rounds} rounds"
                 )
-            for j in others:
-                yield from self.A[i][j].write(ctx, 0)
-                self._arrow_toggles.inc()
-            first = {}
-            for j in others:
-                first[j] = yield from self.V[j].read(ctx)
-            second = {}
-            for j in others:
-                second[j] = yield from self.V[j].read(ctx)
-            arrows = {}
-            for j in others:
-                arrows[j] = yield from self.A[i][j].read(ctx)
-            clean = all(
-                arrows[j] == 0
-                and first[j][_VALUE] == second[j][_VALUE]
-                and first[j][_TOGGLE] == second[j][_TOGGLE]
-                for j in others
-            )
+            for reg in scan_arrows:
+                yield from reg.write(ctx, 0)
+                arrow_toggles.inc()
+            first.clear()
+            for reg in other_vregs:
+                first.append((yield from reg.read(ctx)))
+            second.clear()
+            for reg in other_vregs:
+                second.append((yield from reg.read(ctx)))
+            arrows.clear()
+            for reg in scan_arrows:
+                arrows.append((yield from reg.read(ctx)))
+            clean = True
+            for k in range(len(second)):
+                f = first[k]
+                s = second[k]
+                if arrows[k] != 0 or f[_VALUE] != s[_VALUE] or f[_TOGGLE] != s[_TOGGLE]:
+                    clean = False
+                    break
             if clean:
                 break
         self._scan_rounds.observe(rounds)
         view = []
-        wseqs = []
+        k = 0
         for j in range(self.n):
             if j == i:
                 view.append(self._last_written[i])
-                wseqs.append(self._wseq[i] if self.ghost else 0)
             else:
-                view.append(second[j][_VALUE])
-                wseqs.append(second[j][_WSEQ])
-        span.meta["wseqs"] = tuple(wseqs)
-        span.meta["rounds"] = rounds
-        ctx.end_span(span, tuple(view))
+                view.append(second[k][_VALUE])
+                k += 1
+        if ctx.recording:
+            wseqs = []
+            k = 0
+            for j in range(self.n):
+                if j == i:
+                    wseqs.append(self._wseq[i] if self.ghost else 0)
+                else:
+                    wseqs.append(second[k][_WSEQ])
+                    k += 1
+            span.meta["wseqs"] = tuple(wseqs)
+            span.meta["rounds"] = rounds
+            ctx.end_span(span, tuple(view))
         return view
 
     # -- inspection ------------------------------------------------------------

@@ -37,8 +37,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.simulation import Simulation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Cell:
+    # Slotted: one cell per register write, and the memory audit measures
+    # each one on the spot (the measurers understand ``__slots__`` objects,
+    # so audit numbers are unchanged by the slotting).
     value: Any
     seq: int
     view: tuple  # the writer's embedded snapshot
@@ -78,12 +81,14 @@ class EmbeddedScanSnapshot(ScannableMemory):
 
     # -- internals -------------------------------------------------------------
 
-    def _collect(self, ctx: ProcessContext) -> Generator[OpIntent, None, list[_Cell]]:
-        collected = []
-        for j in range(self.n):
-            cell = yield from self.cells[j].read(ctx)
-            collected.append(cell)
-        return collected
+    def _collect(
+        self, ctx: ProcessContext, into: list[_Cell]
+    ) -> Generator[OpIntent, None, list[_Cell]]:
+        into.clear()
+        for reg in self.cells.registers:
+            cell = yield from reg.read(ctx)
+            into.append(cell)
+        return into
 
     def _scan_internal(
         self, ctx: ProcessContext
@@ -92,12 +97,17 @@ class EmbeddedScanSnapshot(ScannableMemory):
         moved: set[int] = set()
         rounds = 1
         self._attempts += 1
-        old = yield from self._collect(ctx)
+        # Two alternating collect buffers, local to this scan call: the
+        # previous round's "new" becomes "old", and the retired buffer is
+        # refilled instead of a fresh list being allocated every round.
+        buf_a: list[_Cell] = []
+        buf_b: list[_Cell] = []
+        old = yield from self._collect(ctx, buf_a)
         while True:
             rounds += 1
             self._attempts += 1
             self._retries.inc()
-            new = yield from self._collect(ctx)
+            new = yield from self._collect(ctx, buf_b if old is buf_a else buf_a)
             movers = [j for j in range(self.n) if new[j].seq != old[j].seq]
             if not movers:
                 view = tuple(cell.value for cell in new)

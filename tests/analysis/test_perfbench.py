@@ -1,0 +1,88 @@
+"""Tests for the throughput/profiling subsystem (``repro.analysis.perfbench``)."""
+
+import pytest
+
+from repro.analysis.perfbench import (
+    MODES,
+    ThroughputSample,
+    WORKLOADS,
+    measure_throughput,
+    overhead_rows,
+    profile_breakdown,
+    run_workload,
+    throughput_table,
+)
+
+FAST_SEEDS = (100, 101)
+
+
+def test_step_counts_deterministic_and_mode_independent():
+    for workload in WORKLOADS:
+        counts = {mode: run_workload(workload, mode, FAST_SEEDS) for mode in MODES}
+        assert len(set(counts.values())) == 1, (workload, counts)
+        assert counts["bare"] > 0
+        # And stable across repeat invocations of the same cell.
+        assert run_workload(workload, "bare", FAST_SEEDS) == counts["bare"]
+
+
+def test_measure_throughput_returns_positive_sample():
+    sample = measure_throughput("coin", "bare", seeds=FAST_SEEDS, repeats=1)
+    assert sample.workload == "coin"
+    assert sample.mode == "bare"
+    assert sample.steps > 0
+    assert sample.wall_seconds > 0
+    assert sample.steps_per_sec == pytest.approx(sample.steps / sample.wall_seconds)
+
+
+def test_steps_per_sec_zero_guard():
+    assert ThroughputSample("w", "bare", 10, 0.0).steps_per_sec == 0.0
+
+
+def test_throughput_table_passes_on_agreeing_modes():
+    samples = throughput_table(
+        workloads=("coin",), modes=("bare", "metrics"), seeds=FAST_SEEDS, repeats=1
+    )
+    assert len(samples) == 2
+    assert samples[0].steps == samples[1].steps
+
+
+def test_throughput_table_rejects_schedule_divergence(monkeypatch):
+    import repro.analysis.perfbench as perfbench
+
+    def divergent(workload, mode, seeds):
+        # Simulate an instrumentation bug: trace mode takes an extra step.
+        return 100 + (1 if mode == "trace" else 0)
+
+    monkeypatch.setattr(perfbench, "run_workload", divergent)
+    with pytest.raises(AssertionError, match="changed the schedule"):
+        perfbench.throughput_table(
+            workloads=("coin",), seeds=FAST_SEEDS, repeats=1
+        )
+
+
+def test_overhead_rows_ratios_relative_to_bare():
+    samples = [
+        ThroughputSample("consensus", "bare", 1000, 0.5),
+        ThroughputSample("consensus", "metrics", 1000, 0.6),
+        ThroughputSample("consensus", "trace", 1000, 1.0),
+    ]
+    rows = overhead_rows(samples)
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["bare"]["overhead_vs_bare"] == 1.0
+    assert by_mode["metrics"]["overhead_vs_bare"] == 1.2
+    assert by_mode["trace"]["overhead_vs_bare"] == 2.0
+    assert by_mode["bare"]["steps_per_sec"] == 2000
+
+
+def test_overhead_rows_skips_workloads_without_bare():
+    assert overhead_rows([ThroughputSample("scan", "metrics", 10, 0.1)]) == []
+
+
+def test_profile_breakdown_sections_cover_every_cell():
+    rows, profiler = profile_breakdown(seeds=FAST_SEEDS, repeats=1)
+    assert {(r["workload"], r["mode"]) for r in rows} == {
+        (w, m) for w in WORKLOADS for m in MODES
+    }
+    sections = profiler.sections()
+    assert set(sections) == {f"{w}.{m}" for w in WORKLOADS for m in MODES}
+    assert all(summary["count"] == 1 for summary in sections.values())

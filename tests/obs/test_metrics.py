@@ -51,6 +51,20 @@ def test_histogram_summary_and_percentiles():
     assert summary["p90"] in (9, 10)
 
 
+def test_histogram_percentile_cache_invalidated_by_observe():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    for v in [5, 1, 3]:
+        histogram.observe(v)
+    assert histogram.percentile(100) == 5
+    assert histogram.percentile(0) == 1  # served from the cached sort
+    histogram.observe(0)  # must invalidate the cached ordering
+    assert histogram.percentile(0) == 0
+    assert histogram.percentile(100) == 5
+    # The raw observation list stays in arrival order regardless.
+    assert histogram.observations == [5, 1, 3, 0]
+
+
 def test_empty_histogram_summary_is_zeroed():
     registry = MetricsRegistry()
     registry.histogram("h")

@@ -51,7 +51,7 @@ def test_report_is_byte_stable():
 def test_report_covers_all_gated_benchmarks():
     snapshot, causal, gates, meta = _full_inputs()
     baselines = sorted(BASELINES.glob("BENCH_*.json"))
-    assert len(baselines) == 14
+    assert len(baselines) == 15  # E1-E12, X1, X2, P1
     assert len(gates) == len(baselines)
     html = render_report(snapshot, causal, gates, meta)
     for path in baselines:

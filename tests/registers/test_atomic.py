@@ -8,7 +8,7 @@ from repro.registers import (
     RegisterArray,
     measure_magnitude,
 )
-from repro.registers.base import measure_width
+from repro.registers.base import measure_width, slot_items
 from repro.runtime import RoundRobinScheduler, Simulation
 
 
@@ -88,6 +88,60 @@ def test_measure_width_counts_leaves():
     assert measure_width(5) == 1
     assert measure_width((1, 2, 3)) == 3
     assert measure_width({"a": (1, 2), "b": 3}) == 3
+
+
+class _DictPoint:
+    def __init__(self, x, y, tag=None):
+        self.x = x
+        self.y = y
+        self.tag = tag
+
+
+class _SlottedPoint:
+    __slots__ = ("x", "y", "tag")
+
+    def __init__(self, x, y, tag=None):
+        self.x = x
+        self.y = y
+        self.tag = tag
+
+
+class _SlottedChild(_SlottedPoint):
+    __slots__ = ("z",)
+
+    def __init__(self, x, y, z):
+        super().__init__(x, y)
+        self.z = z
+
+
+def test_slot_items_walks_mro_and_skips_unset_slots():
+    assert slot_items(_DictPoint(1, 2)) is None  # has __dict__, not slotted
+    assert dict(slot_items(_SlottedPoint(1, -2))) == {"x": 1, "y": -2, "tag": None}
+    assert dict(slot_items(_SlottedChild(1, 2, 3))) == {
+        "x": 1,
+        "y": 2,
+        "tag": None,
+        "z": 3,
+    }
+    partial = _SlottedPoint.__new__(_SlottedPoint)
+    partial.x = 9  # y and tag left unset: must be skipped, not raise
+    assert dict(slot_items(partial)) == {"x": 9}
+
+
+def test_measurers_agree_on_slotted_and_dict_objects():
+    """Slotting a value type must not change audit numbers."""
+    for args in [(-7, 3, "t"), (0, 100, None)]:
+        assert measure_magnitude(_SlottedPoint(*args)) == measure_magnitude(
+            _DictPoint(*args)
+        )
+        assert measure_width(_SlottedPoint(*args)) == measure_width(
+            _DictPoint(*args)
+        )
+    nested = [(_SlottedChild(1, -42, 5), {"k": _SlottedPoint(2, 3)})]
+    assert measure_magnitude(nested) == 42
+    # Inherited slots count too: x, y, tag=None, z=(3, 4) is 5 leaves.
+    assert measure_width(_SlottedChild(1, 2, (3, 4))) == 5
+
 
 
 def test_audit_tracks_maxima_across_writes():

@@ -1,0 +1,59 @@
+"""A/B equivalence golden tests (the hot-path overhaul's contract).
+
+``tests/golden/ab_golden.json`` was recorded *before* the hot-path
+overhaul.  Each test regenerates one section with the current code and
+asserts every value — decisions, step counts, audit numbers, metrics /
+causal-report / merged-snapshot digests — is bit-identical.  A failure
+here means an optimisation changed observable behaviour: RNG draw order,
+logical-clock ticks, serialization, or the schedule itself.
+
+If a change *intentionally* alters semantics, regenerate with
+``PYTHONPATH=src python tests/golden/generate_ab_golden.py`` and commit
+the diff with the explanation.
+"""
+
+import json
+import pathlib
+
+from tests.golden import generate_ab_golden as gen
+
+GOLDEN = json.loads(gen.GOLDEN_PATH.read_text())
+
+
+def test_golden_file_is_normalised():
+    # Regenerated files must diff clean: sorted keys, indent 2, newline.
+    raw = gen.GOLDEN_PATH.read_text()
+    assert raw == json.dumps(GOLDEN, indent=2, sort_keys=True) + "\n"
+    assert gen.GOLDEN_PATH == pathlib.Path(gen.__file__).parent / "ab_golden.json"
+
+
+def test_consensus_outcomes_metrics_and_audits_unchanged():
+    assert gen.consensus_goldens() == GOLDEN["consensus"]
+
+
+def test_disabled_instrumentation_matches_instrumented_runs():
+    rows = gen.disabled_instrumentation_golden()
+    assert rows == GOLDEN["disabled_instrumentation"]
+    # The instrumentation-off runs must agree with the instrumented
+    # goldens seed-by-seed: metrics can never steer the schedule.
+    by_seed = {row["seed"]: row for row in GOLDEN["consensus"]}
+    for row in rows:
+        full = by_seed[row["seed"]]
+        assert row["decisions"] == full["decisions"]
+        assert row["total_steps"] == full["total_steps"]
+
+
+def test_causal_report_digest_unchanged():
+    assert gen.causal_golden() == GOLDEN["causal"]
+
+
+def test_fuzz_grid_unchanged():
+    assert gen.fuzz_golden() == GOLDEN["fuzz"]
+
+
+def test_mutation_campaign_digest_unchanged():
+    assert gen.campaign_golden() == GOLDEN["campaign"]
+
+
+def test_serial_and_parallel_merges_unchanged():
+    assert gen.parallel_merge_golden() == GOLDEN["parallel_merge"]

@@ -130,6 +130,18 @@ def test_experiments_command(capsys):
         assert experiment_id in out
 
 
+def test_profile_command_prints_throughput_and_sections(capsys):
+    code = main(["profile", "--runs", "1", "--repeats", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for workload in ("consensus", "scan", "coin"):
+        assert workload in out
+    for mode in ("bare", "metrics", "trace"):
+        assert mode in out
+    assert "wall-clock per section" in out
+    assert "bare consensus throughput:" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
