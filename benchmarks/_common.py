@@ -37,6 +37,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.parallel import available_workers, resolve_workers
+from repro.version import provenance
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BASELINES_DIR = pathlib.Path(__file__).parent / "baselines"
@@ -75,6 +76,10 @@ def _rewrite(experiment: str) -> None:
     _txt_path(experiment).write_text("\n\n".join(tables.values()) + "\n")
     payload = {
         "experiment": experiment,
+        # Which code produced this artifact (package version, git SHA,
+        # ledger schema).  A top-level key the regression gate never
+        # compares — provenance identifies, it does not gate.
+        "provenance": provenance(),
         "tables": [
             {"title": title, "rows": rows}
             for title, rows in _JSON_TABLES.get(experiment, {}).items()
@@ -170,12 +175,53 @@ def attach_timing(
 @contextlib.contextmanager
 def bench_timer(experiment: str, workers: int = 1):
     """Time a benchmark's main body and attach it as ``timings.total``, so
-    every artifact carries its wall-clock alongside the measured metric."""
+    every artifact carries its wall-clock alongside the measured metric.
+    On exit the finished artifact is also appended to the run ledger when
+    ``REPRO_LEDGER`` names one (see :func:`record_ledger`)."""
     start = time.perf_counter()
     try:
         yield
     finally:
         attach_timing(experiment, "total", time.perf_counter() - start, workers)
+        record_ledger(experiment)
+
+
+def record_ledger(experiment: str) -> bool:
+    """Append this benchmark's finished artifact to the run ledger.
+
+    Off unless the ``REPRO_LEDGER`` environment variable names a ledger
+    file (how the CI perf-smoke job opts in).  The record's deterministic
+    identity is the artifact minus its timing-marker keys — exactly what
+    the regression gate compares — so reruns at the same code version are
+    cache hits, while a changed *measured* value under an unchanged
+    fingerprint is preserved as determinism-violation evidence for
+    ``repro history check``.  Wall-clock data rides in the record's
+    ``timings`` field, outside the identity.
+    """
+    from repro.analysis.benchgate import strip_timing_values
+    from repro.obs.ledger import ledger_from_env, make_record
+
+    ledger = ledger_from_env()
+    if ledger is None:
+        return False
+    tables = [
+        {"title": title, "rows": rows}
+        for title, rows in _JSON_TABLES.get(experiment, {}).items()
+    ]
+    extras = _JSON_EXTRAS.get(experiment, {})
+    outcome = strip_timing_values(
+        {"tables": tables, "metrics": extras.get("metrics", {})}
+    )
+    return ledger.append(
+        make_record(
+            kind="bench",
+            experiment=f"bench:{experiment}",
+            seed=0,
+            config={"experiment": experiment, "kind": "bench"},
+            outcome=outcome,
+            timings=extras.get("timings", {}),
+        )
+    )
 
 
 def record_speedup(

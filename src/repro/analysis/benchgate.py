@@ -44,13 +44,38 @@ def is_timing_key(key: str) -> bool:
     return any(marker in lowered for marker in TIMING_KEY_MARKERS)
 
 
+def strip_timing_values(payload: Any) -> Any:
+    """A deep copy of a payload with every timing-marker key removed.
+
+    The inverse view of :func:`is_timing_key`: what remains is exactly
+    the host-independent content the gate compares, which is also what
+    the run ledger files under a record's deterministic identity."""
+    if isinstance(payload, Mapping):
+        return {
+            str(k): strip_timing_values(v)
+            for k, v in payload.items()
+            if not is_timing_key(str(k))
+        }
+    if isinstance(payload, list):
+        return [strip_timing_values(v) for v in payload]
+    return payload
+
+
 @dataclass
 class GateResult:
-    """Outcome of gating one experiment's artifact against its baseline."""
+    """Outcome of gating one experiment's artifact against its baseline.
+
+    ``problems`` are the human-readable findings; ``deviations`` mirror
+    the value-level ones structurally (location, expected, actual) so the
+    CLI can print an expected-vs-actual diff instead of a bare mismatch.
+    """
 
     experiment: str
     problems: list[str] = field(default_factory=list)
     compared: int = 0
+    deviations: list[dict] = field(default_factory=list)
+    baseline_file: str = ""
+    artifact_file: str = ""
 
     @property
     def ok(self) -> bool:
@@ -58,14 +83,24 @@ class GateResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.problems)} deviations"
-        return f"{self.experiment.upper()}: {self.compared} values compared, {status}"
+        text = f"{self.experiment.upper()}: {self.compared} values compared, {status}"
+        if not self.ok and self.baseline_file:
+            text += f" (baseline {self.baseline_file})"
+        return text
 
 
-def _within(baseline: float, measured: float, tolerance: float) -> bool:
+def within_tolerance(baseline: float, measured: float, tolerance: float) -> bool:
+    """The repo-wide relative comparator: equal, or within ``tolerance``
+    of the larger magnitude.  Shared by the benchmark gate and the run
+    ledger's rolling-baseline trend gate (``repro history check``)."""
     if baseline == measured:
         return True
     denom = max(abs(baseline), abs(measured), 1e-12)
     return abs(measured - baseline) / denom <= tolerance
+
+
+# Backwards-compatible private alias (pre-ledger name).
+_within = within_tolerance
 
 
 def _compare_value(
@@ -81,16 +116,27 @@ def _compare_value(
             result.problems.append(
                 f"{location}: expected {baseline!r}, got {measured!r}"
             )
+            result.deviations.append(
+                {"location": location, "expected": baseline, "actual": measured}
+            )
         result.compared += 1
         return
     if isinstance(baseline, (int, float)) and isinstance(measured, (int, float)):
         result.compared += 1
-        if not _within(float(baseline), float(measured), tolerance):
+        if not within_tolerance(float(baseline), float(measured), tolerance):
             denom = max(abs(baseline), abs(measured), 1e-12)
             drift = abs(measured - baseline) / denom
             result.problems.append(
                 f"{location}: {measured!r} deviates {drift:.1%} from baseline "
                 f"{baseline!r} (tolerance {tolerance:.0%})"
+            )
+            result.deviations.append(
+                {
+                    "location": location,
+                    "expected": baseline,
+                    "actual": measured,
+                    "drift": round(drift, 4),
+                }
             )
         return
     if isinstance(baseline, Mapping) and isinstance(measured, Mapping):
@@ -118,6 +164,9 @@ def _compare_value(
     result.compared += 1
     if baseline != measured:
         result.problems.append(f"{location}: expected {baseline!r}, got {measured!r}")
+        result.deviations.append(
+            {"location": location, "expected": baseline, "actual": measured}
+        )
 
 
 def compare_payloads(
@@ -171,7 +220,11 @@ def check_experiment(
     name = f"BENCH_{experiment.upper()}.json"
     artifact = pathlib.Path(results_dir) / name
     baseline = pathlib.Path(baselines_dir) / name
-    result = GateResult(experiment=experiment)
+    result = GateResult(
+        experiment=experiment,
+        baseline_file=str(baseline),
+        artifact_file=str(artifact),
+    )
     if not baseline.exists():
         result.problems.append(
             f"no baseline {baseline} — record one with `repro bench --update`"
@@ -183,12 +236,15 @@ def check_experiment(
             f"(`python benchmarks/bench_{experiment}_*.py`)"
         )
         return result
-    return compare_payloads(
+    result = compare_payloads(
         experiment,
         json.loads(baseline.read_text()),
         json.loads(artifact.read_text()),
         tolerance,
     )
+    result.baseline_file = str(baseline)
+    result.artifact_file = str(artifact)
+    return result
 
 
 def check_experiments(

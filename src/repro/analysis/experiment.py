@@ -5,15 +5,76 @@ out through :mod:`repro.parallel`.  Each replication derives all of its
 randomness from its own seed, so the parallel path returns results
 bit-identical to the serial loop — same seeds, same outputs, any worker
 count (see ``docs/performance.md``).
+
+Both also accept a :class:`~repro.obs.ledger.RunLedger`: every
+replication is then content-addressed by (seed, cell config, code
+version), replications whose fingerprint the ledger already holds are
+served from it instead of recomputed (cache hits — disable with the
+ledger's ``use_cache=False``), and fresh results are appended
+*parent-side in submission order after the parallel merge*, so the ledger
+bytes are identical at any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.parallel import run_tasks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.ledger import RunLedger
+
+
+def _run_recorded(
+    run_task: Callable[[Any], float],
+    tasks: Sequence[Any],
+    cells: "Sequence[tuple[int, Mapping[str, Any]]]",
+    ledger: "RunLedger",
+    experiment: str,
+    workers: int | None,
+    progress: Callable[[int, int], None] | None,
+) -> list[float]:
+    """Run tasks through the ledger: serve cached cells, record fresh ones.
+
+    ``cells[i] = (seed, config)`` is task ``i``'s content address.  Fresh
+    tasks go through :func:`repro.parallel.run_tasks` exactly as the
+    unrecorded path would, and their records are appended in submission
+    order after the merge — never from inside a worker.
+    """
+    from repro.obs.ledger import compute_fingerprint, make_record
+
+    fingerprints = [compute_fingerprint(seed, config) for seed, config in cells]
+    results: list[float | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        record = ledger.cached(fingerprint)
+        if record is not None and isinstance(
+            record.outcome.get("value"), (int, float)
+        ):
+            results[index] = float(record.outcome["value"])
+        else:
+            pending.append(index)
+    fresh = run_tasks(
+        run_task,
+        [tasks[index] for index in pending],
+        workers=workers,
+        progress=progress,
+    )
+    for index, value in zip(pending, fresh):
+        results[index] = value
+        seed, config = cells[index]
+        ledger.append(
+            make_record(
+                kind="sweep",
+                experiment=experiment,
+                seed=seed,
+                config=config,
+                outcome={"value": value},
+            )
+        )
+    return [v for v in results if v is not None]
 
 
 def repeat_runs(
@@ -21,14 +82,28 @@ def repeat_runs(
     seeds: Iterable[int],
     workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    *,
+    ledger: "RunLedger | None" = None,
+    experiment: str = "",
+    config: Mapping[str, Any] | None = None,
 ) -> list[float]:
     """Execute ``run_once(seed)`` for every seed; collect the metric.
 
     ``workers`` > 1 distributes the seeds across a process pool; results
     come back in seed order either way.  ``progress(done, total)`` is
-    called in the parent as replications complete.
+    called in the parent as replications complete.  With a ``ledger``,
+    each seed's result is content-addressed by (seed, ``config`` +
+    ``experiment`` label, code version): known fingerprints are cache
+    hits (not recomputed), fresh ones are recorded in seed order.
     """
-    return run_tasks(run_once, seeds, workers=workers, progress=progress)
+    seeds = list(seeds)
+    if ledger is None:
+        return run_tasks(run_once, seeds, workers=workers, progress=progress)
+    base = {"experiment": experiment, **dict(config or {})}
+    cells = [(seed, base) for seed in seeds]
+    return _run_recorded(
+        run_once, seeds, cells, ledger, experiment, workers, progress
+    )
 
 
 @dataclass
@@ -56,6 +131,12 @@ class Sweep:
             ``seed_base`` so different experiments never share streams).
         workers: default process count for :meth:`execute` (``None`` →
             serial unless ``REPRO_WORKERS`` is set).
+        ledger: optional :class:`~repro.obs.ledger.RunLedger`; every
+            (value, seed) cell is then content-addressed under
+            ``experiment`` + ``config`` + the swept parameter value, with
+            cache hits served from the ledger and fresh cells recorded
+            parent-side in submission order (byte-identical at any
+            worker count).
     """
 
     parameter: str
@@ -64,6 +145,9 @@ class Sweep:
     repetitions: int = 10
     seed_base: int = 0
     workers: int | None = None
+    ledger: "RunLedger | None" = None
+    experiment: str = ""
+    config: Mapping[str, Any] | None = None
 
     def execute(
         self,
@@ -84,12 +168,26 @@ class Sweep:
             for value in self.values
             for rep in range(self.repetitions)
         ]
-        samples = run_tasks(
-            lambda task: self.run_once(task[0], task[1]),
-            tasks,
-            workers=workers,
-            progress=progress,
-        )
+        run_task = lambda task: self.run_once(task[0], task[1])  # noqa: E731
+        if self.ledger is None:
+            samples = run_tasks(
+                run_task, tasks, workers=workers, progress=progress
+            )
+        else:
+            base = {"experiment": self.experiment, **dict(self.config or {})}
+            cells = [
+                (seed, {**base, self.parameter: value})
+                for value, seed in tasks
+            ]
+            samples = _run_recorded(
+                run_task,
+                tasks,
+                cells,
+                self.ledger,
+                self.experiment,
+                workers,
+                progress,
+            )
         points = []
         for i, value in enumerate(self.values):
             chunk = samples[i * self.repetitions : (i + 1) * self.repetitions]

@@ -37,7 +37,19 @@ Commands:
               P1 workloads across instrumentation modes (bare / metrics /
               trace) and print the wall-clock breakdown plus the
               instrumented-vs-bare overhead ratios (see
-              ``docs/performance.md``).
+              ``docs/performance.md``);
+- ``history`` — project the run ledger (``repro.obs.ledger``): per-
+              experiment inventory (``list``), raw records by fingerprint
+              (``show``), cross-run trend tables (``trends``), the
+              rolling-baseline regression gate plus the determinism-
+              violation detector (``check``), and duplicate compaction
+              (``gc``).  See ``docs/observability.md``.
+
+``run``, ``sweep``, ``chaos``, ``bench`` and ``profile`` accept
+``--ledger PATH`` (or the ``REPRO_LEDGER`` environment variable) to
+append their results to the content-addressed run ledger; re-running a
+recorded (seed, config, code-version) triple is a cache hit unless
+``--no-cache`` is given.
 
 Every command is seeded and deterministic; exit status is non-zero if a
 safety check fails.
@@ -132,8 +144,68 @@ def _parse_restarts(entries: Sequence[str]) -> RecoveryPlan | None:
     return RecoveryPlan(plan) if plan else None
 
 
+def _open_ledger(args):
+    """The command's :class:`~repro.obs.ledger.RunLedger`, or ``None``.
+
+    ``--ledger PATH`` wins, then the ``REPRO_LEDGER`` environment
+    variable; recording stays off when neither is set.  ``--no-cache``
+    keeps recording on but makes every fingerprint lookup miss.
+    """
+    from repro.obs.ledger import ledger_from_env
+
+    return ledger_from_env(
+        getattr(args, "ledger", "") or None,
+        use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _print_run_record(record) -> int:
+    """Replay a ``repro run`` cache hit from its ledger record."""
+    outcome = record.outcome
+    decisions = {int(k): v for k, v in (outcome.get("decisions") or {}).items()}
+    restarts = {int(k): v for k, v in (outcome.get("restarts") or {}).items()}
+    rounds = {int(k): v for k, v in (outcome.get("rounds_by_pid") or {}).items()}
+    audit = outcome.get("audit") or {}
+    inputs = record.config.get("inputs", [])
+    print(
+        f"protocol  : {record.config.get('protocol')}  "
+        f"(n={len(inputs)}, seed={record.seed})  "
+        f"[ledger cache hit {record.fingerprint[:12]}]"
+    )
+    print(f"inputs    : {inputs}")
+    print(f"decisions : {decisions}")
+    print(f"crashed   : {sorted(outcome.get('crashed') or []) or '-'}")
+    if restarts:
+        print(f"restarts  : {restarts}")
+    print(f"steps     : {outcome.get('total_steps')}   rounds: {rounds}")
+    print(
+        "memory    : max |int| stored "
+        f"{audit.get('max_magnitude')}, widest cell {audit.get('max_width')}"
+    )
+    ok = bool(outcome.get("safety_ok"))
+    verdict = "OK" if ok else "VIOLATED: " + "; ".join(outcome.get("problems") or [])
+    print(f"safety    : {verdict}")
+    return 0 if ok else 1
+
+
 def cmd_run(args) -> int:
     inputs = _parse_inputs(args.inputs)
+    ledger = _open_ledger(args)
+    config = {
+        "experiment": "run",
+        "protocol": args.protocol,
+        "inputs": inputs,
+        "scheduler": args.scheduler,
+        "crash": sorted(args.crash),
+        "restart": sorted(args.restart),
+        "max_steps": args.max_steps,
+    }
+    if ledger is not None and not args.timeline:
+        from repro.obs.ledger import compute_fingerprint
+
+        cached = ledger.cached(compute_fingerprint(args.seed, config))
+        if cached is not None and cached.kind == "run":
+            return _print_run_record(cached)
     protocol = PROTOCOLS[args.protocol]()
     run = protocol.run(
         inputs,
@@ -159,6 +231,32 @@ def cmd_run(args) -> int:
     )
     verdict = "OK" if report.ok else "VIOLATED: " + "; ".join(report.problems)
     print(f"safety    : {verdict}")
+    if ledger is not None:
+        from repro.obs.ledger import make_record
+
+        ledger.append(
+            make_record(
+                kind="run",
+                experiment="run",
+                seed=args.seed,
+                config=config,
+                outcome={
+                    "decisions": run.decisions,
+                    "crashed": sorted(run.outcome.crashed),
+                    "restarts": run.outcome.restarts,
+                    "total_steps": run.total_steps,
+                    "rounds_by_pid": run.stats.get("rounds_by_pid"),
+                    "audit": {
+                        "max_magnitude": run.audit.max_magnitude,
+                        "max_width": run.audit.max_width,
+                    },
+                    "safety_ok": report.ok,
+                    "problems": list(report.problems),
+                    "disagreement": len(set(run.decisions.values())) > 1,
+                },
+                metrics=run.metrics,
+            )
+        )
     if args.timeline and run.simulation is not None:
         print()
         print(
@@ -337,7 +435,13 @@ def _report_dashboard(args) -> int:
         "steps": run.total_steps,
         "series_every": args.series_every,
     }
-    path = write_report(args.out, run.metrics, causal, gates, meta)
+    trends = None
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.obs.projections import trend_rows
+
+        trends = trend_rows(ledger.records())
+    path = write_report(args.out, run.metrics, causal, gates, meta, trends=trends)
     ok = sum(1 for g in gates if g.ok)
     print(
         f"wrote {path} — {run.total_steps} steps analyzed, "
@@ -354,7 +458,13 @@ def cmd_chaos(args) -> int:
     from repro.faults.campaign import run_mutation_campaign
     from repro.verify.fuzz import fuzz_consensus
 
-    campaign = run_mutation_campaign(seed=args.seed, workers=args.workers)
+    ledger = _open_ledger(args)
+    campaign = run_mutation_campaign(
+        seed=args.seed,
+        workers=args.workers,
+        ledger=ledger,
+        experiment="chaos:campaign",
+    )
     columns = ("fault", "layer", "checker", "injections", "detected", "expected", "ok")
     rows = [{k: row[k] for k in columns} for row in campaign.to_rows()]
     print(format_table(rows, title="checker mutation campaign"))
@@ -371,6 +481,8 @@ def cmd_chaos(args) -> int:
         recovery_probability=1.0,
         master_seed=args.seed,
         workers=args.workers,
+        ledger=ledger,
+        experiment="chaos:recovery",
     )
     print(f"crash-recovery fuzz : {recovery.summary()}")
     for failure in recovery.failures:
@@ -384,6 +496,8 @@ def cmd_chaos(args) -> int:
         fault_probability=1.0,
         master_seed=args.seed,
         workers=args.workers,
+        ledger=ledger,
+        experiment="chaos:faults",
     )
     print(f"fault-injection fuzz: {faults.summary()}")
 
@@ -445,12 +559,21 @@ def cmd_sweep(args) -> int:
     def progress(done: int, total: int) -> None:
         print(f"\r{done}/{total} runs", end="", file=sys.stderr, flush=True)
 
+    ledger = _open_ledger(args)
     sweep = Sweep(
         "n",
         n_values,
         run_once,
         repetitions=args.reps,
         seed_base=args.seed_base,
+        ledger=ledger,
+        experiment=f"sweep:{args.protocol}:{metric}",
+        config={
+            "protocol": args.protocol,
+            "scheduler": args.scheduler,
+            "metric": metric,
+            "max_steps": args.max_steps,
+        },
     )
     points = sweep.execute(
         workers=args.workers, progress=progress if args.progress else None
@@ -467,6 +590,8 @@ def cmd_sweep(args) -> int:
             ),
         )
     )
+    if ledger is not None:
+        print(f"ledger    : {len(ledger)} records in {ledger.path}")
     return 0
 
 
@@ -492,6 +617,12 @@ def cmd_bench(args) -> int:
     if not experiments:
         print(f"no BENCH_*.json artifacts in {results_dir}/ — run the benchmarks")
         return 1
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        appended = _bench_record_artifacts(ledger, experiments, results_dir)
+        print(
+            f"ledger    : appended {appended} artifact record(s) to {ledger.path}"
+        )
     if args.update:
         copied = update_baselines(experiments, results_dir, baselines_dir)
         print(f"updated baselines for: {', '.join(e.upper() for e in copied)}")
@@ -518,11 +649,63 @@ def cmd_bench(args) -> int:
     )
     for result in results:
         print(result.summary())
+        if not result.ok:
+            print(f"  baseline : {result.baseline_file}")
+            print(f"  artifact : {result.artifact_file}")
+        diffed = {d["location"] for d in result.deviations}
+        for dev in result.deviations:
+            drift = f"  drift {dev['drift']:.1%}" if "drift" in dev else ""
+            print(
+                f"  REGRESSION {dev['location']}: expected {dev['expected']!r}"
+                f" -> actual {dev['actual']!r}{drift}"
+            )
         for problem in result.problems:
+            # Value-level problems were already printed as structured
+            # expected-vs-actual lines above; only shape/missing-file
+            # problems have no deviation entry.
+            if any(problem.startswith(f"{loc}:") for loc in diffed):
+                continue
             print(f"  REGRESSION {problem}")
     ok = all(r.ok for r in results)
     print(f"\nbench gate: {'OK' if ok else 'FAILED'} (tolerance {args.tolerance:.0%})")
     return 0 if ok else 1
+
+
+def _bench_record_artifacts(ledger, experiments, results_dir) -> int:
+    """Append every present ``BENCH_*.json`` artifact to the run ledger.
+
+    Mirrors ``benchmarks/_common.record_ledger`` (same kind, config and
+    timing-stripped outcome), so recording an artifact here and at bench
+    time produces the same deterministic identity — a cache hit, not a
+    duplicate.  Returns how many records were actually appended.
+    """
+    import json
+
+    from repro.analysis.benchgate import strip_timing_values
+    from repro.obs.ledger import make_record
+
+    appended = 0
+    for experiment in experiments:
+        path = results_dir / f"BENCH_{experiment.upper()}.json"
+        if not path.exists():
+            continue
+        payload = json.loads(path.read_text())
+        appended += ledger.append(
+            make_record(
+                kind="bench",
+                experiment=f"bench:{experiment}",
+                seed=0,
+                config={"experiment": experiment, "kind": "bench"},
+                outcome=strip_timing_values(
+                    {
+                        "tables": payload.get("tables", []),
+                        "metrics": payload.get("metrics", {}),
+                    }
+                ),
+                timings=payload.get("timings", {}),
+            )
+        )
+    return appended
 
 
 def cmd_profile(args) -> int:
@@ -561,20 +744,189 @@ def cmd_profile(args) -> int:
         f"\nbare consensus throughput: {bare.get('consensus', 0):,} steps/sec; "
         f"worst metrics-on overhead: {worst:.2f}x"
     )
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.obs.ledger import make_record
+
+        # Throughput is a host measurement, so it rides in ``timings``
+        # (outside the deterministic identity): one record per code
+        # version, and the steps/sec *trend* across versions is what
+        # ``repro history trends`` plots.
+        ledger.append(
+            make_record(
+                kind="profile",
+                experiment="profile",
+                seed=0,
+                config={
+                    "experiment": "profile",
+                    "runs": args.runs,
+                    "repeats": args.repeats,
+                },
+                outcome={
+                    "workloads": sorted({r["workload"] for r in rows}),
+                    "modes": sorted({r["mode"] for r in rows}),
+                },
+                timings={
+                    "throughput": {
+                        f"{r['workload']}/{r['mode']}": {
+                            "steps_per_sec": r["steps_per_sec"]
+                        }
+                        for r in rows
+                    },
+                },
+            )
+        )
+        print(f"ledger    : recorded profile in {ledger.path}")
     return 0
+
+
+def _discover_experiments(bench_dir) -> dict[str, tuple[str, str]]:
+    """Scan ``benchmarks/bench_<id>_*.py`` for ``id -> (claim, script)``.
+
+    The claim is the static E1–E12 index entry when the id is known there,
+    otherwise the benchmark module's docstring first line — so new
+    benchmarks (P1, X1, ...) appear in ``repro experiments`` without
+    anyone remembering to extend a hand-maintained table.
+    """
+    import re
+
+    found: dict[str, tuple[str, str]] = {}
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        match = re.match(r"bench_([a-z]+[0-9]+)_", path.name)
+        if not match:
+            continue
+        key = match.group(1)
+        claim = EXPERIMENTS.get(key, "")
+        if not claim:
+            doc = re.search(r'"{3}\s*([^\n"]+)', path.read_text())
+            claim = doc.group(1).strip() if doc else ""
+        found[key] = (claim, path.name)
+    return found
 
 
 def cmd_experiments(args) -> int:
+    """List the reproduction experiments (benchmarks/ scanned dynamically)."""
+    import pathlib
+    import re
+
+    found = _discover_experiments(pathlib.Path(args.benchmarks_dir))
+    # Static fallback for ids whose script is not visible from here (or
+    # when run outside the repository root): the hand-written index.
+    for key, text in EXPERIMENTS.items():
+        found.setdefault(key, (text, f"bench_{key}_*.py"))
+
+    def sort_key(key: str) -> tuple[int, str, int]:
+        letter, digits = re.match(r"([a-z]+)([0-9]+)", key).groups()
+        return (0 if letter == "e" else 1, letter, int(digits))
+
     rows = [
         {
             "id": key.upper(),
-            "claim": text,
-            "regenerate": f"pytest benchmarks/bench_{key}_*.py --benchmark-only -s",
+            "claim": found[key][0],
+            "regenerate": f"pytest benchmarks/{found[key][1]} --benchmark-only -s",
         }
-        for key, text in EXPERIMENTS.items()
+        for key in sorted(found, key=sort_key)
     ]
     print(format_table(rows, title="reproduction experiments (see EXPERIMENTS.md)"))
     return 0
+
+
+def cmd_history(args) -> int:
+    """Project the run ledger: list, show, trends, check, or gc."""
+    from repro.obs.ledger import LEDGER_ENV, ledger_from_env
+    from repro.obs.projections import (
+        filter_records,
+        history_check,
+        history_rows,
+        trend_rows,
+        trend_series,
+    )
+
+    ledger = ledger_from_env(args.ledger or None)
+    if ledger is None:
+        print(f"no ledger: pass --ledger PATH or set {LEDGER_ENV}")
+        return 2
+
+    if args.action == "gc":
+        kept, dropped = ledger.gc()
+        print(f"ledger gc: kept {kept} record(s), dropped {dropped} duplicate(s)")
+        return 0
+
+    records = ledger.records()
+    if args.action == "list":
+        records = filter_records(records, experiment=args.experiment)
+        if not records:
+            suffix = f" matching {args.experiment!r}" if args.experiment else ""
+            print(f"ledger {ledger.path}: no records{suffix}")
+            return 0
+        print(
+            format_table(
+                history_rows(records),
+                title=f"run ledger {ledger.path} — {len(records)} records",
+            )
+        )
+        return 0
+
+    if args.action == "show":
+        if not args.fingerprint:
+            print("history show needs --fingerprint PREFIX (see `history list`)")
+            return 2
+        matches = [
+            r for r in records if r.fingerprint.startswith(args.fingerprint)
+        ]
+        if not matches:
+            print(f"no records match fingerprint {args.fingerprint!r}")
+            return 1
+        for record in matches:
+            print(record.to_line())
+        return 0
+
+    if args.action == "trends":
+        records = filter_records(records, experiment=args.experiment)
+        if args.metric:
+            for index, value in trend_series(records, args.metric):
+                print(f"{int(index):>6}  {value:g}")
+            return 0
+        rows = [
+            {k: row[k] for k in ("experiment", "metric", "n", "first", "last", "mean")}
+            for row in trend_rows(records)
+        ]
+        if not rows:
+            print("no trend data (no recorded metric the trends know about)")
+            return 0
+        print(format_table(rows, title="cross-run trends"))
+        return 0
+
+    assert args.action == "check"
+    check = history_check(
+        records,
+        window=args.window,
+        tolerance=args.tolerance,
+        experiment=args.experiment,
+    )
+    for alert in check.regressions:
+        print(f"REGRESSION {alert}")
+    for violation in check.violations:
+        print(f"VIOLATION  {violation}")
+    print(check.summary())
+    return 0 if check.ok else 1
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser, cache: bool = True) -> None:
+    parser.add_argument(
+        "--ledger",
+        default="",
+        metavar="PATH",
+        help="append run records to this content-addressed ledger "
+        "(default: $REPRO_LEDGER; recording off when neither is set)",
+    )
+    if cache:
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute even when the ledger already holds this "
+            "(seed, config, code-version) fingerprint",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -613,6 +965,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-steps", type=int, default=50_000_000)
     run.add_argument("--timeline", action="store_true", help="print span timeline")
     run.add_argument("--timeline-rows", type=int, default=40)
+    _add_ledger_args(run)
     run.set_defaults(func=cmd_run)
 
     metrics = sub.add_parser(
@@ -699,6 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for campaign + fuzz cells "
         "(default serial; 0 = all CPUs; results identical at any count)",
     )
+    _add_ledger_args(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     sweep = sub.add_parser(
@@ -727,6 +1081,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--progress", action="store_true", help="tick run completion on stderr"
     )
+    _add_ledger_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(
@@ -752,6 +1107,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="relative deviation allowed per value (default 0.10)",
     )
+    _add_ledger_args(bench, cache=False)
     bench.set_defaults(func=cmd_bench)
 
     profile = sub.add_parser(
@@ -772,10 +1128,69 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="timing repeats per cell, best one kept (default 3)",
     )
+    _add_ledger_args(profile, cache=False)
     profile.set_defaults(func=cmd_profile)
 
-    experiments = sub.add_parser("experiments", help="list E1-E12")
+    experiments = sub.add_parser(
+        "experiments", help="list the reproduction experiments (E1-E12, P*, X*)"
+    )
+    experiments.add_argument(
+        "--benchmarks-dir",
+        default="benchmarks",
+        help="directory scanned for bench_*.py scripts",
+    )
     experiments.set_defaults(func=cmd_experiments)
+
+    from repro.obs.projections import DEFAULT_TOLERANCE, DEFAULT_WINDOW, TREND_METRICS
+
+    history = sub.add_parser(
+        "history",
+        help="inspect the run ledger: list / show / trends / check / gc",
+    )
+    history.add_argument(
+        "action",
+        choices=["list", "show", "trends", "check", "gc"],
+        help="list experiments, show records by fingerprint, print trend "
+        "tables, run the regression + determinism gates, or compact "
+        "duplicate records",
+    )
+    history.add_argument(
+        "--ledger",
+        default="",
+        metavar="PATH",
+        help="ledger file (default: $REPRO_LEDGER)",
+    )
+    history.add_argument(
+        "--experiment",
+        default="",
+        help="only experiments whose label contains this substring",
+    )
+    history.add_argument(
+        "--metric",
+        default="",
+        choices=["", *TREND_METRICS],
+        help="trends: print one metric's raw points instead of the table",
+    )
+    history.add_argument(
+        "--fingerprint",
+        default="",
+        metavar="PREFIX",
+        help="show: print every record whose fingerprint starts with this",
+    )
+    history.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help=f"check: rolling-baseline window (default {DEFAULT_WINDOW})",
+    )
+    history.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="check: relative deviation allowed for the latest trend value "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    history.set_defaults(func=cmd_history)
 
     report = sub.add_parser(
         "report",
@@ -807,6 +1222,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="series sampling period for the dashboard's reference run",
     )
+    _add_ledger_args(report, cache=False)
     report.set_defaults(func=cmd_report)
     return parser
 

@@ -30,8 +30,10 @@ The campaign is fully deterministic for a given seed, so it runs in CI
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.consensus.ads import AdsConsensus
 from repro.consensus.validation import validate_run
@@ -304,20 +306,66 @@ def run_mutation_campaign(
     seed: int = 0,
     consensus_max_steps: int = 200_000,
     workers: int | None = None,
+    ledger: "Any | None" = None,
+    experiment: str = "campaign",
 ) -> CampaignReport:
     """Run every mutation-test cell; deterministic for a given seed.
 
     Each cell seeds its own simulation, so with ``workers`` > 1 the cells
     run concurrently and the report (cells in the canonical order) is
     identical to the serial campaign.
+
+    With a ``ledger`` (a :class:`~repro.obs.ledger.RunLedger`), every
+    cell is content-addressed by (seed, cell spec, code version): known
+    cells are cache hits served from their records, fresh cells run and
+    are appended parent-side in canonical order — so the ledger bytes
+    are identical at any worker count.
     """
     specs: list[tuple[str, str | None]] = [("register", None), ("snapshot", None)]
     for kind in FAULT_KINDS:
         specs.extend([("register", kind), ("snapshot", kind), ("consensus", kind)])
     report = CampaignReport(seed=seed)
-    report.cells = run_tasks(
-        lambda spec: _campaign_cell(spec, seed, consensus_max_steps),
-        specs,
-        workers=workers,
+
+    def run_spec(spec: tuple[str, str | None]) -> CampaignCell:
+        return _campaign_cell(spec, seed, consensus_max_steps)
+
+    if ledger is None:
+        report.cells = run_tasks(run_spec, specs, workers=workers)
+        return report
+
+    from repro.obs.ledger import compute_fingerprint, make_record
+
+    configs = [
+        {
+            "experiment": experiment,
+            "layer": layer,
+            "fault": fault or "none",
+            "consensus_max_steps": consensus_max_steps,
+        }
+        for layer, fault in specs
+    ]
+    fingerprints = [compute_fingerprint(seed, config) for config in configs]
+    cells: list[CampaignCell | None] = [None] * len(specs)
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        record = ledger.cached(fingerprint)
+        if record is not None and record.kind == "campaign":
+            cells[index] = CampaignCell(**record.outcome)
+        else:
+            pending.append(index)
+    fresh = run_tasks(
+        run_spec, [specs[index] for index in pending], workers=workers
     )
+    for index, cell in zip(pending, fresh):
+        cells[index] = cell
+        ledger.append(
+            make_record(
+                kind="campaign",
+                experiment=experiment,
+                seed=seed,
+                config=configs[index],
+                outcome=dataclasses.asdict(cell),
+            )
+        )
+    report.cells = [cell for cell in cells if cell is not None]
     return report

@@ -16,7 +16,13 @@ The paper's claims are quantitative, so the reproduction measures itself:
 - :mod:`repro.obs.causality` — happens-before DAG over the recorded event
   timeline, critical-path attribution per layer/pid (``CausalReport``);
 - :mod:`repro.obs.report` — the self-contained HTML dashboard behind
-  ``repro report --out report.html``.
+  ``repro report --out report.html``;
+- :mod:`repro.obs.ledger` — the append-only, content-addressed cross-run
+  telemetry store (``--ledger`` / ``REPRO_LEDGER``), fingerprinting every
+  run by (seed, config, code version) with cache-hit semantics;
+- :mod:`repro.obs.projections` — cross-run history, trend series,
+  rolling-baseline regression gating and the determinism-violation
+  (flakiness) detector behind ``repro history``.
 
 See ``docs/observability.md`` for the metric catalog and how experiments
 E1–E12 map onto it.
@@ -53,6 +59,25 @@ from repro.obs.causality import (
     build_causal_report,
     causal_report_for,
 )
+from repro.obs.ledger import (
+    LedgerRecord,
+    RunLedger,
+    compute_fingerprint,
+    ledger_from_env,
+    make_record,
+    read_records,
+)
+from repro.obs.projections import (
+    DeterminismViolation,
+    HistoryCheck,
+    TrendAlert,
+    detect_regressions,
+    detect_violations,
+    history_check,
+    history_rows,
+    trend_rows,
+    trend_series,
+)
 from repro.obs.report import render_report, write_report
 
 __all__ = [
@@ -61,25 +86,40 @@ __all__ = [
     "CausalReport",
     "Counter",
     "CriticalPath",
+    "DeterminismViolation",
     "Gauge",
     "Histogram",
+    "HistoryCheck",
+    "LedgerRecord",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Profiler",
+    "RunLedger",
     "SeriesRecorder",
     "SeriesSpec",
+    "TrendAlert",
     "build_causal_report",
     "causal_report_for",
+    "compute_fingerprint",
+    "detect_regressions",
+    "detect_violations",
     "export_chrome",
     "export_jsonl",
     "export_trace",
+    "history_check",
+    "history_rows",
+    "ledger_from_env",
     "load_jsonl",
+    "make_record",
     "measure_overhead",
     "merge_series_payloads",
     "merge_snapshots",
     "parse_key",
+    "read_records",
     "render_report",
     "trace_to_chrome",
     "trace_to_jsonl",
+    "trend_rows",
+    "trend_series",
     "write_report",
 ]

@@ -1,0 +1,366 @@
+"""The run ledger: an append-only, content-addressed cross-run store.
+
+Every simulation entry point in this repository is deterministic per
+(seed, configuration, code version) — that triple therefore *names* a
+result.  The ledger makes the name concrete: a **fingerprint** is the
+SHA-256 of the canonically-serialized triple, and a
+:class:`LedgerRecord` files one run's outcome summary, metrics snapshot
+(series included), wall-clock timings and code provenance under it.
+Records append to a JSONL file (one canonical line per record, sorted
+keys, compact separators), which buys three properties:
+
+- **cache**: re-recording an identical result is a no-op (a *cache hit*
+  — entry points use :meth:`RunLedger.cached` to skip recomputation
+  outright unless asked not to);
+- **byte-identity**: the deterministic entry points (sweeps, fuzz grids,
+  mutation campaigns) write records containing no host measurements, and
+  parents append after merging worker results in submission order — so a
+  serial run and a ``workers=N`` run of the same workload produce
+  byte-identical ledger files;
+- **evidence**: a fingerprint that ever maps to *two different* payloads
+  is a determinism violation — a strong alarm in a repository whose
+  whole verification story rests on bit-identical replay — and the
+  ledger keeps both records so :mod:`repro.obs.projections` can flag it.
+
+The file format is crash-tolerant in the only way JSONL can be: a torn
+trailing line (a writer died mid-append) is ignored on read; a malformed
+line anywhere *else* is corruption and raises.
+
+Enable recording with ``--ledger PATH`` on the CLI commands or the
+``REPRO_LEDGER`` environment variable; it is off by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.version import LEDGER_SCHEMA, code_version, provenance
+
+#: Environment variable enabling ledger recording process-wide (the CLI
+#: ``--ledger`` flag takes precedence where both are given).
+LEDGER_ENV = "REPRO_LEDGER"
+
+
+def canonical_json(payload: Any) -> str:
+    """The one serialization fingerprints and ledger lines are built on:
+    sorted keys, compact separators, no NaN — identical input, identical
+    bytes, on every platform."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a value into plain JSON types (mappings/sequences recursed,
+    everything exotic collapsed to ``repr``) so configs with tuples or
+    dataclasses still canonicalize deterministically."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return [jsonable(v) for v in items]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    return repr(value)
+
+
+def compute_fingerprint(
+    seed: int, config: Mapping[str, Any], code: str | None = None
+) -> str:
+    """SHA-256 content address of one (seed, config, code-version) cell."""
+    payload = canonical_json(
+        {"seed": seed, "config": jsonable(dict(config)), "code": code or code_version()}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One recorded run, filed under its content-address fingerprint.
+
+    ``timings`` is the only host-dependent field: it never participates
+    in :meth:`identity`, and the deterministic entry points leave it
+    empty so their ledger files are byte-identical at any worker count.
+    """
+
+    fingerprint: str
+    kind: str  # "run" | "sweep" | "fuzz" | "campaign" | "bench" | "profile"
+    experiment: str  # human label, e.g. "sweep:ads:steps" or "bench:p1"
+    seed: int
+    config: dict[str, Any]
+    code_version: str
+    outcome: dict[str, Any]
+    metrics: dict[str, Any] | None = None
+    timings: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+    schema: int = LEDGER_SCHEMA
+
+    def identity(self) -> str:
+        """Canonical bytes of everything *deterministic* about this record.
+
+        Two records with equal fingerprints but unequal identities are a
+        determinism violation; equal identities are the same result (the
+        append path treats the second as a cache hit)."""
+        return canonical_json(
+            {
+                "schema": self.schema,
+                "fingerprint": self.fingerprint,
+                "kind": self.kind,
+                "experiment": self.experiment,
+                "seed": self.seed,
+                "config": self.config,
+                "code_version": self.code_version,
+                "outcome": self.outcome,
+                "metrics": self.metrics,
+                "provenance": self.provenance,
+            }
+        )
+
+    def to_line(self) -> str:
+        """The record's canonical JSONL line (no trailing newline)."""
+        return canonical_json(
+            {
+                "schema": self.schema,
+                "fingerprint": self.fingerprint,
+                "kind": self.kind,
+                "experiment": self.experiment,
+                "seed": self.seed,
+                "config": self.config,
+                "code_version": self.code_version,
+                "outcome": self.outcome,
+                "metrics": self.metrics,
+                "timings": self.timings,
+                "provenance": self.provenance,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "LedgerRecord":
+        schema = int(payload.get("schema", 0))
+        if schema > LEDGER_SCHEMA:
+            raise ValueError(
+                f"ledger record schema {schema} is newer than this code's "
+                f"schema {LEDGER_SCHEMA} — upgrade repro to read this ledger"
+            )
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            kind=str(payload.get("kind", "run")),
+            experiment=str(payload.get("experiment", "")),
+            seed=int(payload.get("seed", 0)),
+            config=dict(payload.get("config", {})),
+            code_version=str(payload.get("code_version", "")),
+            outcome=dict(payload.get("outcome", {})),
+            metrics=payload.get("metrics"),
+            timings=dict(payload.get("timings", {})),
+            provenance=dict(payload.get("provenance", {})),
+            schema=schema,
+        )
+
+
+def make_record(
+    kind: str,
+    experiment: str,
+    seed: int,
+    config: Mapping[str, Any],
+    outcome: Mapping[str, Any],
+    metrics: Any = None,
+    timings: Mapping[str, Any] | None = None,
+    code: str | None = None,
+) -> LedgerRecord:
+    """Build a record, computing its fingerprint and provenance stamp.
+
+    ``metrics`` may be a :class:`~repro.obs.metrics.MetricsSnapshot` (its
+    JSON payload — series included — is taken) or any JSON-able mapping.
+    """
+    if metrics is not None and hasattr(metrics, "to_json"):
+        metrics = json.loads(metrics.to_json())
+    code = code or code_version()
+    clean_config = jsonable(dict(config))
+    return LedgerRecord(
+        fingerprint=compute_fingerprint(seed, clean_config, code),
+        kind=kind,
+        experiment=experiment,
+        seed=seed,
+        config=clean_config,
+        code_version=code,
+        outcome=jsonable(dict(outcome)),
+        metrics=jsonable(metrics) if metrics is not None else None,
+        timings=jsonable(dict(timings)) if timings else {},
+        provenance=jsonable(provenance()),
+    )
+
+
+class LedgerCorruption(ValueError):
+    """A non-trailing ledger line failed to parse — the file is damaged
+    beyond the torn-tail case the reader tolerates by design."""
+
+
+def read_records(path: pathlib.Path | str) -> list[LedgerRecord]:
+    """Read every record of a ledger file, tolerating a torn last line.
+
+    A missing file is an empty ledger.  An unparsable *trailing* line is
+    dropped silently (a writer died mid-append; the append protocol makes
+    any earlier line complete).  An unparsable line before the end raises
+    :class:`LedgerCorruption` with the line number.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    records: list[LedgerRecord] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn trailing line: a crash mid-append, not corruption
+            raise LedgerCorruption(
+                f"{path}:{lineno}: unparsable ledger line (not the trailing "
+                "line, so this is corruption, not a torn append)"
+            ) from None
+        records.append(LedgerRecord.from_payload(payload))
+    return records
+
+
+class RunLedger:
+    """Append-only, content-addressed JSONL store of run records.
+
+    Loads its index lazily on first use and keeps it in sync with its own
+    appends; one :class:`RunLedger` instance assumes it is the only
+    writer for its lifetime (the CLI model — one command, one ledger
+    handle).  ``use_cache=False`` makes :meth:`cached` always miss, which
+    is how ``--no-cache`` forces recomputation while still recording.
+    """
+
+    def __init__(self, path: pathlib.Path | str, use_cache: bool = True):
+        self.path = pathlib.Path(path)
+        self.use_cache = use_cache
+        self._records: list[LedgerRecord] | None = None
+        self._identities: set[str] | None = None
+        self._by_fingerprint: dict[str, list[LedgerRecord]] = {}
+
+    # -- reading -------------------------------------------------------------
+
+    def _load(self) -> None:
+        if self._records is not None:
+            return
+        self._records = read_records(self.path)
+        self._identities = {r.identity() for r in self._records}
+        for record in self._records:
+            self._by_fingerprint.setdefault(record.fingerprint, []).append(record)
+
+    def records(self) -> list[LedgerRecord]:
+        self._load()
+        assert self._records is not None
+        return list(self._records)
+
+    def __len__(self) -> int:
+        self._load()
+        assert self._records is not None
+        return len(self._records)
+
+    def lookup(self, fingerprint: str) -> list[LedgerRecord]:
+        """Every record filed under a fingerprint (order = append order)."""
+        self._load()
+        return list(self._by_fingerprint.get(fingerprint, []))
+
+    def cached(self, fingerprint: str) -> LedgerRecord | None:
+        """The cache-hit record for a fingerprint, or ``None``.
+
+        Misses when caching is off, when the fingerprint is unknown, and
+        — deliberately — when the fingerprint is *contested* (multiple
+        distinct identities): contested results must be recomputed, not
+        served from either side of a determinism violation.
+        """
+        if not self.use_cache:
+            return None
+        records = self.lookup(fingerprint)
+        if not records:
+            return None
+        if len({r.identity() for r in records}) > 1:
+            return None
+        return records[0]
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: LedgerRecord) -> bool:
+        """Append a record unless an identical one is already filed.
+
+        Returns ``True`` when a line was written.  A record whose
+        :meth:`~LedgerRecord.identity` already exists is a cache hit and
+        is *not* re-appended (append-only does not mean append-duplicates);
+        a record whose fingerprint exists under a *different* identity IS
+        appended — that conflict is determinism-violation evidence and
+        must survive for :func:`repro.obs.projections.detect_violations`.
+        """
+        self._load()
+        assert self._records is not None and self._identities is not None
+        identity = record.identity()
+        if identity in self._identities:
+            return False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(record.to_line() + "\n")
+        self._records.append(record)
+        self._identities.add(identity)
+        self._by_fingerprint.setdefault(record.fingerprint, []).append(record)
+        return True
+
+    def append_all(self, records: Iterable[LedgerRecord]) -> int:
+        """Append many records; returns how many lines were written."""
+        return sum(1 for record in records if self.append(record))
+
+    def gc(self) -> tuple[int, int]:
+        """Rewrite the file dropping exact-duplicate identities.
+
+        Distinct identities under one fingerprint are *kept* — they are
+        evidence, and collecting them is the flakiness detector's job.
+        Returns ``(kept, dropped)``.
+        """
+        records = read_records(self.path)
+        seen: set[str] = set()
+        kept: list[LedgerRecord] = []
+        for record in records:
+            identity = record.identity()
+            if identity in seen:
+                continue
+            seen.add(identity)
+            kept.append(record)
+        if self.path.exists() or kept:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                "".join(record.to_line() + "\n" for record in kept)
+            )
+        self._records = list(kept)
+        self._identities = set(seen)
+        self._by_fingerprint = {}
+        for record in kept:
+            self._by_fingerprint.setdefault(record.fingerprint, []).append(record)
+        return len(kept), len(records) - len(kept)
+
+
+def ledger_from_env(
+    path: str | os.PathLike | None = None, use_cache: bool = True
+) -> RunLedger | None:
+    """The process's ledger, or ``None`` when recording is off.
+
+    ``path`` (a CLI ``--ledger`` value) wins; otherwise the
+    ``REPRO_LEDGER`` environment variable; otherwise recording is off —
+    the default, so no entry point pays ledger I/O unasked.
+    """
+    resolved = str(path) if path else os.environ.get(LEDGER_ENV, "").strip()
+    if not resolved:
+        return None
+    return RunLedger(resolved, use_cache=use_cache)

@@ -116,8 +116,15 @@ def render_report(
     causal: CausalReport | None,
     gates: Sequence[GateResult],
     meta: Mapping[str, Any],
+    trends: Sequence[Mapping[str, Any]] | None = None,
 ) -> str:
-    """Render the dashboard HTML (a pure function of its inputs)."""
+    """Render the dashboard HTML (a pure function of its inputs).
+
+    ``trends`` are cross-run trend rows from the run ledger
+    (:func:`repro.obs.projections.trend_rows`): one sparkline per
+    (experiment, metric) series.  ``None`` renders the section with a
+    pointer at how to record a ledger instead.
+    """
     parts: list[str] = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
@@ -166,6 +173,31 @@ def render_report(
             "<table><thead><tr><th>series</th><th>kind</th>"
             "<th>points</th><th>last</th><th>trend</th></tr></thead>"
             f'<tbody>{"".join(series_rows)}</tbody></table>'
+        )
+
+    # -- cross-run trends (the run ledger's projections) --------------------
+    parts.append("<h2>Cross-run trends</h2>")
+    if not trends:
+        parts.append(
+            "<p>(no run ledger — record one with <code>--ledger runs.jsonl"
+            "</code> or <code>REPRO_LEDGER</code>, then pass it to "
+            "<code>repro report --ledger</code>)</p>"
+        )
+    else:
+        trend_cells = []
+        for row in trends:
+            trend_cells.append(
+                f"<tr class=\"series-row\"><td>{_esc(row['experiment'])}</td>"
+                f"<td>{_esc(row['metric'])}</td>"
+                f"<td>{_esc(row['n'])}</td>"
+                f"<td>{_esc(_fmt(row['first']))}</td>"
+                f"<td>{_esc(_fmt(row['last']))}</td>"
+                f"<td>{sparkline(row['points'])}</td></tr>"
+            )
+        parts.append(
+            "<table><thead><tr><th>experiment</th><th>metric</th>"
+            "<th>records</th><th>first</th><th>last</th><th>trend</th>"
+            f'</tr></thead><tbody>{"".join(trend_cells)}</tbody></table>'
         )
 
     # -- causal attribution -------------------------------------------------
@@ -263,8 +295,9 @@ def write_report(
     causal: CausalReport | None,
     gates: Sequence[GateResult],
     meta: Mapping[str, Any],
+    trends: Sequence[Mapping[str, Any]] | None = None,
 ) -> pathlib.Path:
     """Render and write the dashboard; returns the output path."""
     out = pathlib.Path(path)
-    out.write_text(render_report(snapshot, causal, gates, meta))
+    out.write_text(render_report(snapshot, causal, gates, meta, trends=trends))
     return out

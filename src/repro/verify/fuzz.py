@@ -20,8 +20,9 @@ injects register faults and counts how often the validators catch them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.consensus.ads import pref_reader
 from repro.consensus.interface import ConsensusRun
@@ -36,6 +37,9 @@ from repro.runtime.scheduler import (
     RecoveryPlan,
     RoundRobinScheduler,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.ledger import RunLedger
 
 DEFAULT_SCHEDULERS: dict[str, Callable[[int], Any]] = {
     "random": lambda seed: RandomScheduler(seed=seed),
@@ -121,7 +125,9 @@ class _CellOutcome:
 
     Picklable on purpose: parallel campaigns run each cell in a worker
     process and merge these in grid order, which keeps the final report
-    bit-identical to the serial nested loop.
+    bit-identical to the serial nested loop.  Also JSON round-trippable
+    (:meth:`to_payload` / :meth:`from_payload`) so the run ledger can
+    serve a previously recorded cell as a cache hit.
     """
 
     n: int
@@ -135,6 +141,52 @@ class _CellOutcome:
     fault_detections: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     stopped: bool = False
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["failures"] = [
+            {
+                **dataclasses.asdict(failure),
+                "inputs": list(failure.inputs),
+            }
+            for failure in self.failures
+        ]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "_CellOutcome":
+        failures = []
+        for raw in payload.get("failures", []):
+            failures.append(
+                FuzzFailure(
+                    protocol=raw["protocol"],
+                    n=int(raw["n"]),
+                    scheduler=raw["scheduler"],
+                    seed=int(raw["seed"]),
+                    inputs=tuple(raw.get("inputs", ())),
+                    # JSON turns int keys into strings; restore them.
+                    crashes={int(k): v for k, v in raw.get("crashes", {}).items()},
+                    problems=list(raw.get("problems", [])),
+                    recoveries={
+                        int(k): v for k, v in raw.get("recoveries", {}).items()
+                    },
+                    degraded=bool(raw.get("degraded", False)),
+                    fault_plan=raw.get("fault_plan"),
+                )
+            )
+        return cls(
+            n=int(payload["n"]),
+            scheduler=payload["scheduler"],
+            runs=int(payload.get("runs", 0)),
+            steps_total=int(payload.get("steps_total", 0)),
+            recovery_runs=int(payload.get("recovery_runs", 0)),
+            degraded_runs=int(payload.get("degraded_runs", 0)),
+            fault_runs=int(payload.get("fault_runs", 0)),
+            fault_injections=int(payload.get("fault_injections", 0)),
+            fault_detections=int(payload.get("fault_detections", 0)),
+            failures=failures,
+            stopped=bool(payload.get("stopped", False)),
+        )
 
 
 def _run_cell(
@@ -234,6 +286,54 @@ def _run_cell(
     return cell
 
 
+def _run_cells_recorded(
+    run_cell: Callable[[tuple[int, str]], _CellOutcome],
+    specs: list[tuple[int, str]],
+    ledger: "RunLedger",
+    experiment: str,
+    cell_config: dict[str, Any],
+    master_seed: int,
+    workers: int | None,
+    progress: Callable[[int, int], None] | None,
+) -> list[_CellOutcome]:
+    """Run grid cells through the ledger: cached cells are served from
+    their records, fresh cells run (possibly parallel) and are appended
+    parent-side in grid order — byte-identical at any worker count."""
+    from repro.obs.ledger import compute_fingerprint, make_record
+
+    configs = [
+        {"experiment": experiment, "n": n, "scheduler": name, **cell_config}
+        for n, name in specs
+    ]
+    fingerprints = [compute_fingerprint(master_seed, c) for c in configs]
+    cells: list[_CellOutcome | None] = [None] * len(specs)
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        record = ledger.cached(fingerprint)
+        if record is not None and record.kind == "fuzz":
+            cells[index] = _CellOutcome.from_payload(record.outcome)
+        else:
+            pending.append(index)
+    fresh = run_tasks(
+        run_cell,
+        [specs[index] for index in pending],
+        workers=workers,
+        progress=progress,
+    )
+    for index, cell in zip(pending, fresh):
+        cells[index] = cell
+        ledger.append(
+            make_record(
+                kind="fuzz",
+                experiment=experiment,
+                seed=master_seed,
+                config=configs[index],
+                outcome=cell.to_payload(),
+            )
+        )
+    return [cell for cell in cells if cell is not None]
+
+
 def fuzz_consensus(
     protocol_factory: Callable[[], Any],
     n_values: Iterable[int] = (2, 3, 4),
@@ -251,6 +351,8 @@ def fuzz_consensus(
     stop_on_first_failure: bool = False,
     workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    ledger: "RunLedger | None" = None,
+    experiment: str = "fuzz",
 ) -> FuzzReport:
     """Run a randomized safety campaign; every run is validated.
 
@@ -289,6 +391,15 @@ def fuzz_consensus(
     ``stop_on_first_failure`` needs the serial scan order to mean
     anything, so it forces the serial path.  ``progress(done, total)``
     ticks as cells complete.
+
+    With a ``ledger`` (and no ``stop_on_first_failure``), every grid cell
+    is content-addressed by (master seed, cell config, code version):
+    cells already in the ledger are cache hits — served from their record
+    instead of recomputed — and fresh cells are appended parent-side in
+    grid order after the merge, so the ledger bytes are identical at any
+    worker count.  Campaigns with custom ``extra_check`` /
+    ``fault_plan_factory`` callables should use a distinct ``experiment``
+    label: the callables themselves cannot be fingerprinted.
     """
     schedulers = (
         dict(schedulers) if schedulers is not None else dict(DEFAULT_SCHEDULERS)
@@ -322,6 +433,29 @@ def fuzz_consensus(
                 progress(done + 1, len(specs))
             if cell.stopped:
                 break
+    elif ledger is not None:
+        cells = _run_cells_recorded(
+            run_cell,
+            specs,
+            ledger,
+            experiment,
+            cell_config={
+                # One throwaway instance names the protocol; parameter-level
+                # identity beyond the name rides on the experiment label.
+                "protocol": getattr(protocol_factory(), "name", "consensus"),
+                "runs_per_cell": runs_per_cell,
+                "crash_probability": crash_probability,
+                "recovery_probability": recovery_probability,
+                "fault_probability": fault_probability,
+                "fault_max_steps": fault_max_steps,
+                "max_steps": max_steps,
+                "has_extra_check": extra_check is not None,
+                "has_fault_plan_factory": fault_plan_factory is not None,
+            },
+            master_seed=master_seed,
+            workers=workers,
+            progress=progress,
+        )
     else:
         cells = run_tasks(run_cell, specs, workers=workers, progress=progress)
 

@@ -115,3 +115,52 @@ def test_update_then_check_round_trip(tmp_path):
     assert copied == ["e0"]
     gates = check_experiments(["e0"], results, tmp_path / "baselines")
     assert all(g.ok for g in gates)
+
+
+def test_within_tolerance_is_public():
+    from repro.analysis.benchgate import within_tolerance
+
+    assert within_tolerance(100.0, 105.0, 0.10)
+    assert not within_tolerance(100.0, 150.0, 0.10)
+    assert within_tolerance(0.0, 0.0, 0.0)
+
+
+def test_strip_timing_values_removes_host_measurements():
+    from repro.analysis.benchgate import strip_timing_values
+
+    payload = {
+        "tables": [{"rows": [{"n": 3, "steps_per_sec": 5000, "steps": 10}]}],
+        "timings": {"total": {"wall_seconds": 1.0}},
+        "metrics": {"ads": {"counters": {"runtime.steps": 10}}},
+    }
+    stripped = strip_timing_values(payload)
+    assert "timings" not in stripped
+    assert stripped["tables"][0]["rows"][0] == {"n": 3, "steps": 10}
+    assert stripped["metrics"] == payload["metrics"]
+    payload["tables"][0]["rows"][0]["mutated"] = True  # deep copy, not a view
+    assert "mutated" not in stripped["tables"][0]["rows"][0]
+
+
+def test_deviations_carry_expected_vs_actual():
+    result = compare_payloads("e0", _payload(100), _payload(150))
+    assert not result.ok
+    assert len(result.deviations) == 1
+    deviation = result.deviations[0]
+    assert deviation["expected"] == 100
+    assert deviation["actual"] == 150
+    assert deviation["drift"] > 0.3
+    assert "steps" in deviation["location"]
+
+
+def test_failed_summary_names_the_baseline_file(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    (results / "BENCH_E0.json").write_text(json.dumps(_payload(150)))
+    (baselines / "BENCH_E0.json").write_text(json.dumps(_payload(100)))
+    result = check_experiment("e0", results, baselines)
+    assert not result.ok
+    assert str(baselines / "BENCH_E0.json") in result.summary()
+    assert result.artifact_file == str(results / "BENCH_E0.json")
+    assert result.deviations  # the structured diff survives the disk path

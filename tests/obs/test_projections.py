@@ -1,0 +1,206 @@
+"""Tests for the ledger projections: history, trends, gates, flakiness."""
+
+import pytest
+
+from repro.obs.ledger import make_record
+from repro.obs.projections import (
+    TREND_METRICS,
+    detect_regressions,
+    detect_violations,
+    filter_records,
+    history_check,
+    history_rows,
+    trend_rows,
+    trend_series,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pinned_code_version(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-code-v1")
+
+
+def _sweep(seed, value, experiment="sweep:ads:steps", code="test-code-v1"):
+    return make_record(
+        kind="sweep",
+        experiment=experiment,
+        seed=seed,
+        config={"experiment": experiment, "n": 2},
+        outcome={"value": float(value)},
+        code=code,
+    )
+
+
+def _run(seed, steps, retries=3, magnitude=5):
+    return make_record(
+        kind="run",
+        experiment="run",
+        seed=seed,
+        config={"experiment": "run"},
+        outcome={
+            "total_steps": steps,
+            "audit": {"max_magnitude": magnitude, "max_width": 8},
+            "disagreement": False,
+        },
+        metrics={
+            "counters": {"snapshot.scan_retries{target=mem}": retries},
+            "gauges": {"memory.max_magnitude": magnitude},
+        },
+    )
+
+
+def _bench(value, code):
+    return make_record(
+        kind="bench",
+        experiment="bench:p1",
+        seed=0,
+        config={"experiment": "p1", "kind": "bench"},
+        outcome={"tables": [{"title": "t", "rows": [{"v": value}]}]},
+        timings={"total": {"steps_per_sec": value}},
+        code=code,
+    )
+
+
+# -- history -----------------------------------------------------------------
+
+
+def test_history_rows_inventory():
+    records = [_sweep(s, 100 + s) for s in range(3)] + [_run(0, 130)]
+    rows = history_rows(records)
+    assert len(rows) == 2
+    sweep_row = next(r for r in rows if r["kind"] == "sweep")
+    assert sweep_row["records"] == 3
+    assert sweep_row["fingerprints"] == 3
+    assert sweep_row["contested"] == 0
+    assert sweep_row["code_versions"] == 1
+
+
+def test_history_rows_counts_contested_fingerprints():
+    rows = history_rows([_sweep(0, 1.0), _sweep(0, 2.0)])
+    assert rows[0]["records"] == 2
+    assert rows[0]["fingerprints"] == 1
+    assert rows[0]["contested"] == 1
+
+
+def test_filter_records():
+    records = [_sweep(0, 1.0), _run(0, 130)]
+    assert len(filter_records(records, experiment="sweep")) == 1
+    assert len(filter_records(records, kind="run")) == 1
+    assert len(filter_records(records, experiment="nope")) == 0
+
+
+# -- trend extraction --------------------------------------------------------
+
+
+def test_trend_series_per_metric():
+    records = [_sweep(s, 100.0 + s) for s in range(4)]
+    points = trend_series(records, "expected_steps")
+    assert [p[1] for p in points] == [100.0, 101.0, 102.0, 103.0]
+    with pytest.raises(KeyError, match="unknown trend metric"):
+        trend_series(records, "not_a_metric")
+
+
+def test_run_record_trend_extractors():
+    record = _run(0, steps=130, retries=7, magnitude=5)
+    assert TREND_METRICS["steps"](record) == 130.0
+    assert TREND_METRICS["scan_retries"](record) == 7.0
+    assert TREND_METRICS["memory_high_water"](record) == 5.0
+    assert TREND_METRICS["disagreement_rate"](record) == 0.0
+    assert TREND_METRICS["expected_steps"](record) is None  # not a sweep
+
+
+def test_bench_record_steps_per_sec_comes_from_timings():
+    record = _bench(5000.0, code="c1")
+    assert TREND_METRICS["steps_per_sec"](record) == 5000.0
+
+
+def test_trend_rows_groups_by_experiment_and_metric():
+    records = [_sweep(s, 100.0) for s in range(3)] + [_run(0, 130)]
+    rows = trend_rows(records)
+    keys = {(r["experiment"], r["metric"]) for r in rows}
+    assert ("sweep:ads:steps", "expected_steps") in keys
+    assert ("run", "steps") in keys
+    sweep_row = next(r for r in rows if r["metric"] == "expected_steps")
+    assert sweep_row["n"] == 3
+    assert sweep_row["first"] == sweep_row["last"] == sweep_row["mean"] == 100.0
+
+
+# -- regression gate ---------------------------------------------------------
+
+
+def test_detect_regressions_flags_injected_regression():
+    # Five stable points, then the injected regression: +50% steps.
+    records = [_sweep(s, 100.0) for s in range(5)] + [_sweep(5, 150.0)]
+    alerts = detect_regressions(records, window=5, tolerance=0.10)
+    assert len(alerts) == 1
+    alert = alerts[0]
+    assert alert.experiment == "sweep:ads:steps"
+    assert alert.metric == "expected_steps"
+    assert alert.baseline == 100.0
+    assert alert.latest == 150.0
+    assert alert.drift == pytest.approx(50.0 / 150.0)
+    assert "deviates" in str(alert)
+
+
+def test_detect_regressions_quiet_on_stable_history():
+    records = [_sweep(s, 100.0 + (s % 2)) for s in range(6)]  # ±1% wobble
+    assert detect_regressions(records, window=5, tolerance=0.10) == []
+
+
+def test_detect_regressions_gates_only_the_latest_value():
+    # An excursion that recovered is history, not a standing alarm.
+    values = [100.0, 100.0, 180.0, 100.0, 100.0, 100.0, 100.0]
+    records = [_sweep(s, v) for s, v in enumerate(values)]
+    assert detect_regressions(records, window=3, tolerance=0.10) == []
+
+
+# -- determinism violations --------------------------------------------------
+
+
+def test_detect_violations_flags_injected_flake():
+    # Same (seed, config, code) fingerprint, two different outcomes.
+    records = [_sweep(0, 100.0), _sweep(1, 100.0), _sweep(0, 250.0)]
+    violations = detect_violations(records)
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.identities == 2
+    assert violation.records == 2
+    assert violation.fingerprint == _sweep(0, 0).fingerprint
+    assert "determinism" in str(violation) or "reproduce" in str(violation)
+
+
+def test_detect_violations_quiet_on_identical_reruns():
+    assert detect_violations([_sweep(0, 1.0), _sweep(0, 1.0)]) == []
+
+
+def test_different_code_versions_are_not_violations():
+    # A changed code version is a *new* fingerprint, not a flake.
+    assert detect_violations([_bench(100.0, "c1"), _bench(300.0, "c2")]) == []
+
+
+# -- the combined check ------------------------------------------------------
+
+
+def test_history_check_combines_both_detectors():
+    records = (
+        [_sweep(s, 100.0) for s in range(5)]
+        + [_sweep(5, 150.0)]  # injected regression
+        + [_sweep(2, 400.0)]  # injected determinism violation (seed 2 again)
+    )
+    check = history_check(records, window=5, tolerance=0.10)
+    assert not check.ok
+    assert len(check.regressions) >= 1
+    assert len(check.violations) == 1
+    assert "FAILED" in check.summary()
+
+    clean = history_check([_sweep(s, 100.0) for s in range(6)])
+    assert clean.ok
+    assert "OK" in clean.summary()
+
+
+def test_history_check_experiment_filter():
+    records = [_sweep(s, 100.0, experiment="sweep:a") for s in range(5)] + [
+        _sweep(5, 150.0, experiment="sweep:a")
+    ]
+    assert not history_check(records, experiment="sweep:a").ok
+    assert history_check(records, experiment="sweep:other").ok

@@ -73,3 +73,42 @@ def test_reset_removes_both_artifacts(common, tmp_path):
 
 def test_json_path_uppercases_experiment(common, tmp_path):
     assert common.json_path("e6").name == "BENCH_E6.json"
+
+
+def test_artifact_carries_provenance_stamp(common):
+    common.record("etest", [{"r": 1}], "t")
+    payload = json.loads(common.json_path("etest").read_text())
+    provenance = payload["provenance"]
+    assert provenance["ledger_schema"] >= 1
+    assert provenance["package"]
+    assert "code_version" in provenance
+
+
+def test_record_ledger_appends_once_per_identity(common, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-code-v1")
+    ledger_path = tmp_path / "bench.jsonl"
+    monkeypatch.setenv("REPRO_LEDGER", str(ledger_path))
+    common.record("etest", [{"n": 3, "steps": 10}], "t")
+    common.attach_timing("etest", "total", 1.0)
+    assert common.record_ledger("etest") is True
+
+    from repro.obs.ledger import read_records
+
+    records = read_records(ledger_path)
+    assert len(records) == 1
+    record = records[0]
+    assert record.kind == "bench"
+    assert record.experiment == "bench:etest"
+    assert record.outcome["tables"][0]["rows"] == [{"n": 3, "steps": 10}]
+    # Host timings ride outside the deterministic identity...
+    assert record.timings["total"]["wall_seconds"] == 1.0
+    # ...so a rerun with different wall-clock is a cache hit, not a dupe.
+    common.attach_timing("etest", "total", 99.0)
+    assert common.record_ledger("etest") is False
+    assert len(read_records(ledger_path)) == 1
+
+
+def test_record_ledger_off_without_env(common, monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    common.record("etest", [{"n": 3}], "t")
+    assert common.record_ledger("etest") is False

@@ -1,0 +1,303 @@
+"""CLI tests for the run ledger: ``--ledger`` flags and ``repro history``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import make_record, read_records
+
+
+@pytest.fixture(autouse=True)
+def _pinned_environment(monkeypatch):
+    """Stable fingerprints and no ambient ledger during CLI tests."""
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-code-v1")
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+
+
+def test_run_records_then_serves_cache_hit(tmp_path, capsys):
+    ledger = tmp_path / "runs.jsonl"
+    args = ["run", "--inputs", "0,1", "--seed", "3", "--ledger", str(ledger)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "cache hit" not in first
+    assert len(read_records(ledger)) == 1
+
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "ledger cache hit" in second
+    assert len(read_records(ledger)) == 1  # still one record
+    # The replay reports the same result as the live run.
+    for line in first.splitlines():
+        if line.startswith(("decisions", "steps", "memory", "safety")):
+            assert line in second
+
+
+def test_run_no_cache_recomputes(tmp_path, capsys):
+    ledger = tmp_path / "runs.jsonl"
+    args = ["run", "--inputs", "0,1", "--seed", "3", "--ledger", str(ledger)]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main([*args, "--no-cache"]) == 0
+    assert "cache hit" not in capsys.readouterr().out
+    assert len(read_records(ledger)) == 1  # identical rerun deduplicated
+
+
+def test_run_ledger_record_contents(tmp_path):
+    ledger = tmp_path / "runs.jsonl"
+    main(["run", "--inputs", "0,1", "--seed", "3", "--ledger", str(ledger)])
+    (record,) = read_records(ledger)
+    assert record.kind == "run"
+    assert record.seed == 3
+    assert record.config["protocol"] == "ads"
+    assert record.outcome["safety_ok"] is True
+    assert record.outcome["total_steps"] > 0
+    assert record.metrics is not None  # snapshot rides along
+    assert record.provenance["code_version"] == "test-code-v1"
+
+
+def test_sweep_ledger_identical_across_worker_counts(tmp_path, capsys):
+    ledgers = []
+    for workers in ("1", "4"):
+        path = tmp_path / f"sweep{workers}.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--n-values",
+                "2,3",
+                "--reps",
+                "2",
+                "--workers",
+                workers,
+                "--ledger",
+                str(path),
+            ]
+        )
+        assert code == 0
+        ledgers.append(path.read_bytes())
+    capsys.readouterr()
+    assert ledgers[0] == ledgers[1]
+    assert len(ledgers[0]) > 0
+
+
+def _seed_sweep_ledger(path, values):
+    """A synthetic sweep history: one record per value, in order."""
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(path)
+    for seed, value in enumerate(values):
+        ledger.append(
+            make_record(
+                kind="sweep",
+                experiment="sweep:ads:steps",
+                seed=seed,
+                config={"experiment": "sweep:ads:steps", "n": 2},
+                outcome={"value": float(value)},
+            )
+        )
+
+
+def test_history_requires_a_ledger(capsys):
+    assert main(["history", "list"]) == 2
+    assert "REPRO_LEDGER" in capsys.readouterr().out
+
+
+def test_history_list_and_trends(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0, 101.0, 100.0])
+    assert main(["history", "list", "--ledger", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep:ads:steps" in out
+    assert "3" in out
+
+    assert main(["history", "trends", "--ledger", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "expected_steps" in out
+
+    code = main(
+        [
+            "history",
+            "trends",
+            "--ledger",
+            str(path),
+            "--metric",
+            "expected_steps",
+        ]
+    )
+    assert code == 0
+    points = capsys.readouterr().out.strip().splitlines()
+    assert len(points) == 3
+
+
+def test_history_check_detects_injected_regression(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0] * 5 + [150.0])  # +50% on the last run
+    assert main(["history", "check", "--ledger", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "history check: FAILED" in out
+    # A wider tolerance lets the same history pass.
+    code = main(
+        ["history", "check", "--ledger", str(path), "--tolerance", "0.6"]
+    )
+    assert code == 0
+    assert "history check: OK" in capsys.readouterr().out
+
+
+def test_history_check_detects_injected_determinism_violation(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0, 100.0])
+    # Same fingerprint (seed 0, same config, same code), different outcome.
+    from repro.obs.ledger import RunLedger
+
+    RunLedger(path).append(
+        make_record(
+            kind="sweep",
+            experiment="sweep:ads:steps",
+            seed=0,
+            config={"experiment": "sweep:ads:steps", "n": 2},
+            outcome={"value": 999.0},
+        )
+    )
+    assert main(["history", "check", "--ledger", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out
+    assert "determinism violation" in out
+
+
+def test_history_show_by_fingerprint_prefix(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0])
+    fingerprint = read_records(path)[0].fingerprint
+    code = main(
+        [
+            "history",
+            "show",
+            "--ledger",
+            str(path),
+            "--fingerprint",
+            fingerprint[:12],
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fingerprint"] == fingerprint
+
+    assert main(["history", "show", "--ledger", str(path)]) == 2  # no prefix
+    capsys.readouterr()
+    code = main(
+        ["history", "show", "--ledger", str(path), "--fingerprint", "ffff"]
+    )
+    assert code == 1  # no match
+
+
+def test_history_gc_compacts_duplicates(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0])
+    line = path.read_text()
+    path.write_text(line + line)  # duplicate the only record
+    assert main(["history", "gc", "--ledger", str(path)]) == 0
+    assert "dropped 1" in capsys.readouterr().out
+    assert len(read_records(path)) == 1
+
+
+def test_history_reads_ledger_from_env(tmp_path, capsys, monkeypatch):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0])
+    monkeypatch.setenv("REPRO_LEDGER", str(path))
+    assert main(["history", "list"]) == 0
+    assert "sweep:ads:steps" in capsys.readouterr().out
+
+
+def test_bench_check_diff_names_baseline_and_values(tmp_path, capsys):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    payload = {
+        "experiment": "e0",
+        "tables": [{"title": "T", "rows": [{"n": 3, "steps": 150}]}],
+    }
+    (results / "BENCH_E0.json").write_text(json.dumps(payload))
+    payload["tables"][0]["rows"][0]["steps"] = 100
+    (baselines / "BENCH_E0.json").write_text(json.dumps(payload))
+    code = main(
+        [
+            "bench",
+            "--check",
+            "--results-dir",
+            str(results),
+            "--baselines-dir",
+            str(baselines),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert str(baselines / "BENCH_E0.json") in out  # names the offender
+    assert "expected 100" in out and "actual 150" in out  # per-key diff
+    assert "drift" in out
+
+
+def test_bench_ledger_records_artifacts(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    payload = {
+        "experiment": "e0",
+        "tables": [{"title": "T", "rows": [{"n": 3, "steps": 100}]}],
+        "timings": {"total": {"wall_seconds": 1.0}},
+    }
+    (results / "BENCH_E0.json").write_text(json.dumps(payload))
+    ledger = tmp_path / "bench.jsonl"
+    args = [
+        "bench",
+        "--results-dir",
+        str(results),
+        "--baselines-dir",
+        str(tmp_path / "baselines"),
+        "--ledger",
+        str(ledger),
+    ]
+    main(args)
+    records = read_records(ledger)
+    assert len(records) == 1
+    assert records[0].experiment == "bench:e0"
+    assert records[0].timings["total"]["wall_seconds"] == 1.0
+    assert "timings" not in records[0].outcome
+    capsys.readouterr()
+    main(args)  # rerun: identical artifact, no new record
+    assert "appended 0" in capsys.readouterr().out
+    assert len(read_records(ledger)) == 1
+
+
+def test_report_dashboard_renders_trends_from_ledger(tmp_path, capsys):
+    path = tmp_path / "runs.jsonl"
+    _seed_sweep_ledger(path, [100.0, 110.0])
+    out_file = tmp_path / "report.html"
+    code = main(
+        [
+            "report",
+            "--out",
+            str(out_file),
+            "--max-steps",
+            "200000",
+            "--results-dir",
+            str(tmp_path / "none"),
+            "--baselines-dir",
+            str(tmp_path / "none"),
+            "--ledger",
+            str(path),
+        ]
+    )
+    assert code == 0
+    html = out_file.read_text()
+    assert "Cross-run trends" in html
+    assert "sweep:ads:steps" in html
+    assert "expected_steps" in html
+
+
+def test_experiments_lists_benchmarks_dynamically(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in ("E1", "E12", "P1", "X1"):
+        assert experiment_id in out
+    assert "bench_p1_throughput.py" in out
