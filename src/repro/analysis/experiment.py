@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.stats import Summary, summarize
-from repro.parallel import run_tasks
+from repro.parallel import ParallelExecutionError, run_tasks, run_tasks_partial
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.ledger import RunLedger
+    from repro.resilience.policy import FailurePolicy
 
 
 def _run_recorded(
@@ -35,45 +36,61 @@ def _run_recorded(
     experiment: str,
     workers: int | None,
     progress: Callable[[int, int], None] | None,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
 ) -> list[float]:
     """Run tasks through the ledger: serve cached cells, record fresh ones.
 
     ``cells[i] = (seed, config)`` is task ``i``'s content address.  Fresh
-    tasks go through :func:`repro.parallel.run_tasks` exactly as the
-    unrecorded path would, and their records are appended in submission
-    order after the merge — never from inside a worker.
+    tasks go through the same engine as the unrecorded path, and their
+    records checkpoint to the ledger *incrementally* in submission order
+    as results arrive — an interrupted sweep leaves a valid ledger prefix
+    behind, and the re-run recomputes only the missing fingerprints.
     """
     from repro.obs.ledger import compute_fingerprint, make_record
+    from repro.resilience.checkpoint import LedgerCheckpointer
 
     fingerprints = [compute_fingerprint(seed, config) for seed, config in cells]
     results: list[float | None] = [None] * len(tasks)
     pending: list[int] = []
+    checkpointer = LedgerCheckpointer(ledger)
     for index, fingerprint in enumerate(fingerprints):
         record = ledger.cached(fingerprint)
         if record is not None and isinstance(
             record.outcome.get("value"), (int, float)
         ):
             results[index] = float(record.outcome["value"])
+            checkpointer.skip(index)
         else:
             pending.append(index)
-    fresh = run_tasks(
-        run_task,
-        [tasks[index] for index in pending],
-        workers=workers,
-        progress=progress,
-    )
-    for index, value in zip(pending, fresh):
+
+    def checkpoint(position: int, value: float) -> None:
+        index = pending[position]
         results[index] = value
         seed, config = cells[index]
-        ledger.append(
+        checkpointer.offer(
+            index,
             make_record(
                 kind="sweep",
                 experiment=experiment,
                 seed=seed,
                 config=config,
                 outcome={"value": value},
-            )
+            ),
         )
+
+    partial = run_tasks_partial(
+        run_task,
+        [tasks[index] for index in pending],
+        workers=workers,
+        progress=progress,
+        policy=policy,
+        task_timeout=task_timeout,
+        on_result=checkpoint,
+    )
+    checkpointer.close()
+    if partial.errors:
+        raise ParallelExecutionError(partial.errors)
     return [v for v in results if v is not None]
 
 
@@ -86,6 +103,8 @@ def repeat_runs(
     ledger: "RunLedger | None" = None,
     experiment: str = "",
     config: Mapping[str, Any] | None = None,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
 ) -> list[float]:
     """Execute ``run_once(seed)`` for every seed; collect the metric.
 
@@ -94,15 +113,33 @@ def repeat_runs(
     called in the parent as replications complete.  With a ``ledger``,
     each seed's result is content-addressed by (seed, ``config`` +
     ``experiment`` label, code version): known fingerprints are cache
-    hits (not recomputed), fresh ones are recorded in seed order.
+    hits (not recomputed), fresh ones checkpoint incrementally in seed
+    order.  ``policy``/``task_timeout`` flow to the engine (fail-fast and
+    retry policies only: a replication that is terminally lost raises —
+    silently dropping samples would skew the statistics).
     """
     seeds = list(seeds)
     if ledger is None:
-        return run_tasks(run_once, seeds, workers=workers, progress=progress)
+        return run_tasks(
+            run_once,
+            seeds,
+            workers=workers,
+            progress=progress,
+            policy=policy,
+            task_timeout=task_timeout,
+        )
     base = {"experiment": experiment, **dict(config or {})}
     cells = [(seed, base) for seed in seeds]
     return _run_recorded(
-        run_once, seeds, cells, ledger, experiment, workers, progress
+        run_once,
+        seeds,
+        cells,
+        ledger,
+        experiment,
+        workers,
+        progress,
+        policy=policy,
+        task_timeout=task_timeout,
     )
 
 
@@ -148,6 +185,10 @@ class Sweep:
     ledger: "RunLedger | None" = None
     experiment: str = ""
     config: Mapping[str, Any] | None = None
+    #: Optional engine resilience knobs (fail-fast / retry policies only;
+    #: a terminally lost replication raises rather than skewing stats).
+    policy: "FailurePolicy | None" = None
+    task_timeout: float | None = None
 
     def execute(
         self,
@@ -171,7 +212,12 @@ class Sweep:
         run_task = lambda task: self.run_once(task[0], task[1])  # noqa: E731
         if self.ledger is None:
             samples = run_tasks(
-                run_task, tasks, workers=workers, progress=progress
+                run_task,
+                tasks,
+                workers=workers,
+                progress=progress,
+                policy=self.policy,
+                task_timeout=self.task_timeout,
             )
         else:
             base = {"experiment": self.experiment, **dict(self.config or {})}
@@ -187,6 +233,8 @@ class Sweep:
                 self.experiment,
                 workers,
                 progress,
+                policy=self.policy,
+                task_timeout=self.task_timeout,
             )
         points = []
         for i, value in enumerate(self.values):

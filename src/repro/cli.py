@@ -51,6 +51,15 @@ append their results to the content-addressed run ledger; re-running a
 recorded (seed, config, code-version) triple is a cache hit unless
 ``--no-cache`` is given.
 
+``sweep`` and ``chaos`` additionally speak the resilient campaign
+runtime (``repro.resilience``, see ``docs/robustness.md``): ``--retries
+N`` re-dispatches failed or killed tasks with seeded exponential backoff
+(``--retry-backoff``), ``--task-timeout`` kills hung workers, and
+``--resume PATH`` resumes an interrupted ledger-recorded campaign,
+recomputing only the missing fingerprints.  ``chaos
+--inject-worker-crash`` SIGKILLs one worker mid-campaign to prove the
+retry path restores a bit-identical result.
+
 Every command is seeded and deterministic; exit status is non-zero if a
 safety check fails.
 """
@@ -147,15 +156,50 @@ def _parse_restarts(entries: Sequence[str]) -> RecoveryPlan | None:
 def _open_ledger(args):
     """The command's :class:`~repro.obs.ledger.RunLedger`, or ``None``.
 
-    ``--ledger PATH`` wins, then the ``REPRO_LEDGER`` environment
-    variable; recording stays off when neither is set.  ``--no-cache``
+    ``--resume PATH`` wins outright (it *is* a ledger, with the cache
+    forced on — resuming means serving every already-checkpointed cell);
+    then ``--ledger PATH``, then the ``REPRO_LEDGER`` environment
+    variable; recording stays off when none is set.  ``--no-cache``
     keeps recording on but makes every fingerprint lookup miss.
     """
-    from repro.obs.ledger import ledger_from_env
+    from repro.obs.ledger import RunLedger, ledger_from_env
 
+    resume = getattr(args, "resume", "")
+    if resume:
+        return RunLedger(resume, use_cache=True)
     return ledger_from_env(
         getattr(args, "ledger", "") or None,
         use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _workers_arg(text: str) -> int:
+    """argparse type for ``--workers``: a clear error beats a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer (0 = all CPUs, 1 = serial)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPUs, 1 = serial), got {value}"
+        )
+    return value
+
+
+def _resilience_policy(args):
+    """Build the engine :class:`FailurePolicy` from ``--retries`` flags."""
+    if not getattr(args, "retries", 0):
+        return None
+    from repro.resilience import FailurePolicy, RetryBackoff
+
+    seed = getattr(args, "seed", None)
+    if seed is None:
+        seed = getattr(args, "seed_base", 0)
+    return FailurePolicy.retry(
+        max_attempts=args.retries + 1,
+        backoff=RetryBackoff(base=args.retry_backoff, seed=seed),
     )
 
 
@@ -454,16 +498,43 @@ def _report_dashboard(args) -> int:
 def cmd_chaos(args) -> int:
     """Mutation-test the checkers, then fuzz crash-recovery and faults."""
     import json
+    import tempfile
 
     from repro.faults.campaign import run_mutation_campaign
+    from repro.obs.metrics import MetricsRegistry
     from repro.verify.fuzz import fuzz_consensus
 
     ledger = _open_ledger(args)
+    policy = _resilience_policy(args)
+    registry = MetricsRegistry(enabled=True)
+    task_wrapper = None
+    crash_dir = None
+    if args.inject_worker_crash:
+        # A CrashOnce SIGKILL in the serial path would kill *this* process,
+        # and without retries the murdered cell is simply lost — refuse the
+        # combinations that cannot demonstrate anything.
+        if (args.workers or 0) < 2 or policy is None:
+            print(
+                "chaos: --inject-worker-crash needs --workers >= 2 and "
+                "--retries >= 1 (the killed worker's task must be "
+                "re-dispatchable)"
+            )
+            return 2
+        from repro.resilience import CrashOnce
+
+        crash_dir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        marker = f"{crash_dir.name}/crashed"
+        task_wrapper = lambda fn: CrashOnce(fn, marker)  # noqa: E731
+
     campaign = run_mutation_campaign(
         seed=args.seed,
         workers=args.workers,
         ledger=ledger,
         experiment="chaos:campaign",
+        policy=policy,
+        task_timeout=args.task_timeout or None,
+        metrics=registry,
+        task_wrapper=task_wrapper,
     )
     columns = ("fault", "layer", "checker", "injections", "detected", "expected", "ok")
     rows = [{k: row[k] for k in columns} for row in campaign.to_rows()]
@@ -483,6 +554,10 @@ def cmd_chaos(args) -> int:
         workers=args.workers,
         ledger=ledger,
         experiment="chaos:recovery",
+        policy=policy,
+        task_timeout=args.task_timeout or None,
+        metrics=registry,
+        task_wrapper=task_wrapper,
     )
     print(f"crash-recovery fuzz : {recovery.summary()}")
     for failure in recovery.failures:
@@ -498,8 +573,38 @@ def cmd_chaos(args) -> int:
         workers=args.workers,
         ledger=ledger,
         experiment="chaos:faults",
+        policy=policy,
+        task_timeout=args.task_timeout or None,
+        metrics=registry,
+        task_wrapper=task_wrapper,
     )
     print(f"fault-injection fuzz: {faults.summary()}")
+    if crash_dir is not None:
+        crash_dir.cleanup()
+
+    snapshot = registry.snapshot()
+    resilience = {
+        "retries": snapshot.counter_total("resilience.retries"),
+        "timeouts": snapshot.counter_total("resilience.timeouts"),
+        "shed": snapshot.counter_total("resilience.shed"),
+        "cache_hits": campaign.cache_hits
+        + recovery.cache_hits
+        + faults.cache_hits,
+        "task_errors": campaign.task_errors
+        + recovery.task_errors
+        + faults.task_errors,
+    }
+    if any(resilience[k] for k in ("retries", "timeouts", "shed", "cache_hits")):
+        print(
+            f"resilience: {resilience['retries']} retries, "
+            f"{resilience['timeouts']} timeouts, {resilience['shed']} shed, "
+            f"{resilience['cache_hits']} cells served from checkpoint"
+        )
+    if ledger is not None:
+        print(
+            f"ledger    : {len(ledger)} records in {ledger.path} "
+            f"({ledger.hits} cell lookups served, {ledger.misses} recomputed)"
+        )
 
     ok = campaign.ok and recovery.ok and faults.ok
     if args.json:
@@ -520,6 +625,7 @@ def cmd_chaos(args) -> int:
                 "fault_detections": faults.fault_detections,
                 "failures": [str(f) for f in faults.failures],
             },
+            "resilience": resilience,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -574,6 +680,8 @@ def cmd_sweep(args) -> int:
             "metric": metric,
             "max_steps": args.max_steps,
         },
+        policy=_resilience_policy(args),
+        task_timeout=args.task_timeout or None,
     )
     points = sweep.execute(
         workers=args.workers, progress=progress if args.progress else None
@@ -591,7 +699,11 @@ def cmd_sweep(args) -> int:
         )
     )
     if ledger is not None:
-        print(f"ledger    : {len(ledger)} records in {ledger.path}")
+        print(
+            f"ledger    : {len(ledger)} records in {ledger.path} "
+            f"({ledger.hits} cells served from checkpoint, "
+            f"{ledger.misses} recomputed)"
+        )
     return 0
 
 
@@ -907,9 +1019,51 @@ def cmd_history(args) -> int:
     for alert in check.regressions:
         print(f"REGRESSION {alert}")
     for violation in check.violations:
+        # The full fingerprint (not the display-truncated prefix) so CI
+        # logs can be fed straight to `repro history show --fingerprint`.
         print(f"VIOLATION  {violation}")
+        print(f"           fingerprint: {violation.fingerprint}")
     print(check.summary())
     return 0 if check.ok else 1
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Flags for the campaign resilience layer (``repro.resilience``)."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-dispatch a failed/killed task up to N times with seeded "
+        "exponential backoff (retried tasks re-run from their original "
+        "seed, so results stay bit-identical; default 0 = fail fast)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base delay of the seeded exponential backoff between "
+        "attempts (default 0.05; 0 disables sleeping)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline; an overdue worker is killed "
+        "and the task counts as a timeout (needs --workers >= 2; "
+        "0 = no deadline)",
+    )
+    parser.add_argument(
+        "--resume",
+        default="",
+        metavar="PATH",
+        help="resume an interrupted campaign from this checkpoint ledger: "
+        "cells it already holds are served from it, only missing "
+        "fingerprints are recomputed (implies --ledger PATH with "
+        "caching forced on)",
+    )
 
 
 def _add_ledger_args(parser: argparse.ArgumentParser, cache: bool = True) -> None:
@@ -1046,13 +1200,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
         metavar="N",
         help="worker processes for campaign + fuzz cells "
         "(default serial; 0 = all CPUs; results identical at any count)",
     )
+    chaos.add_argument(
+        "--inject-worker-crash",
+        action="store_true",
+        help="chaos-test the harness itself: SIGKILL one worker "
+        "mid-campaign and prove the retry path restores a bit-identical "
+        "result (needs --workers >= 2 and --retries >= 1)",
+    )
     _add_ledger_args(chaos)
+    _add_resilience_args(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     sweep = sub.add_parser(
@@ -1073,7 +1235,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-steps", type=int, default=50_000_000)
     sweep.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
         metavar="N",
         help="worker processes (default serial; 0 = all CPUs)",
@@ -1082,6 +1244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="tick run completion on stderr"
     )
     _add_ledger_args(sweep)
+    _add_resilience_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(

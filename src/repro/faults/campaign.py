@@ -38,7 +38,7 @@ from typing import Any
 from repro.consensus.ads import AdsConsensus
 from repro.consensus.validation import validate_run
 from repro.faults.plan import FAULT_KINDS, FaultPlan
-from repro.parallel import run_tasks
+from repro.parallel import ParallelExecutionError, run_tasks_partial
 from repro.registers.atomic import AtomicRegister
 from repro.registers.linearizability import HistoryOp, check_register_history
 from repro.runtime.scheduler import RoundRobinScheduler
@@ -76,6 +76,14 @@ class CampaignReport:
 
     seed: int
     cells: list[CampaignCell] = field(default_factory=list)
+    #: Cells served from the ledger instead of recomputed (resume runs).
+    #: Runtime accounting only — deliberately kept out of :meth:`to_json`
+    #: so a resumed campaign's report is byte-identical to an undisturbed
+    #: one.
+    cache_hits: int = 0
+    #: Cells lost to terminal task failures under a continue-and-report
+    #: policy (stringified :class:`~repro.parallel.TaskError`\s).
+    task_errors: list[str] = field(default_factory=list)
 
     def detections_by_kind(self) -> dict[str, int]:
         counts = {kind: 0 for kind in FAULT_KINDS}
@@ -92,7 +100,11 @@ class CampaignReport:
 
     @property
     def ok(self) -> bool:
-        return not self.holes and all(cell.ok for cell in self.cells)
+        return (
+            not self.holes
+            and not self.task_errors
+            and all(cell.ok for cell in self.cells)
+        )
 
     def to_rows(self) -> list[dict]:
         return [
@@ -110,17 +122,19 @@ class CampaignReport:
         ]
 
     def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(
-            {
-                "seed": self.seed,
-                "ok": self.ok,
-                "holes": self.holes,
-                "detections_by_kind": self.detections_by_kind(),
-                "cells": self.to_rows(),
-            },
-            indent=indent,
-            sort_keys=True,
-        )
+        payload = {
+            "seed": self.seed,
+            "ok": self.ok,
+            "holes": self.holes,
+            "detections_by_kind": self.detections_by_kind(),
+            "cells": self.to_rows(),
+        }
+        if self.task_errors:
+            # Present only when cells were terminally lost, so a disturbed-
+            # but-complete campaign serialises byte-identically to an
+            # undisturbed one.
+            payload["task_errors"] = self.task_errors
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 # -- register layer ----------------------------------------------------------
@@ -308,6 +322,10 @@ def run_mutation_campaign(
     workers: int | None = None,
     ledger: "Any | None" = None,
     experiment: str = "campaign",
+    policy: "Any | None" = None,
+    task_timeout: float | None = None,
+    metrics: Any = None,
+    task_wrapper: Any = None,
 ) -> CampaignReport:
     """Run every mutation-test cell; deterministic for a given seed.
 
@@ -317,9 +335,18 @@ def run_mutation_campaign(
 
     With a ``ledger`` (a :class:`~repro.obs.ledger.RunLedger`), every
     cell is content-addressed by (seed, cell spec, code version): known
-    cells are cache hits served from their records, fresh cells run and
-    are appended parent-side in canonical order — so the ledger bytes
-    are identical at any worker count.
+    cells are cache hits (served from their records, counted in
+    ``report.cache_hits``), and fresh cells checkpoint to the ledger
+    *incrementally* in canonical order as they complete — the ledger
+    bytes stay identical at any worker count and an interrupted campaign
+    resumes by recomputing only the missing cells.
+
+    ``policy``/``task_timeout`` flow to
+    :func:`~repro.parallel.run_tasks_partial` (retry a crashed cell from
+    its seed; continue-and-report turns lost cells into
+    ``report.task_errors``); ``task_wrapper`` decorates the cell function
+    before dispatch (chaos injection hooks like
+    :class:`~repro.resilience.checkpoint.CrashOnce`).
     """
     specs: list[tuple[str, str | None]] = [("register", None), ("snapshot", None)]
     for kind in FAULT_KINDS:
@@ -329,11 +356,27 @@ def run_mutation_campaign(
     def run_spec(spec: tuple[str, str | None]) -> CampaignCell:
         return _campaign_cell(spec, seed, consensus_max_steps)
 
+    if task_wrapper is not None:
+        run_spec = task_wrapper(run_spec)
+    continue_mode = policy is not None and policy.mode == "continue"
+
     if ledger is None:
-        report.cells = run_tasks(run_spec, specs, workers=workers)
+        partial = run_tasks_partial(
+            run_spec,
+            specs,
+            workers=workers,
+            policy=policy,
+            task_timeout=task_timeout,
+            metrics=metrics,
+        )
+        if partial.errors and not continue_mode:
+            raise ParallelExecutionError(partial.errors)
+        report.cells = [cell for cell in partial.results if cell is not None]
+        report.task_errors = [str(error) for error in partial.errors]
         return report
 
     from repro.obs.ledger import compute_fingerprint, make_record
+    from repro.resilience.checkpoint import LedgerCheckpointer
 
     configs = [
         {
@@ -347,25 +390,42 @@ def run_mutation_campaign(
     fingerprints = [compute_fingerprint(seed, config) for config in configs]
     cells: list[CampaignCell | None] = [None] * len(specs)
     pending: list[int] = []
+    checkpointer = LedgerCheckpointer(ledger)
     for index, fingerprint in enumerate(fingerprints):
         record = ledger.cached(fingerprint)
         if record is not None and record.kind == "campaign":
             cells[index] = CampaignCell(**record.outcome)
+            checkpointer.skip(index)
+            report.cache_hits += 1
         else:
             pending.append(index)
-    fresh = run_tasks(
-        run_spec, [specs[index] for index in pending], workers=workers
-    )
-    for index, cell in zip(pending, fresh):
+
+    def checkpoint(position: int, cell: CampaignCell) -> None:
+        index = pending[position]
         cells[index] = cell
-        ledger.append(
+        checkpointer.offer(
+            index,
             make_record(
                 kind="campaign",
                 experiment=experiment,
                 seed=seed,
                 config=configs[index],
                 outcome=dataclasses.asdict(cell),
-            )
+            ),
         )
+
+    partial = run_tasks_partial(
+        run_spec,
+        [specs[index] for index in pending],
+        workers=workers,
+        policy=policy,
+        task_timeout=task_timeout,
+        metrics=metrics,
+        on_result=checkpoint,
+    )
+    checkpointer.close()
+    if partial.errors and not continue_mode:
+        raise ParallelExecutionError(partial.errors)
     report.cells = [cell for cell in cells if cell is not None]
+    report.task_errors = [str(error) for error in partial.errors]
     return report

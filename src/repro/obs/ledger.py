@@ -250,6 +250,11 @@ class RunLedger:
         self._records: list[LedgerRecord] | None = None
         self._identities: set[str] | None = None
         self._by_fingerprint: dict[str, list[LedgerRecord]] = {}
+        #: Cache accounting for this handle's lifetime: how many
+        #: :meth:`cached` probes were served vs missed.  Campaign resume
+        #: reporting ("N cells served from checkpoint") reads these.
+        self.hits = 0
+        self.misses = 0
 
     # -- reading -------------------------------------------------------------
 
@@ -285,12 +290,13 @@ class RunLedger:
         served from either side of a determinism violation.
         """
         if not self.use_cache:
+            self.misses += 1
             return None
         records = self.lookup(fingerprint)
-        if not records:
+        if not records or len({r.identity() for r in records}) > 1:
+            self.misses += 1
             return None
-        if len({r.identity() for r in records}) > 1:
-            return None
+        self.hits += 1
         return records[0]
 
     # -- writing -------------------------------------------------------------

@@ -175,6 +175,31 @@ def render_report(
             f'<tbody>{"".join(series_rows)}</tbody></table>'
         )
 
+    # -- resilience counters ------------------------------------------------
+    parts.append("<h2>Resilience</h2>")
+    resilience_rows = []
+    if snapshot is not None:
+        resilience_rows = [
+            r
+            for r in snapshot.to_rows()
+            if r["type"] == "counter"
+            and str(r["metric"]).startswith("resilience.")
+        ]
+    if not resilience_rows:
+        parts.append(
+            "<p>(no resilience events — every task completed on its first "
+            "attempt within budget; retries, timeouts and shed tasks are "
+            "counted here when a failure policy is active)</p>"
+        )
+    else:
+        total_disturbed = sum(int(r["value"]) for r in resilience_rows)
+        parts.append(_table(resilience_rows, ("metric", "value")))
+        parts.append(
+            f"<p><b>{total_disturbed}</b> task dispatches deviated from "
+            "the undisturbed path (re-run from their original seeds, so "
+            "merged outputs stay bit-identical).</p>"
+        )
+
     # -- cross-run trends (the run ledger's projections) --------------------
     parts.append("<h2>Cross-run trends</h2>")
     if not trends:

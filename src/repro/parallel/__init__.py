@@ -1,8 +1,9 @@
 """Parallel execution of independent seeded simulation tasks.
 
 See :mod:`repro.parallel.engine` for the execution model and determinism
-guarantees, and ``docs/performance.md`` for the user-facing tour (which
-``--workers`` flags exist and what they promise).
+guarantees, :mod:`repro.resilience` for the failure policies / budgets
+that :func:`run_tasks_partial` executes under, and ``docs/performance.md``
+/ ``docs/robustness.md`` for the user-facing tours.
 """
 
 from repro.parallel.engine import (
@@ -11,6 +12,7 @@ from repro.parallel.engine import (
     available_workers,
     resolve_workers,
     run_tasks,
+    run_tasks_partial,
 )
 
 __all__ = [
@@ -19,4 +21,5 @@ __all__ = [
     "available_workers",
     "resolve_workers",
     "run_tasks",
+    "run_tasks_partial",
 ]

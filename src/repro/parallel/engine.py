@@ -23,6 +23,21 @@ carrying every failure, after all surviving tasks finished.  A worker
 *process* dying outright (segfault, ``os._exit``) is surfaced the same way
 via the executor's broken-pool detection.
 
+On top of the plain path sits the resilient path
+(:func:`run_tasks_partial`), driven by a
+:class:`~repro.resilience.policy.FailurePolicy`: failed or killed tasks
+can be retried with seeded exponential backoff, tasks can carry per-task
+wall-clock deadlines (an overdue worker is killed, mirroring
+``repro.faults.watchdog`` semantics at the pool level), an
+:class:`~repro.resilience.budget.AdmissionController` can shed work under
+budget pressure, and the caller receives a structured
+:class:`~repro.resilience.policy.PartialResult` instead of an exception.
+Because every task re-runs from its own seed, a retried campaign's merged
+output stays bit-identical to an undisturbed run.  The resilient parallel
+path supervises one forked process per task (no chunking) so a single
+task can be killed or retried without collateral damage; the plain path
+keeps the chunked pool for throughput.
+
 The engine uses the ``fork`` start method so the task function — which may
 be a closure or lambda (protocol factories, scheduler tables) — is
 inherited by the workers instead of pickled.  Task inputs and results
@@ -33,12 +48,20 @@ failing (documented in ``docs/performance.md``).
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
+import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from multiprocessing import connection
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.budget import AdmissionController
+    from repro.resilience.policy import FailurePolicy, PartialResult
 
 __all__ = [
     "ParallelExecutionError",
@@ -46,6 +69,7 @@ __all__ = [
     "available_workers",
     "resolve_workers",
     "run_tasks",
+    "run_tasks_partial",
 ]
 
 #: Environment variable consulted when ``workers=None`` (the library default
@@ -104,14 +128,34 @@ def resolve_workers(workers: int | None) -> int:
 
     ``None`` reads :data:`WORKERS_ENV` (defaulting to 1, the serial path);
     ``0`` means "all available CPUs"; any other value is used as given.
+    Rejects non-integer and negative inputs with an actionable message
+    naming the source (argument vs environment variable).
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
-        workers = int(raw) if raw else 1
+        if not raw:
+            workers = 1
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer; set it to 0 "
+                    "(use all CPUs) or a positive worker count"
+                ) from None
+            if workers < 0:
+                raise ValueError(
+                    f"{WORKERS_ENV}={raw!r} is negative; set it to 0 "
+                    "(use all CPUs) or a positive worker count"
+                )
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(
+            f"workers must be an integer (0 = all CPUs), got {workers!r}"
+        )
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = all CPUs), got {workers}")
     if workers == 0:
         return available_workers()
-    if workers < 0:
-        raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
 
 
@@ -131,6 +175,19 @@ def _describe_task(task: Any) -> tuple[str, int | None]:
     if len(text) > 200:
         text = text[:197] + "..."
     return text, seed if isinstance(seed, int) else None
+
+
+def _task_error(index: int, task: Any, exc: BaseException) -> TaskError:
+    params, seed = _describe_task(task)
+    return TaskError(
+        index=index,
+        params=params,
+        seed=seed,
+        worker_pid=os.getpid(),
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback=traceback.format_exc(),
+    )
 
 
 # The task function is installed into this module-level slot *before* the
@@ -156,54 +213,8 @@ def _run_chunk(chunk: list[tuple[int, Any]]) -> list[tuple[str, int, Any]]:
             assert _WORKER_FN is not None, "worker forked before fn install"
             out.append(("ok", index, _WORKER_FN(task)))
         except BaseException as exc:  # noqa: BLE001 - converted to data
-            params, seed = _describe_task(task)
-            out.append(
-                (
-                    "err",
-                    index,
-                    TaskError(
-                        index=index,
-                        params=params,
-                        seed=seed,
-                        worker_pid=os.getpid(),
-                        exc_type=type(exc).__name__,
-                        message=str(exc),
-                        traceback=traceback.format_exc(),
-                    ),
-                )
-            )
+            out.append(("err", index, _task_error(index, task, exc)))
     return out
-
-
-def _run_serial(
-    fn: Callable[[Any], Any],
-    tasks: Sequence[Any],
-    progress: Callable[[int, int], None] | None,
-) -> list[Any]:
-    results: list[Any] = []
-    errors: list[TaskError] = []
-    for index, task in enumerate(tasks):
-        try:
-            results.append(fn(task))
-        except Exception as exc:
-            params, seed = _describe_task(task)
-            errors.append(
-                TaskError(
-                    index=index,
-                    params=params,
-                    seed=seed,
-                    worker_pid=os.getpid(),
-                    exc_type=type(exc).__name__,
-                    message=str(exc),
-                    traceback=traceback.format_exc(),
-                )
-            )
-            results.append(None)
-        if progress is not None:
-            progress(index + 1, len(tasks))
-    if errors:
-        raise ParallelExecutionError(errors)
-    return results
 
 
 def _record_engine_metrics(
@@ -223,52 +234,83 @@ def _record_engine_metrics(
     metrics.gauge("parallel.workers").set_max(workers)
 
 
-def run_tasks(
+def _record_resilience_metrics(metrics: Any, partial: "PartialResult") -> None:
+    """Record policy decisions as counters — only when something happened,
+    so undisturbed runs keep byte-identical metric snapshots."""
+    if metrics is None or not getattr(metrics, "enabled", False):
+        return
+    for key, value in (
+        ("resilience.retries", partial.retries),
+        ("resilience.timeouts", partial.timeouts),
+        ("resilience.shed", partial.shed),
+    ):
+        if value:
+            metrics.counter(key).inc(value)
+
+
+def _run_serial_partial(
     fn: Callable[[Any], Any],
-    tasks: Iterable[Any],
-    workers: int | None = None,
-    chunksize: int | None = None,
-    progress: Callable[[int, int], None] | None = None,
-    metrics: Any = None,
-) -> list[Any]:
-    """Run ``fn`` over every task, possibly across processes; keep order.
+    tasks: Sequence[Any],
+    policy: "FailurePolicy",
+    progress: Callable[[int, int], None] | None,
+    on_result: Callable[[int, Any], None] | None,
+    admission: "AdmissionController | None",
+) -> "PartialResult":
+    """The in-process path: retries inline, deadlines not enforced.
 
-    Args:
-        fn: the task function.  May be any callable — closures included —
-            because workers inherit it via ``fork`` rather than pickling.
-        tasks: the task inputs.  Each must be picklable, as must ``fn``'s
-            return values.
-        workers: process count; see :func:`resolve_workers`.  ``<= 1`` (the
-            default) runs the plain serial loop in this process.
-        chunksize: tasks handed to a worker per dispatch; defaults to
-            ``ceil(len(tasks) / (4 * workers))`` to amortise IPC while
-            keeping the pool load-balanced.
-        progress: ``progress(done, total)`` invoked in the *parent* as
-            chunks complete (serially: after every task).
-        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`; the
-            engine records its dispatch shape into it (``parallel.tasks``,
-            ``parallel.chunks``, ``parallel.task_failures`` counters and a
-            ``parallel.workers`` gauge).
-
-    Returns:
-        ``[fn(t) for t in tasks]`` — same values, same order, regardless of
-        worker count or completion order.
-
-    Raises:
-        ParallelExecutionError: if any task raised (or its worker died);
-            carries one :class:`TaskError` per failure.
+    Wall-clock timeouts need a killable worker process, so ``task_timeout``
+    is a no-op here (callers wanting enforcement use ``workers >= 2``).
     """
-    tasks = list(tasks)
-    count = resolve_workers(workers)
-    if count <= 1 or len(tasks) <= 1 or not _fork_available():
-        try:
-            results = _run_serial(fn, tasks, progress)
-        except ParallelExecutionError as exc:
-            _record_engine_metrics(metrics, len(tasks), 1, 1, len(exc.errors))
-            raise
-        _record_engine_metrics(metrics, len(tasks), 1, 1, 0)
-        return results
-    count = min(count, len(tasks))
+    from repro.resilience.policy import PartialResult
+
+    partial = PartialResult(results=[None] * len(tasks))
+    done = 0
+    for index, task in enumerate(tasks):
+        if admission is not None and not admission.admit(task).admitted:
+            partial.shed += 1
+            partial.shed_indices.append(index)
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks))
+            continue
+        attempt = 1
+        while True:
+            try:
+                value = fn(task)
+            except Exception as exc:
+                error = _task_error(index, task, exc)
+                if policy.should_retry(attempt, timed_out=False):
+                    partial.retries += 1
+                    delay = policy.backoff.delay(index, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                partial.errors.append(error)
+                break
+            partial.results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+            if admission is not None:
+                admission.charge(value)
+            break
+        done += 1
+        if progress is not None:
+            progress(done, len(tasks))
+    return partial
+
+
+def _run_chunked(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    count: int,
+    chunksize: int | None,
+    progress: Callable[[int, int], None] | None,
+    on_result: Callable[[int, Any], None] | None,
+) -> tuple["PartialResult", int]:
+    """The plain chunked pool: maximum throughput, all-or-nothing chunks."""
+    from repro.resilience.policy import PartialResult
+
     if chunksize is None:
         chunksize = max(1, -(-len(tasks) // (4 * count)))
     indexed = list(enumerate(tasks))
@@ -276,8 +318,7 @@ def run_tasks(
         indexed[start : start + chunksize]
         for start in range(0, len(tasks), chunksize)
     ]
-    results: dict[int, Any] = {}
-    errors: list[TaskError] = []
+    partial = PartialResult(results=[None] * len(tasks))
     done = 0
     _install_worker_fn(fn)
     context = multiprocessing.get_context("fork")
@@ -295,7 +336,7 @@ def run_tasks(
                         # every task of the chunk it was holding.
                         for index, task in chunk:
                             params, seed = _describe_task(task)
-                            errors.append(
+                            partial.errors.append(
                                 TaskError(
                                     index=index,
                                     params=params,
@@ -308,15 +349,362 @@ def run_tasks(
                     else:
                         for status, index, payload in future.result():
                             if status == "ok":
-                                results[index] = payload
+                                partial.results[index] = payload
+                                if on_result is not None:
+                                    on_result(index, payload)
                             else:
-                                errors.append(payload)
+                                partial.errors.append(payload)
                     done += len(chunk)
                     if progress is not None:
                         progress(done, len(tasks))
     finally:
         _install_worker_fn(None)  # type: ignore[arg-type]
-    _record_engine_metrics(metrics, len(tasks), len(chunks), count, len(errors))
-    if errors:
-        raise ParallelExecutionError(errors)
-    return [results[index] for index in range(len(tasks))]
+    return partial, len(chunks)
+
+
+def _supervised_entry(
+    conn: connection.Connection, fn: Callable[[Any], Any], index: int, task: Any
+) -> None:
+    """Worker-side entry for the supervised pool: one task, one report.
+
+    Sends ``("ok", result)`` or ``("err", TaskError)`` through the pipe;
+    a worker that dies outright (SIGKILL, segfault) sends nothing and the
+    parent reads EOF instead.
+    """
+    try:
+        value = fn(task)
+    except BaseException as exc:  # noqa: BLE001 - converted to data
+        message: tuple[str, Any] = ("err", _task_error(index, task, exc))
+    else:
+        message = ("ok", value)
+    try:
+        conn.send(message)
+    except BaseException as exc:  # noqa: BLE001 - e.g. unpicklable result
+        try:
+            conn.send(("err", _task_error(index, task, exc)))
+        except BaseException:  # pragma: no cover - pipe gone
+            pass
+    finally:
+        conn.close()
+
+
+def _run_supervised(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    count: int,
+    policy: "FailurePolicy",
+    task_timeout: float | None,
+    progress: Callable[[int, int], None] | None,
+    on_result: Callable[[int, Any], None] | None,
+    admission: "AdmissionController | None",
+) -> tuple["PartialResult", int]:
+    """The resilient pool: one forked process per task attempt.
+
+    Per-attempt processes cost more than chunked dispatch but buy exact
+    fault isolation — a killed, hung or crashed task loses only itself,
+    and its retry re-runs from the original seed on a fresh process.
+    Deadlines are enforced parent-side: an attempt still running past
+    ``task_timeout`` seconds is SIGKILLed (the pool-level analogue of the
+    simulation watchdog's livelock halt).
+    """
+    from repro.resilience.policy import PartialResult
+
+    total = len(tasks)
+    partial = PartialResult(results=[None] * total)
+    ready: deque[tuple[int, int]] = deque()  # (index, attempt)
+    delayed: list[tuple[float, int, int]] = []  # heap of (ready_at, ...)
+    for index, task in enumerate(tasks):
+        if admission is not None and not admission.admit(task).admitted:
+            partial.shed += 1
+            partial.shed_indices.append(index)
+            continue
+        ready.append((index, 1))
+    done = partial.shed
+    if progress is not None and done:
+        progress(done, total)
+    dispatches = 0
+    # conn -> (process, index, attempt, deadline)
+    running: dict[connection.Connection, tuple[Any, int, int, float | None]] = {}
+    context = multiprocessing.get_context("fork")
+
+    def settle_failure(
+        index: int, attempt: int, error: TaskError, timed_out: bool
+    ) -> None:
+        nonlocal done
+        if policy.should_retry(attempt, timed_out):
+            partial.retries += 1
+            ready_at = time.monotonic() + policy.backoff.delay(index, attempt)
+            heapq.heappush(delayed, (ready_at, index, attempt + 1))
+            return
+        partial.errors.append(error)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    try:
+        while ready or delayed or running:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heapq.heappop(delayed)
+                ready.append((index, attempt))
+            while ready and len(running) < count:
+                index, attempt = ready.popleft()
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                proc = context.Process(
+                    target=_supervised_entry,
+                    args=(child_conn, fn, index, tasks[index]),
+                    daemon=True,
+                )
+                proc.start()
+                # Close the parent's copy of the write end immediately so a
+                # dead worker yields EOF (and later forks don't inherit it).
+                child_conn.close()
+                deadline = (
+                    time.monotonic() + task_timeout
+                    if task_timeout is not None
+                    else None
+                )
+                running[parent_conn] = (proc, index, attempt, deadline)
+                dispatches += 1
+            if not running:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            wake_at: float | None = None
+            for _, _, _, deadline in running.values():
+                if deadline is not None:
+                    wake_at = (
+                        deadline if wake_at is None else min(wake_at, deadline)
+                    )
+            if delayed:
+                next_ready = delayed[0][0]
+                wake_at = (
+                    next_ready if wake_at is None else min(wake_at, next_ready)
+                )
+            timeout = (
+                None if wake_at is None else max(0.0, wake_at - time.monotonic())
+            )
+            for conn in connection.wait(list(running), timeout=timeout):
+                proc, index, attempt, _deadline = running.pop(
+                    conn  # type: ignore[arg-type]
+                )
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "died", None
+                conn.close()
+                proc.join()
+                if status == "ok":
+                    partial.results[index] = payload
+                    if on_result is not None:
+                        on_result(index, payload)
+                    if admission is not None:
+                        admission.charge(payload)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                elif status == "err":
+                    settle_failure(index, attempt, payload, timed_out=False)
+                else:
+                    params, seed = _describe_task(tasks[index])
+                    error = TaskError(
+                        index=index,
+                        params=params,
+                        seed=seed,
+                        worker_pid=proc.pid or -1,
+                        exc_type="WorkerDied",
+                        message=(
+                            "worker process exited without reporting "
+                            f"(exitcode {proc.exitcode})"
+                        ),
+                    )
+                    settle_failure(index, attempt, error, timed_out=False)
+            # Deadlines are enforced after draining completions, so a task
+            # that finished in time is never killed by a slow parent loop.
+            now = time.monotonic()
+            overdue = [
+                conn
+                for conn, (_, _, _, deadline) in running.items()
+                if deadline is not None and deadline <= now
+            ]
+            for conn in overdue:
+                proc, index, attempt, _deadline = running.pop(conn)
+                proc.kill()
+                proc.join()
+                conn.close()
+                partial.timeouts += 1
+                params, seed = _describe_task(tasks[index])
+                error = TaskError(
+                    index=index,
+                    params=params,
+                    seed=seed,
+                    worker_pid=proc.pid or -1,
+                    exc_type="TaskTimeout",
+                    message=(
+                        f"task exceeded its {task_timeout:.3f}s deadline "
+                        "and its worker was killed"
+                    ),
+                )
+                settle_failure(index, attempt, error, timed_out=True)
+    finally:
+        for conn, (proc, _, _, _) in running.items():
+            proc.kill()
+            proc.join()
+            conn.close()
+    return partial, dispatches
+
+
+def run_tasks_partial(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    workers: int | None = None,
+    chunksize: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    metrics: Any = None,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+    admission: "AdmissionController | None" = None,
+) -> "PartialResult":
+    """Run ``fn`` over every task under a failure policy; never raise.
+
+    The resilient counterpart of :func:`run_tasks`: instead of raising on
+    the first-class failure modes (task exception, dead worker, blown
+    deadline, shed budget) it returns a
+    :class:`~repro.resilience.policy.PartialResult` whose ``results`` list
+    is in submission order with ``None`` holes for terminal failures and
+    shed tasks, plus the full error and retry/timeout/shed accounting.
+
+    Additional knobs over :func:`run_tasks`:
+
+    Args:
+        policy: the :class:`~repro.resilience.policy.FailurePolicy`
+            (default fail-fast semantics: no retries; errors are still
+            *collected* here rather than raised).
+        task_timeout: per-task wall-clock deadline in seconds.  Enforced
+            only on the multi-process paths (a hung in-process task cannot
+            be killed); the worker is SIGKILLed and the task counts as a
+            timeout, retried when ``policy.retry_timeouts`` allows.
+        on_result: ``on_result(index, result)`` invoked in the *parent*
+            for every successful result as it arrives (any order) —
+            the hook incremental checkpointing hangs from.
+        admission: optional
+            :class:`~repro.resilience.budget.AdmissionController`; tasks
+            it refuses are shed (recorded, never run) and completed
+            results are charged against its budget.
+
+    Determinism: retried tasks re-run from their original seed, so a
+    campaign that *completes* (no terminal errors, nothing shed) merges
+    bit-identically to an undisturbed run at any worker count.
+    """
+    from repro.resilience.policy import FailurePolicy
+
+    tasks = list(tasks)
+    if policy is None:
+        policy = FailurePolicy.fail_fast()
+    count = resolve_workers(workers)
+    needs_supervision = (
+        policy.retries_enabled
+        or task_timeout is not None
+        or admission is not None
+        or policy.mode != "fail_fast"
+    )
+    if count <= 1 or len(tasks) <= 1 or not _fork_available():
+        partial = _run_serial_partial(
+            fn, tasks, policy, progress, on_result, admission
+        )
+        chunks, count = 1, 1
+    elif needs_supervision:
+        partial, chunks = _run_supervised(
+            fn,
+            tasks,
+            min(count, len(tasks)),
+            policy,
+            task_timeout,
+            progress,
+            on_result,
+            admission,
+        )
+        count = min(count, len(tasks))
+    else:
+        count = min(count, len(tasks))
+        partial, chunks = _run_chunked(
+            fn, tasks, count, chunksize, progress, on_result
+        )
+    _record_engine_metrics(
+        metrics, len(tasks), chunks, count, len(partial.errors)
+    )
+    _record_resilience_metrics(metrics, partial)
+    return partial
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    workers: int | None = None,
+    chunksize: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    metrics: Any = None,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Run ``fn`` over every task, possibly across processes; keep order.
+
+    Args:
+        fn: the task function.  May be any callable — closures included —
+            because workers inherit it via ``fork`` rather than pickling.
+        tasks: the task inputs.  Each must be picklable, as must ``fn``'s
+            return values.
+        workers: process count; see :func:`resolve_workers`.  ``<= 1`` (the
+            default) runs the plain serial loop in this process.
+        chunksize: tasks handed to a worker per dispatch; defaults to
+            ``ceil(len(tasks) / (4 * workers))`` to amortise IPC while
+            keeping the pool load-balanced.  Ignored on the resilient
+            (per-task) path.
+        progress: ``progress(done, total)`` invoked in the *parent* as
+            chunks complete (serially: after every task).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`; the
+            engine records its dispatch shape into it (``parallel.tasks``,
+            ``parallel.chunks``, ``parallel.task_failures`` counters and a
+            ``parallel.workers`` gauge), plus ``resilience.retries`` /
+            ``resilience.timeouts`` counters when the policy fired.
+        policy: optional :class:`~repro.resilience.policy.FailurePolicy`.
+            ``fail_fast`` (default) and ``retry`` modes work here; a task
+            that still fails after its retries raises as before.  The
+            ``continue`` mode returns partial results and therefore only
+            makes sense with :func:`run_tasks_partial` — passing it here
+            is an error.
+        task_timeout: per-task wall-clock deadline in seconds (multi-
+            process paths only); see :func:`run_tasks_partial`.
+        on_result: parent-side ``on_result(index, result)`` success hook;
+            see :func:`run_tasks_partial`.
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — same values, same order, regardless of
+        worker count, completion order, or how many retries happened.
+
+    Raises:
+        ParallelExecutionError: if any task terminally failed (raised,
+            worker died, or deadline blown — after any permitted retries);
+            carries one :class:`TaskError` per failure.
+    """
+    if policy is not None and policy.mode == "continue":
+        raise ValueError(
+            "FailurePolicy mode 'continue' returns partial results; "
+            "call run_tasks_partial() instead of run_tasks()"
+        )
+    partial = run_tasks_partial(
+        fn,
+        tasks,
+        workers=workers,
+        chunksize=chunksize,
+        progress=progress,
+        metrics=metrics,
+        policy=policy,
+        task_timeout=task_timeout,
+        on_result=on_result,
+    )
+    if partial.errors:
+        raise ParallelExecutionError(partial.errors)
+    return list(partial.results)

@@ -1,0 +1,201 @@
+"""Budget-based admission control with priority classes.
+
+Heavy traffic needs a bouncer: a campaign that would blow its step,
+wall-clock or task budget should degrade *gracefully* — shedding the
+least important work first and reporting what it shed — rather than
+either running unbounded or aborting.  This extends the simulation
+layer's ``raise_on_budget=False`` discipline (a blown per-run step
+budget becomes a degraded outcome, not an exception) up to the campaign
+layer: a blown campaign budget becomes shed tasks, not a dead campaign.
+
+An :class:`AdmissionController` is consulted by the execution engine
+before each task is dispatched (:func:`repro.parallel.run_tasks` with
+``admission=``) and charged after each result.  Decisions:
+
+- **pressure >= 1** (any budget dimension exhausted): everything below
+  :attr:`Priority.CRITICAL` is shed;
+- **pressure >= soft_fraction** (a dimension nearly exhausted):
+  :attr:`Priority.BEST_EFFORT` work is shed, making room for the normal
+  and critical classes to finish inside the budget;
+- otherwise: admit.
+
+Step budgets are charged from task results (``steps_of``), so serial
+admission decisions are deterministic for a fixed task list.  Wall-clock
+budgets are host measurements by nature; campaigns that need
+bit-identical outputs should gate on steps or tasks, not seconds
+(documented in ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Callable
+
+
+class Priority(IntEnum):
+    """Priority classes, lowest value = most important (shed last)."""
+
+    CRITICAL = 0
+    NORMAL = 1
+    BEST_EFFORT = 2
+
+
+@dataclass(frozen=True)
+class CampaignBudget:
+    """Per-campaign resource ceilings; ``None`` leaves a dimension open.
+
+    ``max_steps`` counts simulation steps charged from completed results,
+    ``max_wall_seconds`` counts wall-clock since the first admission
+    decision, ``max_tasks`` counts admitted tasks.  ``soft_fraction`` is
+    the load level at which best-effort work starts shedding.
+    """
+
+    max_steps: int | None = None
+    max_wall_seconds: float | None = None
+    max_tasks: int | None = None
+    soft_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.soft_fraction <= 1.0:
+            raise ValueError(
+                f"soft_fraction must be in (0, 1], got {self.soft_fraction}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_steps is None
+            and self.max_wall_seconds is None
+            and self.max_tasks is None
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit-or-shed verdict, with the reason spelled out."""
+
+    admitted: bool
+    priority: Priority
+    pressure: float
+    reason: str = ""
+
+
+class AdmissionController:
+    """Stateful admission control for one campaign.
+
+    Args:
+        budget: the campaign's ceilings.
+        priority_of: ``task -> Priority`` (default: everything NORMAL).
+            Tasks may also carry their own ``priority`` attribute.
+        steps_of: ``result -> int`` extractor charged after each
+            completed task (default: a numeric ``total_steps`` /
+            ``steps_total`` attribute or mapping key, else 0).
+        clock: injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        budget: CampaignBudget,
+        priority_of: Callable[[Any], Priority] | None = None,
+        steps_of: Callable[[Any], int] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.budget = budget
+        self._priority_of = priority_of
+        self._steps_of = steps_of
+        self._clock = clock
+        self._started: float | None = None
+        self.spent_steps = 0
+        self.admitted = 0
+        self.shed = 0
+        self.decisions: list[AdmissionDecision] = []
+
+    # -- load model ----------------------------------------------------------
+
+    def priority(self, task: Any) -> Priority:
+        if self._priority_of is not None:
+            return Priority(self._priority_of(task))
+        carried = getattr(task, "priority", None)
+        if carried is not None:
+            return Priority(carried)
+        return Priority.NORMAL
+
+    def pressure(self) -> float:
+        """Peak utilisation across the budget's dimensions (0 = idle)."""
+        loads = [0.0]
+        if self.budget.max_steps is not None and self.budget.max_steps > 0:
+            loads.append(self.spent_steps / self.budget.max_steps)
+        if self.budget.max_tasks is not None and self.budget.max_tasks > 0:
+            loads.append(self.admitted / self.budget.max_tasks)
+        if (
+            self.budget.max_wall_seconds is not None
+            and self.budget.max_wall_seconds > 0
+            and self._started is not None
+        ):
+            elapsed = self._clock() - self._started
+            loads.append(elapsed / self.budget.max_wall_seconds)
+        return max(loads)
+
+    # -- the two verbs -------------------------------------------------------
+
+    def admit(self, task: Any) -> AdmissionDecision:
+        """Decide one task; records the decision and updates the counts."""
+        if self._started is None:
+            self._started = self._clock()
+        priority = self.priority(task)
+        pressure = self.pressure()
+        if self.budget.unlimited:
+            decision = AdmissionDecision(True, priority, pressure)
+        elif pressure >= 1.0 and priority is not Priority.CRITICAL:
+            decision = AdmissionDecision(
+                False,
+                priority,
+                pressure,
+                f"budget exhausted (pressure {pressure:.2f}); "
+                f"only CRITICAL admitted, task is {priority.name}",
+            )
+        elif (
+            pressure >= self.budget.soft_fraction
+            and priority is Priority.BEST_EFFORT
+        ):
+            decision = AdmissionDecision(
+                False,
+                priority,
+                pressure,
+                f"load shedding (pressure {pressure:.2f} >= soft "
+                f"{self.budget.soft_fraction:.2f}); BEST_EFFORT shed first",
+            )
+        else:
+            decision = AdmissionDecision(True, priority, pressure)
+        self.decisions.append(decision)
+        if decision.admitted:
+            self.admitted += 1
+        else:
+            self.shed += 1
+        return decision
+
+    def charge(self, result: Any) -> None:
+        """Charge one completed result's cost against the step budget."""
+        self.spent_steps += self._extract_steps(result)
+
+    def _extract_steps(self, result: Any) -> int:
+        if self._steps_of is not None:
+            return int(self._steps_of(result))
+        for name in ("total_steps", "steps_total"):
+            value = getattr(result, name, None)
+            if value is None and isinstance(result, dict):
+                value = result.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return int(value)
+        return 0
+
+    def accounting(self) -> dict[str, Any]:
+        """Observable controller state for reports and the dashboard."""
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "spent_steps": self.spent_steps,
+            "pressure": self.pressure(),
+        }

@@ -1,0 +1,209 @@
+"""Failure policies and partial results for campaign execution.
+
+A campaign is a list of independent seeded tasks; the only interesting
+question when one fails is *what the harness does next*.  A
+:class:`FailurePolicy` answers it:
+
+- ``FailurePolicy.fail_fast()`` — the classic all-or-nothing: every task
+  runs, any failure raises
+  :class:`~repro.parallel.ParallelExecutionError` at the end (the
+  behavior every entry point had before this layer existed);
+- ``FailurePolicy.retry(max_attempts, ...)`` — transient failures
+  (a worker SIGKILLed by the OOM killer, a flaky machine, an injected
+  chaos crash) are re-dispatched up to ``max_attempts`` times with
+  seeded exponential backoff.  Because every task derives all of its
+  randomness from its own seed, a retried task recomputes *exactly* the
+  result the undisturbed run would have produced — retries change
+  wall-clock, never output bytes;
+- ``FailurePolicy.continue_and_report(...)`` — failures (after any
+  retries) are collected instead of raised, and the caller receives a
+  :class:`PartialResult` carrying the survivors and the full error
+  accounting.  One crashed cell costs one cell, not the campaign.
+
+Backoff delays derive from ``(seed, task index, attempt)`` through the
+same :func:`repro.runtime.rng.derive_rng` discipline as every other
+random stream in the repository, so two runs of the same campaign retry
+on the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.engine import TaskError
+
+#: The three failure-handling modes, in escalating tolerance.
+POLICY_MODES = ("fail_fast", "retry", "continue")
+
+
+@dataclass(frozen=True)
+class RetryBackoff:
+    """Seeded exponential backoff: ``base * factor**(attempt-1)``, jittered.
+
+    The jittered fraction of each delay is drawn from a stream derived
+    from ``(seed, task index, attempt)``, so backoff schedules are
+    reproducible — chaos runs replay byte-identically, waits included.
+    ``base=0`` disables sleeping entirely (the test configuration).
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, index: int, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``index``'s ``attempt``."""
+        if self.base <= 0:
+            return 0.0
+        raw = min(self.base * self.factor ** max(attempt - 1, 0), self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        rng = derive_rng(self.seed, "backoff", index, attempt)
+        return raw * (1.0 - self.jitter + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What :func:`repro.parallel.run_tasks` does when a task fails.
+
+    Args:
+        mode: one of :data:`POLICY_MODES`.  ``fail_fast`` raises after
+            all tasks ran (never retries); ``retry`` retries transient
+            failures and raises only when a task exhausts its attempts;
+            ``continue`` never raises — terminal failures land in the
+            :class:`PartialResult`.
+        max_attempts: total attempts per task (1 = no retries).
+        backoff: the seeded backoff schedule between attempts.
+        retry_timeouts: whether a task killed for exceeding its deadline
+            is eligible for retry (a genuinely hung simulation would hang
+            again, but a worker starved by host load would not — default
+            on, bounded by ``max_attempts`` either way).
+    """
+
+    mode: str = "fail_fast"
+    max_attempts: int = 1
+    backoff: RetryBackoff = field(default_factory=RetryBackoff)
+    retry_timeouts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown failure-policy mode {self.mode!r}; "
+                f"one of {POLICY_MODES}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    # -- constructors (the three policies by name) ---------------------------
+
+    @classmethod
+    def fail_fast(cls) -> "FailurePolicy":
+        """All-or-nothing: any failure raises after every task ran."""
+        return cls()
+
+    @classmethod
+    def retry(
+        cls,
+        max_attempts: int = 3,
+        backoff: RetryBackoff | None = None,
+        seed: int = 0,
+        retry_timeouts: bool = True,
+    ) -> "FailurePolicy":
+        """Retry transient failures; raise only on attempt exhaustion."""
+        return cls(
+            mode="retry",
+            max_attempts=max_attempts,
+            backoff=backoff if backoff is not None else RetryBackoff(seed=seed),
+            retry_timeouts=retry_timeouts,
+        )
+
+    @classmethod
+    def continue_and_report(
+        cls,
+        max_attempts: int = 1,
+        backoff: RetryBackoff | None = None,
+        seed: int = 0,
+    ) -> "FailurePolicy":
+        """Collect failures in the :class:`PartialResult`; never raise."""
+        return cls(
+            mode="continue",
+            max_attempts=max_attempts,
+            backoff=backoff if backoff is not None else RetryBackoff(seed=seed),
+        )
+
+    @property
+    def retries_enabled(self) -> bool:
+        return self.mode != "fail_fast" and self.max_attempts > 1
+
+    def should_retry(self, attempt: int, timed_out: bool) -> bool:
+        """Is one more attempt allowed after a failed ``attempt``?"""
+        if not self.retries_enabled or attempt >= self.max_attempts:
+            return False
+        return self.retry_timeouts or not timed_out
+
+
+@dataclass
+class PartialResult:
+    """Everything a resilient campaign execution produced.
+
+    ``results`` is in submission order with ``None`` holes where a task
+    terminally failed or was shed — the successes merge exactly as the
+    plain path would merge them, so a retried-but-complete campaign is
+    bit-identical to an undisturbed one.
+    """
+
+    results: list[Any | None]
+    errors: list["TaskError"] = field(default_factory=list)
+    retries: int = 0  # re-dispatches performed (attempts beyond the first)
+    timeouts: int = 0  # deadline kills (each occurrence, retried or not)
+    shed: int = 0  # tasks refused by admission control
+    shed_indices: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.shed
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for value in self.results if value is not None)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return sorted(error.index for error in self.errors)
+
+    def accounting(self) -> dict[str, int]:
+        """The resilience counters, in metrics-key vocabulary."""
+        return {
+            "tasks": len(self.results),
+            "completed": self.completed,
+            "failed": len(self.errors),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            status = "OK"
+        elif self.errors:
+            status = f"{len(self.errors)} FAILED"
+        else:
+            status = "PARTIAL"
+        extras = ""
+        if self.retries:
+            extras += f", {self.retries} retried"
+        if self.timeouts:
+            extras += f", {self.timeouts} timed out"
+        if self.shed:
+            extras += f", {self.shed} shed"
+        return (
+            f"{self.completed}/{len(self.results)} tasks completed"
+            f"{extras}: {status}"
+        )

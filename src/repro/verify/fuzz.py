@@ -28,7 +28,8 @@ from repro.consensus.ads import pref_reader
 from repro.consensus.interface import ConsensusRun
 from repro.consensus.validation import validate_run
 from repro.faults.plan import FaultPlan
-from repro.parallel import run_tasks
+from repro.faults.watchdog import Watchdog
+from repro.parallel import ParallelExecutionError, run_tasks_partial
 from repro.runtime.adversary import LockstepAdversary, SplitAdversary
 from repro.runtime.rng import derive_rng
 from repro.runtime.scheduler import (
@@ -40,6 +41,14 @@ from repro.runtime.scheduler import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.ledger import RunLedger
+    from repro.resilience.policy import FailurePolicy, PartialResult
+
+#: Default livelock window (in simulation steps) for the per-run watchdog.
+#: Healthy consensus runs move their progress counters (coin flips, round
+#: advances) every few steps, so a window this wide never fires on them;
+#: a genuinely frozen run is halted after the window instead of burning
+#: its full step budget in a pool slot.
+DEFAULT_LIVELOCK_WINDOW = 50_000
 
 DEFAULT_SCHEDULERS: dict[str, Callable[[int], Any]] = {
     "random": lambda seed: RandomScheduler(seed=seed),
@@ -92,13 +101,21 @@ class FuzzReport:
     fault_runs: int = 0
     fault_injections: int = 0
     fault_detections: int = 0
+    watchdog_halts: int = 0
+    cache_hits: int = 0
+    task_errors: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.task_errors
 
     def summary(self) -> str:
-        status = "CLEAN" if self.ok else f"{len(self.failures)} FAILURES"
+        if self.ok:
+            status = "CLEAN"
+        else:
+            status = f"{len(self.failures)} FAILURES"
+            if self.task_errors:
+                status += f", {len(self.task_errors)} CELLS LOST"
         extras = ""
         if self.recovery_runs:
             extras += f", {self.recovery_runs} with recoveries"
@@ -110,6 +127,10 @@ class FuzzReport:
             )
         if self.degraded_runs:
             extras += f", {self.degraded_runs} degraded"
+        if self.watchdog_halts:
+            extras += f", {self.watchdog_halts} watchdog halts"
+        if self.cache_hits:
+            extras += f", {self.cache_hits} cells from ledger"
         per_sched = ", ".join(
             f"{k}: {v}" for k, v in sorted(self.by_scheduler.items())
         )
@@ -139,6 +160,7 @@ class _CellOutcome:
     fault_runs: int = 0
     fault_injections: int = 0
     fault_detections: int = 0
+    watchdog_halts: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     stopped: bool = False
 
@@ -184,6 +206,7 @@ class _CellOutcome:
             fault_runs=int(payload.get("fault_runs", 0)),
             fault_injections=int(payload.get("fault_injections", 0)),
             fault_detections=int(payload.get("fault_detections", 0)),
+            watchdog_halts=int(payload.get("watchdog_halts", 0)),
             failures=failures,
             stopped=bool(payload.get("stopped", False)),
         )
@@ -203,6 +226,7 @@ def _run_cell(
     master_seed: int,
     extra_check: Callable[[ConsensusRun], list[str]] | None,
     stop_on_first_failure: bool,
+    livelock_window: int | None,
 ) -> _CellOutcome:
     """Run every repetition of one grid cell; all rng derives from the cell
     identity, so the outcome is independent of where or when it runs."""
@@ -233,6 +257,21 @@ def _run_cell(
                 if fault_plan_factory is not None
                 else FaultPlan.random(rng, targets=("mem.",))
             )
+        # A per-run livelock watchdog turns a frozen simulation into a
+        # degraded outcome after one window instead of letting it hold a
+        # pool slot for the full step budget.  Only livelock halts: the
+        # lockstep/split adversaries legitimately starve processes, so a
+        # starvation halt would misfire on healthy adversarial runs.
+        watchdog = (
+            Watchdog(
+                starvation_window=livelock_window,
+                progress_window=livelock_window,
+                check_every=256,
+                halt_on=("livelock",),
+            )
+            if livelock_window
+            else None
+        )
         run = protocol.run(
             inputs,
             scheduler=scheduler_factory(seed),
@@ -242,9 +281,14 @@ def _run_cell(
             fault_plan=faults,
             max_steps=fault_max_steps if faults is not None else max_steps,
             raise_on_budget=False,
+            watchdog=watchdog,
         )
         cell.runs += 1
         cell.steps_total += run.total_steps
+        if watchdog is not None and any(
+            alert.kind == "livelock" for alert in watchdog.alerts
+        ):
+            cell.watchdog_halts += 1
         if recoveries.restart_at:
             cell.recovery_runs += 1
         if run.outcome.degraded:
@@ -295,11 +339,24 @@ def _run_cells_recorded(
     master_seed: int,
     workers: int | None,
     progress: Callable[[int, int], None] | None,
-) -> list[_CellOutcome]:
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
+    metrics: Any = None,
+) -> tuple[list[_CellOutcome], int, "PartialResult"]:
     """Run grid cells through the ledger: cached cells are served from
     their records, fresh cells run (possibly parallel) and are appended
-    parent-side in grid order — byte-identical at any worker count."""
+    *incrementally* in grid order as they complete — so an interrupted
+    campaign leaves a valid submission-order ledger prefix behind and a
+    re-run recomputes only the missing cells (``--resume``).  The ledger
+    bytes stay identical at any worker count and across any number of
+    interrupt/resume cycles of the same campaign.
+
+    Returns ``(cells, cache_hits, partial)``; raises
+    :class:`ParallelExecutionError` on terminal task failures unless the
+    policy is continue-and-report (then the holes are in ``partial``).
+    """
     from repro.obs.ledger import compute_fingerprint, make_record
+    from repro.resilience.checkpoint import LedgerCheckpointer
 
     configs = [
         {"experiment": experiment, "n": n, "scheduler": name, **cell_config}
@@ -308,30 +365,45 @@ def _run_cells_recorded(
     fingerprints = [compute_fingerprint(master_seed, c) for c in configs]
     cells: list[_CellOutcome | None] = [None] * len(specs)
     pending: list[int] = []
+    checkpointer = LedgerCheckpointer(ledger)
+    cache_hits = 0
     for index, fingerprint in enumerate(fingerprints):
         record = ledger.cached(fingerprint)
         if record is not None and record.kind == "fuzz":
             cells[index] = _CellOutcome.from_payload(record.outcome)
+            checkpointer.skip(index)
+            cache_hits += 1
         else:
             pending.append(index)
-    fresh = run_tasks(
-        run_cell,
-        [specs[index] for index in pending],
-        workers=workers,
-        progress=progress,
-    )
-    for index, cell in zip(pending, fresh):
+
+    def checkpoint(position: int, cell: _CellOutcome) -> None:
+        index = pending[position]
         cells[index] = cell
-        ledger.append(
+        checkpointer.offer(
+            index,
             make_record(
                 kind="fuzz",
                 experiment=experiment,
                 seed=master_seed,
                 config=configs[index],
                 outcome=cell.to_payload(),
-            )
+            ),
         )
-    return [cell for cell in cells if cell is not None]
+
+    partial = run_tasks_partial(
+        run_cell,
+        [specs[index] for index in pending],
+        workers=workers,
+        progress=progress,
+        policy=policy,
+        task_timeout=task_timeout,
+        metrics=metrics,
+        on_result=checkpoint,
+    )
+    checkpointer.close()
+    if partial.errors and (policy is None or policy.mode != "continue"):
+        raise ParallelExecutionError(partial.errors)
+    return [cell for cell in cells if cell is not None], cache_hits, partial
 
 
 def fuzz_consensus(
@@ -353,6 +425,15 @@ def fuzz_consensus(
     progress: Callable[[int, int], None] | None = None,
     ledger: "RunLedger | None" = None,
     experiment: str = "fuzz",
+    livelock_window: int | None = DEFAULT_LIVELOCK_WINDOW,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
+    metrics: Any = None,
+    task_wrapper: Callable[
+        [Callable[[tuple[int, str]], _CellOutcome]],
+        Callable[[tuple[int, str]], _CellOutcome],
+    ]
+    | None = None,
 ) -> FuzzReport:
     """Run a randomized safety campaign; every run is validated.
 
@@ -400,6 +481,21 @@ def fuzz_consensus(
     worker count.  Campaigns with custom ``extra_check`` /
     ``fault_plan_factory`` callables should use a distinct ``experiment``
     label: the callables themselves cannot be fingerprinted.
+
+    Resilience: ``livelock_window`` arms a per-run
+    :class:`~repro.faults.watchdog.Watchdog` that halts a frozen
+    simulation (degraded outcome, counted in ``watchdog_halts``) instead
+    of letting it burn the whole step budget in a pool slot (``None``
+    disables).  ``policy`` and ``task_timeout`` flow to
+    :func:`~repro.parallel.run_tasks_partial`: a retry policy re-runs a
+    crashed cell from its seed (bit-identical report), a
+    continue-and-report policy turns lost cells into ``task_errors`` on
+    the report instead of an exception.  With a ledger, completed cells
+    checkpoint incrementally, so re-running an interrupted campaign
+    recomputes only the missing cells (``cache_hits`` reports the rest).
+    ``task_wrapper`` decorates the cell function before dispatch (chaos
+    injection hooks like
+    :class:`~repro.resilience.checkpoint.CrashOnce`).
     """
     schedulers = (
         dict(schedulers) if schedulers is not None else dict(DEFAULT_SCHEDULERS)
@@ -422,8 +518,13 @@ def fuzz_consensus(
             master_seed,
             extra_check,
             stop_on_first_failure,
+            livelock_window,
         )
 
+    if task_wrapper is not None:
+        run_cell = task_wrapper(run_cell)
+
+    partial: "PartialResult | None" = None
     if stop_on_first_failure:
         cells = []
         for done, spec in enumerate(specs):
@@ -434,7 +535,7 @@ def fuzz_consensus(
             if cell.stopped:
                 break
     elif ledger is not None:
-        cells = _run_cells_recorded(
+        cells, report.cache_hits, partial = _run_cells_recorded(
             run_cell,
             specs,
             ledger,
@@ -449,15 +550,32 @@ def fuzz_consensus(
                 "fault_probability": fault_probability,
                 "fault_max_steps": fault_max_steps,
                 "max_steps": max_steps,
+                "livelock_window": livelock_window,
                 "has_extra_check": extra_check is not None,
                 "has_fault_plan_factory": fault_plan_factory is not None,
             },
             master_seed=master_seed,
             workers=workers,
             progress=progress,
+            policy=policy,
+            task_timeout=task_timeout,
+            metrics=metrics,
         )
     else:
-        cells = run_tasks(run_cell, specs, workers=workers, progress=progress)
+        partial = run_tasks_partial(
+            run_cell,
+            specs,
+            workers=workers,
+            progress=progress,
+            policy=policy,
+            task_timeout=task_timeout,
+            metrics=metrics,
+        )
+        if partial.errors and (policy is None or policy.mode != "continue"):
+            raise ParallelExecutionError(partial.errors)
+        cells = [cell for cell in partial.results if cell is not None]
+    if partial is not None:
+        report.task_errors = [str(error) for error in partial.errors]
 
     for cell in cells:
         report.runs += cell.runs
@@ -471,6 +589,7 @@ def fuzz_consensus(
         report.fault_runs += cell.fault_runs
         report.fault_injections += cell.fault_injections
         report.fault_detections += cell.fault_detections
+        report.watchdog_halts += cell.watchdog_halts
         report.failures.extend(cell.failures)
         if cell.stopped:
             return report

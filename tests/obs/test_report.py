@@ -72,6 +72,26 @@ def test_report_degrades_without_snapshot_or_causal():
     assert "metrics disabled" in html
     assert "causal analysis skipped" in html
     assert "no BENCH_*.json artifacts found" in html
+    assert "no resilience events" in html
+
+
+def test_report_renders_resilience_counters():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry(enabled=True)
+    metrics.counter("resilience.retries").inc(3)
+    metrics.counter("resilience.timeouts").inc(1)
+    html = render_report(metrics.snapshot(), None, [], {})
+    assert "<h2>Resilience</h2>" in html
+    assert "resilience.retries" in html
+    assert "resilience.timeouts" in html
+    assert "<b>4</b> task dispatches deviated" in html
+
+
+def test_undisturbed_snapshot_keeps_resilience_placeholder():
+    snapshot, *_ = _full_inputs()
+    html = render_report(snapshot, None, [], {})
+    assert "no resilience events" in html
 
 
 def test_write_report_round_trips(tmp_path):

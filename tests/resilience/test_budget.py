@@ -1,0 +1,123 @@
+"""Budget-based admission control with priority classes."""
+
+import pytest
+
+from repro.resilience import AdmissionController, CampaignBudget, Priority
+
+
+class FrozenClock:
+    """An injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_soft_fraction_is_validated():
+    with pytest.raises(ValueError, match="soft_fraction"):
+        CampaignBudget(max_tasks=10, soft_fraction=0.0)
+    with pytest.raises(ValueError, match="soft_fraction"):
+        CampaignBudget(max_tasks=10, soft_fraction=1.5)
+
+
+def test_unlimited_budget_admits_everything():
+    controller = AdmissionController(CampaignBudget())
+    assert controller.budget.unlimited
+    for task in range(50):
+        assert controller.admit(task).admitted
+    assert controller.shed == 0
+
+
+def test_task_budget_sheds_non_critical_at_exhaustion():
+    budget = CampaignBudget(max_tasks=2, soft_fraction=1.0)
+    controller = AdmissionController(budget)
+    assert controller.admit("a").admitted
+    assert controller.admit("b").admitted
+    verdict = controller.admit("c")  # pressure hits 1.0
+    assert not verdict.admitted
+    assert "budget exhausted" in verdict.reason
+    assert controller.accounting()["shed"] == 1
+
+
+def test_critical_work_is_admitted_past_exhaustion():
+    budget = CampaignBudget(max_tasks=1, soft_fraction=1.0)
+    controller = AdmissionController(
+        budget, priority_of=lambda task: Priority.CRITICAL
+    )
+    assert controller.admit("a").admitted
+    assert controller.admit("b").admitted  # CRITICAL rides through
+    assert controller.shed == 0
+
+
+def test_best_effort_sheds_first_under_soft_pressure():
+    budget = CampaignBudget(max_tasks=10, soft_fraction=0.5)
+    priorities = {"be": Priority.BEST_EFFORT, "n": Priority.NORMAL}
+    controller = AdmissionController(
+        budget, priority_of=lambda task: priorities[task[0]]
+    )
+    for i in range(5):  # drive pressure to the soft threshold
+        assert controller.admit(("n", i)).admitted
+    shed = controller.admit(("be", 0))
+    assert not shed.admitted
+    assert "BEST_EFFORT shed first" in shed.reason
+    assert controller.admit(("n", 5)).admitted  # NORMAL still rides
+
+
+def test_tasks_may_carry_their_own_priority():
+    class Task:
+        priority = Priority.BEST_EFFORT
+
+    budget = CampaignBudget(max_tasks=2, soft_fraction=0.5)
+    controller = AdmissionController(budget)
+    assert controller.admit(object()).admitted  # NORMAL default
+    assert not controller.admit(Task()).admitted  # soft pressure, BEST_EFFORT
+
+
+def test_step_budget_is_charged_from_results():
+    budget = CampaignBudget(max_steps=100, soft_fraction=1.0)
+    controller = AdmissionController(budget)
+    assert controller.admit("a").admitted
+    controller.charge({"total_steps": 60})
+    assert controller.pressure() == pytest.approx(0.6)
+    controller.charge({"total_steps": 40})
+    assert not controller.admit("b").admitted  # steps exhausted
+
+
+def test_steps_extraction_covers_attr_key_and_custom():
+    controller = AdmissionController(CampaignBudget(max_steps=10))
+
+    class Run:
+        steps_total = 3
+
+    controller.charge(Run())
+    controller.charge({"steps_total": 4})
+    controller.charge("opaque")  # no cost information: charges 0
+    assert controller.spent_steps == 7
+
+    custom = AdmissionController(
+        CampaignBudget(max_steps=10), steps_of=lambda r: r[1]
+    )
+    custom.charge(("ignored", 9))
+    assert custom.spent_steps == 9
+
+
+def test_wall_clock_budget_uses_injected_clock():
+    clock = FrozenClock()
+    budget = CampaignBudget(max_wall_seconds=10.0, soft_fraction=1.0)
+    controller = AdmissionController(budget, clock=clock)
+    assert controller.admit("a").admitted  # starts the clock
+    clock.now += 5.0
+    assert controller.pressure() == pytest.approx(0.5)
+    assert controller.admit("b").admitted
+    clock.now += 5.0
+    assert not controller.admit("c").admitted  # wall budget exhausted
+
+
+def test_decisions_are_recorded_in_order():
+    budget = CampaignBudget(max_tasks=1, soft_fraction=1.0)
+    controller = AdmissionController(budget)
+    controller.admit("a")
+    controller.admit("b")
+    assert [d.admitted for d in controller.decisions] == [True, False]

@@ -1,0 +1,130 @@
+"""Failure policies, seeded backoff, and partial-result accounting."""
+
+import pytest
+
+from repro.resilience import FailurePolicy, PartialResult, RetryBackoff
+from repro.parallel import TaskError
+
+
+# -- policy construction and mode semantics ----------------------------------
+
+
+def test_unknown_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown failure-policy mode"):
+        FailurePolicy(mode="best_effort")
+
+
+def test_max_attempts_must_be_positive():
+    with pytest.raises(ValueError, match="max_attempts"):
+        FailurePolicy(mode="retry", max_attempts=0)
+
+
+def test_fail_fast_never_retries():
+    policy = FailurePolicy.fail_fast()
+    assert not policy.retries_enabled
+    assert not policy.should_retry(1, timed_out=False)
+
+
+def test_retry_allows_attempts_up_to_budget():
+    policy = FailurePolicy.retry(max_attempts=3)
+    assert policy.retries_enabled
+    assert policy.should_retry(1, timed_out=False)
+    assert policy.should_retry(2, timed_out=False)
+    assert not policy.should_retry(3, timed_out=False)
+
+
+def test_retry_timeouts_opt_out():
+    policy = FailurePolicy.retry(max_attempts=3, retry_timeouts=False)
+    assert policy.should_retry(1, timed_out=False)
+    assert not policy.should_retry(1, timed_out=True)
+
+
+def test_continue_mode_without_retries_collects_only():
+    policy = FailurePolicy.continue_and_report()
+    assert policy.mode == "continue"
+    assert not policy.retries_enabled  # max_attempts defaults to 1
+
+
+# -- seeded backoff -----------------------------------------------------------
+
+
+def test_backoff_is_deterministic_per_seed():
+    a = RetryBackoff(seed=7)
+    b = RetryBackoff(seed=7)
+    c = RetryBackoff(seed=8)
+    schedule_a = [a.delay(i, attempt) for i in range(4) for attempt in (1, 2)]
+    schedule_b = [b.delay(i, attempt) for i in range(4) for attempt in (1, 2)]
+    schedule_c = [c.delay(i, attempt) for i in range(4) for attempt in (1, 2)]
+    assert schedule_a == schedule_b
+    assert schedule_a != schedule_c
+
+
+def test_backoff_grows_and_is_capped():
+    backoff = RetryBackoff(base=0.1, factor=2.0, max_delay=0.3, jitter=0.0)
+    assert backoff.delay(0, 1) == pytest.approx(0.1)
+    assert backoff.delay(0, 2) == pytest.approx(0.2)
+    assert backoff.delay(0, 5) == pytest.approx(0.3)  # capped
+
+
+def test_backoff_base_zero_disables_sleeping():
+    backoff = RetryBackoff(base=0.0)
+    assert backoff.delay(0, 1) == 0.0
+    assert backoff.delay(9, 4) == 0.0
+
+
+def test_backoff_jitter_stays_within_band():
+    backoff = RetryBackoff(base=1.0, factor=1.0, jitter=0.5, seed=3)
+    for index in range(20):
+        delay = backoff.delay(index, 1)
+        assert 0.5 <= delay <= 1.0
+
+
+# -- partial results ----------------------------------------------------------
+
+
+def _error(index):
+    return TaskError(
+        index=index,
+        params=f"task-{index}",
+        seed=index,
+        worker_pid=-1,
+        exc_type="ValueError",
+        message="boom",
+    )
+
+
+def test_partial_result_accounting():
+    partial = PartialResult(
+        results=[1.0, None, 3.0],
+        errors=[_error(1)],
+        retries=2,
+        timeouts=1,
+    )
+    assert not partial.ok
+    assert partial.completed == 2
+    assert partial.failed_indices == [1]
+    assert partial.accounting() == {
+        "tasks": 3,
+        "completed": 2,
+        "failed": 1,
+        "retries": 2,
+        "timeouts": 1,
+        "shed": 0,
+    }
+    assert "1 FAILED" in partial.summary()
+    assert "2 retried" in partial.summary()
+
+
+def test_partial_result_ok_summary():
+    partial = PartialResult(results=[1, 2, 3])
+    assert partial.ok
+    assert partial.summary() == "3/3 tasks completed: OK"
+
+
+def test_partial_result_shed_only_is_partial_not_failed():
+    partial = PartialResult(
+        results=[1, None], shed=1, shed_indices=[1]
+    )
+    assert not partial.ok
+    assert not partial.errors
+    assert partial.summary().endswith("PARTIAL")
