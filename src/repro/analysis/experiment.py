@@ -38,6 +38,7 @@ def _run_recorded(
     progress: Callable[[int, int], None] | None,
     policy: "FailurePolicy | None" = None,
     task_timeout: float | None = None,
+    metrics: Any = None,
 ) -> list[float]:
     """Run tasks through the ledger: serve cached cells, record fresh ones.
 
@@ -84,6 +85,7 @@ def _run_recorded(
         [tasks[index] for index in pending],
         workers=workers,
         progress=progress,
+        metrics=metrics,
         policy=policy,
         task_timeout=task_timeout,
         on_result=checkpoint,
@@ -189,6 +191,9 @@ class Sweep:
     #: a terminally lost replication raises rather than skewing stats).
     policy: "FailurePolicy | None" = None
     task_timeout: float | None = None
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the engine
+    #: records its dispatch shape and resilience counters into.
+    metrics: Any = None
 
     def execute(
         self,
@@ -216,6 +221,7 @@ class Sweep:
                 tasks,
                 workers=workers,
                 progress=progress,
+                metrics=self.metrics,
                 policy=self.policy,
                 task_timeout=self.task_timeout,
             )
@@ -235,6 +241,7 @@ class Sweep:
                 progress,
                 policy=self.policy,
                 task_timeout=self.task_timeout,
+                metrics=self.metrics,
             )
         points = []
         for i, value in enumerate(self.values):

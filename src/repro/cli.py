@@ -74,36 +74,18 @@ from typing import Sequence
 
 from repro.analysis.reporting import format_table
 from repro.coin import BoundedWalkSharedCoin, coin_flipper_program
-from repro.consensus import (
-    AdsConsensus,
-    AspnesHerlihyConsensus,
-    AtomicCoinConsensus,
-    BoundedLocalCoinConsensus,
-    LocalCoinConsensus,
-    validate_run,
-)
-from repro.consensus.ads import pref_reader
+from repro.consensus import AdsConsensus, validate_run
 from repro.runtime import (
     CrashPlan,
     RandomScheduler,
     RecoveryPlan,
-    RoundRobinScheduler,
     Simulation,
-    SplitAdversary,
     WalkBalancingAdversary,
 )
 from repro.obs.export import export_trace
-from repro.runtime.adversary import LockstepAdversary
 from repro.runtime.timeline import render_timeline
 from repro.strip import DistanceGraph, EdgeCounters, ShrunkenTokenGame
-
-PROTOCOLS = {
-    "ads": AdsConsensus,
-    "aspnes-herlihy": AspnesHerlihyConsensus,
-    "local-coin": LocalCoinConsensus,
-    "bounded-local-coin": BoundedLocalCoinConsensus,
-    "atomic-coin": AtomicCoinConsensus,
-}
+from repro.workloads import PROTOCOLS, make_scheduler as _make_scheduler
 
 EXPERIMENTS = {
     "e1": "Lemma 3.1 — coin disagreement probability vs b",
@@ -119,18 +101,6 @@ EXPERIMENTS = {
     "e11": "safety grid (consistency/validity everywhere)",
     "e12": "ablations (snapshot substrate, K, b)",
 }
-
-
-def _make_scheduler(name: str, seed: int):
-    if name == "random":
-        return RandomScheduler(seed=seed)
-    if name == "round-robin":
-        return RoundRobinScheduler()
-    if name == "split":
-        return SplitAdversary(pref_reader, seed=seed)
-    if name == "lockstep":
-        return LockstepAdversary("mem", seed=seed)
-    raise ValueError(f"unknown scheduler: {name}")
 
 
 def _parse_inputs(text: str) -> list[int]:
@@ -485,7 +455,14 @@ def _report_dashboard(args) -> int:
         from repro.obs.projections import trend_rows
 
         trends = trend_rows(ledger.records())
-    path = write_report(args.out, run.metrics, causal, gates, meta, trends=trends)
+    service = None
+    if args.jobs_log:
+        from repro.obs.report import service_summary
+
+        service = service_summary(args.jobs_log)
+    path = write_report(
+        args.out, run.metrics, causal, gates, meta, trends=trends, service=service
+    )
     ok = sum(1 for g in gates if g.ok)
     print(
         f"wrote {path} — {run.total_steps} steps analyzed, "
@@ -641,45 +618,28 @@ def cmd_sweep(args) -> int:
     (n, seed) cell is an independent simulation, so ``--workers`` fans the
     grid out across cores and the table is identical for any worker count.
     """
-    from repro.analysis.experiment import Sweep, sweep_table
+    from repro.analysis.experiment import sweep_table
+    from repro.workloads import build_sweep
 
     n_values = _parse_inputs(args.n_values)
     metric = args.metric
-
-    def run_once(n: int, seed: int) -> float:
-        protocol = PROTOCOLS[args.protocol]()
-        inputs = [(seed + i) % 2 for i in range(n)]
-        run = protocol.run(
-            inputs,
-            scheduler=_make_scheduler(args.scheduler, seed),
-            seed=seed,
-            max_steps=args.max_steps,
-        )
-        report = validate_run(run)
-        if not report.ok:
-            raise RuntimeError(
-                f"unsafe run (n={n}, seed={seed}): " + "; ".join(report.problems)
-            )
-        return float(run.max_rounds() if metric == "rounds" else run.total_steps)
 
     def progress(done: int, total: int) -> None:
         print(f"\r{done}/{total} runs", end="", file=sys.stderr, flush=True)
 
     ledger = _open_ledger(args)
-    sweep = Sweep(
-        "n",
-        n_values,
-        run_once,
-        repetitions=args.reps,
+    # build_sweep is the single definition of the sweep's cells: the serve
+    # dispatcher calls it too, so HTTP-submitted sweeps write ledger bytes
+    # identical to this command's.
+    sweep = build_sweep(
+        protocol=args.protocol,
+        n_values=n_values,
+        reps=args.reps,
         seed_base=args.seed_base,
+        scheduler=args.scheduler,
+        metric=metric,
+        max_steps=args.max_steps,
         ledger=ledger,
-        experiment=f"sweep:{args.protocol}:{metric}",
-        config={
-            "protocol": args.protocol,
-            "scheduler": args.scheduler,
-            "metric": metric,
-            "max_steps": args.max_steps,
-        },
         policy=_resilience_policy(args),
         task_timeout=args.task_timeout or None,
     )
@@ -945,7 +905,7 @@ def cmd_experiments(args) -> int:
 
 def cmd_history(args) -> int:
     """Project the run ledger: list, show, trends, check, or gc."""
-    from repro.obs.ledger import LEDGER_ENV, ledger_from_env
+    from repro.obs.ledger import LEDGER_ENV, LedgerCorruption, ledger_from_env
     from repro.obs.projections import (
         filter_records,
         history_check,
@@ -959,12 +919,20 @@ def cmd_history(args) -> int:
         print(f"no ledger: pass --ledger PATH or set {LEDGER_ENV}")
         return 2
 
-    if args.action == "gc":
-        kept, dropped = ledger.gc()
-        print(f"ledger gc: kept {kept} record(s), dropped {dropped} duplicate(s)")
-        return 0
-
-    records = ledger.records()
+    try:
+        if args.action == "gc":
+            kept, dropped = ledger.gc()
+            print(
+                f"ledger gc: kept {kept} record(s), dropped {dropped} "
+                "duplicate(s)"
+            )
+            return 0
+        records = ledger.records()
+    except LedgerCorruption as exc:
+        # The message leads with <file>:<line> — print it instead of a
+        # traceback so CI artifacts point straight at the damaged line.
+        print(f"LEDGER CORRUPT {exc}")
+        return 3
     if args.action == "list":
         records = filter_records(records, experiment=args.experiment)
         if not records:
@@ -1025,6 +993,56 @@ def cmd_history(args) -> int:
         print(f"           fingerprint: {violation.fingerprint}")
     print(check.summary())
     return 0 if check.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation service: HTTP/JSON API + persistent job queue."""
+    import os
+    import signal
+
+    from repro.serve import ServeConfig, build_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers is not None else 1,
+        state_dir=args.state_dir,
+        ledger_path=args.ledger,
+        jobs_path=args.jobs_log,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        task_timeout=args.task_timeout,
+        max_queued=args.max_queued,
+        budget_steps=args.budget_steps,
+        budget_wall_seconds=args.budget_wall_seconds,
+        budget_tasks=args.budget_tasks,
+        soft_fraction=args.soft_fraction,
+    )
+    server = build_server(config)
+
+    def terminate(signum, frame):  # noqa: ARG001 - signal API
+        # Immediate exit is safe by design: engine workers are daemon
+        # processes (reaped with us), appends are whole locked lines, and
+        # the next boot heals at most one torn trailing line — so the
+        # checkpointed ledger prefix is the durable state and the
+        # restarted server recomputes only missing fingerprints.
+        print("\nrepro serve: caught SIGTERM, exiting", flush=True)
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, terminate)
+    server.start()
+    print(f"repro serve: listening on {server.url}", flush=True)
+    print(
+        f"repro serve: ledger {config.resolved_ledger()}  "
+        f"jobs-log {config.resolved_jobs()}  workers {config.workers}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+        server.stop()
+    return 0
 
 
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
@@ -1355,6 +1373,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
     history.set_defaults(func=cmd_history)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service: HTTP job API over the run ledger",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 = pick a free one, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=None,
+        metavar="N",
+        help="engine worker processes per job (default 1; 0 = all CPUs)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        metavar="DIR",
+        help="where the service ledger and job log live (default .repro-serve)",
+    )
+    serve.add_argument(
+        "--ledger",
+        default="",
+        metavar="PATH",
+        help="run ledger file (default: STATE_DIR/ledger.jsonl)",
+    )
+    serve.add_argument(
+        "--jobs-log",
+        default="",
+        metavar="PATH",
+        help="job event log (default: STATE_DIR/jobs.jsonl)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-cell retries with seeded backoff (default 0)",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base delay of the seeded retry backoff (default 0.05)",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-cell wall-clock deadline (0 = none; needs --workers >= 2)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queue-full threshold: POSTs beyond N queued jobs get 429",
+    )
+    serve.add_argument(
+        "--budget-steps",
+        type=int,
+        default=0,
+        metavar="N",
+        help="campaign step budget for admission control (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--budget-wall-seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock budget for admission control (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--budget-tasks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="admitted-jobs budget for admission control (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--soft-fraction",
+        type=float,
+        default=0.8,
+        metavar="F",
+        help="load level where best-effort jobs start shedding (default 0.8)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
     report = sub.add_parser(
         "report",
         help="print recorded benchmark tables, or render the HTML dashboard",
@@ -1384,6 +1496,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="K",
         help="series sampling period for the dashboard's reference run",
+    )
+    report.add_argument(
+        "--jobs-log",
+        default="",
+        metavar="PATH",
+        help="render the Service section from this `repro serve` job log",
     )
     _add_ledger_args(report, cache=False)
     report.set_defaults(func=cmd_report)

@@ -40,6 +40,11 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+try:  # POSIX advisory locks; absent on some platforms (documented below)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from repro.version import LEDGER_SCHEMA, code_version, provenance
 
 #: Environment variable enabling ledger recording process-wide (the CLI
@@ -202,7 +207,70 @@ def make_record(
 
 class LedgerCorruption(ValueError):
     """A non-trailing ledger line failed to parse — the file is damaged
-    beyond the torn-tail case the reader tolerates by design."""
+    beyond the torn-tail case the reader tolerates by design.
+
+    The message always leads with ``<file>:<line>:`` so server-side
+    ledger damage is diagnosable straight from a CI log or artifact."""
+
+
+def locked_append(path: pathlib.Path | str, text: str) -> None:
+    """Append ``text`` to ``path`` under an exclusive advisory lock.
+
+    This is the one write path of every append-only JSONL store in the
+    repository (run ledger, serve job log).  The lock makes concurrent
+    appends from multiple processes interleave as whole lines instead of
+    tearing each other mid-record; within one process, callers serialize
+    through their own handle locks.  On platforms without ``fcntl`` the
+    append degrades to a plain buffered write (single-writer semantics,
+    the pre-existing contract).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            handle.write(text)
+            handle.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def truncate_torn_tail(path: pathlib.Path | str) -> bool:
+    """Physically remove a torn trailing line left by a crashed writer.
+
+    Readers already *tolerate* a torn tail (they drop it), but the
+    garbage bytes stay in the file — which breaks the serve restart
+    guarantee that a resumed campaign's ledger is byte-identical to an
+    undisturbed run.  Called once at server boot, before any appends.
+    Returns ``True`` when something was truncated.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return False
+    data = path.read_bytes()
+    # Writers emit "<record>\n" in one locked write, so a torn tail is
+    # exactly: bytes after the last newline that do not parse as JSON.
+    if not data or data.endswith(b"\n"):
+        return False
+    head, sep, line = data.rpartition(b"\n")
+    offset = len(head) + len(sep)
+    try:
+        json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        with open(path, "r+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.truncate(offset)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return True
+    # A parsable line missing only its newline: complete it in place.
+    locked_append(path, "\n")
+    return False
 
 
 def read_records(path: pathlib.Path | str) -> list[LedgerRecord]:
@@ -223,14 +291,22 @@ def read_records(path: pathlib.Path | str) -> list[LedgerRecord]:
             continue
         try:
             payload = json.loads(line)
-        except json.JSONDecodeError:
+        except json.JSONDecodeError as exc:
             if lineno == len(lines):
                 break  # torn trailing line: a crash mid-append, not corruption
             raise LedgerCorruption(
                 f"{path}:{lineno}: unparsable ledger line (not the trailing "
-                "line, so this is corruption, not a torn append)"
+                f"line, so this is corruption, not a torn append): {exc}; "
+                f"line starts {line[:60]!r}"
             ) from None
-        records.append(LedgerRecord.from_payload(payload))
+        try:
+            records.append(LedgerRecord.from_payload(payload))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LedgerCorruption(
+                f"{path}:{lineno}: ledger line parses as JSON but is not a "
+                f"valid record ({type(exc).__name__}: {exc}); "
+                f"line starts {line[:60]!r}"
+            ) from None
     return records
 
 
@@ -316,9 +392,9 @@ class RunLedger:
         identity = record.identity()
         if identity in self._identities:
             return False
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(record.to_line() + "\n")
+        # Locked append: concurrent writers (serve dispatcher + a CLI run
+        # sharing one ledger) interleave whole lines, never torn records.
+        locked_append(self.path, record.to_line() + "\n")
         self._records.append(record)
         self._identities.add(identity)
         self._by_fingerprint.setdefault(record.fingerprint, []).append(record)

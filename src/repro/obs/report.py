@@ -117,13 +117,15 @@ def render_report(
     gates: Sequence[GateResult],
     meta: Mapping[str, Any],
     trends: Sequence[Mapping[str, Any]] | None = None,
+    service: Mapping[str, Any] | None = None,
 ) -> str:
     """Render the dashboard HTML (a pure function of its inputs).
 
     ``trends`` are cross-run trend rows from the run ledger
     (:func:`repro.obs.projections.trend_rows`): one sparkline per
     (experiment, metric) series.  ``None`` renders the section with a
-    pointer at how to record a ledger instead.
+    pointer at how to record a ledger instead.  ``service`` is a job-log
+    summary (:func:`service_summary`) for the ``repro serve`` section.
     """
     parts: list[str] = [
         "<!DOCTYPE html>",
@@ -225,6 +227,30 @@ def render_report(
             f'</tr></thead><tbody>{"".join(trend_cells)}</tbody></table>'
         )
 
+    # -- service (the repro serve job log) ----------------------------------
+    parts.append("<h2>Service</h2>")
+    if not service:
+        parts.append(
+            "<p>(no job log — run <code>repro serve</code> and pass its "
+            "<code>--jobs-log</code> to <code>repro report</code>)</p>"
+        )
+    else:
+        states = service.get("by_state", {})
+        parts.append(
+            "<p>jobs: "
+            + " · ".join(
+                f"{_esc(state)}=<b>{_esc(states[state])}</b>"
+                for state in sorted(states)
+            )
+            + f" · shed rate <b>{_fmt(service.get('shed_rate', 0.0))}</b></p>"
+        )
+        parts.append(
+            _table(
+                service.get("jobs", []),
+                ("id", "kind", "priority", "state", "attempts"),
+            )
+        )
+
     # -- causal attribution -------------------------------------------------
     parts.append("<h2>Causal critical path</h2>")
     if causal is None:
@@ -314,6 +340,36 @@ def gate_all_benchmarks(
     )
 
 
+def service_summary(jobs_log: pathlib.Path | str) -> dict[str, Any]:
+    """The dashboard's Service section, projected from one job log.
+
+    Reads the ``repro serve`` JSONL event log through the same replay
+    logic the server boots with, so a corrupt log raises with its
+    ``<file>:<line>`` rather than rendering silently-wrong counts.
+    """
+    from repro.serve.queue import JobQueue, JobStates
+
+    queue = JobQueue(jobs_log, requeue_running=False)
+    counts = queue.counts()
+    shed = counts[JobStates.SHED]
+    terminal = shed + counts[JobStates.DONE] + counts[JobStates.FAILED]
+    rows = [
+        {
+            "id": job.id[:12],
+            "kind": job.spec.get("kind", ""),
+            "priority": job.spec.get("priority", ""),
+            "state": job.state,
+            "attempts": job.attempts,
+        }
+        for job in queue.jobs()
+    ]
+    return {
+        "by_state": counts,
+        "shed_rate": round(shed / terminal, 4) if terminal else 0.0,
+        "jobs": rows,
+    }
+
+
 def write_report(
     path: pathlib.Path | str,
     snapshot: MetricsSnapshot | None,
@@ -321,8 +377,13 @@ def write_report(
     gates: Sequence[GateResult],
     meta: Mapping[str, Any],
     trends: Sequence[Mapping[str, Any]] | None = None,
+    service: Mapping[str, Any] | None = None,
 ) -> pathlib.Path:
     """Render and write the dashboard; returns the output path."""
     out = pathlib.Path(path)
-    out.write_text(render_report(snapshot, causal, gates, meta, trends=trends))
+    out.write_text(
+        render_report(
+            snapshot, causal, gates, meta, trends=trends, service=service
+        )
+    )
     return out

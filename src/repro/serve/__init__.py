@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: HTTP/JSON API over the resilient engine.
+
+The ROADMAP north-star frames heavy traffic as consensus-simulation
+requests; this package is the service layer that accepts them.  It is
+stdlib-only (``http.server``) and glues together three existing layers:
+
+- :mod:`repro.workloads` defines *what* a job runs (the same sweep /
+  fuzz / chaos / campaign shapes as the CLI, so ledger bytes are
+  byte-identical across entry points);
+- :mod:`repro.resilience` defines *how* it runs (failure policies,
+  deadlines, admission control with priority classes);
+- :mod:`repro.obs.ledger` is *where* results live (the append-only
+  content-addressed store — repeated submissions are cache hits, and a
+  server restart resumes from the checkpointed ledger prefix).
+
+Layout: :mod:`~repro.serve.schemas` validates and fingerprints job
+specs, :mod:`~repro.serve.queue` is the persistent JSONL job log,
+:mod:`~repro.serve.dispatcher` drains it onto the engine,
+:mod:`~repro.serve.api` is the HTTP surface, and
+:mod:`~repro.serve.client` the small client the tests and CI smoke use.
+See ``docs/service.md`` for the API reference and lifecycle diagram.
+"""
+
+from repro.serve.api import ReproServer, ServeConfig, build_server
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.dispatcher import Dispatcher
+from repro.serve.queue import Job, JobQueue, JobStates
+from repro.serve.schemas import (
+    JOB_KINDS,
+    PRIORITIES,
+    SpecError,
+    job_fingerprint,
+    validate_spec,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "PRIORITIES",
+    "Dispatcher",
+    "Job",
+    "JobQueue",
+    "JobStates",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SpecError",
+    "build_server",
+    "job_fingerprint",
+    "validate_spec",
+]

@@ -1,0 +1,303 @@
+"""The HTTP surface: stdlib ``ThreadingHTTPServer`` + JSON handlers.
+
+Routes::
+
+    POST /jobs              submit a job spec  → 202 queued / 200 done
+    GET  /jobs              list all jobs (snapshots, newest last)
+    GET  /jobs/{id}         one job's status with live progress
+    GET  /jobs/{id}/result  the merged outcome (DONE jobs only)
+    GET  /health            liveness + job counts + uptime
+    GET  /metrics           JSON projection of the metrics registry,
+                            queue depth, admission accounting
+
+Submission is idempotent by construction: the job id is the SHA-256 of
+the canonical spec + code version (:func:`repro.serve.schemas.job_fingerprint`),
+so resubmitting finished work returns the existing job (HTTP 200 with
+``"cached": true``) instead of recomputing.  Backpressure is explicit:
+a full queue answers 429, a budget-exhausted admission controller 503,
+both with the refusal reason in the body — the shed job is recorded in
+the job log so the decision itself is auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.ledger import truncate_torn_tail
+from repro.serve.dispatcher import Dispatcher
+from repro.serve.queue import JobQueue, JobStates
+from repro.serve.schemas import (
+    PRIORITIES,
+    SpecError,
+    job_fingerprint,
+    validate_spec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience import AdmissionController
+
+#: Response cap on ``GET /jobs`` (newest are the interesting ones).
+MAX_LISTED_JOBS = 200
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` configures, in one picklable bag."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 1
+    state_dir: str = ".repro-serve"
+    ledger_path: str = ""  # default: <state_dir>/ledger.jsonl
+    jobs_path: str = ""  # default: <state_dir>/jobs.jsonl
+    retries: int = 0
+    retry_backoff: float = 0.05
+    task_timeout: float = 0.0
+    max_queued: int = 64
+    budget_steps: int = 0  # 0 = unlimited
+    budget_wall_seconds: float = 0.0
+    budget_tasks: int = 0
+    soft_fraction: float = 0.8
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def resolved_ledger(self) -> pathlib.Path:
+        return pathlib.Path(
+            self.ledger_path or pathlib.Path(self.state_dir) / "ledger.jsonl"
+        )
+
+    def resolved_jobs(self) -> pathlib.Path:
+        return pathlib.Path(
+            self.jobs_path or pathlib.Path(self.state_dir) / "jobs.jsonl"
+        )
+
+
+class _Priced:
+    """Adapter giving a job spec the ``priority`` attribute the
+    admission controller reads."""
+
+    def __init__(self, spec: dict[str, Any]):
+        self.priority = PRIORITIES[spec["priority"]]
+
+
+class ReproServer:
+    """The assembled service: HTTP server + queue + dispatcher.
+
+    Boot order matters: both JSONL stores are healed of torn trailing
+    lines *before* anything reads them, so a ledger a SIGKILLed
+    predecessor tore mid-append is byte-identical to an undisturbed
+    prefix by the time the first job resumes from it.
+    """
+
+    def __init__(self, config: ServeConfig):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.resilience import (
+            AdmissionController,
+            CampaignBudget,
+            FailurePolicy,
+            RetryBackoff,
+        )
+
+        self.config = config
+        self.started = time.time()
+        ledger_path = config.resolved_ledger()
+        jobs_path = config.resolved_jobs()
+        truncate_torn_tail(ledger_path)
+        truncate_torn_tail(jobs_path)
+        self.metrics = MetricsRegistry(enabled=True)
+        self.queue = JobQueue(jobs_path)
+        budget = CampaignBudget(
+            max_steps=config.budget_steps or None,
+            max_wall_seconds=config.budget_wall_seconds or None,
+            max_tasks=config.budget_tasks or None,
+            soft_fraction=config.soft_fraction,
+        )
+        # Always constructed — an unlimited budget admits everything but
+        # still keeps the accounting /metrics reports.
+        self.admission: "AdmissionController" = AdmissionController(budget)
+        if config.retries > 0:
+            policy = FailurePolicy.retry(
+                max_attempts=config.retries + 1,
+                backoff=RetryBackoff(base=config.retry_backoff, seed=0),
+            )
+        else:
+            policy = FailurePolicy.continue_and_report()
+        self.dispatcher = Dispatcher(
+            self.queue,
+            ledger_path=ledger_path,
+            workers=config.workers,
+            policy=policy,
+            task_timeout=config.task_timeout or None,
+            admission=self.admission,
+            metrics=self.metrics,
+        )
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((config.host, config.port), handler)
+        self.httpd.daemon_threads = True
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``--port 0``)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> None:
+        self.dispatcher.start()
+
+    def serve_forever(self) -> None:  # pragma: no cover - blocks
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def stop(self) -> None:
+        self.dispatcher.stop()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+    # -- endpoint bodies (pure views over the pieces) ------------------------
+
+    def health_body(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "jobs": self.queue.counts(),
+            "workers": self.config.workers,
+            "ledger": str(self.config.resolved_ledger()),
+        }
+
+    def metrics_body(self) -> dict[str, Any]:
+        counts = self.queue.counts()
+        done = counts[JobStates.DONE]
+        shed = counts[JobStates.SHED]
+        terminal = done + counts[JobStates.FAILED] + shed
+        snapshot = self.metrics.snapshot()
+        return {
+            "queue": {
+                "depth": counts[JobStates.QUEUED],
+                "running": counts[JobStates.RUNNING],
+                "by_state": counts,
+                "shed_rate": (shed / terminal) if terminal else 0.0,
+            },
+            "admission": self.admission.accounting(),
+            "engine": json.loads(snapshot.to_json(indent=None)),
+        }
+
+    def submit(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        """The POST /jobs decision tree; returns (status, body)."""
+        try:
+            spec = validate_spec(payload)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}
+        job_id = job_fingerprint(spec)
+        existing = self.queue.get(job_id)
+        if existing is not None:
+            if existing.state == JobStates.DONE:
+                body = existing.snapshot()
+                body["cached"] = True
+                return 200, body
+            if existing.state in JobStates.RESUBMITTABLE:
+                return 202, self.queue.requeue(job_id).snapshot()
+            return 202, existing.snapshot()  # already queued/running
+        if self.queue.depth() >= self.config.max_queued:
+            return 429, {
+                "error": (
+                    f"queue full ({self.config.max_queued} jobs queued); "
+                    "retry later"
+                ),
+                "id": job_id,
+            }
+        decision = self.admission.admit(_Priced(spec))
+        if not decision.admitted:
+            self.queue.submit(job_id, spec)
+            self.queue.shed(job_id, decision.reason)
+            status = 503 if decision.pressure >= 1.0 else 429
+            return status, {
+                "error": decision.reason,
+                "id": job_id,
+                "state": JobStates.SHED,
+                "pressure": decision.pressure,
+            }
+        return 202, self.queue.submit(job_id, spec).snapshot()
+
+
+def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # request logging stays out of the CLI's stdout contract
+
+        def _reply(self, status: int, body: dict[str, Any]) -> None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.rstrip("/") or "/"
+            if path == "/health":
+                self._reply(200, server.health_body())
+                return
+            if path == "/metrics":
+                self._reply(200, server.metrics_body())
+                return
+            if path == "/jobs":
+                jobs = list(server.queue.jobs())[-MAX_LISTED_JOBS:]
+                self._reply(200, {"jobs": [job.snapshot() for job in jobs]})
+                return
+            if path.startswith("/jobs/"):
+                rest = path[len("/jobs/") :]
+                job_id, _, tail = rest.partition("/")
+                job = server.queue.get(job_id)
+                if job is None or tail not in ("", "result"):
+                    self._reply(404, {"error": f"no such resource {path!r}"})
+                    return
+                if tail == "":
+                    self._reply(200, job.snapshot())
+                    return
+                if job.state != JobStates.DONE:
+                    body = job.snapshot()
+                    body["error"] = f"job is {job.state}, not DONE"
+                    self._reply(409, body)
+                    return
+                self._reply(
+                    200, {"id": job.id, "result": job.result or {}}
+                )
+                return
+            self._reply(404, {"error": f"no such resource {path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path.rstrip("/") != "/jobs":
+                self._reply(404, {"error": f"no such resource {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8") or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": f"request body is not JSON: {exc}"})
+                return
+            self._reply(*server.submit(payload))
+
+    return Handler
+
+
+def build_server(config: ServeConfig | None = None, **overrides: Any) -> ReproServer:
+    """Construct (but do not start) a :class:`ReproServer`.
+
+    Keyword overrides patch the default :class:`ServeConfig` — the
+    convenience the tests use: ``build_server(port=0, state_dir=tmp)``.
+    """
+    if config is None:
+        config = ServeConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a ServeConfig or keyword overrides")
+    return ReproServer(config)

@@ -1,0 +1,109 @@
+"""A small stdlib client for the serve API (tests + CI smoke use it).
+
+Thin on purpose: JSON in, JSON out, no retries of its own — the
+*server* owns resilience.  Every non-2xx answer raises
+:class:`ServeError` carrying the HTTP status and the decoded error
+body, so callers can branch on backpressure (429/503) explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.serve.queue import JobStates
+
+#: States :meth:`ServeClient.wait` stops on.
+TERMINAL_STATES = (JobStates.DONE, JobStates.FAILED, JobStates.SHED)
+
+
+class ServeError(RuntimeError):
+    """An API refusal: HTTP status + decoded body."""
+
+    def __init__(self, status: int, body: Mapping[str, Any]):
+        self.status = status
+        self.body = dict(body)
+        super().__init__(
+            f"HTTP {status}: {body.get('error') or json.dumps(body)}"
+        )
+
+
+class ServeClient:
+    """Client bound to one server base URL (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            raise ServeError(exc.code, body) from None
+
+    # -- the API, verb by verb ----------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Mapping[str, Any] | None = None,
+        priority: str = "normal",
+    ) -> dict[str, Any]:
+        """POST /jobs; returns the job snapshot (raises on 4xx/5xx)."""
+        spec: dict[str, Any] = {"kind": kind, "priority": priority}
+        if params:
+            spec["params"] = dict(params)
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")["result"]
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its snapshot.
+
+        Raises ``TimeoutError`` if it does not settle in ``timeout``
+        seconds — the caller decides what FAILED/SHED mean.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in TERMINAL_STATES:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id[:12]} still {snapshot['state']} "
+                    f"after {timeout:.1f}s (progress {snapshot['progress']})"
+                )
+            time.sleep(poll)

@@ -1,0 +1,320 @@
+"""The dispatcher thread: drains the job queue onto the resilient engine.
+
+One daemon thread claims jobs oldest-first and executes them through
+the *same* workload builders the CLI uses (:mod:`repro.workloads`), so
+a job's ledger records are byte-identical to the equivalent CLI run.
+Every job opens a fresh :class:`~repro.obs.ledger.RunLedger` handle on
+the server's ledger file: cells the ledger already holds are cache
+hits, fresh cells checkpoint incrementally via the experiment layer's
+:class:`~repro.resilience.checkpoint.LedgerCheckpointer` — which is
+exactly what makes a SIGTERM survivable: the killed server leaves a
+valid submission-order ledger prefix, the restarted one requeues the
+job and recomputes only the missing fingerprints.
+
+Execution always runs under a supervising
+:class:`~repro.resilience.policy.FailurePolicy` (``continue`` or
+``retry`` mode, never plain fail-fast): at ``workers > 1`` the engine
+then uses its supervised pool of *daemon* worker processes, which the
+kernel reaps when the server process exits — an abrupt shutdown can
+never orphan workers the way the chunked non-daemon pool could.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.ledger import RunLedger
+from repro.serve.queue import Job, JobQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience import AdmissionController, FailurePolicy
+
+#: Engine counters diffed per job into the job's progress/result.
+_RESILIENCE_COUNTERS = (
+    "resilience.retries",
+    "resilience.timeouts",
+    "resilience.shed",
+)
+
+
+class Dispatcher(threading.Thread):
+    """Single-consumer worker loop over a :class:`JobQueue`.
+
+    Args:
+        queue: the persistent job queue.
+        ledger_path: the server's run ledger file (every job appends to
+            this one store, under the cross-process file lock).
+        workers: engine worker processes per job (1 = in-process).
+        policy: failure policy every job runs under (must not be plain
+            fail-fast — see the module docstring).
+        task_timeout: optional per-cell wall-clock deadline (seconds).
+        admission: the server's admission controller; completed job
+            results are charged against its budget here.
+        metrics: the server's registry; engine and job counters land in
+            it and surface through ``GET /metrics``.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        ledger_path: Any,
+        workers: int = 1,
+        policy: "FailurePolicy | None" = None,
+        task_timeout: float | None = None,
+        admission: "AdmissionController | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        super().__init__(name="repro-serve-dispatcher", daemon=True)
+        from repro.resilience import FailurePolicy
+
+        self.queue = queue
+        self.ledger_path = ledger_path
+        self.workers = workers
+        self.policy = (
+            policy
+            if policy is not None
+            else FailurePolicy.continue_and_report()
+        )
+        if self.policy.mode == "fail_fast":
+            raise ValueError(
+                "serve dispatcher needs a continue/retry policy (fail-fast "
+                "would select the non-daemon worker pool, which an abrupt "
+                "server exit could orphan)"
+            )
+        self.task_timeout = task_timeout
+        self.admission = admission
+        self.metrics = metrics
+        self._halt = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.queue.wake.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via the server
+        while not self._halt.is_set():
+            job = self.queue.claim()
+            if job is None:
+                self.queue.wake.wait(timeout=0.2)
+                continue
+            self.execute(job)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, job: Job) -> None:
+        """Run one claimed job to a terminal state (DONE or FAILED)."""
+        before = self._resilience_totals()
+        try:
+            result = self._run_spec(job)
+        except Exception as exc:  # noqa: BLE001 - any job error is terminal
+            detail = traceback.format_exc(limit=4)
+            self._count_job("failed")
+            self.queue.fail(job.id, f"{type(exc).__name__}: {exc}\n{detail}")
+            return
+        result["resilience"] = self._resilience_delta(before)
+        self._count_job("done")
+        self.queue.finish(job.id, result)
+        if self.admission is not None:
+            self.admission.charge(result)
+
+    def _run_spec(self, job: Job) -> dict[str, Any]:
+        kind = job.spec["kind"]
+        params = job.spec["params"]
+        # A fresh handle per job sees everything on disk — including
+        # records a concurrent CLI run appended since the last job.
+        ledger = RunLedger(self.ledger_path)
+        runner = {
+            "sweep": self._run_sweep,
+            "fuzz": self._run_fuzz,
+            "campaign": self._run_campaign,
+            "chaos": self._run_chaos,
+        }[kind]
+        result = runner(job, params, ledger)
+        result["cache_hits"] = ledger.hits
+        result["recomputed"] = ledger.misses
+        return result
+
+    def _progress(self, job: Job) -> Callable[[int, int], None]:
+        def progress(done: int, total: int) -> None:
+            self.queue.update_progress(job.id, done=done, total=total)
+
+        return progress
+
+    def _run_sweep(
+        self, job: Job, params: dict[str, Any], ledger: RunLedger
+    ) -> dict[str, Any]:
+        from repro.analysis.experiment import sweep_table
+        from repro.workloads import build_sweep
+
+        sweep = build_sweep(
+            protocol=params["protocol"],
+            n_values=params["n_values"],
+            reps=params["reps"],
+            seed_base=params["seed_base"],
+            scheduler=params["scheduler"],
+            metric=params["metric"],
+            max_steps=params["max_steps"],
+            ledger=ledger,
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        points = sweep.execute(
+            workers=self.workers, progress=self._progress(job)
+        )
+        samples = [value for point in points for value in point.samples]
+        return {
+            "kind": "sweep",
+            "ok": True,
+            "experiment": sweep.experiment,
+            "table": sweep_table(points),
+            "cells": len(samples),
+            "steps_total": (
+                int(sum(samples)) if params["metric"] == "steps" else 0
+            ),
+        }
+
+    def _run_fuzz(
+        self, job: Job, params: dict[str, Any], ledger: RunLedger
+    ) -> dict[str, Any]:
+        from repro.verify.fuzz import fuzz_consensus
+        from repro.workloads import PROTOCOLS
+
+        report = fuzz_consensus(
+            PROTOCOLS[params["protocol"]],
+            n_values=params["n_values"],
+            runs_per_cell=params["runs_per_cell"],
+            crash_probability=params["crash_probability"],
+            recovery_probability=params["recovery_probability"],
+            fault_probability=params["fault_probability"],
+            master_seed=params["seed"],
+            workers=self.workers,
+            progress=self._progress(job),
+            ledger=ledger,
+            experiment="fuzz",
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        return {
+            "kind": "fuzz",
+            "ok": report.ok,
+            "summary": report.summary(),
+            "runs": report.runs,
+            "failures": [str(failure) for failure in report.failures],
+            "task_errors": report.task_errors,
+            "steps_total": report.steps_total,
+        }
+
+    def _run_campaign(
+        self, job: Job, params: dict[str, Any], ledger: RunLedger
+    ) -> dict[str, Any]:
+        from repro.faults.campaign import run_mutation_campaign
+
+        report = run_mutation_campaign(
+            seed=params["seed"],
+            consensus_max_steps=params["consensus_max_steps"],
+            workers=self.workers,
+            ledger=ledger,
+            experiment="campaign",
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        rows = report.to_rows()
+        self.queue.update_progress(job.id, done=len(rows), total=len(rows))
+        return {
+            "kind": "campaign",
+            "ok": report.ok,
+            "rows": rows,
+            "holes": sorted(report.holes),
+            "task_errors": report.task_errors,
+        }
+
+    def _run_chaos(
+        self, job: Job, params: dict[str, Any], ledger: RunLedger
+    ) -> dict[str, Any]:
+        """The three ``repro chaos`` stages under their CLI experiment
+        labels, so serve chaos jobs cache-hit prior CLI chaos runs."""
+        from repro.consensus import AdsConsensus
+        from repro.faults.campaign import run_mutation_campaign
+        from repro.verify.fuzz import fuzz_consensus
+        from repro.workloads import CHAOS_EXPERIMENTS
+
+        campaign = run_mutation_campaign(
+            seed=params["seed"],
+            workers=self.workers,
+            ledger=ledger,
+            experiment=CHAOS_EXPERIMENTS["campaign"],
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        recovery = fuzz_consensus(
+            AdsConsensus,
+            n_values=(2, 3),
+            runs_per_cell=params["runs_per_cell"],
+            crash_probability=1.0,
+            recovery_probability=1.0,
+            master_seed=params["seed"],
+            workers=self.workers,
+            progress=self._progress(job),
+            ledger=ledger,
+            experiment=CHAOS_EXPERIMENTS["recovery"],
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        faults = fuzz_consensus(
+            AdsConsensus,
+            n_values=(2, 3),
+            runs_per_cell=max(2, params["runs_per_cell"] // 5),
+            crash_probability=0.0,
+            fault_probability=1.0,
+            master_seed=params["seed"],
+            workers=self.workers,
+            ledger=ledger,
+            experiment=CHAOS_EXPERIMENTS["faults"],
+            policy=self.policy,
+            task_timeout=self.task_timeout,
+            metrics=self.metrics,
+        )
+        ok = campaign.ok and recovery.ok and faults.ok
+        return {
+            "kind": "chaos",
+            "ok": ok,
+            "campaign": {
+                "ok": campaign.ok,
+                "holes": sorted(campaign.holes),
+                "task_errors": campaign.task_errors,
+            },
+            "recovery": recovery.summary(),
+            "faults": faults.summary(),
+            "steps_total": recovery.steps_total + faults.steps_total,
+        }
+
+    # -- accounting ----------------------------------------------------------
+
+    def _count_job(self, state: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("serve.jobs", state=state).inc()
+
+    def _resilience_totals(self) -> dict[str, int]:
+        if self.metrics is None:
+            return {}
+        return {
+            name: self.metrics.counter_total(name)
+            for name in _RESILIENCE_COUNTERS
+        }
+
+    def _resilience_delta(self, before: dict[str, int]) -> dict[str, int]:
+        after = self._resilience_totals()
+        return {
+            name.split(".", 1)[1]: after[name] - before.get(name, 0)
+            for name in after
+        }

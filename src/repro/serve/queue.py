@@ -1,0 +1,289 @@
+"""The persistent job queue: an append-only JSONL event log.
+
+Jobs never mutate in place on disk — every lifecycle transition appends
+one event line (``submit`` carries the canonical spec, ``state``
+carries the transition plus its payload), through the same
+exclusive-lock append path as the run ledger
+(:func:`repro.obs.ledger.locked_append`), so concurrent writers
+interleave whole lines and a crash tears at most the trailing line.
+Boot replays the log to rebuild in-memory state; jobs that were
+``RUNNING`` when the process died are requeued (their ledger
+checkpoint makes the re-run recompute only missing cells).
+
+States::
+
+                    submit            claim          finish
+    (new) ──────────────────▶ QUEUED ───────▶ RUNNING ───────▶ DONE
+              shed at admission │ ▲              │ fail
+    SHED ◀──────────────────────┘ │ requeue      ▼
+      └───────────────────────────┤           FAILED
+                                  └──────────────┘
+
+``DONE`` is terminal and answers repeat submissions from its stored
+result; ``FAILED``/``SHED`` are terminal but resubmittable (the next
+identical POST requeues them).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.ledger import locked_append
+
+
+class JobLogCorruption(ValueError):
+    """A job log line this reader refuses; message leads with
+    ``<file>:<line>:`` so damage is diagnosable from CI artifacts."""
+
+
+class JobStates:
+    """The five lifecycle states (string constants, stored verbatim)."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    SHED = "SHED"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, SHED)
+    #: States a repeat submission may move back to ``QUEUED``.
+    RESUBMITTABLE = (FAILED, SHED)
+
+
+@dataclass
+class Job:
+    """One job's full in-memory state (the log replayed forward)."""
+
+    id: str
+    spec: dict[str, Any]
+    state: str = JobStates.QUEUED
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    attempts: int = 0
+    #: Live progress (volatile — updated in memory as cells complete,
+    #: never logged; a restart recomputes it from the ledger instead).
+    progress: dict[str, Any] = field(default_factory=dict)
+    result: dict[str, Any] | None = None
+    error: str = ""
+    reason: str = ""
+
+    def snapshot(self) -> dict[str, Any]:
+        """The API's ``GET /jobs/{id}`` body (result served separately)."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.get("kind"),
+            "priority": self.spec.get("priority"),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "attempts": self.attempts,
+            "progress": dict(self.progress),
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+
+class JobQueue:
+    """Thread-safe job registry backed by the JSONL event log.
+
+    All mutation goes through methods that append the matching event
+    under one lock, so the log is always a faithful serialization of
+    the transitions taken.  ``wake`` is set whenever work may be
+    available; the dispatcher waits on it instead of polling hot.
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path, requeue_running: bool = True
+    ):
+        self.path = pathlib.Path(path)
+        self.requeue_running = requeue_running
+        self._lock = threading.Lock()
+        self.wake = threading.Event()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _append(self, event: dict[str, Any]) -> None:
+        locked_append(self.path, json.dumps(event, sort_keys=True) + "\n")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    break  # torn trailing line: crash mid-append
+                raise JobLogCorruption(
+                    f"{self.path}:{lineno}: unparsable job-log line "
+                    f"({exc}); line starts {line[:60]!r}"
+                ) from None
+            try:
+                self._replay(event)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JobLogCorruption(
+                    f"{self.path}:{lineno}: job-log event invalid "
+                    f"({type(exc).__name__}: {exc}); "
+                    f"line starts {line[:60]!r}"
+                ) from None
+        # Jobs the dead server left RUNNING go back in line: their ledger
+        # checkpoint means the re-run recomputes only the missing suffix.
+        # (Read-only consumers — `repro report --jobs-log` — pass
+        # requeue_running=False so projecting the log never mutates it.)
+        for job in self._jobs.values():
+            if self.requeue_running and job.state == JobStates.RUNNING:
+                job.state = JobStates.QUEUED
+                self._append(
+                    {
+                        "event": "state",
+                        "job": job.id,
+                        "state": JobStates.QUEUED,
+                        "at": time.time(),
+                        "reason": "requeued after restart",
+                    }
+                )
+        if any(j.state == JobStates.QUEUED for j in self._jobs.values()):
+            self.wake.set()
+
+    def _replay(self, event: dict[str, Any]) -> None:
+        kind = event["event"]
+        if kind == "submit":
+            job = Job(
+                id=event["job"],
+                spec=dict(event["spec"]),
+                submitted_at=float(event["at"]),
+                updated_at=float(event["at"]),
+            )
+            if job.id not in self._jobs:
+                self._order.append(job.id)
+            self._jobs[job.id] = job
+        elif kind == "state":
+            job = self._jobs[event["job"]]
+            state = event["state"]
+            if state not in JobStates.ALL:
+                raise ValueError(f"unknown job state {state!r}")
+            job.state = state
+            job.updated_at = float(event["at"])
+            job.error = event.get("error", "")
+            job.reason = event.get("reason", "")
+            if state == JobStates.RUNNING:
+                job.attempts += 1
+            if state == JobStates.DONE:
+                job.result = event.get("result")
+        else:
+            raise ValueError(f"unknown job-log event {kind!r}")
+
+    # -- transitions ---------------------------------------------------------
+
+    def submit(self, job_id: str, spec: dict[str, Any]) -> Job:
+        """Enqueue a new job (caller has already deduped by id)."""
+        with self._lock:
+            now = time.time()
+            job = Job(
+                id=job_id, spec=dict(spec), submitted_at=now, updated_at=now
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._append(
+                {"event": "submit", "job": job_id, "spec": spec, "at": now}
+            )
+            self.wake.set()
+            return job
+
+    def _transition(self, job: Job, state: str, **extra: Any) -> None:
+        job.state = state
+        job.updated_at = time.time()
+        job.error = extra.get("error", "")
+        job.reason = extra.get("reason", "")
+        if state == JobStates.RUNNING:
+            job.attempts += 1
+        if state == JobStates.DONE:
+            job.result = extra.get("result")
+        self._append(
+            {
+                "event": "state",
+                "job": job.id,
+                "state": state,
+                "at": job.updated_at,
+                **extra,
+            }
+        )
+
+    def requeue(self, job_id: str) -> Job:
+        """Move a FAILED/SHED job back to QUEUED (repeat submission)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state not in JobStates.RESUBMITTABLE:
+                return job
+            self._transition(job, JobStates.QUEUED, reason="resubmitted")
+            self.wake.set()
+            return job
+
+    def claim(self) -> Job | None:
+        """Oldest QUEUED job → RUNNING, or ``None`` when idle."""
+        with self._lock:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state == JobStates.QUEUED:
+                    self._transition(job, JobStates.RUNNING)
+                    return job
+            self.wake.clear()
+            return None
+
+    def finish(self, job_id: str, result: dict[str, Any]) -> None:
+        with self._lock:
+            self._transition(self._jobs[job_id], JobStates.DONE, result=result)
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            self._transition(self._jobs[job_id], JobStates.FAILED, error=error)
+
+    def shed(self, job_id: str, reason: str) -> None:
+        with self._lock:
+            self._transition(self._jobs[job_id], JobStates.SHED, reason=reason)
+
+    def update_progress(self, job_id: str, **progress: Any) -> None:
+        """Merge live progress counters (in-memory only, never logged)."""
+        with self._lock:
+            self._jobs[job_id].progress.update(progress)
+
+    # -- views ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> Iterator[Job]:
+        with self._lock:
+            return iter([self._jobs[job_id] for job_id in self._order])
+
+    def depth(self) -> int:
+        """QUEUED jobs waiting (the admission/backpressure signal)."""
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state == JobStates.QUEUED
+            )
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JobStates.ALL}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts

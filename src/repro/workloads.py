@@ -1,0 +1,176 @@
+"""Shared workload builders: one definition of each campaign shape.
+
+The CLI (:mod:`repro.cli`) and the simulation service
+(:mod:`repro.serve`) must run *the same* workload for the same
+parameters — the run ledger content-addresses every cell by (seed,
+config, code version), so two entry points that disagree about a default
+or an experiment label would fingerprint the same work differently and
+never share cache hits.  This module is the single source of those
+shapes:
+
+- :data:`PROTOCOLS` — the protocol menu every entry point exposes;
+- :func:`make_scheduler` — the named scheduler/adversary table;
+- :func:`build_sweep` — the canonical protocol-vs-n sweep
+  (``repro sweep`` and serve ``{"kind": "sweep"}`` jobs both call it, so
+  a sweep submitted over HTTP writes ledger bytes identical to the same
+  sweep run through the CLI);
+- :data:`CHAOS_EXPERIMENTS` — the experiment labels of the three chaos
+  stages (mutation campaign + recovery fuzz + fault fuzz), shared by
+  ``repro chaos`` and serve ``{"kind": "chaos"}`` jobs.
+
+Everything here is import-light so the serve dispatcher can load it in a
+thread without dragging the argparse layer along.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.consensus import (
+    AdsConsensus,
+    AspnesHerlihyConsensus,
+    AtomicCoinConsensus,
+    BoundedLocalCoinConsensus,
+    LocalCoinConsensus,
+    validate_run,
+)
+from repro.consensus.ads import pref_reader
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    SplitAdversary,
+)
+from repro.runtime.adversary import LockstepAdversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.experiment import Sweep
+    from repro.obs.ledger import RunLedger
+    from repro.resilience.policy import FailurePolicy
+
+#: The user-facing protocol menu (name → class), shared by every entry
+#: point so "ads" means the same protocol everywhere.
+PROTOCOLS = {
+    "ads": AdsConsensus,
+    "aspnes-herlihy": AspnesHerlihyConsensus,
+    "local-coin": LocalCoinConsensus,
+    "bounded-local-coin": BoundedLocalCoinConsensus,
+    "atomic-coin": AtomicCoinConsensus,
+}
+
+#: The named schedulers/adversaries accepted by ``--scheduler`` flags and
+#: serve job specs.
+SCHEDULERS = ("random", "round-robin", "split", "lockstep")
+
+#: Sweep metrics a run can be reduced to.
+SWEEP_METRICS = ("steps", "rounds")
+
+#: Default cell parameters of the canonical sweep — the CLI flag defaults
+#: and the serve spec defaults are both this dict, so an empty HTTP spec
+#: and a bare ``repro sweep`` name identical cells.
+SWEEP_DEFAULTS: dict[str, Any] = {
+    "protocol": "ads",
+    "n_values": [2, 3, 4],
+    "reps": 10,
+    "seed_base": 0,
+    "scheduler": "random",
+    "metric": "steps",
+    "max_steps": 50_000_000,
+}
+
+#: Experiment labels of the three ``repro chaos`` stages.  Serve chaos
+#: jobs use the same labels so their ledger cells cache-hit CLI runs.
+CHAOS_EXPERIMENTS = {
+    "campaign": "chaos:campaign",
+    "recovery": "chaos:recovery",
+    "faults": "chaos:faults",
+}
+
+
+def make_scheduler(name: str, seed: int):
+    """Instantiate a named scheduler/adversary for one seeded run."""
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "split":
+        return SplitAdversary(pref_reader, seed=seed)
+    if name == "lockstep":
+        return LockstepAdversary("mem", seed=seed)
+    raise ValueError(f"unknown scheduler: {name}")
+
+
+def sweep_experiment(protocol: str, metric: str) -> str:
+    """The ledger experiment label of a canonical sweep."""
+    return f"sweep:{protocol}:{metric}"
+
+
+def make_sweep_runner(
+    protocol: str, scheduler: str, metric: str, max_steps: int
+) -> Callable[[int, int], float]:
+    """The per-cell function of the canonical sweep: ``(n, seed) → value``.
+
+    Each cell builds its own protocol instance and scheduler from its own
+    seed (no shared state), validates safety, and reduces the run to one
+    number — total steps or max rounds.  An unsafe run raises: a sweep
+    must never average over violations.
+    """
+
+    def run_once(n: int, seed: int) -> float:
+        instance = PROTOCOLS[protocol]()
+        inputs = [(seed + i) % 2 for i in range(n)]
+        run = instance.run(
+            inputs,
+            scheduler=make_scheduler(scheduler, seed),
+            seed=seed,
+            max_steps=max_steps,
+        )
+        report = validate_run(run)
+        if not report.ok:
+            raise RuntimeError(
+                f"unsafe run (n={n}, seed={seed}): " + "; ".join(report.problems)
+            )
+        return float(run.max_rounds() if metric == "rounds" else run.total_steps)
+
+    return run_once
+
+
+def build_sweep(
+    protocol: str = "ads",
+    n_values: Sequence[int] = (2, 3, 4),
+    reps: int = 10,
+    seed_base: int = 0,
+    scheduler: str = "random",
+    metric: str = "steps",
+    max_steps: int = 50_000_000,
+    *,
+    ledger: "RunLedger | None" = None,
+    policy: "FailurePolicy | None" = None,
+    task_timeout: float | None = None,
+    metrics: Any = None,
+) -> "Sweep":
+    """The canonical protocol sweep, identically configured everywhere.
+
+    Both ``repro sweep`` and serve sweep jobs execute the object this
+    returns, so the ledger records it checkpoints — experiment label,
+    cell configs, fingerprints — are byte-identical across entry points.
+    """
+    from repro.analysis.experiment import Sweep
+
+    return Sweep(
+        "n",
+        list(n_values),
+        make_sweep_runner(protocol, scheduler, metric, max_steps),
+        repetitions=reps,
+        seed_base=seed_base,
+        ledger=ledger,
+        experiment=sweep_experiment(protocol, metric),
+        config={
+            "protocol": protocol,
+            "scheduler": scheduler,
+            "metric": metric,
+            "max_steps": max_steps,
+        },
+        policy=policy,
+        task_timeout=task_timeout,
+        metrics=metrics,
+    )

@@ -114,3 +114,34 @@ def test_sparkline_is_deterministic_and_escaped():
 def test_sparkline_handles_flat_series():
     flat = sparkline([[1, 5], [2, 5], [3, 5]])
     assert "NaN" not in flat and "inf" not in flat
+
+
+def test_report_renders_service_section_from_a_job_log(tmp_path):
+    from repro.obs.report import service_summary
+    from repro.serve.queue import JobQueue
+
+    log = tmp_path / "jobs.jsonl"
+    queue = JobQueue(log)
+    queue.submit("a" * 64, {"kind": "sweep", "priority": "normal", "params": {}})
+    queue.claim()
+    queue.finish("a" * 64, {"ok": True})
+    queue.submit("b" * 64, {"kind": "chaos", "priority": "critical", "params": {}})
+    queue.shed("b" * 64, "budget exhausted")
+    before = log.read_bytes()
+
+    summary = service_summary(log)
+    assert log.read_bytes() == before  # reporting never mutates the log
+    assert summary["by_state"]["DONE"] == 1
+    assert summary["by_state"]["SHED"] == 1
+    assert summary["shed_rate"] == 0.5
+
+    html = render_report(None, None, [], {}, service=summary)
+    assert "<h2>Service</h2>" in html
+    assert "aaaaaaaaaaaa" in html and "bbbbbbbbbbbb" in html  # 12-char ids
+    assert "chaos" in html and "critical" in html
+
+
+def test_report_keeps_service_placeholder_without_a_job_log():
+    html = render_report(None, None, [], {})
+    assert "<h2>Service</h2>" in html
+    assert "no job log" in html

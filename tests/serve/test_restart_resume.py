@@ -1,0 +1,148 @@
+"""SIGTERM mid-job + restart: resume from the checkpointed ledger prefix.
+
+The acceptance scenario of the service layer, exercised against *real*
+server processes: a sweep job is killed partway through, the ledger is
+left holding a valid submission-order prefix, and the restarted server
+requeues the job and recomputes only the missing fingerprints — ending
+with ledger bytes identical to an undisturbed CLI run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: ~24 cells at 40–90 ms each: slow enough that SIGTERM lands mid-job,
+#: fast enough to keep the test under a few seconds per phase.
+PARAMS = {"n_values": [5, 6], "reps": 12, "max_steps": 50_000_000}
+TOTAL_CELLS = len(PARAMS["n_values"]) * PARAMS["reps"]
+
+
+def _env():
+    return {
+        "PATH": "/usr/bin:/bin",
+        "PYTHONPATH": str(SRC),
+        "PYTHONUNBUFFERED": "1",
+        "REPRO_CODE_VERSION": "test-resume-v1",
+    }
+
+
+def _boot_server(state_dir: Path) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--state-dir",
+            str(state_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    deadline = time.monotonic() + 30
+    url = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError(f"server died at boot (rc={proc.returncode})")
+        if "listening on" in line:
+            url = line.rsplit(" ", 1)[-1].strip()
+            break
+    assert url.startswith("http://"), f"no listen line within 30s: {url!r}"
+    return proc, url
+
+
+def _wait_for_ledger_lines(path: Path, minimum: int, timeout: float) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            lines = len(path.read_bytes().splitlines())
+            if lines >= minimum:
+                return lines
+        time.sleep(0.01)
+    raise AssertionError(f"ledger never reached {minimum} lines: {path}")
+
+
+@pytest.mark.slow
+def test_sigterm_midjob_then_restart_resumes_from_prefix(tmp_path):
+    state_dir = tmp_path / "state"
+    ledger = state_dir / "ledger.jsonl"
+
+    # Reference: the identical sweep through the CLI, undisturbed.
+    reference = tmp_path / "reference.jsonl"
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "--n-values",
+            "5,6",
+            "--reps",
+            str(PARAMS["reps"]),
+            "--ledger",
+            str(reference),
+        ],
+        check=True,
+        capture_output=True,
+        env=_env(),
+    )
+    assert len(reference.read_bytes().splitlines()) == TOTAL_CELLS
+
+    # Phase 1: submit, let a few cells checkpoint, SIGTERM mid-job.
+    proc, url = _boot_server(state_dir)
+    try:
+        client = ServeClient(url)
+        job = client.submit("sweep", PARAMS)
+        job_id = job["id"]
+        _wait_for_ledger_lines(ledger, minimum=2, timeout=30)
+        os.kill(proc.pid, signal.SIGTERM)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    prefix = len(ledger.read_bytes().splitlines())
+    assert 0 < prefix < TOTAL_CELLS, (
+        f"SIGTERM was meant to land mid-job, ledger has {prefix} lines"
+    )
+    # The interrupted ledger is a byte-prefix of the undisturbed run
+    # (modulo a torn trailing line, which the next boot heals).
+    reference_lines = reference.read_bytes().splitlines(keepends=True)
+    healed = b"".join(reference_lines[:prefix])
+    torn_tolerant = ledger.read_bytes()
+    assert healed.startswith(
+        torn_tolerant[: torn_tolerant.rfind(b"\n") + 1]
+    )
+
+    # Phase 2: restart on the same state dir; the job requeues itself.
+    proc, url = _boot_server(state_dir)
+    try:
+        client = ServeClient(url)
+        final = client.wait(job_id, timeout=120, poll=0.2)
+        assert final["state"] == "DONE"
+        result = client.result(job_id)
+        # Only the missing fingerprints were recomputed.
+        assert result["cache_hits"] >= prefix - 1  # -1: possible torn tail
+        assert result["cache_hits"] + result["recomputed"] == TOTAL_CELLS
+    finally:
+        os.kill(proc.pid, signal.SIGTERM)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # The resumed ledger is byte-identical to the undisturbed CLI run.
+    assert ledger.read_bytes() == reference.read_bytes()

@@ -1,0 +1,78 @@
+"""Spec validation and job identity (the service's content addressing)."""
+
+import pytest
+
+from repro.serve.schemas import (
+    JOB_KINDS,
+    PARAM_DEFAULTS,
+    SpecError,
+    job_fingerprint,
+    validate_spec,
+)
+from repro.workloads import SWEEP_DEFAULTS
+
+
+def test_empty_sweep_spec_gets_the_cli_defaults():
+    spec = validate_spec({"kind": "sweep"})
+    assert spec["params"] == SWEEP_DEFAULTS
+    assert spec["priority"] == "normal"
+
+
+@pytest.mark.parametrize("kind", JOB_KINDS)
+def test_every_kind_validates_with_defaults(kind):
+    spec = validate_spec({"kind": kind})
+    assert spec["kind"] == kind
+    assert spec["params"] == PARAM_DEFAULTS[kind]
+
+
+def test_overrides_merge_over_defaults():
+    spec = validate_spec(
+        {"kind": "sweep", "params": {"n_values": [5], "reps": 2}}
+    )
+    assert spec["params"]["n_values"] == [5]
+    assert spec["params"]["reps"] == 2
+    assert spec["params"]["protocol"] == SWEEP_DEFAULTS["protocol"]
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        (None, "JSON object"),
+        ({"kind": "nope"}, "kind must be one of"),
+        ({"kind": "sweep", "extra": 1}, "unknown spec keys"),
+        ({"kind": "sweep", "priority": "urgent"}, "priority must be"),
+        ({"kind": "sweep", "params": {"nope": 1}}, "unknown sweep params"),
+        ({"kind": "sweep", "params": {"reps": 0}}, "reps must be >= 1"),
+        ({"kind": "sweep", "params": {"reps": True}}, "must be an integer"),
+        ({"kind": "sweep", "params": {"n_values": []}}, "n_values"),
+        ({"kind": "sweep", "params": {"n_values": [2, "x"]}}, "n_values"),
+        ({"kind": "sweep", "params": {"protocol": "nope"}}, "protocol"),
+        ({"kind": "sweep", "params": {"scheduler": "nope"}}, "scheduler"),
+        (
+            {"kind": "fuzz", "params": {"crash_probability": 1.5}},
+            "must be in [0, 1]",
+        ),
+        ({"kind": "campaign", "params": {"seed": -1}}, "seed must be >= 0"),
+    ],
+)
+def test_invalid_specs_are_refused_with_a_reason(payload, fragment):
+    with pytest.raises(SpecError) as excinfo:
+        validate_spec(payload)
+    assert fragment in str(excinfo.value)
+
+
+def test_fingerprint_is_canonical_and_code_versioned():
+    a = validate_spec({"kind": "sweep", "params": {"reps": 2, "seed_base": 0}})
+    b = validate_spec({"kind": "sweep", "params": {"seed_base": 0, "reps": 2}})
+    assert job_fingerprint(a, code="c1") == job_fingerprint(b, code="c1")
+    assert job_fingerprint(a, code="c1") != job_fingerprint(a, code="c2")
+    different = validate_spec({"kind": "sweep", "params": {"reps": 3}})
+    assert job_fingerprint(a, code="c1") != job_fingerprint(different, code="c1")
+
+
+def test_fingerprint_ignores_priority():
+    normal = validate_spec({"kind": "sweep"})
+    critical = validate_spec({"kind": "sweep", "priority": "critical"})
+    assert job_fingerprint(normal, code="c1") == job_fingerprint(
+        critical, code="c1"
+    )
