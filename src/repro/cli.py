@@ -158,6 +158,30 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+def _jsonl_path_arg(text: str) -> str:
+    """argparse type for writable JSONL paths (``--access-log`` /
+    ``--trace-log``): catch the obvious misuses at parse time, in the
+    same actionable style as ``--workers``."""
+    import pathlib
+
+    if not text.strip():
+        raise argparse.ArgumentTypeError(
+            "needs a file path, e.g. .repro-serve/access.jsonl"
+        )
+    path = pathlib.Path(text)
+    if path.exists() and path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is a directory, not a JSONL file path"
+        )
+    parent = path.parent
+    if parent.exists() and not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"cannot create {text!r}: parent {str(parent)!r} is not a "
+            "directory"
+        )
+    return text
+
+
 def _resilience_policy(args):
     """Build the engine :class:`FailurePolicy` from ``--retries`` flags."""
     if not getattr(args, "retries", 0):
@@ -315,7 +339,32 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Run one execution with recording on and export the trace."""
+    """Run one execution with recording on and export the trace.
+
+    With ``--from-job-trace``, skip the run entirely and instead
+    reconstruct a service job trace (``repro serve``'s
+    ``STATE_DIR/trace.jsonl``) into the same exporters — one Perfetto
+    track per job, wall-clock microseconds on the time axis.
+    """
+    if args.from_job_trace:
+        from repro.serve.telemetry import job_trace_to_trace, load_job_trace
+
+        records = load_job_trace(args.from_job_trace)
+        if not records:
+            print(f"no job-trace records in {args.from_job_trace}")
+            return 1
+        trace = job_trace_to_trace(records)
+        path = export_trace(trace, args.export)
+        fmt = "JSONL" if path.suffix == ".jsonl" else "Chrome trace_event"
+        jobs = len({r.get("job") for r in records})
+        print(
+            f"reconstructed {len(records)} job-trace records "
+            f"({jobs} job(s)) into {len(trace.spans)} spans and "
+            f"{len(trace.events)} instants ({fmt}) at {path}"
+        )
+        if fmt != "JSONL":
+            print("open it at https://ui.perfetto.dev or chrome://tracing")
+        return 0
     inputs = _parse_inputs(args.inputs)
     protocol = PROTOCOLS[args.protocol]()
     run = protocol.run(
@@ -459,7 +508,7 @@ def _report_dashboard(args) -> int:
     if args.jobs_log:
         from repro.obs.report import service_summary
 
-        service = service_summary(args.jobs_log)
+        service = service_summary(args.jobs_log, trace_log=args.job_trace or None)
     path = write_report(
         args.out, run.metrics, causal, gates, meta, trends=trends, service=service
     )
@@ -1017,6 +1066,8 @@ def cmd_serve(args) -> int:
         budget_wall_seconds=args.budget_wall_seconds,
         budget_tasks=args.budget_tasks,
         soft_fraction=args.soft_fraction,
+        trace_path=args.trace_log or "",
+        access_log=args.access_log or "",
     )
     server = build_server(config)
 
@@ -1035,6 +1086,11 @@ def cmd_serve(args) -> int:
     print(
         f"repro serve: ledger {config.resolved_ledger()}  "
         f"jobs-log {config.resolved_jobs()}  workers {config.workers}",
+        flush=True,
+    )
+    print(
+        f"repro serve: job-trace {config.resolved_trace()}"
+        + (f"  access-log {config.access_log}" if config.access_log else ""),
         flush=True,
     )
     try:
@@ -1183,6 +1239,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace.json",
         metavar="PATH",
         help="output file; .jsonl exports JSONL, anything else Chrome trace_event",
+    )
+    trace.add_argument(
+        "--from-job-trace",
+        default="",
+        metavar="PATH",
+        help="reconstruct a `repro serve` job trace (STATE_DIR/trace.jsonl) "
+        "instead of running a simulation: one Perfetto track per job with "
+        "queue-wait/dispatch/task/checkpoint spans",
     )
     trace.set_defaults(func=cmd_trace)
 
@@ -1465,6 +1529,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="F",
         help="load level where best-effort jobs start shedding (default 0.8)",
     )
+    serve.add_argument(
+        "--trace-log",
+        type=_jsonl_path_arg,
+        default=None,  # argparse would run str defaults through the type
+        metavar="PATH",
+        help="job-trace JSONL (queue-wait/dispatch/task/checkpoint spans; "
+        "default: STATE_DIR/trace.jsonl — render with "
+        "`repro trace --from-job-trace`)",
+    )
+    serve.add_argument(
+        "--access-log",
+        type=_jsonl_path_arg,
+        default=None,  # see --trace-log
+
+        metavar="PATH",
+        help="append one JSONL line per HTTP request (method, path, "
+        "status, seconds); off by default",
+    )
     serve.set_defaults(func=cmd_serve)
 
     report = sub.add_parser(
@@ -1502,6 +1584,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="render the Service section from this `repro serve` job log",
+    )
+    report.add_argument(
+        "--job-trace",
+        default="",
+        metavar="PATH",
+        help="render the Service timeline section from this `repro serve` "
+        "job trace (STATE_DIR/trace.jsonl; needs --jobs-log)",
     )
     _add_ledger_args(report, cache=False)
     report.set_defaults(func=cmd_report)

@@ -234,6 +234,14 @@ def render_report(
             "<p>(no job log — run <code>repro serve</code> and pass its "
             "<code>--jobs-log</code> to <code>repro report</code>)</p>"
         )
+    elif not service.get("jobs"):
+        # The log exists but holds zero entries: say so explicitly
+        # instead of rendering an empty table that reads like data loss.
+        parts.append(
+            "<p><b>no jobs recorded</b> — the job log exists but is "
+            "empty; submit work with <code>POST /jobs</code> (or "
+            "<code>ServeClient.submit</code>) and re-render</p>"
+        )
     else:
         states = service.get("by_state", {})
         parts.append(
@@ -250,6 +258,25 @@ def render_report(
                 ("id", "kind", "priority", "state", "attempts"),
             )
         )
+
+    # -- service timeline (the job trace) -----------------------------------
+    if service is not None:
+        parts.append("<h2>Service timeline</h2>")
+        timeline = service.get("timeline") or []
+        if not timeline:
+            parts.append(
+                "<p>(no job trace — pass the server&#x27;s "
+                "<code>STATE_DIR/trace.jsonl</code> via "
+                "<code>--job-trace</code> to render queue-wait / dispatch "
+                "/ task / checkpoint spans per job)</p>"
+            )
+        else:
+            parts.append(
+                _table(
+                    timeline,
+                    ("job", "phase", "start_s", "duration_s", "detail"),
+                )
+            )
 
     # -- causal attribution -------------------------------------------------
     parts.append("<h2>Causal critical path</h2>")
@@ -340,14 +367,20 @@ def gate_all_benchmarks(
     )
 
 
-def service_summary(jobs_log: pathlib.Path | str) -> dict[str, Any]:
+def service_summary(
+    jobs_log: pathlib.Path | str,
+    trace_log: pathlib.Path | str | None = None,
+) -> dict[str, Any]:
     """The dashboard's Service section, projected from one job log.
 
     Reads the ``repro serve`` JSONL event log through the same replay
     logic the server boots with, so a corrupt log raises with its
     ``<file>:<line>`` rather than rendering silently-wrong counts.
+    ``trace_log`` (the server's job trace) additionally populates the
+    ``timeline`` rows behind the "Service timeline" section.
     """
     from repro.serve.queue import JobQueue, JobStates
+    from repro.serve.telemetry import load_job_trace, timeline_rows
 
     queue = JobQueue(jobs_log, requeue_running=False)
     counts = queue.counts()
@@ -367,6 +400,9 @@ def service_summary(jobs_log: pathlib.Path | str) -> dict[str, Any]:
         "by_state": counts,
         "shed_rate": round(shed / terminal, 4) if terminal else 0.0,
         "jobs": rows,
+        "timeline": (
+            timeline_rows(load_job_trace(trace_log)) if trace_log else []
+        ),
     }
 
 

@@ -16,9 +16,12 @@ stdlib-only (``http.server``) and glues together three existing layers:
 Layout: :mod:`~repro.serve.schemas` validates and fingerprints job
 specs, :mod:`~repro.serve.queue` is the persistent JSONL job log,
 :mod:`~repro.serve.dispatcher` drains it onto the engine,
-:mod:`~repro.serve.api` is the HTTP surface, and
+:mod:`~repro.serve.api` is the HTTP surface,
+:mod:`~repro.serve.telemetry` the observability layer (job trace, SSE
+progress streaming, Prometheus exposition, access-log middleware), and
 :mod:`~repro.serve.client` the small client the tests and CI smoke use.
-See ``docs/service.md`` for the API reference and lifecycle diagram.
+See ``docs/service.md`` for the API reference, lifecycle diagram and
+the Observability section.
 """
 
 from repro.serve.api import ReproServer, ServeConfig, build_server
@@ -32,20 +35,36 @@ from repro.serve.schemas import (
     job_fingerprint,
     validate_spec,
 )
+from repro.serve.telemetry import (
+    EventBroker,
+    JobTracer,
+    TelemetryHub,
+    job_trace_to_trace,
+    load_job_trace,
+    render_prometheus,
+    timeline_rows,
+)
 
 __all__ = [
     "JOB_KINDS",
     "PRIORITIES",
     "Dispatcher",
+    "EventBroker",
     "Job",
     "JobQueue",
     "JobStates",
+    "JobTracer",
     "ReproServer",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "SpecError",
+    "TelemetryHub",
     "build_server",
     "job_fingerprint",
+    "job_trace_to_trace",
+    "load_job_trace",
+    "render_prometheus",
+    "timeline_rows",
     "validate_spec",
 ]

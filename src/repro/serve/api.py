@@ -5,10 +5,22 @@ Routes::
     POST /jobs              submit a job spec  → 202 queued / 200 done
     GET  /jobs              list all jobs (snapshots, newest last)
     GET  /jobs/{id}         one job's status with live progress
+    GET  /jobs/{id}/events  live Server-Sent-Events stream (accepted /
+                            running / progress / heartbeat / terminal)
     GET  /jobs/{id}/result  the merged outcome (DONE jobs only)
     GET  /health            liveness + job counts + uptime
     GET  /metrics           JSON projection of the metrics registry,
-                            queue depth, admission accounting
+                            queue depth, admission accounting;
+                            ``?format=prom`` renders Prometheus text
+    GET  /history           run-ledger inventory (obs.projections)
+    GET  /history/trends    trend rows, or one metric's raw points
+    GET  /history/check     the regression + determinism gate over HTTP
+
+Every request flows through the telemetry middleware: latency lands in
+the ``serve.http.request_seconds`` histogram (labelled by method and
+normalized route, so ``/jobs/{id}`` is one label however many jobs
+exist) and optionally in the JSONL access log
+(``repro serve --access-log``).
 
 Submission is idempotent by construction: the job id is the SHA-256 of
 the canonical spec + code version (:func:`repro.serve.schemas.job_fingerprint`),
@@ -24,11 +36,12 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+import urllib.parse
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
-from repro.obs.ledger import truncate_torn_tail
+from repro.obs.ledger import LedgerCorruption, read_records, truncate_torn_tail
 from repro.serve.dispatcher import Dispatcher
 from repro.serve.queue import JobQueue, JobStates
 from repro.serve.schemas import (
@@ -37,6 +50,7 @@ from repro.serve.schemas import (
     job_fingerprint,
     validate_spec,
 )
+from repro.serve.telemetry import TelemetryHub, render_prometheus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience import AdmissionController
@@ -63,6 +77,9 @@ class ServeConfig:
     budget_wall_seconds: float = 0.0
     budget_tasks: int = 0
     soft_fraction: float = 0.8
+    trace_path: str = ""  # default: <state_dir>/trace.jsonl
+    access_log: str = ""  # off unless set (repro serve --access-log)
+    heartbeat: float = 15.0  # SSE keep-alive cadence, seconds
     extra: dict[str, Any] = field(default_factory=dict)
 
     def resolved_ledger(self) -> pathlib.Path:
@@ -73,6 +90,11 @@ class ServeConfig:
     def resolved_jobs(self) -> pathlib.Path:
         return pathlib.Path(
             self.jobs_path or pathlib.Path(self.state_dir) / "jobs.jsonl"
+        )
+
+    def resolved_trace(self) -> pathlib.Path:
+        return pathlib.Path(
+            self.trace_path or pathlib.Path(self.state_dir) / "trace.jsonl"
         )
 
 
@@ -108,8 +130,17 @@ class ReproServer:
         jobs_path = config.resolved_jobs()
         truncate_torn_tail(ledger_path)
         truncate_torn_tail(jobs_path)
+        truncate_torn_tail(config.resolved_trace())
         self.metrics = MetricsRegistry(enabled=True)
+        self.telemetry = TelemetryHub(
+            config.resolved_trace(),
+            self.metrics,
+            access_log=config.access_log or None,
+        )
         self.queue = JobQueue(jobs_path)
+        # The telemetry seam: attached after boot replay, so the hub
+        # observes live transitions only (restart requeues stay silent).
+        self.queue.listener = self.telemetry.on_job_event
         budget = CampaignBudget(
             max_steps=config.budget_steps or None,
             max_wall_seconds=config.budget_wall_seconds or None,
@@ -134,6 +165,7 @@ class ReproServer:
             task_timeout=config.task_timeout or None,
             admission=self.admission,
             metrics=self.metrics,
+            telemetry=self.telemetry,
         )
         handler = _make_handler(self)
         self.httpd = ThreadingHTTPServer((config.host, config.port), handler)
@@ -176,6 +208,11 @@ class ReproServer:
         shed = counts[JobStates.SHED]
         terminal = done + counts[JobStates.FAILED] + shed
         snapshot = self.metrics.snapshot()
+        resilience_by_job = {}
+        for job in self.queue.jobs():
+            per_job = (job.result or {}).get("resilience") or {}
+            if any(per_job.values()):
+                resilience_by_job[job.id] = dict(per_job)
         return {
             "queue": {
                 "depth": counts[JobStates.QUEUED],
@@ -184,7 +221,120 @@ class ReproServer:
                 "shed_rate": (shed / terminal) if terminal else 0.0,
             },
             "admission": self.admission.accounting(),
+            "resilience_by_job": resilience_by_job,
             "engine": json.loads(snapshot.to_json(indent=None)),
+        }
+
+    # -- the run-ledger projections, served over HTTP ------------------------
+
+    def _ledger_records(self) -> tuple[int, Any]:
+        """Fresh read of the server's ledger: ``(200, records)`` or an
+        error body (a fresh read sees concurrent CLI appends too)."""
+        try:
+            return 200, read_records(self.config.resolved_ledger())
+        except LedgerCorruption as exc:
+            return 500, {"error": f"ledger corrupt: {exc}"}
+
+    def history_body(
+        self, query: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        from repro.obs.projections import filter_records, history_rows
+
+        status, records = self._ledger_records()
+        if status != 200:
+            return status, records
+        records = filter_records(
+            records,
+            experiment=query.get("experiment", ""),
+            kind=query.get("kind", ""),
+        )
+        return 200, {
+            "ledger": str(self.config.resolved_ledger()),
+            "records": len(records),
+            "rows": history_rows(records),
+        }
+
+    def trends_body(
+        self, query: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        from repro.obs.projections import (
+            filter_records,
+            trend_rows,
+            trend_series,
+        )
+
+        status, records = self._ledger_records()
+        if status != 200:
+            return status, records
+        experiment = query.get("experiment", "")
+        metric = query.get("metric", "")
+        if metric:
+            try:
+                points = trend_series(
+                    records, metric, experiment=experiment
+                )
+            except KeyError as exc:
+                return 400, {"error": str(exc).strip("'\"")}
+            return 200, {
+                "metric": metric,
+                "experiment": experiment,
+                "points": points,
+            }
+        records = filter_records(records, experiment=experiment)
+        return 200, {
+            "records": len(records),
+            "trends": trend_rows(records),
+        }
+
+    def check_body(
+        self, query: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        from repro.obs.projections import (
+            DEFAULT_TOLERANCE,
+            DEFAULT_WINDOW,
+            history_check,
+        )
+
+        status, records = self._ledger_records()
+        if status != 200:
+            return status, records
+        try:
+            window = int(query.get("window", DEFAULT_WINDOW))
+            tolerance = float(query.get("tolerance", DEFAULT_TOLERANCE))
+        except ValueError as exc:
+            return 400, {"error": f"bad window/tolerance: {exc}"}
+        check = history_check(
+            records,
+            window=window,
+            tolerance=tolerance,
+            experiment=query.get("experiment", ""),
+        )
+        return 200, {
+            "ok": check.ok,
+            "records": check.records,
+            "summary": check.summary(),
+            "regressions": [
+                {
+                    "experiment": a.experiment,
+                    "metric": a.metric,
+                    "baseline": a.baseline,
+                    "latest": a.latest,
+                    "drift": a.drift,
+                    "message": str(a),
+                }
+                for a in check.regressions
+            ],
+            "violations": [
+                {
+                    "fingerprint": v.fingerprint,
+                    "experiment": v.experiment,
+                    "kind": v.kind,
+                    "records": v.records,
+                    "identities": v.identities,
+                    "message": str(v),
+                }
+                for v in check.violations
+            ],
         }
 
     def submit(self, payload: Any) -> tuple[int, dict[str, Any]]:
@@ -201,7 +351,7 @@ class ReproServer:
                 body["cached"] = True
                 return 200, body
             if existing.state in JobStates.RESUBMITTABLE:
-                return 202, self.queue.requeue(job_id).snapshot()
+                return 202, self.queue.requeue_and_snapshot(job_id)[1]
             return 202, existing.snapshot()  # already queued/running
         if self.queue.depth() >= self.config.max_queued:
             return 429, {
@@ -222,7 +372,9 @@ class ReproServer:
                 "state": JobStates.SHED,
                 "pressure": decision.pressure,
             }
-        return 202, self.queue.submit(job_id, spec).snapshot()
+        # Snapshot captured under the queue lock: after release the
+        # dispatcher may claim instantly, and the 202 must say QUEUED.
+        return 202, self.queue.submit_and_snapshot(job_id, spec)[1]
 
 
 def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
@@ -235,19 +387,70 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
 
         def _reply(self, status: int, body: dict[str, Any]) -> None:
             data = json.dumps(body, sort_keys=True).encode("utf-8")
+            self._send(status, data, "application/json")
+
+        def _reply_text(
+            self, status: int, text: str, content_type: str
+        ) -> None:
+            self._send(status, text.encode("utf-8"), content_type)
+
+        def _send(self, status: int, data: bytes, content_type: str) -> None:
+            self._status = status
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)
 
+        # -- telemetry middleware: every request is timed and counted --------
+
+        def _timed(self, method: str, handler: Any) -> None:
+            self._status = 0
+            start = time.monotonic()
+            try:
+                handler()
+            finally:
+                server.telemetry.http.observe(
+                    method,
+                    self.path,
+                    self._status,
+                    time.monotonic() - start,
+                )
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            path = self.path.rstrip("/") or "/"
+            self._timed("GET", self._handle_get)
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._timed("POST", self._handle_post)
+
+        def _handle_get(self) -> None:
+            split = urllib.parse.urlsplit(self.path)
+            path = split.path.rstrip("/") or "/"
+            query = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(split.query).items()
+            }
             if path == "/health":
                 self._reply(200, server.health_body())
                 return
             if path == "/metrics":
-                self._reply(200, server.metrics_body())
+                if query.get("format") == "prom":
+                    self._reply_text(
+                        200,
+                        render_prometheus(server),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._reply(200, server.metrics_body())
+                return
+            if path == "/history":
+                self._reply(*server.history_body(query))
+                return
+            if path == "/history/trends":
+                self._reply(*server.trends_body(query))
+                return
+            if path == "/history/check":
+                self._reply(*server.check_body(query))
                 return
             if path == "/jobs":
                 jobs = list(server.queue.jobs())[-MAX_LISTED_JOBS:]
@@ -257,11 +460,14 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
                 rest = path[len("/jobs/") :]
                 job_id, _, tail = rest.partition("/")
                 job = server.queue.get(job_id)
-                if job is None or tail not in ("", "result"):
+                if job is None or tail not in ("", "result", "events"):
                     self._reply(404, {"error": f"no such resource {path!r}"})
                     return
                 if tail == "":
                     self._reply(200, job.snapshot())
+                    return
+                if tail == "events":
+                    self._stream_events(job_id)
                     return
                 if job.state != JobStates.DONE:
                     body = job.snapshot()
@@ -274,7 +480,42 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
                 return
             self._reply(404, {"error": f"no such resource {path!r}"})
 
-        def do_POST(self) -> None:  # noqa: N802 - http.server API
+        def _stream_events(self, job_id: str) -> None:
+            """``GET /jobs/{id}/events``: Server-Sent Events until terminal.
+
+            Streaming under ``http.server`` means no Content-Length, so
+            the connection is marked close-after-response; each frame is
+            flushed as it is produced.  A client that disconnects
+            mid-stream raises on the write — the broker subscription is
+            torn down in the generator's ``finally`` and the publisher
+            (the dispatcher thread) never notices: its puts go to
+            unbounded queues and cannot block.
+            """
+            self._status = 200
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+            job = server.queue.get(job_id)
+            stream = server.telemetry.broker.stream(
+                job_id,
+                snapshot=lambda: (
+                    server.queue.get(job_id) or job
+                ).snapshot(),
+                heartbeat=server.config.heartbeat,
+            )
+            try:
+                for frame in stream:
+                    self.wfile.write(frame.encode("utf-8"))
+                    self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass  # client went away; the finally unsubscribes
+            finally:
+                stream.close()
+
+        def _handle_post(self) -> None:
             if self.path.rstrip("/") != "/jobs":
                 self._reply(404, {"error": f"no such resource {self.path!r}"})
                 return

@@ -11,13 +11,17 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.serve.queue import JobStates
 
 #: States :meth:`ServeClient.wait` stops on.
 TERMINAL_STATES = (JobStates.DONE, JobStates.FAILED, JobStates.SHED)
+
+#: SSE event names that end a :meth:`ServeClient.stream_events` iteration.
+TERMINAL_EVENTS = ("done", "failed", "shed")
 
 
 class ServeError(RuntimeError):
@@ -87,6 +91,108 @@ class ServeClient:
 
     def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prom``: the Prometheus text exposition."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics?format=prom",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    # -- ledger projections over HTTP ----------------------------------------
+
+    def _query_path(self, path: str, **query: Any) -> str:
+        params = {k: str(v) for k, v in query.items() if v not in ("", None)}
+        if not params:
+            return path
+        return path + "?" + urllib.parse.urlencode(params)
+
+    def history(self, experiment: str = "", kind: str = "") -> dict[str, Any]:
+        return self._request(
+            "GET", self._query_path("/history", experiment=experiment, kind=kind)
+        )
+
+    def history_trends(
+        self, experiment: str = "", metric: str = ""
+    ) -> dict[str, Any]:
+        """``GET /history/trends``: trend rows, or one metric's points."""
+        return self._request(
+            "GET",
+            self._query_path(
+                "/history/trends", experiment=experiment, metric=metric
+            ),
+        )
+
+    def history_check(
+        self,
+        window: int | None = None,
+        tolerance: float | None = None,
+        experiment: str = "",
+    ) -> dict[str, Any]:
+        return self._request(
+            "GET",
+            self._query_path(
+                "/history/check",
+                window=window,
+                tolerance=tolerance,
+                experiment=experiment,
+            ),
+        )
+
+    # -- live streaming -------------------------------------------------------
+
+    def stream_events(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """``GET /jobs/{id}/events``: yield parsed SSE events until terminal.
+
+        Each yielded item is ``{"event": name, "data": payload}`` where
+        ``payload`` is the decoded JSON body (or ``None`` for a bare
+        frame).  The iterator ends after the job's terminal event
+        (``done`` / ``failed`` / ``shed``); closing it early closes the
+        HTTP connection, which the server tolerates.  ``timeout`` is the
+        socket read timeout per frame — heartbeats reset it, so it
+        bounds *silence*, not total stream duration.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            raise ServeError(exc.code, body) from None
+        event: str | None = None
+        data_lines: list[str] = []
+        try:
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line: frame boundary
+                    if event is not None:
+                        payload = (
+                            json.loads("\n".join(data_lines))
+                            if data_lines
+                            else None
+                        )
+                        yield {"event": event, "data": payload}
+                        if event in TERMINAL_EVENTS:
+                            return
+                    event, data_lines = None, []
+                    continue
+                if line.startswith("event:"):
+                    event = line[len("event:") :].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:") :].strip())
+        finally:
+            response.close()
 
     def wait(
         self, job_id: str, timeout: float = 60.0, poll: float = 0.1

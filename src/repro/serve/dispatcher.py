@@ -22,15 +22,17 @@ never orphan workers the way the chunked non-daemon pool could.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.obs.ledger import RunLedger
+from repro.obs.ledger import LedgerRecord, RunLedger
 from repro.serve.queue import Job, JobQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
     from repro.resilience import AdmissionController, FailurePolicy
+    from repro.serve.telemetry import TelemetryHub
 
 #: Engine counters diffed per job into the job's progress/result.
 _RESILIENCE_COUNTERS = (
@@ -38,6 +40,35 @@ _RESILIENCE_COUNTERS = (
     "resilience.timeouts",
     "resilience.shed",
 )
+
+
+class _TimedLedger(RunLedger):
+    """A :class:`RunLedger` that timestamps its own appends.
+
+    The dispatcher hands one of these to the workload builders; the
+    experiment layer's :class:`~repro.resilience.checkpoint.
+    LedgerCheckpointer` flushes through :meth:`append` as cells finish,
+    so the first/last append times bracket exactly the job's
+    checkpointing activity — which the dispatcher then emits as the
+    job's ``checkpoint`` span in the job trace.
+    """
+
+    def __init__(self, path: Any, clock: Callable[[], float] = time.time):
+        super().__init__(path)
+        self.clock = clock
+        self.first_append: float | None = None
+        self.last_append: float | None = None
+        self.appended = 0
+
+    def append(self, record: LedgerRecord) -> bool:
+        wrote = super().append(record)
+        if wrote:
+            now = self.clock()
+            if self.first_append is None:
+                self.first_append = now
+            self.last_append = now
+            self.appended += 1
+        return wrote
 
 
 class Dispatcher(threading.Thread):
@@ -55,6 +86,10 @@ class Dispatcher(threading.Thread):
             results are charged against its budget here.
         metrics: the server's registry; engine and job counters land in
             it and surface through ``GET /metrics``.
+        telemetry: the server's :class:`~repro.serve.telemetry.
+            TelemetryHub`; the dispatcher contributes the per-job
+            ``checkpoint`` span and retry/timeout/shed instants to the
+            job trace (lifecycle spans come from the queue listener).
     """
 
     def __init__(
@@ -67,6 +102,7 @@ class Dispatcher(threading.Thread):
         task_timeout: float | None = None,
         admission: "AdmissionController | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        telemetry: "TelemetryHub | None" = None,
     ):
         super().__init__(name="repro-serve-dispatcher", daemon=True)
         from repro.resilience import FailurePolicy
@@ -88,6 +124,7 @@ class Dispatcher(threading.Thread):
         self.task_timeout = task_timeout
         self.admission = admission
         self.metrics = metrics
+        self.telemetry = telemetry
         self._halt = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
@@ -113,10 +150,12 @@ class Dispatcher(threading.Thread):
             result = self._run_spec(job)
         except Exception as exc:  # noqa: BLE001 - any job error is terminal
             detail = traceback.format_exc(limit=4)
+            self._trace_resilience(job, self._resilience_delta(before))
             self._count_job("failed")
             self.queue.fail(job.id, f"{type(exc).__name__}: {exc}\n{detail}")
             return
         result["resilience"] = self._resilience_delta(before)
+        self._trace_resilience(job, result["resilience"])
         self._count_job("done")
         self.queue.finish(job.id, result)
         if self.admission is not None:
@@ -127,7 +166,7 @@ class Dispatcher(threading.Thread):
         params = job.spec["params"]
         # A fresh handle per job sees everything on disk — including
         # records a concurrent CLI run appended since the last job.
-        ledger = RunLedger(self.ledger_path)
+        ledger = _TimedLedger(self.ledger_path)
         runner = {
             "sweep": self._run_sweep,
             "fuzz": self._run_fuzz,
@@ -137,7 +176,35 @@ class Dispatcher(threading.Thread):
         result = runner(job, params, ledger)
         result["cache_hits"] = ledger.hits
         result["recomputed"] = ledger.misses
+        if self.telemetry is not None and ledger.first_append is not None:
+            # One span bracketing the job's incremental checkpointing —
+            # the last leg of the correlation-id chain (queue-wait →
+            # dispatch → tasks → checkpoint).
+            self.telemetry.tracer.span(
+                job.id,
+                "checkpoint",
+                ledger.first_append,
+                ledger.last_append or ledger.first_append,
+                records=ledger.appended,
+                cache_hits=ledger.hits,
+                recomputed=ledger.misses,
+            )
         return result
+
+    def _trace_resilience(self, job: Job, delta: dict[str, int]) -> None:
+        """Emit one instant per resilience kind the job tripped."""
+        if self.telemetry is None:
+            return
+        for kind, name in (
+            ("retries", "retry"),
+            ("timeouts", "timeout"),
+            ("shed", "shed"),
+        ):
+            count = delta.get(kind, 0)
+            if count:
+                self.telemetry.tracer.instant(
+                    job.id, name, count=count, scope="task"
+                )
 
     def _progress(self, job: Job) -> Callable[[int, int], None]:
         def progress(done: int, total: int) -> None:

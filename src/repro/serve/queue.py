@@ -31,7 +31,7 @@ import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.obs.ledger import locked_append
 
@@ -98,6 +98,14 @@ class JobQueue:
     under one lock, so the log is always a faithful serialization of
     the transitions taken.  ``wake`` is set whenever work may be
     available; the dispatcher waits on it instead of polling hot.
+
+    ``listener`` is the telemetry seam: when set, it is called as
+    ``listener(event, job)`` after each live transition (``submit`` /
+    ``requeue`` / ``claim`` / ``finish`` / ``fail`` / ``shed``) and on
+    every ``progress`` update — *outside* the queue lock, so a slow
+    listener can delay its caller but never deadlock the queue.  Boot
+    replay is silent by design: the listener observes what happens,
+    not what once happened.
     """
 
     def __init__(
@@ -107,9 +115,14 @@ class JobQueue:
         self.requeue_running = requeue_running
         self._lock = threading.Lock()
         self.wake = threading.Event()
+        self.listener: Callable[[str, Job], None] | None = None
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._load()
+
+    def _notify(self, event: str, job: Job | None) -> None:
+        if job is not None and self.listener is not None:
+            self.listener(event, job)
 
     # -- persistence ---------------------------------------------------------
 
@@ -192,6 +205,18 @@ class JobQueue:
 
     def submit(self, job_id: str, spec: dict[str, Any]) -> Job:
         """Enqueue a new job (caller has already deduped by id)."""
+        return self.submit_and_snapshot(job_id, spec)[0]
+
+    def submit_and_snapshot(
+        self, job_id: str, spec: dict[str, Any]
+    ) -> tuple[Job, dict[str, Any]]:
+        """Enqueue plus a snapshot captured atomically with the enqueue.
+
+        The API answers ``POST /jobs`` with this snapshot: once the
+        lock is released the dispatcher may claim the job at any
+        moment, so a later ``job.snapshot()`` could already say
+        RUNNING — the 202 body must reflect the submission instant.
+        """
         with self._lock:
             now = time.time()
             job = Job(
@@ -202,8 +227,10 @@ class JobQueue:
             self._append(
                 {"event": "submit", "job": job_id, "spec": spec, "at": now}
             )
+            snapshot = job.snapshot()
             self.wake.set()
-            return job
+        self._notify("submit", job)
+        return job, snapshot
 
     def _transition(self, job: Job, state: str, **extra: Any) -> None:
         job.state = state
@@ -226,41 +253,61 @@ class JobQueue:
 
     def requeue(self, job_id: str) -> Job:
         """Move a FAILED/SHED job back to QUEUED (repeat submission)."""
+        return self.requeue_and_snapshot(job_id)[0]
+
+    def requeue_and_snapshot(
+        self, job_id: str
+    ) -> tuple[Job, dict[str, Any]]:
+        """Requeue plus the same atomic-snapshot guarantee as submit."""
         with self._lock:
             job = self._jobs[job_id]
             if job.state not in JobStates.RESUBMITTABLE:
-                return job
+                return job, job.snapshot()
             self._transition(job, JobStates.QUEUED, reason="resubmitted")
+            snapshot = job.snapshot()
             self.wake.set()
-            return job
+        self._notify("requeue", job)
+        return job, snapshot
 
     def claim(self) -> Job | None:
         """Oldest QUEUED job → RUNNING, or ``None`` when idle."""
         with self._lock:
+            claimed = None
             for job_id in self._order:
                 job = self._jobs[job_id]
                 if job.state == JobStates.QUEUED:
                     self._transition(job, JobStates.RUNNING)
-                    return job
-            self.wake.clear()
-            return None
+                    claimed = job
+                    break
+            else:
+                self.wake.clear()
+        self._notify("claim", claimed)
+        return claimed
 
     def finish(self, job_id: str, result: dict[str, Any]) -> None:
         with self._lock:
-            self._transition(self._jobs[job_id], JobStates.DONE, result=result)
+            job = self._jobs[job_id]
+            self._transition(job, JobStates.DONE, result=result)
+        self._notify("finish", job)
 
     def fail(self, job_id: str, error: str) -> None:
         with self._lock:
-            self._transition(self._jobs[job_id], JobStates.FAILED, error=error)
+            job = self._jobs[job_id]
+            self._transition(job, JobStates.FAILED, error=error)
+        self._notify("fail", job)
 
     def shed(self, job_id: str, reason: str) -> None:
         with self._lock:
-            self._transition(self._jobs[job_id], JobStates.SHED, reason=reason)
+            job = self._jobs[job_id]
+            self._transition(job, JobStates.SHED, reason=reason)
+        self._notify("shed", job)
 
     def update_progress(self, job_id: str, **progress: Any) -> None:
         """Merge live progress counters (in-memory only, never logged)."""
         with self._lock:
-            self._jobs[job_id].progress.update(progress)
+            job = self._jobs[job_id]
+            job.progress.update(progress)
+        self._notify("progress", job)
 
     # -- views ---------------------------------------------------------------
 

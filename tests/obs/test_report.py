@@ -145,3 +145,56 @@ def test_report_keeps_service_placeholder_without_a_job_log():
     html = render_report(None, None, [], {})
     assert "<h2>Service</h2>" in html
     assert "no job log" in html
+
+
+def test_report_renders_explicit_panel_for_an_empty_job_log(tmp_path):
+    # An existing-but-empty log is not "no log": the dashboard must say
+    # the service ran with zero submissions, not hide the section.
+    from repro.obs.report import service_summary
+
+    log = tmp_path / "jobs.jsonl"
+    log.touch()
+    summary = service_summary(log)
+    assert summary["jobs"] == []
+    html = render_report(None, None, [], {}, service=summary)
+    assert "no jobs recorded" in html
+    assert "POST /jobs" in html
+    assert "no job log" not in html  # the absent-log wording stays distinct
+
+
+def test_report_renders_service_timeline_from_a_job_trace(tmp_path):
+    from repro.obs.report import service_summary
+    from repro.serve.queue import JobQueue
+    from repro.serve.telemetry import JobTracer
+
+    log = tmp_path / "jobs.jsonl"
+    queue = JobQueue(log)
+    queue.submit("a" * 64, {"kind": "sweep", "priority": "normal", "params": {}})
+    queue.claim()
+    queue.finish("a" * 64, {"ok": True})
+    trace = tmp_path / "trace.jsonl"
+    tracer = JobTracer(trace, clock=lambda: 3.0)
+    tracer.span("a" * 64, "queue-wait", 1.0, 1.5)
+    tracer.span("a" * 64, "dispatch", 1.5, 3.0, state="DONE")
+
+    summary = service_summary(log, trace_log=trace)
+    assert [row["phase"] for row in summary["timeline"]] == [
+        "queue-wait", "dispatch",
+    ]
+    html = render_report(None, None, [], {}, service=summary)
+    assert "<h2>Service timeline</h2>" in html
+    assert "queue-wait" in html and "state=DONE" in html
+    assert "no job trace" not in html
+
+
+def test_report_timeline_placeholder_without_a_trace(tmp_path):
+    from repro.obs.report import service_summary
+    from repro.serve.queue import JobQueue
+
+    log = tmp_path / "jobs.jsonl"
+    queue = JobQueue(log)
+    queue.submit("a" * 64, {"kind": "sweep", "priority": "normal", "params": {}})
+    summary = service_summary(log)
+    html = render_report(None, None, [], {}, service=summary)
+    assert "<h2>Service timeline</h2>" in html
+    assert "no job trace" in html

@@ -1,0 +1,235 @@
+"""HTTP history projections, the Prometheus scrape and the access log.
+
+``GET /history*`` serves the same :mod:`repro.obs.projections` views
+the ``repro history`` CLI renders, over a *fresh* ledger read per
+request — so rows appear as jobs complete, without a server restart.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import _jsonl_path_arg, build_parser
+from repro.serve import ServeClient, ServeError, build_server
+
+SWEEP_PARAMS = {"n_values": [2, 3], "reps": 3, "max_steps": 100_000}
+
+
+@pytest.fixture(autouse=True)
+def _pinned_code_version(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-history-v1")
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = build_server(
+        port=0,
+        state_dir=str(tmp_path / "state"),
+        workers=1,
+        access_log=str(tmp_path / "state" / "access.jsonl"),
+    )
+    srv.start()
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.stop()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+def _finish_one_sweep(client):
+    job = client.submit("sweep", SWEEP_PARAMS)
+    assert client.wait(job["id"], timeout=60)["state"] == "DONE"
+    return job
+
+
+# -- /history ----------------------------------------------------------------
+
+
+def test_history_is_empty_before_any_job_and_fills_after(server, client):
+    empty = client.history()
+    assert empty["records"] == 0 and empty["rows"] == []
+    _finish_one_sweep(client)
+    filled = client.history()
+    assert filled["records"] > 0
+    assert filled["ledger"] == str(server.config.resolved_ledger())
+    assert {row["experiment"] for row in filled["rows"]}
+    # Filters pass through to the projection.
+    assert client.history(experiment="no-such-exp")["records"] == 0
+
+
+def test_history_trends_rows_and_metric_series(server, client):
+    _finish_one_sweep(client)
+    trends = client.history_trends()
+    assert trends["records"] > 0
+    assert isinstance(trends["trends"], list) and trends["trends"]
+    series = client.history_trends(metric="expected_steps")
+    assert series["metric"] == "expected_steps"
+    assert series["points"], "sweep records carry expected_steps"
+    assert all(len(point) == 2 for point in series["points"])
+
+
+def test_history_trends_unknown_metric_is_400_with_choices(server, client):
+    _finish_one_sweep(client)
+    with pytest.raises(ServeError) as excinfo:
+        client.history_trends(metric="flux_capacitance")
+    assert excinfo.value.status == 400
+    assert "flux_capacitance" in excinfo.value.body["error"]
+    assert "expected_steps" in excinfo.value.body["error"]
+
+
+def test_history_check_runs_the_gate_over_http(server, client):
+    _finish_one_sweep(client)
+    check = client.history_check(window=5, tolerance=0.5)
+    assert set(check) >= {
+        "ok", "records", "summary", "regressions", "violations"
+    }
+    assert check["records"] > 0
+    assert isinstance(check["ok"], bool)
+    assert check["violations"] == []  # one server, no identity conflicts
+
+
+def test_history_check_bad_window_is_400(server, client):
+    with pytest.raises(ServeError) as excinfo:
+        client._request("GET", "/history/check?window=soon")
+    assert excinfo.value.status == 400
+    assert "window" in excinfo.value.body["error"]
+
+
+def test_history_sees_ledger_appends_without_restart(server, client):
+    # A fresh read per request: append via a *second* job and the row
+    # count grows on the very next GET.
+    _finish_one_sweep(client)
+    before = client.history()["records"]
+    # reps=2 would be a pure cache hit (a subset of reps=3); a new n
+    # value forces real computation and thus new ledger records.
+    job = client.submit("sweep", {**SWEEP_PARAMS, "n_values": [4], "reps": 1})
+    client.wait(job["id"], timeout=60)
+    assert client.history()["records"] > before
+
+
+# -- /metrics?format=prom over a real socket ----------------------------------
+
+
+def test_prometheus_scrape_over_http(server, client):
+    _finish_one_sweep(client)
+    request = urllib.request.Request(server.url + "/metrics?format=prom")
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in resp.headers["Content-Type"]
+        text = resp.read().decode("utf-8")
+    assert 'repro_jobs{state="DONE"} 1' in text
+    assert "repro_queue_depth 0" in text
+    assert 'repro_admission_decisions_total{outcome="admitted"} 1' in text
+    # The waiting/polling traffic from this very test is in the counter.
+    assert 'route="/jobs/{id}"' in text
+    assert "repro_http_request_duration_seconds_bucket" in text
+    # A later scrape sees the first one counted under /metrics.  The
+    # middleware observes after the response body is flushed, so give
+    # the handler thread a beat to reach its finally block.
+    wanted = 'repro_http_requests_total{method="GET",route="/metrics"'
+    deadline = time.monotonic() + 5
+    while wanted not in client.metrics_prometheus():
+        assert time.monotonic() < deadline, "scrape never counted /metrics"
+        time.sleep(0.05)
+
+
+def test_json_metrics_view_reports_http_and_per_job_resilience(
+    server, client
+):
+    job = _finish_one_sweep(client)
+    metrics = client.metrics()
+    requests = {
+        key: value
+        for key, value in metrics["engine"]["counters"].items()
+        if key.startswith("serve.http.requests")
+    }
+    assert requests, "access middleware populates the JSON view too"
+    assert isinstance(metrics["resilience_by_job"], dict)
+    # A clean run has no resilience events, so the job is not listed.
+    assert job["id"] not in metrics["resilience_by_job"]
+
+
+# -- the access log ----------------------------------------------------------
+
+
+def test_access_log_records_each_request_as_jsonl(server, client):
+    client.health()
+    _finish_one_sweep(client)
+    import pathlib
+
+    log = pathlib.Path(server.config.state_dir) / "access.jsonl"
+    lines = [json.loads(line) for line in log.read_text().splitlines()]
+    assert lines, "access log is written when --access-log is set"
+    assert {"at", "method", "path", "status", "seconds"} <= set(lines[0])
+    paths = [line["path"] for line in lines]
+    assert "/health" in paths
+    assert any(path == "/jobs" for path in paths)  # the POST
+    post = next(line for line in lines if line["method"] == "POST")
+    assert post["status"] == 202
+
+
+# -- CLI flag validation (argparse type, --workers style) ---------------------
+
+
+def test_jsonl_path_arg_accepts_a_plain_path(tmp_path):
+    target = tmp_path / "logs" / "access.jsonl"
+    assert _jsonl_path_arg(str(target)) == str(target)
+
+
+@pytest.mark.parametrize(
+    "bad, fragment",
+    [
+        ("", "needs a file path"),
+        ("   ", "needs a file path"),
+    ],
+)
+def test_jsonl_path_arg_rejects_empty(bad, fragment):
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError, match=fragment):
+        _jsonl_path_arg(bad)
+
+
+def test_jsonl_path_arg_rejects_directories_and_bad_parents(tmp_path):
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError, match="is a directory"):
+        _jsonl_path_arg(str(tmp_path))
+    occupied = tmp_path / "file.txt"
+    occupied.write_text("x")
+    with pytest.raises(
+        argparse.ArgumentTypeError, match="is not a directory"
+    ):
+        _jsonl_path_arg(str(occupied / "nested.jsonl"))
+
+
+def test_serve_parser_rejects_bad_access_log(tmp_path, capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--access-log", str(tmp_path)])
+    err = capsys.readouterr().err
+    assert "is a directory" in err
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--trace-log", ""])
+    assert "needs a file path" in capsys.readouterr().err
+
+
+def test_serve_parser_accepts_telemetry_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "serve",
+            "--trace-log", str(tmp_path / "trace.jsonl"),
+            "--access-log", str(tmp_path / "access.jsonl"),
+        ]
+    )
+    assert args.trace_log == str(tmp_path / "trace.jsonl")
+    assert args.access_log == str(tmp_path / "access.jsonl")

@@ -1,0 +1,388 @@
+"""Unit tests for the telemetry layer: tracer, broker, stats, exposition.
+
+Everything here runs without an HTTP server — the broker streams are
+consumed as plain generators and the Prometheus exposition is rendered
+against an unstarted :class:`ReproServer`.  The HTTP integration
+(real sockets, real SSE) lives in ``test_events.py`` and
+``test_history_http.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.export import trace_to_chrome
+from repro.serve import build_server
+from repro.serve.queue import JobQueue
+from repro.serve.telemetry import (
+    EventBroker,
+    HttpStats,
+    JobTracer,
+    job_trace_to_trace,
+    load_job_trace,
+    normalize_route,
+    render_prometheus,
+    sse_format,
+    timeline_rows,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pinned_code_version(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-telemetry-v1")
+
+
+# -- route normalization + SSE wire format -----------------------------------
+
+
+def test_normalize_route_collapses_job_ids():
+    assert normalize_route("/jobs/abc123def456") == "/jobs/{id}"
+    assert normalize_route("/jobs/abc123/events") == "/jobs/{id}/events"
+    assert normalize_route("/jobs/abc123/result") == "/jobs/{id}/result"
+    assert normalize_route("/jobs") == "/jobs"
+    assert normalize_route("/metrics?format=prom") == "/metrics"
+    assert normalize_route("/history/trends") == "/history/trends"
+    assert normalize_route("/") == "/"
+    assert normalize_route("") == "/"
+
+
+def test_sse_format_is_one_event_one_data_line():
+    frame = sse_format("progress", {"done": 2, "total": 6})
+    assert frame == 'event: progress\ndata: {"done": 2, "total": 6}\n\n'
+    # data stays single-line however nested the payload.
+    assert "\n" not in frame.split("data: ", 1)[1].rstrip("\n")
+
+
+# -- the event broker ---------------------------------------------------------
+
+
+def _collect(stream):
+    """Drain a broker stream into (event, payload) tuples."""
+    frames = []
+    for frame in stream:
+        head, _, data = frame.partition("\ndata: ")
+        frames.append(
+            (head[len("event: ") :], json.loads(data.rstrip("\n")))
+        )
+    return frames
+
+
+def test_stream_ends_after_exactly_one_terminal_event():
+    broker = EventBroker(clock=lambda: 42.0)
+    snapshot = {"id": "j1", "state": "RUNNING", "progress": {}}
+    stream = broker.stream("j1", snapshot=lambda: snapshot, heartbeat=30.0)
+    # Consume the first frame so the subscription exists, then publish.
+    first = next(stream)
+    assert first.startswith("event: accepted\n")
+    broker.publish("j1", "progress", {"done": 1, "total": 2})
+    broker.publish("j1", "done", {"id": "j1", "state": "DONE"})
+    broker.publish("j1", "done", {"id": "j1", "state": "DONE"})  # late dup
+    events = [e for e, _ in _collect(stream)]
+    assert events == ["progress", "done"]
+    assert broker.subscriber_count("j1") == 0  # finally unsubscribed
+
+
+def test_stream_synthesizes_terminal_from_an_already_terminal_snapshot():
+    broker = EventBroker()
+    snapshot = {"id": "j2", "state": "FAILED", "error": "boom"}
+    events = _collect(
+        broker.stream("j2", snapshot=lambda: snapshot, heartbeat=30.0)
+    )
+    assert [e for e, _ in events] == ["accepted", "failed"]
+    assert events[-1][1]["error"] == "boom"
+    assert broker.subscriber_count("j2") == 0
+
+
+def test_terminal_published_between_subscribe_and_snapshot_is_not_doubled():
+    # The race the subscribe-first design closes: the job finishes right
+    # as the stream starts.  The snapshot already says DONE, so the
+    # queued "done" publish must never be drained — one terminal frame.
+    broker = EventBroker()
+    state = {"id": "j3", "state": "RUNNING"}
+    stream = broker.stream("j3", snapshot=lambda: dict(state), heartbeat=30.0)
+    frames = []
+    frames.append(next(stream))  # accepted (RUNNING)
+    state["state"] = "DONE"
+    broker.publish("j3", "done", dict(state))
+    broker.publish("j3", "progress", {"done": 6, "total": 6})
+    terminal = [f for f in _collect(stream) if f[0] == "done"]
+    assert len(terminal) == 1
+
+
+def test_heartbeats_flow_under_a_frozen_clock():
+    # The cadence is driven by the queue timeout, not clock deltas — a
+    # frozen clock only affects the stamp inside the frame.
+    broker = EventBroker(clock=lambda: 1234.5)
+    snapshot = {"id": "j4", "state": "RUNNING"}
+    stream = broker.stream("j4", snapshot=lambda: snapshot, heartbeat=0.01)
+    assert next(stream).startswith("event: accepted\n")
+    beats = [next(stream), next(stream)]
+    for beat in beats:
+        event, payload = _collect([beat])[0]
+        assert event == "heartbeat"
+        assert payload == {"at": 1234.5}
+    stream.close()
+    assert broker.subscriber_count("j4") == 0
+
+
+def test_publish_never_blocks_on_a_stalled_subscriber():
+    broker = EventBroker()
+    broker.subscribe("j5")  # never drained
+    done = threading.Event()
+
+    def publisher():
+        for i in range(1000):
+            broker.publish("j5", "progress", {"done": i})
+        done.set()
+
+    thread = threading.Thread(target=publisher, daemon=True)
+    thread.start()
+    thread.join(timeout=5)
+    assert done.is_set(), "publish blocked on an undrained subscription"
+
+
+# -- the job tracer + reconstruction -----------------------------------------
+
+
+def test_tracer_records_schema_and_load_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = JobTracer(path, clock=lambda: 7.0)
+    tracer.span("jobA", "queue-wait", 1.0, 2.5, depth=3)
+    tracer.instant("jobA", "terminal", state="DONE")
+    with path.open("a") as fh:
+        fh.write('{"type": "span", "job": "jobB", "na')  # torn mid-append
+    records = load_job_trace(path)
+    assert [r["name"] for r in records] == ["queue-wait", "terminal"]
+    assert all(r["schema"] == 1 for r in records)
+    assert records[0]["args"] == {"depth": 3}
+    assert records[1]["at"] == 7.0
+
+
+def test_load_job_trace_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('not json\n{"type": "instant", "job": "x"}\n')
+    with pytest.raises(ValueError, match="unparsable job-trace line"):
+        load_job_trace(path)
+    assert load_job_trace(tmp_path / "absent.jsonl") == []
+
+
+def test_job_trace_reconstructs_into_a_valid_chrome_trace():
+    records = [
+        {"type": "span", "job": "aaaa" * 16, "name": "queue-wait",
+         "start": 100.0, "end": 100.2, "args": {}},
+        {"type": "span", "job": "aaaa" * 16, "name": "dispatch",
+         "start": 100.2, "end": 101.0, "args": {"state": "DONE"}},
+        {"type": "span", "job": "bbbb" * 16, "name": "queue-wait",
+         "start": 100.5, "end": 100.9, "args": {}},
+        {"type": "instant", "job": "aaaa" * 16, "name": "terminal",
+         "at": 101.0, "args": {"state": "DONE"}},
+    ]
+    trace = job_trace_to_trace(records)
+    # One lane per job, microseconds relative to the earliest stamp.
+    assert {s.pid for s in trace.spans} == {0, 1}
+    chrome = trace_to_chrome(trace)
+    slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 3
+    by_name = {s["name"]: s for s in slices}
+    queue_wait = by_name["queue-wait " + "aaaa" * 3]
+    assert queue_wait["ts"] == 0
+    assert queue_wait["dur"] == pytest.approx(200_000, abs=2)
+    dispatch = by_name["dispatch " + "aaaa" * 3]
+    assert dispatch["ts"] == pytest.approx(200_000, abs=2)
+    instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    json.dumps(chrome)  # the whole document must be JSON-serializable
+
+
+def test_timeline_rows_sorts_and_offsets_spans():
+    records = [
+        {"type": "span", "job": "b" * 64, "name": "dispatch",
+         "start": 11.0, "end": 13.5, "args": {"state": "DONE"}},
+        {"type": "span", "job": "a" * 64, "name": "queue-wait",
+         "start": 10.0, "end": 10.25, "args": {}},
+        {"type": "instant", "job": "a" * 64, "name": "terminal",
+         "at": 13.5, "args": {}},
+    ]
+    rows = timeline_rows(records)
+    assert [r["phase"] for r in rows] == ["queue-wait", "dispatch"]
+    assert rows[0]["start_s"] == 0.0 and rows[0]["duration_s"] == 0.25
+    assert rows[1]["start_s"] == 1.0 and rows[1]["duration_s"] == 2.5
+    assert rows[1]["job"] == "b" * 12
+    assert rows[1]["detail"] == "state=DONE"
+    assert timeline_rows([]) == []
+
+
+# -- the queue listener seam --------------------------------------------------
+
+
+def test_queue_listener_sees_the_lifecycle_in_order(tmp_path):
+    queue = JobQueue(tmp_path / "jobs.jsonl")
+    seen = []
+    queue.listener = lambda event, job: seen.append((event, job.state))
+    queue.submit("job-1", {"kind": "sweep", "priority": "normal"})
+    claimed = queue.claim()
+    assert claimed is not None and claimed.id == "job-1"
+    queue.update_progress("job-1", done=1, total=2)
+    queue.finish("job-1", {"ok": True})
+    assert seen == [
+        ("submit", "QUEUED"),
+        ("claim", "RUNNING"),
+        ("progress", "RUNNING"),
+        ("finish", "DONE"),
+    ]
+
+
+def test_boot_replay_is_silent_but_live_transitions_are_not(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    first = JobQueue(path)
+    first.submit("job-1", {"kind": "sweep", "priority": "normal"})
+    seen = []
+    reloaded = JobQueue(path)  # replays the submit from disk...
+    reloaded.listener = lambda event, job: seen.append(event)
+    assert reloaded.depth() == 1
+    assert seen == []  # ...without notifying the listener
+    reloaded.claim()
+    assert seen == ["claim"]
+
+
+# -- HTTP stats + Prometheus exposition ---------------------------------------
+
+
+def test_http_stats_records_counters_histograms_and_access_log(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    log = tmp_path / "access.jsonl"
+    metrics = MetricsRegistry(enabled=True)
+    stats = HttpStats(metrics, access_log=log, clock=lambda: 99.0)
+    stats.observe("GET", "/jobs/deadbeef/events", 200, 0.125)
+    stats.observe("GET", "/jobs/cafebabe/events", 200, 0.25)
+    snapshot = metrics.snapshot()
+    key = "serve.http.requests{method=GET,route=/jobs/{id}/events,status=200}"
+    assert snapshot.counters[key] == 2
+    hist_key = "serve.http.request_seconds{method=GET,route=/jobs/{id}/events}"
+    assert snapshot.histograms[hist_key]["count"] == 2
+    lines = [json.loads(l) for l in log.read_text().splitlines()]
+    assert [l["path"] for l in lines] == [
+        "/jobs/deadbeef/events", "/jobs/cafebabe/events",
+    ]
+    assert lines[0] == {
+        "at": 99.0, "method": "GET", "path": "/jobs/deadbeef/events",
+        "status": 200, "seconds": 0.125,
+    }
+
+
+def _prom_families(text):
+    return {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE")
+    }
+
+
+def test_render_prometheus_exposes_all_families(tmp_path):
+    server = build_server(port=0, state_dir=str(tmp_path / "state"))
+    try:
+        # Give the HTTP families something to report without a socket.
+        server.telemetry.http.observe("GET", "/health", 200, 0.002)
+        server.telemetry.http.observe("POST", "/jobs", 202, 0.05)
+        text = render_prometheus(server)
+        families = _prom_families(text)
+        assert {
+            "repro_uptime_seconds",
+            "repro_jobs",
+            "repro_queue_depth",
+            "repro_shed_rate",
+            "repro_admission_pressure",
+            "repro_admission_decisions_total",
+            "repro_resilience_total",
+            "repro_job_resilience_total",
+            "repro_http_requests_total",
+            "repro_http_request_duration_seconds",
+            "repro_engine_total",
+        } <= families
+        lines = text.splitlines()
+        # Every TYPE is one of the three Prometheus kinds.
+        kinds = {
+            line.split()[3] for line in lines if line.startswith("# TYPE")
+        }
+        assert kinds <= {"counter", "gauge", "histogram"}
+        # Histogram series are complete: buckets end at +Inf, sum+count.
+        assert any('le="+Inf"' in line for line in lines)
+        assert any(
+            line.startswith("repro_http_request_duration_seconds_sum")
+            for line in lines
+        )
+        assert any(
+            line.startswith("repro_http_request_duration_seconds_count")
+            for line in lines
+        )
+        # Sample lines parse as "name{labels} value" with numeric values.
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part and float(value) is not None
+    finally:
+        server.httpd.server_close()
+
+
+def test_prometheus_bucket_counts_are_cumulative(tmp_path):
+    server = build_server(port=0, state_dir=str(tmp_path / "state"))
+    try:
+        for seconds in (0.002, 0.002, 0.3):
+            server.telemetry.http.observe("GET", "/health", 200, seconds)
+        text = render_prometheus(server)
+        buckets = {}
+        for line in text.splitlines():
+            if line.startswith(
+                "repro_http_request_duration_seconds_bucket"
+            ) and 'route="/health"' in line:
+                le = line.split('le="')[1].split('"')[0]
+                buckets[le] = int(line.rsplit(" ", 1)[1])
+        assert buckets["0.001"] == 0
+        assert buckets["0.005"] == 2
+        assert buckets["0.5"] == 3
+        assert buckets["+Inf"] == 3
+        counts = list(buckets.values())
+        assert counts == sorted(counts)  # cumulative, monotonic
+    finally:
+        server.httpd.server_close()
+
+
+# -- the CLI reconstruction path ---------------------------------------------
+
+
+def test_cli_trace_from_job_trace_exports_chrome(tmp_path, capsys):
+    from repro.cli import main
+
+    trace_log = tmp_path / "trace.jsonl"
+    tracer = JobTracer(trace_log, clock=lambda: 2.0)
+    tracer.span("c" * 64, "queue-wait", 0.0, 0.5)
+    tracer.span("c" * 64, "dispatch", 0.5, 2.0, state="DONE")
+    tracer.instant("c" * 64, "terminal", state="DONE")
+    out_path = tmp_path / "service.json"
+    code = main(
+        ["trace", "--from-job-trace", str(trace_log),
+         "--export", str(out_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reconstructed 3 job-trace records" in out
+    assert "1 job(s)" in out
+    chrome = json.loads(out_path.read_text())
+    slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    assert {s["cat"] for s in slices} == {"queue-wait", "dispatch"}
+
+
+def test_cli_trace_from_empty_job_trace_fails_clearly(tmp_path, capsys):
+    from repro.cli import main
+
+    empty = tmp_path / "trace.jsonl"
+    empty.touch()
+    code = main(
+        ["trace", "--from-job-trace", str(empty),
+         "--export", str(tmp_path / "out.json")]
+    )
+    assert code == 1
+    assert "no job-trace records" in capsys.readouterr().out
