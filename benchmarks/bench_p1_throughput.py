@@ -1,4 +1,4 @@
-"""P1 — serial step-loop throughput across instrumentation modes.
+"""P1 — step-loop throughput: serial instrumentation modes + batched struct-of-arrays mode.
 
 The reproduction's semantic claims are gated exactly (steps, metrics,
 audits are deterministic per seed); this benchmark records the *physical*
@@ -15,12 +15,24 @@ A/B golden tests pin the same invariant).  The ``steps_per_sec`` and
 regression gate (``per_sec`` / ``wall`` are timing-key markers); CI runs
 the gate on this artifact with a wide tolerance anyway, so even incidental
 numeric drift in future columns fails soft rather than flaky.
+
+The ``batched`` mode measures the struct-of-arrays engine
+(:mod:`repro.batch`) driving 32 consensus lanes through one fused step
+loop.  Its gated values: the aggregate step count (deterministic — the
+lanes are seeded), ``matches_serial`` (the lanes sharing the serial
+cell's seeds reproduced its step counts bit-for-bit) and
+``meets_floor_5x`` (aggregate steps/sec at least 5x the serial
+consensus/bare row *on the same host*, so the boolean is
+host-independent even though the underlying wall-clocks are not).
 """
 
 from _common import attach_timing, bench_timer, bench_workers, record, reset
 
 from repro.analysis.perfbench import (
+    BATCHED_LANES,
     DEFAULT_SEEDS,
+    batched_rows,
+    measure_batched_throughput,
     overhead_rows,
     throughput_table,
 )
@@ -62,13 +74,30 @@ def _run_body():
         steps_per_sec=round(bare.steps_per_sec),
         repeats=REPEATS,
     )
-    return rows
+    batched = measure_batched_throughput(seeds=DEFAULT_SEEDS, repeats=REPEATS)
+    brows = batched_rows(bare, batched, seeds=DEFAULT_SEEDS)
+    record(
+        "p1",
+        brows,
+        "P1 — batched struct-of-arrays aggregate throughput",
+    )
+    attach_timing(
+        "p1",
+        "consensus_batched",
+        batched.wall_seconds,
+        steps_per_sec=round(batched.steps_per_sec),
+        lanes=BATCHED_LANES,
+        repeats=REPEATS,
+    )
+    return rows + brows
 
 
 def test_p1_throughput(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    serial = [row for row in rows if row["mode"] != "batched"]
+    batched = [row for row in rows if row["mode"] == "batched"]
     by_workload = {}
-    for row in rows:
+    for row in serial:
         by_workload.setdefault(row["workload"], set()).add(row["steps"])
     # Instrumentation must not change the schedule: per workload, every
     # mode took exactly the same number of atomic steps.
@@ -78,6 +107,11 @@ def test_p1_throughput(benchmark):
     # Throughput was actually measured (host-dependent, so no magnitude
     # assertion here — the 2x acceptance number is recorded in the PR).
     assert all(row["steps_per_sec"] > 0 for row in rows)
+    # Batched struct-of-arrays mode: bit-identical to serial on the shared
+    # seeds, and at least 5x the serial bare row's aggregate steps/sec.
+    assert len(batched) == 1
+    assert batched[0]["matches_serial"] is True
+    assert batched[0]["meets_floor_5x"] is True
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ def _run_recorded(
     policy: "FailurePolicy | None" = None,
     task_timeout: float | None = None,
     metrics: Any = None,
+    batch_size: int | None = None,
 ) -> list[float]:
     """Run tasks through the ledger: serve cached cells, record fresh ones.
 
@@ -80,16 +81,35 @@ def _run_recorded(
             ),
         )
 
-    partial = run_tasks_partial(
-        run_task,
-        [tasks[index] for index in pending],
-        workers=workers,
-        progress=progress,
-        metrics=metrics,
-        policy=policy,
-        task_timeout=task_timeout,
-        on_result=checkpoint,
-    )
+    pending_tasks = [tasks[index] for index in pending]
+    if batch_size is not None:
+        # Batched dispatch reports results under the same flat indices,
+        # so the checkpointer flushes identical ledger bytes (the cell
+        # fingerprints never see the batch boundary).
+        from repro.batch import run_tasks_batched
+
+        partial = run_tasks_batched(
+            run_task,
+            pending_tasks,
+            batch_size=batch_size,
+            workers=workers,
+            progress=progress,
+            metrics=metrics,
+            policy=policy,
+            task_timeout=task_timeout,
+            on_result=checkpoint,
+        )
+    else:
+        partial = run_tasks_partial(
+            run_task,
+            pending_tasks,
+            workers=workers,
+            progress=progress,
+            metrics=metrics,
+            policy=policy,
+            task_timeout=task_timeout,
+            on_result=checkpoint,
+        )
     checkpointer.close()
     if partial.errors:
         raise ParallelExecutionError(partial.errors)
@@ -107,6 +127,7 @@ def repeat_runs(
     config: Mapping[str, Any] | None = None,
     policy: "FailurePolicy | None" = None,
     task_timeout: float | None = None,
+    batch_size: int | None = None,
 ) -> list[float]:
     """Execute ``run_once(seed)`` for every seed; collect the metric.
 
@@ -118,10 +139,32 @@ def repeat_runs(
     hits (not recomputed), fresh ones checkpoint incrementally in seed
     order.  ``policy``/``task_timeout`` flow to the engine (fail-fast and
     retry policies only: a replication that is terminally lost raises —
-    silently dropping samples would skew the statistics).
+    silently dropping samples would skew the statistics).  ``batch_size``
+    (default: the ``REPRO_BATCH`` environment variable) groups seeds into
+    batches per pool task — and through the fused interpreter when
+    ``run_once`` carries ``batch_lane``/``batch_value`` hooks (see
+    :mod:`repro.batch`) — with results bit-identical either way.
     """
+    from repro.batch import resolve_batch_size
+
     seeds = list(seeds)
+    batch_size = resolve_batch_size(batch_size)
     if ledger is None:
+        if batch_size is not None:
+            from repro.batch import run_tasks_batched
+
+            partial = run_tasks_batched(
+                run_once,
+                seeds,
+                batch_size=batch_size,
+                workers=workers,
+                progress=progress,
+                policy=policy,
+                task_timeout=task_timeout,
+            )
+            if partial.errors:
+                raise ParallelExecutionError(partial.errors)
+            return [value for value in partial.results if value is not None]
         return run_tasks(
             run_once,
             seeds,
@@ -142,6 +185,7 @@ def repeat_runs(
         progress,
         policy=policy,
         task_timeout=task_timeout,
+        batch_size=batch_size,
     )
 
 
@@ -194,11 +238,18 @@ class Sweep:
     #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the engine
     #: records its dispatch shape and resilience counters into.
     metrics: Any = None
+    #: Lanes per batch (``None`` → the ``REPRO_BATCH`` environment
+    #: variable, unset meaning unbatched).  Cells whose ``run_once``
+    #: carries ``batch_lane``/``batch_value`` hooks go through the fused
+    #: struct-of-arrays interpreter; everything else runs grouped-serial.
+    #: Results and ledger bytes are identical at any batch size.
+    batch_size: int | None = None
 
     def execute(
         self,
         workers: int | None = None,
         progress: Callable[[int, int], None] | None = None,
+        batch_size: int | None = None,
     ) -> list[SweepPoint]:
         """Run every (value, seed) cell; chunked across workers if asked.
 
@@ -207,24 +258,52 @@ class Sweep:
         regrouped by point in value order — output is identical to the
         serial nested loop for any worker count.
         """
+        from repro.batch import resolve_batch_size
+
         if workers is None:
             workers = self.workers
+        if batch_size is None:
+            batch_size = self.batch_size
+        batch_size = resolve_batch_size(batch_size)
         tasks = [
             (value, self.seed_base + rep)
             for value in self.values
             for rep in range(self.repetitions)
         ]
         run_task = lambda task: self.run_once(task[0], task[1])  # noqa: E731
+        # The fused-lane hooks live on run_once; re-expose them on the
+        # task-shaped wrapper so batched dispatch can see them.
+        for hook in ("batch_lane", "batch_value"):
+            bound = getattr(self.run_once, hook, None)
+            if bound is not None:
+                setattr(run_task, hook, bound)
         if self.ledger is None:
-            samples = run_tasks(
-                run_task,
-                tasks,
-                workers=workers,
-                progress=progress,
-                metrics=self.metrics,
-                policy=self.policy,
-                task_timeout=self.task_timeout,
-            )
+            if batch_size is not None:
+                from repro.batch import run_tasks_batched
+
+                partial = run_tasks_batched(
+                    run_task,
+                    tasks,
+                    batch_size=batch_size,
+                    workers=workers,
+                    progress=progress,
+                    metrics=self.metrics,
+                    policy=self.policy,
+                    task_timeout=self.task_timeout,
+                )
+                if partial.errors:
+                    raise ParallelExecutionError(partial.errors)
+                samples = [v for v in partial.results if v is not None]
+            else:
+                samples = run_tasks(
+                    run_task,
+                    tasks,
+                    workers=workers,
+                    progress=progress,
+                    metrics=self.metrics,
+                    policy=self.policy,
+                    task_timeout=self.task_timeout,
+                )
         else:
             base = {"experiment": self.experiment, **dict(self.config or {})}
             cells = [
@@ -242,6 +321,7 @@ class Sweep:
                 policy=self.policy,
                 task_timeout=self.task_timeout,
                 metrics=self.metrics,
+                batch_size=batch_size,
             )
         points = []
         for i, value in enumerate(self.values):

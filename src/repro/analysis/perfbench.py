@@ -248,3 +248,107 @@ def profile_breakdown(
     profiler = Profiler(MetricsRegistry())
     samples = throughput_table(seeds=seeds, repeats=repeats, profiler=profiler)
     return overhead_rows(samples), profiler
+
+
+# ---------------------------------------------------------------------------
+# Batched mode: the struct-of-arrays engine measured against serial bare.
+# ---------------------------------------------------------------------------
+
+#: Lanes per batched measurement.  The first ``len(DEFAULT_SEEDS)`` lane
+#: seeds coincide with the serial consensus cell, so the batched run's
+#: equivalence with serial is checked inside the measurement itself.
+BATCHED_LANES = 32
+
+#: The floor BENCH_P1 gates in CI: batched aggregate steps/sec must be at
+#: least this multiple of the serial consensus/bare row on the same host.
+BATCHED_FLOOR = 5.0
+
+
+def batched_lane_specs(seeds: Sequence[int] = DEFAULT_SEEDS, lanes: int = BATCHED_LANES):
+    """Consensus lane specs: ``lanes`` consecutive seeds from ``seeds[0]``,
+    each the exact (inputs, seed) cell ``_run_consensus`` runs serially."""
+    from repro.batch import LaneSpec
+
+    base = seeds[0]
+    return [
+        LaneSpec(
+            inputs=tuple((seed + i) % 2 for i in range(CONSENSUS_PROCESSES)),
+            seed=seed,
+        )
+        for seed in range(base, base + lanes)
+    ]
+
+
+def measure_batched_throughput(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    lanes: int = BATCHED_LANES,
+    repeats: int = 3,
+    profiler: Profiler | None = None,
+) -> ThroughputSample:
+    """Best-of-``repeats`` aggregate steps/sec of the fused batch loop.
+
+    Raises if any lane needed a serial fallback — the benchmark exists to
+    measure the fast path, and a silent fallback would quietly measure
+    the wrong interpreter.
+    """
+    from repro.batch import run_lanes
+
+    specs = batched_lane_specs(seeds, lanes)
+    steps = 0
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        if profiler is not None:
+            with profiler.section("consensus.batched"):
+                start = time.perf_counter()
+                results = run_lanes(specs)
+                elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            results = run_lanes(specs)
+            elapsed = time.perf_counter() - start
+        fallbacks = [r.fallback for r in results if r.fallback is not None]
+        if fallbacks:
+            raise AssertionError(
+                f"batched benchmark lanes fell back to serial: {fallbacks}"
+            )
+        steps = sum(r.total_steps for r in results)
+        best = min(best, elapsed)
+    return ThroughputSample("consensus", "batched", steps, best)
+
+
+def batched_rows(
+    bare: ThroughputSample,
+    batched: ThroughputSample,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    lanes: int = BATCHED_LANES,
+    floor: float = BATCHED_FLOOR,
+) -> list[dict]:
+    """The BENCH_P1 ``batched`` row, gate-ready.
+
+    ``steps`` and ``serial_prefix_steps`` are deterministic (numerically
+    gated); ``matches_serial`` and ``meets_floor_5x`` are booleans (gated
+    exactly); the speedup and steps/sec figures measure the host and ride
+    under timing-marker keys the gate skips.
+    """
+    from repro.batch import run_lanes
+
+    prefix = run_lanes(batched_lane_specs(seeds, len(seeds)))
+    prefix_steps = sum(r.total_steps for r in prefix)
+    speedup = (
+        batched.steps_per_sec / bare.steps_per_sec if bare.steps_per_sec else 0.0
+    )
+    return [
+        {
+            "workload": "consensus",
+            "mode": "batched",
+            "lanes": lanes,
+            "steps": batched.steps,
+            "serial_prefix_steps": prefix_steps,
+            # The lanes sharing the serial cell's seeds must reproduce its
+            # step counts exactly — bit-identity, gated as a boolean.
+            "matches_serial": prefix_steps == bare.steps,
+            "meets_floor_5x": speedup >= floor,
+            "steps_per_sec": round(batched.steps_per_sec),
+            "speedup_vs_bare_wall": round(speedup, 2),
+        }
+    ]

@@ -1,0 +1,193 @@
+"""Wiring the struct-of-arrays engine under the campaign entry points.
+
+The contract with callers (``repeat_runs``, ``Sweep``, ``fuzz_consensus``,
+``run_mutation_campaign``) is a *drop-in lane under the task list*: tasks
+are grouped into consecutive batches, each batch becomes one pool task
+(so batching composes with ``--workers`` — every worker drains whole
+batches instead of single cells), and the flat results come back in
+submission order, bit-identical to the serial path.
+
+Two levels of speedup, both semantics-free:
+
+- **Grouped dispatch** (any task): batch-of-N amortises fork and IPC per
+  task by N.  This is what fuzz cells and campaign cells get — their
+  per-cell fault plans and watchdogs stay on the ordinary serial
+  interpreter, just N cells per pool round-trip.
+- **Fused lanes** (tasks that opt in): a task function may carry two
+  attributes — ``batch_lane(task) -> LaneSpec | None`` and
+  ``batch_value(task, LaneResult) -> value | None`` — mapping a task into
+  the fast interpreter and its outcome back into the task's value.
+  Returning ``None`` from either hook (or a lane finishing with a
+  ``fallback`` reason) drops that one task back onto ``run_task``
+  unchanged, which reproduces the serial result or the serial exception
+  exactly.  ``repro.workloads.make_sweep_runner`` opts the canonical
+  ADS/random sweep in this way.
+
+Checkpointing and ledger identity are untouched: results are reported
+through ``on_result`` with the task's original flat index, so
+``LedgerCheckpointer`` flushes the same records in the same order and the
+per-cell fingerprints never see the batch boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Callable, Sequence
+
+from repro.batch.engine import LaneResult, LaneSpec, run_lanes
+from repro.resilience.policy import PartialResult
+
+#: Environment variable read when no explicit batch size is passed —
+#: the batched analogue of ``REPRO_WORKERS``.
+BATCH_ENV = "REPRO_BATCH"
+
+_UNSET = object()
+
+
+def resolve_batch_size(batch_size: int | None = None) -> int | None:
+    """Validate a batch size, falling back to ``REPRO_BATCH``.
+
+    Unlike ``--workers`` there is no "0 = auto" convention: a batch is a
+    lane count, so only positive integers make sense.  ``None`` (and an
+    unset/empty environment variable) means batching is off.
+    """
+    if batch_size is None:
+        raw = os.environ.get(BATCH_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{BATCH_ENV}={raw!r} is not an integer; set it to a "
+                "positive lane count (unset it to disable batching)"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{BATCH_ENV}={raw!r} must be >= 1 (lanes per batch); "
+                "unset it to disable batching"
+            )
+        return value
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise TypeError(
+            f"batch_size must be a positive integer or None, got {batch_size!r}"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
+
+
+def make_batch_task(run_task: Callable[[Any], Any]) -> Callable[[list], list]:
+    """Lift a per-task function to a per-batch function.
+
+    The returned callable runs one group of tasks: fused lanes for every
+    task the hooks accept, the ordinary ``run_task`` for the rest (and
+    for any lane that fell back), preserving group order.
+    """
+    lane_of = getattr(run_task, "batch_lane", None)
+    value_of = getattr(run_task, "batch_value", None)
+    fused = lane_of is not None and value_of is not None
+
+    def run_batch(group: Sequence[Any]) -> list:
+        group = list(group)
+        values: list[Any] = [_UNSET] * len(group)
+        if fused:
+            lanes: list[tuple[int, LaneSpec]] = []
+            for position, task in enumerate(group):
+                spec = lane_of(task)
+                if spec is not None:
+                    lanes.append((position, spec))
+            if lanes:
+                outcomes = run_lanes([spec for _, spec in lanes])
+                for (position, _), lane in zip(lanes, outcomes):
+                    if lane.fallback is None:
+                        value = value_of(group[position], lane)
+                        if value is not None:
+                            values[position] = value
+        for position, task in enumerate(group):
+            if values[position] is _UNSET:
+                values[position] = run_task(task)
+        return values
+
+    return run_batch
+
+
+def run_tasks_batched(
+    run_task: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    batch_size: int,
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    metrics: Any = None,
+    policy: Any = None,
+    task_timeout: float | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> PartialResult:
+    """``run_tasks_partial`` over groups of ``batch_size`` tasks.
+
+    Results (and ``on_result`` callbacks) use the original flat task
+    indices, so ledger checkpointing is oblivious to the grouping.
+    Resilience knobs apply per *group*: a retried or timed-out unit of
+    work is one whole batch, which recomputes deterministically.  A
+    terminally failed group surfaces as one ``TaskError`` anchored at the
+    group's first flat index, with every task of the group left as a
+    ``None`` hole — fail-fast callers raise either way, exactly as the
+    unbatched engine would on the first failing cell.
+    """
+    from repro.parallel.engine import run_tasks_partial
+
+    tasks = list(tasks)
+    size = resolve_batch_size(batch_size)
+    if size is None:
+        raise ValueError("run_tasks_batched needs an explicit batch_size")
+    groups = [tasks[start : start + size] for start in range(0, len(tasks), size)]
+    total = len(tasks)
+    flat = PartialResult(results=[None] * total)
+
+    def group_result(group_index: int, values: list) -> None:
+        start = group_index * size
+        for offset, value in enumerate(values):
+            flat.results[start + offset] = value
+            if on_result is not None:
+                on_result(start + offset, value)
+
+    group_progress = None
+    if progress is not None:
+
+        def group_progress(done: int, _groups: int) -> None:
+            progress(min(done * size, total), total)
+
+    partial = run_tasks_partial(
+        make_batch_task(run_task),
+        groups,
+        workers=workers,
+        progress=group_progress,
+        metrics=metrics,
+        policy=policy,
+        task_timeout=task_timeout,
+        on_result=group_result,
+    )
+    for error in partial.errors:
+        flat.errors.append(dataclasses.replace(error, index=error.index * size))
+    flat.retries = partial.retries
+    flat.timeouts = partial.timeouts
+    flat.shed = partial.shed
+    flat.shed_indices = [
+        group_index * size + offset
+        for group_index in partial.shed_indices
+        for offset in range(len(groups[group_index]))
+    ]
+    return flat
+
+
+__all__ = [
+    "BATCH_ENV",
+    "LaneResult",
+    "LaneSpec",
+    "make_batch_task",
+    "resolve_batch_size",
+    "run_lanes",
+    "run_tasks_batched",
+]

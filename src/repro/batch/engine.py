@@ -1,0 +1,673 @@
+"""Struct-of-arrays execution of many independent ADS consensus runs.
+
+One process, one fused step loop, many *lanes*: each lane is an
+independent ``(seed, inputs)`` simulation of the default
+:class:`~repro.consensus.ads.AdsConsensus` protocol under the default
+:class:`~repro.runtime.scheduler.RandomScheduler`.  Instead of building a
+generator pipeline per process per lane (registers → snapshot → protocol
+→ ``Simulation.step``), the engine lays the whole simulation state out as
+flat per-lane arrays —
+
+- ``arrows``   — the n×n one-bit write-arrow registers, flattened;
+- ``V``        — the n scan registers, each a ``(cell, toggle)`` pair;
+- ``cells``    — each process's local protocol cell as a plain tuple
+  ``(pref, coins, current_coin, edges)``;
+- ``phase``/``pos`` — each process's position inside the fixed atomic-op
+  script of the ADS round (raise arrows → publish V → arm → first
+  collect → second collect → read arrows → compute);
+- walk counters, round numbers and strip edge counters ride inside the
+  cell tuples exactly as their object counterparts do
+
+— and advances lanes through one dispatch loop with no generator resumes,
+no ``OpIntent`` objects and no per-step list rebuilds.
+
+**Bit-identical by construction.**  The scheduler stream is the serial
+one: per lane, ``derive_rng(seed, "random-scheduler").getrandbits`` with
+the exact inlined rejection loop of ``RandomScheduler.choose`` (PR 5),
+drawn over the same pid-ascending runnable list that
+``Simulation.runnable_pids`` would produce.  Coin flips consume
+``derive_rng(seed, "process", pid).random()`` just like the serial
+``ctx.rng``.  Every state transition mirrors one atomic step of the
+generator runtime — a pending operation executes on the step *after* it
+was yielded, so decisions land on the very step counts the serial
+``Simulation`` reports.  Lanes retire individually on decide; a slow lane
+never blocks the batch.
+
+**Fallback, never divergence.**  Anything outside the fast path — a
+non-default protocol configuration, ``n < 2``, non-binary inputs, an
+ill-formed counter decode, a walk overflow, an exhausted step budget —
+marks the lane with a ``fallback`` reason instead of guessing.  Callers
+(see :mod:`repro.batch.dispatch`) re-run fallback lanes through the
+ordinary serial entry point, which reproduces the serial result *or the
+serial exception* exactly.  The fast path is an optimisation, never a
+semantic fork.
+
+The graph work of the protocol step (counter decode, longest-path
+distances, leader sets, counter increments) is memoised on the edge-row
+tuples: independent lanes revisit the same small strip-graph states
+constantly, so across a batch the amortised compute cost per step drops
+well below the serial interpreter's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coin.logic import default_m
+from repro.runtime.rng import derive_rng
+
+_NEG_INF = float("-inf")
+
+#: Fast-path protocol constants — the ``AdsConsensus()`` defaults.  A lane
+#: needing anything else must come in through the serial fallback.
+K = 2
+_SLOTS = K + 1  # coin slots per cell
+_SIZE = 3 * K  # edge-counter modulus
+_B = 2  # barrier multiplier b
+
+#: Default step budget, matching ``ConsensusProtocol.run``.
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """One independent simulation: default ADS + random scheduler.
+
+    ``inputs`` defines ``n``; ``seed`` roots every RNG stream exactly as
+    the serial path does (scheduler from ``(seed, "random-scheduler")``,
+    process coins from ``(seed, "process", pid)``).
+    """
+
+    inputs: tuple[int, ...]
+    seed: int
+    max_steps: int = DEFAULT_MAX_STEPS
+
+    @property
+    def n(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass
+class LaneResult:
+    """A lane's outcome, field-compatible with the serial ``outcome()``.
+
+    ``fallback`` is ``None`` when the fast path finished the lane; any
+    other value is the reason the lane must be re-run serially (its other
+    fields are then meaningless and must not be read).
+    """
+
+    spec: LaneSpec
+    decisions: dict[int, Any] = field(default_factory=dict)
+    total_steps: int = 0
+    steps_by_pid: dict[int, int] = field(default_factory=dict)
+    rounds_by_pid: dict[int, int] = field(default_factory=dict)
+    flips_by_pid: dict[int, int] = field(default_factory=dict)
+    scans_by_pid: dict[int, int] = field(default_factory=dict)
+    fallback: str | None = None
+    schedule: list[int] | None = None
+
+    def max_rounds(self) -> int:
+        return max(self.rounds_by_pid.values(), default=0)
+
+
+class _Unsupported(Exception):
+    """A state the fast path refuses to interpret (→ serial fallback)."""
+
+
+class _Caches:
+    """Memoised strip-graph computations, shared across a batch's lanes.
+
+    Every entry is a pure function of edge-row tuples with the fast-path
+    constants fixed, so sharing across lanes (and across calls) is sound.
+    Failed computations cache their ``_Unsupported`` marker too — a state
+    the decoder rejects once it would reject every time.
+    """
+
+    __slots__ = ("decode", "dists_from", "dists_to", "leaders", "inc")
+
+    #: Overflow guard: the reachable edge-row state space is tiny for the
+    #: small ``n`` the campaigns sweep, but a service process batching
+    #: forever should not grow without bound.
+    LIMIT = 1 << 20
+
+    def __init__(self) -> None:
+        self.decode: dict[Any, Any] = {}
+        self.dists_from: dict[Any, Any] = {}
+        self.dists_to: dict[Any, Any] = {}
+        self.leaders: dict[Any, Any] = {}
+        self.inc: dict[Any, Any] = {}
+
+    def trim(self) -> None:
+        for cache in (
+            self.decode,
+            self.dists_from,
+            self.dists_to,
+            self.leaders,
+            self.inc,
+        ):
+            if len(cache) > self.LIMIT:
+                cache.clear()
+
+
+def _decode(erows: tuple, n: int):
+    """``decode_graph`` specialised: edge rows → (weight matrix, edges).
+
+    ``W[i][j]`` is the weight of edge i→j or ``None``; ``edges`` is the
+    relaxation worklist as ``(src, dst, weight)`` triples.  A modular tie
+    between the two directions is ill-formed, exactly as in
+    ``repro.strip.distance_graph.decode_graph``.
+    """
+    W = [[None] * n for _ in range(n)]
+    edges = []
+    for i in range(n):
+        row_i = erows[i]
+        Wi = W[i]
+        for j in range(i + 1, n):
+            d_ij = (row_i[j] - erows[j][i]) % _SIZE
+            if d_ij == 0:
+                Wi[j] = 0
+                W[j][i] = 0
+                edges.append((i, j, 0))
+                edges.append((j, i, 0))
+            else:
+                d_ji = _SIZE - d_ij
+                if d_ij < d_ji:
+                    Wi[j] = d_ij
+                    edges.append((i, j, d_ij))
+                elif d_ji < d_ij:
+                    W[j][i] = d_ji
+                    edges.append((j, i, d_ji))
+                else:
+                    raise _Unsupported(f"ill-formed counters between {i} and {j}")
+    return W, edges
+
+
+def _relax(edges: list, n: int, source: int, forward: bool) -> list:
+    """Longest-path distances from/to ``source`` (``DistanceGraph``'s
+    fixpoint relaxation, same round bound, same positive-cycle guard)."""
+    dist = [_NEG_INF] * n
+    dist[source] = 0
+    for _ in range(n + 1):
+        changed = False
+        for u, v, w in edges:
+            if not forward:
+                u, v = v, u
+            du = dist[u]
+            if du != _NEG_INF and du + w > dist[v]:
+                dist[v] = du + w
+                changed = True
+        if not changed:
+            break
+    else:
+        raise _Unsupported("positive cycle in strip graph")
+    return dist
+
+
+class _Lane:
+    """One simulation's flattened state inside the batch."""
+
+    __slots__ = (
+        "spec",
+        "n",
+        "m",
+        "bn",
+        "caches",
+        "others",
+        "armidx",
+        "raisidx",
+        "V",
+        "arrows",
+        "cells",
+        "last_written",
+        "toggle",
+        "phase",
+        "pos",
+        "clean",
+        "first",
+        "second",
+        "steps",
+        "rounds",
+        "flips",
+        "scans",
+        "rand",
+        "grb",
+        "runnable",
+        "nrun",
+        "kbits",
+        "step_count",
+        "decisions",
+        "done",
+        "fallback",
+        "schedule",
+        "viewbuf",
+    )
+
+    def __init__(self, spec: LaneSpec, caches: _Caches, record: bool) -> None:
+        self.spec = spec
+        self.caches = caches
+        self.done = False
+        self.fallback: str | None = None
+        self.schedule: list[int] | None = [] if record else None
+        self.step_count = 0
+        self.decisions: dict[int, Any] = {}
+        n = self.n = len(spec.inputs)
+        self.cells: list = [None] * n
+        if n < 2:
+            # The single-process run decides during its V-write step; the
+            # phase script below models the n >= 2 scan/compute shape.
+            self.fallback = "fast path needs n >= 2"
+            return
+        if any(v not in (0, 1) for v in spec.inputs):
+            self.fallback = "fast path needs binary inputs"
+            return
+        self.m = default_m(_B, n)
+        self.bn = _B * n
+        self.others = [[j for j in range(n) if j != i] for i in range(n)]
+        self.armidx = [[i * n + j for j in self.others[i]] for i in range(n)]
+        self.raisidx = [[j * n + i for j in self.others[i]] for i in range(n)]
+        initial = (None, (0,) * _SLOTS, 0, (0,) * n)
+        self.V = [(initial, 0) for _ in range(n)]
+        self.arrows = [0] * (n * n)
+        self.last_written = [initial] * n
+        self.toggle = [0] * n
+        self.phase = [0] * n
+        self.pos = [0] * n
+        self.clean = [True] * n
+        self.first = [[None] * (n - 1) for _ in range(n)]
+        self.second = [[None] * (n - 1) for _ in range(n)]
+        self.steps = [0] * n
+        self.rounds = [0] * n
+        self.flips = [0] * n
+        self.scans = [0] * n
+        self.viewbuf: list = [None] * n
+        self.rand = [derive_rng(spec.seed, "process", pid).random for pid in range(n)]
+        self.grb = derive_rng(spec.seed, "random-scheduler").getrandbits
+        self.runnable = list(range(n))
+        self.nrun = n
+        self.kbits = n.bit_length()
+        # Prime each process: the serial generator runs `_inc` on the
+        # initial cell, installs the input preference, and parks on its
+        # first pending write-arrow op — all before any step is granted.
+        zero_rows = tuple((0,) * n for _ in range(n))
+        for pid in range(n):
+            new_row = self._inc_row(pid, zero_rows)
+            if new_row is None:
+                return  # fallback already set
+            self.rounds[pid] = 1
+            # ``_inc`` on the initial cell: the round pointer moves 0 → 1
+            # and the slot after it is zeroed (a no-op on all-zero coins).
+            self.cells[pid] = (spec.inputs[pid], (0,) * _SLOTS, 1, new_row)
+
+    def _inc_row(self, i: int, erows: tuple):
+        """Memoised ``inc_counters`` on ``erows`` with ``rows[i]`` already
+        equal to the local cell's row (always true at our call sites).
+        Returns the new row tuple, or ``None`` after marking fallback."""
+        caches = self.caches
+        key = (i, erows)
+        cached = caches.inc.get(key)
+        if cached is None:
+            try:
+                cached = self._compute_inc_row(i, erows)
+            except _Unsupported as exc:
+                cached = exc
+            caches.inc[key] = cached
+        if type(cached) is _Unsupported:
+            self.fallback = str(cached)
+            return None
+        return cached
+
+    def _compute_inc_row(self, i: int, erows: tuple) -> tuple:
+        n = self.n
+        W, edges = self._graph(erows)
+        dists_to_i = self._dists(erows, edges, i, forward=False)
+        row = list(erows[i])
+        Wi = W[i]
+        for j in range(n):
+            if j == i:
+                continue
+            w_ji = W[j][i]
+            closes_gap = False
+            if w_ji is not None:
+                dists_to_j = self._dists(erows, edges, j, forward=False)
+                for k in range(n):
+                    dk = dists_to_j[k]
+                    if dk != _NEG_INF and dk + w_ji == dists_to_i[k]:
+                        closes_gap = True
+                        break
+            w_ij = Wi[j]
+            if closes_gap or (w_ij is not None and w_ij < K):
+                row[j] = (row[j] + 1) % _SIZE
+        return tuple(row)
+
+    def _graph(self, erows: tuple):
+        """Memoised decode; raises ``_Unsupported`` on ill-formed rows."""
+        caches = self.caches
+        cached = caches.decode.get(erows)
+        if cached is None:
+            try:
+                cached = _decode(erows, self.n)
+            except _Unsupported as exc:
+                cached = exc
+            caches.decode[erows] = cached
+        if type(cached) is _Unsupported:
+            raise cached
+        return cached
+
+    def _dists(self, erows: tuple, edges: list, source: int, forward: bool):
+        cache = self.caches.dists_from if forward else self.caches.dists_to
+        key = (erows, source)
+        cached = cache.get(key)
+        if cached is None:
+            try:
+                cached = _relax(edges, self.n, source, forward)
+            except _Unsupported as exc:
+                cached = exc
+            cache[key] = cached
+        if type(cached) is _Unsupported:
+            raise cached
+        return cached
+
+    def _leader_pids(self, erows: tuple, W: list) -> tuple:
+        caches = self.caches
+        cached = caches.leaders.get(erows)
+        if cached is None:
+            n = self.n
+            cached = tuple(
+                i
+                for i in range(n)
+                if all(W[i][j] is not None for j in range(n) if j != i)
+            )
+            caches.leaders[erows] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # The fused step loop.
+    # ------------------------------------------------------------------
+
+    def advance(self, budget: int) -> None:
+        """Run up to ``budget`` atomic steps of this lane."""
+        nrun = self.nrun
+        if nrun == 0 or self.fallback is not None:
+            return
+        remaining = self.spec.max_steps - self.step_count
+        if remaining <= 0:
+            # Serial ``Simulation.run`` raises StepBudgetExceeded here.
+            self.fallback = "step budget exhausted"
+            return
+        todo = budget if budget < remaining else remaining
+        n = self.n
+        last = n - 2
+        runnable = self.runnable
+        kbits = self.kbits
+        grb = self.grb
+        phase = self.phase
+        pos = self.pos
+        clean = self.clean
+        V = self.V
+        arrows = self.arrows
+        others = self.others
+        armidx = self.armidx
+        raisidx = self.raisidx
+        firsts = self.first
+        seconds = self.second
+        steps = self.steps
+        record = self.schedule
+        count = 0
+        while count < todo:
+            # RandomScheduler.choose, inlined bit-for-bit (PR 5): draw
+            # bit_length(len(runnable)) bits, reject until < len(runnable).
+            r = grb(kbits)
+            while r >= nrun:
+                r = grb(kbits)
+            i = runnable[r]
+            if record is not None:
+                record.append(i)
+            steps[i] += 1
+            count += 1
+            ph = phase[i]
+            k = pos[i]
+            if ph == 3:  # first collect: read V[j]
+                firsts[i][k] = V[others[i][k]]
+                if k < last:
+                    pos[i] = k + 1
+                else:
+                    phase[i] = 4
+                    pos[i] = 0
+            elif ph == 4:  # second collect + incremental double-read check
+                s = V[others[i][k]]
+                seconds[i][k] = s
+                f = firsts[i][k]
+                if f is not s and (f[1] != s[1] or f[0] != s[0]):
+                    clean[i] = False
+                if k < last:
+                    pos[i] = k + 1
+                else:
+                    phase[i] = 5
+                    pos[i] = 0
+            elif ph == 5:  # read own arm arrow A[i][j]
+                if arrows[armidx[i][k]]:
+                    clean[i] = False
+                if k < last:
+                    pos[i] = k + 1
+                elif not clean[i]:
+                    phase[i] = 2  # dirty scan: re-arm and retry
+                    pos[i] = 0
+                    clean[i] = True
+                else:
+                    # Clean scan: the protocol step runs on this same
+                    # atomic step (the serial generator computes and —
+                    # on decide — StopIterates inside this advance).
+                    if self._protocol_step(i):
+                        runnable.remove(i)
+                        nrun -= 1
+                        if nrun == 0:
+                            break
+                        kbits = nrun.bit_length()
+                    elif self.fallback is not None:
+                        break
+            elif ph == 2:  # arm: write A[i][j] := 0
+                arrows[armidx[i][k]] = 0
+                if k < last:
+                    pos[i] = k + 1
+                else:
+                    phase[i] = 3
+                    pos[i] = 0
+            elif ph == 0:  # raise write arrows: A[j][i] := 1
+                arrows[raisidx[i][k]] = 1
+                if k < last:
+                    pos[i] = k + 1
+                else:
+                    phase[i] = 1
+                    pos[i] = 0
+            else:  # ph == 1: publish the V register (toggle flips)
+                t = self.toggle[i] ^ 1
+                self.toggle[i] = t
+                cell = self.cells[i]
+                V[i] = (cell, t)
+                self.last_written[i] = cell
+                phase[i] = 2
+                pos[i] = 0
+                clean[i] = True
+        self.step_count += count
+        self.nrun = nrun
+        self.kbits = kbits
+        if nrun == 0:
+            self.done = True
+        elif self.fallback is None and self.step_count >= self.spec.max_steps:
+            self.fallback = "step budget exhausted"
+
+    def _protocol_step(self, i: int) -> bool:
+        """One ADS round decision for ``i`` after a clean scan.
+
+        Returns True when ``i`` decided (the lane retires the pid); on an
+        unsupported state sets ``self.fallback`` and returns False.
+        """
+        self.scans[i] += 1
+        n = self.n
+        view = self.viewbuf
+        others_i = self.others[i]
+        sec = self.second[i]
+        for k in range(n - 1):
+            view[others_i[k]] = sec[k][0]
+        mine = self.last_written[i]
+        view[i] = mine
+        erows = tuple(cell[3] for cell in view)
+        try:
+            W, edges = self._graph(erows)
+        except _Unsupported as exc:
+            self.fallback = str(exc)
+            return False
+        pref_i = mine[0]
+        # (1) Decide: i leads everyone, and every disagreeing process is
+        # at least K behind on the strip.
+        if pref_i is not None:
+            Wi = W[i]
+            is_leader = True
+            for j in range(n):
+                if j != i and Wi[j] is None:
+                    is_leader = False
+                    break
+            if is_leader:
+                try:
+                    dists = self._dists(erows, edges, i, forward=True)
+                except _Unsupported as exc:
+                    self.fallback = str(exc)
+                    return False
+                decide = True
+                for j in range(n):
+                    if j != i and view[j][0] != pref_i and dists[j] < K:
+                        decide = False
+                        break
+                if decide:
+                    self.decisions[i] = pref_i
+                    return True
+        # (2) Adopt the leaders' agreed preference, if any.
+        leaders = self._leader_pids(erows, W)
+        leaders_value = None
+        if leaders:
+            values = {view[lead][0] for lead in leaders}
+            if len(values) == 1:
+                value = values.pop()
+                if value is not None:
+                    leaders_value = value
+        cell = self.cells[i]
+        if leaders_value is not None:
+            new_cell = self._advance_cell(i, cell, erows, leaders_value)
+            if new_cell is None:
+                return False
+        elif pref_i is not None:
+            # (3) Withdraw a preference the leaders do not agree on.
+            new_cell = (None, cell[1], cell[2], cell[3])
+        else:
+            # (4) Resolve by the shared coin.
+            new_cell = self._coin_step(i, cell, view, erows, W)
+            if new_cell is None:
+                return False
+        self.cells[i] = new_cell
+        self.phase[i] = 0
+        self.pos[i] = 0
+        return False
+
+    def _advance_cell(self, i: int, cell: tuple, erows: tuple, pref):
+        """``_inc`` + set preference: move to the next round slot, zero
+        the slot after it, bump this row's edge counters."""
+        new_row = self._inc_row(i, erows)
+        if new_row is None:
+            return None
+        pointer = (cell[2] + 1) % _SLOTS
+        coins = list(cell[1])
+        coins[(pointer + 1) % _SLOTS] = 0
+        self.rounds[i] += 1
+        return (pref, tuple(coins), pointer, new_row)
+
+    def _coin_step(self, i: int, cell: tuple, view: list, erows: tuple, W: list):
+        """``_resolve_conflict``: read the shared coin, flip or adopt."""
+        nslot = (cell[2] + 1) % _SLOTS
+        own = cell[1][nslot]
+        m = self.m
+        if own < -m or own > m:
+            coin = 1  # bounded-overflow rule: deterministic heads
+        else:
+            total = own
+            for j in range(self.n):
+                if j == i:
+                    continue
+                w = W[j][i]
+                if w is not None and w < K:
+                    vj = view[j]
+                    total += vj[1][(vj[2] - w + 1) % _SLOTS]
+            if total > self.bn:
+                coin = 1
+            elif total < -self.bn:
+                coin = 0
+            else:
+                coin = None
+        if coin is None:
+            # Flip: one ctx.rng draw, one ±1 walk step on the next slot.
+            heads = self.rand[i]() < 0.5
+            new_value = own + (1 if heads else -1)
+            if new_value < -(m + 1) or new_value > m + 1:
+                self.fallback = "walk step outside bounded counter range"
+                return None
+            self.flips[i] += 1
+            coins = list(cell[1])
+            coins[nslot] = new_value
+            return (cell[0], tuple(coins), cell[2], cell[3])
+        return self._advance_cell(i, cell, erows, coin)
+
+    def result(self) -> LaneResult:
+        n_range = range(self.n)
+        return LaneResult(
+            spec=self.spec,
+            decisions=dict(self.decisions),
+            total_steps=self.step_count,
+            steps_by_pid={pid: self.steps[pid] for pid in n_range}
+            if self.fallback is None
+            else {},
+            rounds_by_pid={pid: self.rounds[pid] for pid in n_range}
+            if self.fallback is None
+            else {},
+            flips_by_pid={pid: self.flips[pid] for pid in n_range}
+            if self.fallback is None
+            else {},
+            scans_by_pid={pid: self.scans[pid] for pid in n_range}
+            if self.fallback is None
+            else {},
+            fallback=self.fallback,
+            schedule=self.schedule,
+        )
+
+
+#: Steps each active lane advances per round-robin turn.  Large enough to
+#: amortise the outer loop, small enough that retiring lanes free their
+#: slot quickly.
+DEFAULT_CHUNK = 4096
+
+#: Shared memo caches for the module's default entry point.
+_SHARED_CACHES = _Caches()
+
+
+def run_lanes(
+    specs: "list[LaneSpec] | tuple[LaneSpec, ...]",
+    chunk: int = DEFAULT_CHUNK,
+    record_schedule: bool = False,
+) -> list[LaneResult]:
+    """Advance every lane to completion (or fallback); results in order.
+
+    Lanes retire individually — the round-robin outer loop drops a lane
+    the moment it decides everywhere (or falls back), so one adversarial
+    slow lane costs only its own steps, not the batch's.
+    """
+    caches = _SHARED_CACHES
+    lanes = [_Lane(spec, caches, record_schedule) for spec in specs]
+    active = [lane for lane in lanes if not lane.done and lane.fallback is None]
+    while active:
+        still = []
+        for lane in active:
+            lane.advance(chunk)
+            if not lane.done and lane.fallback is None:
+                still.append(lane)
+        active = still
+    caches.trim()
+    return [lane.result() for lane in lanes]

@@ -158,6 +158,25 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+def _batch_arg(text: str) -> int:
+    """argparse type for ``--batch``: same actionable style as --workers.
+
+    Unlike workers there is no 0-means-auto: a batch is a lane count, so
+    only positive integers parse (omit the flag to disable batching).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer (lanes per batch; omit to disable)"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (lanes per batch; omit to disable), got {value}"
+        )
+    return value
+
+
 def _jsonl_path_arg(text: str) -> str:
     """argparse type for writable JSONL paths (``--access-log`` /
     ``--trace-log``): catch the obvious misuses at parse time, in the
@@ -561,6 +580,7 @@ def cmd_chaos(args) -> int:
         task_timeout=args.task_timeout or None,
         metrics=registry,
         task_wrapper=task_wrapper,
+        batch_size=args.batch,
     )
     columns = ("fault", "layer", "checker", "injections", "detected", "expected", "ok")
     rows = [{k: row[k] for k in columns} for row in campaign.to_rows()]
@@ -584,6 +604,7 @@ def cmd_chaos(args) -> int:
         task_timeout=args.task_timeout or None,
         metrics=registry,
         task_wrapper=task_wrapper,
+        batch_size=args.batch,
     )
     print(f"crash-recovery fuzz : {recovery.summary()}")
     for failure in recovery.failures:
@@ -603,6 +624,7 @@ def cmd_chaos(args) -> int:
         task_timeout=args.task_timeout or None,
         metrics=registry,
         task_wrapper=task_wrapper,
+        batch_size=args.batch,
     )
     print(f"fault-injection fuzz: {faults.summary()}")
     if crash_dir is not None:
@@ -691,6 +713,7 @@ def cmd_sweep(args) -> int:
         ledger=ledger,
         policy=_resilience_policy(args),
         task_timeout=args.task_timeout or None,
+        batch_size=args.batch,
     )
     points = sweep.execute(
         workers=args.workers, progress=progress if args.progress else None
@@ -835,6 +858,16 @@ def cmd_profile(args) -> int:
 
     seeds = range(DEFAULT_SEEDS[0], DEFAULT_SEEDS[0] + args.runs)
     rows, profiler = profile_breakdown(seeds=list(seeds), repeats=args.repeats)
+    batched = None
+    if args.batch is not None:
+        from repro.analysis.perfbench import measure_batched_throughput
+
+        batched = measure_batched_throughput(
+            seeds=list(seeds),
+            lanes=args.batch,
+            repeats=args.repeats,
+            profiler=profiler,
+        )
     print(
         format_table(
             rows,
@@ -865,6 +898,29 @@ def cmd_profile(args) -> int:
         f"\nbare consensus throughput: {bare.get('consensus', 0):,} steps/sec; "
         f"worst metrics-on overhead: {worst:.2f}x"
     )
+    if batched is not None:
+        speedup = (
+            batched.steps_per_sec / bare["consensus"] if bare.get("consensus") else 0.0
+        )
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "workload": batched.workload,
+                        "mode": batched.mode,
+                        "lanes": args.batch,
+                        "steps": batched.steps,
+                        "steps_per_sec": round(batched.steps_per_sec),
+                        "speedup_vs_bare_wall": round(speedup, 2),
+                    }
+                ],
+                title=(
+                    f"batched struct-of-arrays loop ({args.batch} lanes through "
+                    f"one fused step loop, best of {args.repeats})"
+                ),
+            )
+        )
     ledger = _open_ledger(args)
     if ledger is not None:
         from repro.obs.ledger import make_record
@@ -882,10 +938,12 @@ def cmd_profile(args) -> int:
                     "experiment": "profile",
                     "runs": args.runs,
                     "repeats": args.repeats,
+                    "batch": args.batch,
                 },
                 outcome={
                     "workloads": sorted({r["workload"] for r in rows}),
-                    "modes": sorted({r["mode"] for r in rows}),
+                    "modes": sorted({r["mode"] for r in rows})
+                    + (["batched"] if batched is not None else []),
                 },
                 timings={
                     "throughput": {
@@ -893,7 +951,17 @@ def cmd_profile(args) -> int:
                             "steps_per_sec": r["steps_per_sec"]
                         }
                         for r in rows
-                    },
+                    }
+                    | (
+                        {
+                            "consensus/batched": {
+                                "steps_per_sec": round(batched.steps_per_sec),
+                                "lanes": args.batch,
+                            }
+                        }
+                        if batched is not None
+                        else {}
+                    ),
                 },
             )
         )
@@ -1289,6 +1357,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default serial; 0 = all CPUs; results identical at any count)",
     )
     chaos.add_argument(
+        "--batch",
+        type=_batch_arg,
+        default=None,
+        metavar="N",
+        help="cells per batch task (default REPRO_BATCH; results "
+        "identical at any batch size)",
+    )
+    chaos.add_argument(
         "--inject-worker-crash",
         action="store_true",
         help="chaos-test the harness itself: SIGKILL one worker "
@@ -1321,6 +1397,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes (default serial; 0 = all CPUs)",
+    )
+    sweep.add_argument(
+        "--batch",
+        type=_batch_arg,
+        default=None,
+        metavar="N",
+        help="simulation lanes per batch through the fused "
+        "struct-of-arrays step loop (default REPRO_BATCH; results and "
+        "ledger bytes identical at any batch size)",
     )
     sweep.add_argument(
         "--progress", action="store_true", help="tick run completion on stderr"
@@ -1372,6 +1457,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="timing repeats per cell, best one kept (default 3)",
+    )
+    profile.add_argument(
+        "--batch",
+        type=_batch_arg,
+        metavar="N",
+        help=(
+            "also profile the batched struct-of-arrays loop with N lanes "
+            "through one fused step loop (omit to skip)"
+        ),
     )
     _add_ledger_args(profile, cache=False)
     profile.set_defaults(func=cmd_profile)

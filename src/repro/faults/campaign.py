@@ -326,6 +326,7 @@ def run_mutation_campaign(
     task_timeout: float | None = None,
     metrics: Any = None,
     task_wrapper: Any = None,
+    batch_size: int | None = None,
 ) -> CampaignReport:
     """Run every mutation-test cell; deterministic for a given seed.
 
@@ -360,15 +361,39 @@ def run_mutation_campaign(
         run_spec = task_wrapper(run_spec)
     continue_mode = policy is not None and policy.mode == "continue"
 
-    if ledger is None:
-        partial = run_tasks_partial(
+    # Campaign cells build fault-injected simulations, so there is no
+    # fused fast path — batching groups cells per pool task (identical
+    # report, fewer fork/IPC round-trips).
+    from repro.batch import resolve_batch_size
+
+    batch_size = resolve_batch_size(batch_size)
+
+    def dispatch(tasks, on_result=None):
+        if batch_size is not None:
+            from repro.batch import run_tasks_batched
+
+            return run_tasks_batched(
+                run_spec,
+                tasks,
+                batch_size=batch_size,
+                workers=workers,
+                policy=policy,
+                task_timeout=task_timeout,
+                metrics=metrics,
+                on_result=on_result,
+            )
+        return run_tasks_partial(
             run_spec,
-            specs,
+            tasks,
             workers=workers,
             policy=policy,
             task_timeout=task_timeout,
             metrics=metrics,
+            on_result=on_result,
         )
+
+    if ledger is None:
+        partial = dispatch(specs)
         if partial.errors and not continue_mode:
             raise ParallelExecutionError(partial.errors)
         report.cells = [cell for cell in partial.results if cell is not None]
@@ -414,15 +439,7 @@ def run_mutation_campaign(
             ),
         )
 
-    partial = run_tasks_partial(
-        run_spec,
-        [specs[index] for index in pending],
-        workers=workers,
-        policy=policy,
-        task_timeout=task_timeout,
-        metrics=metrics,
-        on_result=checkpoint,
-    )
+    partial = dispatch([specs[index] for index in pending], on_result=checkpoint)
     checkpointer.close()
     if partial.errors and not continue_mode:
         raise ParallelExecutionError(partial.errors)

@@ -131,6 +131,46 @@ def make_sweep_runner(
             )
         return float(run.max_rounds() if metric == "rounds" else run.total_steps)
 
+    if protocol == "ads" and scheduler == "random":
+        # Opt the canonical cell into the fused batch interpreter (see
+        # repro.batch): default ADS under the random scheduler is exactly
+        # the fast path, and the engine reproduces the serial RNG streams
+        # bit-for-bit.  Any lane the engine cannot interpret (n < 2, odd
+        # counter states, an exhausted budget) re-runs through run_once,
+        # reproducing the serial result or exception unchanged.
+        from repro.batch import LaneSpec
+
+        def batch_lane(task):
+            n, seed = task
+            if n < 2:
+                return None
+            return LaneSpec(
+                inputs=tuple((seed + i) % 2 for i in range(n)),
+                seed=seed,
+                max_steps=max_steps,
+            )
+
+        def batch_value(task, lane):
+            n, seed = task
+            decided = set(lane.decisions.values())
+            # validate_run's four checks on a crash-free run: agreement,
+            # validity/domain (decisions drawn from the inputs), and
+            # completion (every process decided).  Any violation falls
+            # back to run_once, which raises the serial "unsafe run"
+            # error with the full report.
+            if (
+                len(decided) > 1
+                or not decided <= set(lane.spec.inputs)
+                or len(lane.decisions) != n
+            ):
+                return None
+            return float(
+                lane.max_rounds() if metric == "rounds" else lane.total_steps
+            )
+
+        run_once.batch_lane = batch_lane
+        run_once.batch_value = batch_value
+
     return run_once
 
 
@@ -147,6 +187,7 @@ def build_sweep(
     policy: "FailurePolicy | None" = None,
     task_timeout: float | None = None,
     metrics: Any = None,
+    batch_size: int | None = None,
 ) -> "Sweep":
     """The canonical protocol sweep, identically configured everywhere.
 
@@ -173,4 +214,5 @@ def build_sweep(
         policy=policy,
         task_timeout=task_timeout,
         metrics=metrics,
+        batch_size=batch_size,
     )

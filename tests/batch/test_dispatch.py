@@ -1,0 +1,229 @@
+"""The batch dispatch layer: validation, grouping, and entry-point identity.
+
+Batching is a pure execution-strategy knob — these tests pin that it is
+*observably absent* from every result: sweep ledger bytes, fuzz reports
+and repeat_runs values are byte/value-identical at any batch size, flat
+task indices survive the grouping, and the ``batch_size``/``REPRO_BATCH``
+knobs reject nonsense with messages that name the knob.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.experiment import repeat_runs
+from repro.batch import (
+    BATCH_ENV,
+    make_batch_task,
+    resolve_batch_size,
+    run_tasks_batched,
+)
+from repro.consensus import AdsConsensus
+from repro.obs.ledger import RunLedger
+from repro.runtime import RandomScheduler
+from repro.verify.fuzz import fuzz_consensus
+from repro.workloads import build_sweep
+
+
+# ---------------------------------------------------------------------------
+# Knob validation
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_none_without_env(monkeypatch):
+    monkeypatch.delenv(BATCH_ENV, raising=False)
+    assert resolve_batch_size(None) is None
+    monkeypatch.setenv(BATCH_ENV, "   ")
+    assert resolve_batch_size(None) is None
+
+
+def test_resolve_reads_env(monkeypatch):
+    monkeypatch.setenv(BATCH_ENV, "16")
+    assert resolve_batch_size(None) == 16
+    # An explicit argument wins over the environment.
+    assert resolve_batch_size(4) == 4
+
+
+@pytest.mark.parametrize("raw", ["zero", "4.5", "1e3"])
+def test_env_non_integer_names_the_variable(monkeypatch, raw):
+    monkeypatch.setenv(BATCH_ENV, raw)
+    with pytest.raises(ValueError, match=BATCH_ENV):
+        resolve_batch_size(None)
+
+
+@pytest.mark.parametrize("raw", ["0", "-3"])
+def test_env_non_positive_names_the_variable(monkeypatch, raw):
+    monkeypatch.setenv(BATCH_ENV, raw)
+    with pytest.raises(ValueError, match=BATCH_ENV):
+        resolve_batch_size(None)
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_argument_must_be_positive(bad):
+    with pytest.raises(ValueError, match=">= 1"):
+        resolve_batch_size(bad)
+
+
+@pytest.mark.parametrize("bad", [True, 4.0, "4"])
+def test_argument_must_be_an_int(bad):
+    with pytest.raises(TypeError, match="batch_size"):
+        resolve_batch_size(bad)
+
+
+@pytest.mark.parametrize("raw", ["nope", "2.5"])
+def test_cli_batch_arg_rejects_non_integers(raw):
+    import argparse
+
+    from repro.cli import _batch_arg
+
+    with pytest.raises(argparse.ArgumentTypeError, match="not an integer"):
+        _batch_arg(raw)
+
+
+@pytest.mark.parametrize("raw", ["0", "-2"])
+def test_cli_batch_arg_rejects_non_positive(raw):
+    import argparse
+
+    from repro.cli import _batch_arg
+
+    with pytest.raises(argparse.ArgumentTypeError, match=">= 1"):
+        _batch_arg(raw)
+
+
+# ---------------------------------------------------------------------------
+# Grouping mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_flat_indices_and_order():
+    seen = []
+    partial = run_tasks_batched(
+        lambda task: task * 10,
+        list(range(7)),
+        batch_size=3,
+        workers=0,
+        on_result=lambda index, value: seen.append((index, value)),
+    )
+    assert partial.results == [0, 10, 20, 30, 40, 50, 60]
+    assert sorted(seen) == [(i, i * 10) for i in range(7)]
+    assert not partial.errors
+
+
+def test_group_error_reanchored_at_flat_index():
+    def boom(task):
+        if task == 5:
+            raise RuntimeError("cell 5 exploded")
+        return task
+
+    partial = run_tasks_batched(boom, list(range(8)), batch_size=3, workers=0)
+    assert len(partial.errors) == 1
+    # Task 5 lives in group 1 (tasks 3..5): the error anchors at the
+    # group's first flat index, and the whole group is a None hole.
+    assert partial.errors[0].index == 3
+    assert partial.results[3:6] == [None, None, None]
+    assert partial.results[:3] == [0, 1, 2]
+    assert partial.results[6:] == [6, 7]
+
+
+def test_make_batch_task_without_hooks_is_plain_map():
+    run_batch = make_batch_task(lambda task: task + 1)
+    assert run_batch([1, 2, 3]) == [2, 3, 4]
+
+
+def test_make_batch_task_hook_refusal_falls_back():
+    calls = []
+
+    def run_task(task):
+        calls.append(task)
+        return ("serial", task)
+
+    run_task.batch_lane = lambda task: None  # refuse every task
+    run_task.batch_value = lambda task, lane: ("fused", task)
+    run_batch = make_batch_task(run_task)
+    assert run_batch([7, 8]) == [("serial", 7), ("serial", 8)]
+    assert calls == [7, 8]
+
+
+def test_progress_counts_flat_tasks():
+    ticks = []
+    run_tasks_batched(
+        lambda task: task,
+        list(range(5)),
+        batch_size=2,
+        workers=0,
+        progress=lambda done, total: ticks.append((done, total)),
+    )
+    assert ticks[-1] == (5, 5)
+    assert all(total == 5 for _, total in ticks)
+
+
+# ---------------------------------------------------------------------------
+# Entry-point identity: batching must be invisible in the results
+# ---------------------------------------------------------------------------
+
+
+def _sweep_points(tmp_path, tag, batch_size, workers=0):
+    ledger = RunLedger(tmp_path / f"{tag}.jsonl")
+    sweep = build_sweep(
+        n_values=(2, 3), reps=4, ledger=ledger, batch_size=batch_size
+    )
+    points = sweep.execute(workers=workers)
+    return points, (tmp_path / f"{tag}.jsonl").read_bytes()
+
+
+@pytest.mark.parametrize("batch_size", [1, 4, 16])
+def test_sweep_ledger_bytes_identical_at_any_batch_size(tmp_path, batch_size):
+    serial_points, serial_bytes = _sweep_points(tmp_path, "serial", None)
+    batched_points, batched_bytes = _sweep_points(
+        tmp_path, f"batched{batch_size}", batch_size
+    )
+    assert batched_points == serial_points
+    assert batched_bytes == serial_bytes
+
+
+def test_sweep_batching_composes_with_workers(tmp_path):
+    serial_points, serial_bytes = _sweep_points(tmp_path, "serial", None)
+    batched_points, batched_bytes = _sweep_points(
+        tmp_path, "batched-pool", 4, workers=2
+    )
+    assert batched_points == serial_points
+    assert batched_bytes == serial_bytes
+
+
+def test_sweep_reads_env_knob(tmp_path, monkeypatch):
+    serial_points, _ = _sweep_points(tmp_path, "serial", None)
+    monkeypatch.setenv(BATCH_ENV, "4")
+    env_points, _ = _sweep_points(tmp_path, "env", None)
+    assert env_points == serial_points
+
+
+def test_repeat_runs_identical_when_batched():
+    def run_once(seed):
+        return float(
+            AdsConsensus()
+            .run(
+                [seed % 2, (seed + 1) % 2],
+                scheduler=RandomScheduler(seed=seed),
+                seed=seed,
+            )
+            .total_steps
+        )
+
+    seeds = range(9)
+    serial = repeat_runs(run_once, seeds, workers=0)
+    batched = repeat_runs(run_once, seeds, workers=0, batch_size=4)
+    assert batched == serial
+
+
+def test_fuzz_report_identical_when_batched():
+    kwargs = dict(
+        n_values=(2, 3),
+        runs_per_cell=3,
+        schedulers={"random": lambda seed: RandomScheduler(seed=seed)},
+        crash_probability=0.0,
+        workers=0,
+    )
+    serial = fuzz_consensus(AdsConsensus, **kwargs)
+    batched = fuzz_consensus(AdsConsensus, batch_size=4, **kwargs)
+    assert dataclasses.asdict(batched) == dataclasses.asdict(serial)
+    assert batched.ok

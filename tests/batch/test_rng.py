@@ -1,0 +1,53 @@
+"""Lane RNG stream identity with the serial ``RandomScheduler``.
+
+The engine inlines ``RandomScheduler.choose``'s rejection-sampling loop
+over its own runnable list.  These tests pin the two properties that make
+that sound: (1) the granted-pid sequence of a lane equals what a traced
+serial run records, draw for draw; (2) scheduler streams are strictly
+per-lane, so lanes retiring mid-batch cannot shift a surviving lane's
+draws.
+"""
+
+import pytest
+
+from repro.batch import LaneSpec, run_lanes
+from repro.consensus import AdsConsensus
+from repro.runtime import RandomScheduler, TracingScheduler
+
+
+def traced_schedule(inputs, seed):
+    tracer = TracingScheduler(RandomScheduler(seed=seed), history=10**7)
+    AdsConsensus().run(list(inputs), scheduler=tracer, seed=seed)
+    return list(tracer.recent)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lane_schedule_equals_serial_draw_sequence(seed):
+    inputs = tuple((seed + i) % 2 for i in range(3))
+    (lane,) = run_lanes([LaneSpec(inputs=inputs, seed=seed)], record_schedule=True)
+    assert lane.fallback is None
+    assert lane.schedule == traced_schedule(inputs, seed)
+
+
+def test_retirement_order_cannot_perturb_surviving_lanes():
+    # The same lane, alone vs sandwiched between lanes that retire much
+    # earlier/later, must be granted the identical pid sequence: lane RNG
+    # streams never observe the rest of the batch.
+    spec = LaneSpec(inputs=(1, 0, 1, 0), seed=42)
+    (alone,) = run_lanes([spec], record_schedule=True)
+    neighbours = [
+        LaneSpec(inputs=(s % 2, (s + 1) % 2), seed=s) for s in range(6)
+    ]
+    batch = run_lanes(
+        neighbours[:3] + [spec] + neighbours[3:], record_schedule=True
+    )
+    sandwiched = batch[3]
+    assert sandwiched.fallback is None
+    assert sandwiched.schedule == alone.schedule
+    assert sandwiched.decisions == alone.decisions
+    assert sandwiched.total_steps == alone.total_steps
+
+
+def test_schedule_not_recorded_by_default():
+    (lane,) = run_lanes([LaneSpec(inputs=(0, 1), seed=0)])
+    assert lane.schedule is None
